@@ -1,0 +1,19 @@
+"""A2 — design-choice ablation: hypergraph construction knobs.
+
+Asserts the construction defaults are sound: windowed edges are competitive
+with whole-sequence edges, and every variant stays in a sane range.
+"""
+
+from common import BENCH_EPOCHS, BENCH_SCALE, run_and_report
+
+
+def test_a2_hypergraph_construction(benchmark):
+    result = run_and_report(benchmark, "A2", scale=BENCH_SCALE, epochs=BENCH_EPOCHS)
+
+    column = result.headers.index("NDCG@10")
+    values = {row[0]: float(row[column]) for row in result.rows}
+    # All construction variants train to a sane range.
+    assert min(values.values()) > 0.08
+    # The default (window=10, cross edges on) is within noise of the best.
+    default = values["window=10"]
+    assert default >= max(values.values()) - 0.05

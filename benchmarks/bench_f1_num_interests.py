@@ -1,0 +1,23 @@
+"""F1 — sensitivity to the number of interest prototypes K.
+
+Reproduction target: multiple interests beat a single pooled vector, and the
+curve flattens or dips once K far exceeds the planted interests-per-user.
+"""
+
+from common import BENCH_EPOCHS, BENCH_SCALE, metric_of, run_and_report
+
+
+def test_f1_num_interests(benchmark):
+    result = run_and_report(benchmark, "F1", scale=BENCH_SCALE, epochs=BENCH_EPOCHS,
+                            ks=(1, 2, 4, 8))
+
+    k1 = metric_of(result, "K", 1, "NDCG@10")
+    best_k = max(
+        (float(row[result.headers.index("NDCG@10")]), row[0]) for row in result.rows
+    )[1]
+    multi = max(metric_of(result, "K", k, "NDCG@10") for k in (2, 4, 8))
+
+    # Multi-interest beats single-interest.
+    assert multi > k1
+    # The optimum is an intermediate K, not K=1.
+    assert best_k != 1

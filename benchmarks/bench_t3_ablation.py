@@ -1,0 +1,23 @@
+"""T3 — ablation study: every MISSL component earns its keep.
+
+Reproduction target: the full model is best (within noise); removing the
+auxiliary behaviors hurts the most.
+"""
+
+from common import BENCH_EPOCHS, BENCH_SCALE, metric_of, run_and_report
+
+
+def test_t3_ablation(benchmark):
+    result = run_and_report(benchmark, "T3", scale=BENCH_SCALE, epochs=BENCH_EPOCHS)
+
+    full = metric_of(result, "variant", "full", "NDCG@10")
+    no_aux = metric_of(result, "variant", "w/o auxiliary", "NDCG@10")
+    variants = {row[0]: float(row[result.headers.index("NDCG@10")])
+                for row in result.rows}
+
+    # Removing the auxiliary behaviors is the most damaging ablation.
+    assert no_aux == min(variants.values())
+    assert full > no_aux
+    # The full model is at or near the top of the variant set (small synthetic
+    # corpora leave individual regularizers within noise of the full model).
+    assert full >= max(variants.values()) - 0.02

@@ -1,0 +1,23 @@
+"""T4 — time-efficiency comparison (params, s/epoch, inference latency).
+
+Reproduction target: MISSL costs more than SASRec in both training and
+inference, but stays within one order of magnitude — the "manageable
+overhead" claim.
+"""
+
+from common import BENCH_SCALE, metric_of, run_and_report
+
+
+def test_t4_efficiency(benchmark):
+    result = run_and_report(benchmark, "T4", scale=BENCH_SCALE)
+
+    sasrec = result.raw["SASRec"]
+    missl = result.raw["MISSL"]
+
+    # MISSL is the heavier model...
+    assert missl["params"] > sasrec["params"]
+    assert missl["epoch_seconds"] > sasrec["epoch_seconds"]
+    # ...but within ~30x on training and inference (same order of magnitude
+    # on the paper's hardware; generous bound for CI noise on tiny batches).
+    assert missl["epoch_seconds"] < 30 * max(sasrec["epoch_seconds"], 0.05)
+    assert missl["infer_ms"] < 30 * max(sasrec["infer_ms"], 0.05)

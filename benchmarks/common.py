@@ -1,0 +1,47 @@
+"""Shared plumbing for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the
+reconstruction (see DESIGN.md §4): it runs the corresponding experiment once
+under ``pytest-benchmark`` (rounds=1 — these are minutes-long end-to-end
+experiments, not micro-benchmarks), prints the regenerated table, saves
+CSV/markdown into ``benchmarks/results/``, and asserts the robust qualitative
+claims the paper's narrative depends on.
+
+Environment knobs (for quick smoke runs):
+    REPRO_BENCH_SCALE   dataset scale factor (default 0.5)
+    REPRO_BENCH_EPOCHS  training epochs (default 15)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import run_experiment
+from repro.experiments.results import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+BENCH_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "15"))
+
+
+def run_and_report(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment under the benchmark fixture and persist its output."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, **kwargs), rounds=1, iterations=1
+    )
+    result.save(RESULTS_DIR)
+    print()
+    print(result.render())
+    return result
+
+
+def metric_of(result: ExperimentResult, key_column: str, key, metric: str) -> float:
+    """Look up one metric cell by row key."""
+    key_index = result.headers.index(key_column)
+    metric_index = result.headers.index(metric)
+    for row in result.rows:
+        if row[key_index] == key:
+            return float(row[metric_index])
+    raise KeyError(f"row {key!r} not found in {result.experiment_id}")

@@ -1,0 +1,60 @@
+"""Scenario: why multi-behavior signals matter for cold-start users.
+
+The motivating story of the multi-behavior literature: users with almost no
+purchase history still click and browse.  This script groups test users by
+target-behavior history length and shows how MISSL's advantage over a
+single-behavior model concentrates on the sparsest group.
+
+    python examples/cold_start_analysis.py
+"""
+
+import numpy as np
+
+from repro.eval import MetricReport, rank_all
+from repro.experiments import ExperimentContext, build_model
+from repro.train import TrainConfig, Trainer
+from repro.utils import format_table
+
+
+def main() -> None:
+    context = ExperimentContext.build("taobao", scale=0.4, seed=1)
+    dataset = context.dataset
+    lengths = dataset.target_lengths()
+    test_lengths = np.array([lengths[e.user] for e in context.split.test])
+    groups = {
+        "cold  (<=4 buys)": test_lengths <= 4,
+        "warm  (5-6 buys)": (test_lengths > 4) & (test_lengths <= 6),
+        "hot   (>6 buys)": test_lengths > 6,
+    }
+    print("test users per group:",
+          {name: int(mask.sum()) for name, mask in groups.items()})
+
+    results = {}
+    for name in ("SASRec", "MISSL"):
+        print(f"training {name} ...")
+        model = build_model(name, context, dim=32, seed=1)
+        Trainer(model, context.split, TrainConfig(epochs=12, patience=3)).fit()
+        ranks = rank_all(model, context.split.test, context.test_candidates,
+                         dataset.schema)
+        results[name] = ranks
+
+    rows = []
+    for group, mask in groups.items():
+        if mask.sum() == 0:
+            continue
+        sasrec = MetricReport.from_ranks(results["SASRec"][mask], ks=(10,))["NDCG@10"]
+        missl = MetricReport.from_ranks(results["MISSL"][mask], ks=(10,))["NDCG@10"]
+        gain = (missl - sasrec) / max(sasrec, 1e-9) * 100
+        rows.append([group, int(mask.sum()), sasrec, missl, f"{gain:+.1f}%"])
+
+    print()
+    print(format_table(["group", "users", "SASRec NDCG@10", "MISSL NDCG@10",
+                        "relative gain"], rows))
+    print("\nExpected shape (at full scale, averaged over seeds): MISSL's relative")
+    print("gain concentrates on the cold group — auxiliary views/carts substitute")
+    print("for the missing purchase history.  Individual groups at this demo scale")
+    print("hold only a few dozen users, so expect noise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Scenario: head-to-head model bake-off on one dataset.
+
+Reproduces a single-dataset slice of the paper's overall comparison (T2):
+every model family — popularity floor, single-behavior sequence models,
+multi-interest models, multi-behavior models, and MISSL — trained under one
+pipeline on identical inputs and evaluated on identical candidate sets.
+
+    python examples/compare_models.py [--preset taobao|tmall|yelp] [--scale 0.4]
+"""
+
+import argparse
+
+from repro.experiments import (MODEL_FAMILIES, ExperimentContext, build_model,
+                               train_and_evaluate)
+from repro.experiments.runners import T2_MODELS
+from repro.utils import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="taobao", choices=["taobao", "tmall", "yelp"])
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--include-nonsequential", action="store_true",
+                        help="also run BPR-MF and LightGCN (outside the paper's "
+                             "baseline table; see experiment A3 in EXPERIMENTS.md "
+                             "for why graph CF is unusually strong on this "
+                             "synthetic substrate)")
+    args = parser.parse_args()
+
+    print(f"building {args.preset} context (scale={args.scale}) ...")
+    context = ExperimentContext.build(args.preset, scale=args.scale, seed=args.seed)
+    stats = context.dataset.stats()
+    print(f"{stats.num_users} users / {stats.num_items} items / "
+          f"{stats.num_interactions} events\n")
+
+    names = list(T2_MODELS)
+    if args.include_nonsequential:
+        names = ["BPRMF", "LightGCN"] + names
+    rows = []
+    for name in names:
+        model = build_model(name, context, dim=args.dim, seed=args.seed)
+        report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
+                                             seed=args.seed)
+        rows.append([MODEL_FAMILIES[name], name, report["HR@10"], report["NDCG@10"],
+                     report["MRR"], f"{seconds:.1f}s"])
+        print(f"  {name:10s} done ({seconds:.1f}s)")
+
+    rows.sort(key=lambda r: r[3], reverse=True)
+    print()
+    print(format_table(["family", "model", "HR@10", "NDCG@10", "MRR", "time"], rows))
+    best = rows[0][1]
+    print(f"\nbest model by NDCG@10: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — reproduction of MISSL (ICDE 2024).
+
+"When Multi-Behavior Meets Multi-Interest: Multi-Behavior Sequential
+Recommendation with Multi-Interest Self-Supervised Learning."
+
+Top-level subpackages:
+
+- :mod:`repro.nn` — NumPy autodiff + neural-network substrate.
+- :mod:`repro.data` — multi-behavior interaction data model and generators.
+- :mod:`repro.hypergraph` — hypergraph construction and transformer layers.
+- :mod:`repro.core` — the MISSL model itself.
+- :mod:`repro.baselines` — reimplemented comparison methods.
+- :mod:`repro.train` / :mod:`repro.eval` — training and evaluation harness.
+- :mod:`repro.experiments` — the registry that regenerates every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

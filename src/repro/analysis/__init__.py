@@ -1,0 +1,12 @@
+"""``repro.analysis`` — model-inspection utilities behind the F6 experiment
+and the interest-inspection example."""
+
+from .interests import (cluster_purity, interest_attention_report, interest_separation,
+                        prototype_separation)
+
+__all__ = [
+    "interest_separation",
+    "prototype_separation",
+    "cluster_purity",
+    "interest_attention_report",
+]

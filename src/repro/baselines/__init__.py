@@ -1,0 +1,30 @@
+"""``repro.baselines`` — reimplemented comparison methods.
+
+Three families, mirroring the paper's comparison table:
+
+* Traditional sequential: :class:`Popularity`, :class:`ItemKNN`,
+  :class:`GRU4Rec`, :class:`SASRec`, :class:`BERT4Rec`.
+* Multi-interest / self-supervised: :class:`ComiRec`, :class:`CL4SRec`.
+* Multi-behavior: :class:`MBGRU`, :class:`MBSASRec`, :class:`MBHTLite`.
+"""
+
+from .bert4rec import BERT4Rec
+from .bprmf import BPRMF
+from .cl4srec import CL4SRec
+from .comirec import ComiRec
+from .common import MergedSequenceModel, last_valid_state
+from .gru4rec import GRU4Rec
+from .itemknn import ItemKNN
+from .lightgcn import LightGCN, build_bipartite_adjacency
+from .mbgru import MBGRU
+from .mbht_lite import MBHTLite
+from .mbsasrec import MBSASRec
+from .pop import Popularity
+from .sasrec import SASRec
+
+__all__ = [
+    "Popularity", "ItemKNN", "BPRMF", "LightGCN", "build_bipartite_adjacency",
+    "GRU4Rec", "SASRec", "BERT4Rec",
+    "ComiRec", "CL4SRec", "MBGRU", "MBSASRec", "MBHTLite",
+    "MergedSequenceModel", "last_valid_state",
+]

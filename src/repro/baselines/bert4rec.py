@@ -1,0 +1,27 @@
+"""BERT4Rec (Sun et al., 2019): bidirectional transformer sequence model.
+
+Faithful to the architecture (non-causal attention); the training objective
+is the same sampled softmax as the rest of the pipeline rather than the
+original cloze task — a standard simplification when all baselines share one
+training harness, and one that preserves the architectural comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import BehaviorSchema
+
+from .sasrec import SASRec
+
+__all__ = ["BERT4Rec"]
+
+
+class BERT4Rec(SASRec):
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int = 32,
+                 max_len: int = 30, num_heads: int = 2, num_layers: int = 2,
+                 rng: np.random.Generator | None = None, dropout: float = 0.1,
+                 seed: int = 0):
+        super().__init__(num_items, schema, dim=dim, max_len=max_len,
+                         num_heads=num_heads, num_layers=num_layers, rng=rng,
+                         dropout=dropout, seed=seed, causal=False)

@@ -1,0 +1,55 @@
+"""BPR-MF (Rendle et al., 2009): non-sequential matrix factorization.
+
+The classic personalized-but-history-blind reference point: one embedding
+per user, one per item, trained with the BPR pairwise objective.  Included
+to separate "knows the user" from "models the sequence" in comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SequentialRecommender
+from repro.data.batching import Batch
+from repro.data.sampling import NegativeSampler
+from repro.data.schema import BehaviorSchema
+from repro.nn.layers import Embedding
+from repro.nn.losses import bpr_loss
+from repro.nn.tensor import Tensor
+
+__all__ = ["BPRMF"]
+
+
+class BPRMF(SequentialRecommender):
+    def __init__(self, num_items: int, num_users: int, schema: BehaviorSchema,
+                 dim: int = 32, rng: np.random.Generator | None = None, seed: int = 0):
+        super().__init__()
+        rng = rng or np.random.default_rng(seed)
+        self.num_items = num_items
+        self.num_users = num_users
+        self.schema = schema
+        self.user_embedding = Embedding(num_users, dim, rng)
+        self.item_embedding = Embedding(num_items + 1, dim, rng, padding_idx=0)
+
+    def item_representations(self) -> Tensor:
+        return self.item_embedding.weight
+
+    def user_representation(self, batch: Batch) -> Tensor:
+        users = np.asarray(batch.users)
+        if users.max(initial=0) >= self.num_users:
+            raise IndexError(f"user id {users.max()} outside [0, {self.num_users})")
+        return self.user_embedding(users)
+
+    def training_loss(self, batch: Batch, sampler: NegativeSampler,
+                      num_negatives: int = 1) -> Tensor:
+        """Pairwise BPR: positive target vs one sampled negative per instance."""
+        users = self.user_representation(batch)                    # (B, D)
+        positives = self.item_embedding(batch.targets)             # (B, D)
+        negatives_ids = np.array([
+            sampler.sample(int(u), 1, exclude={int(t)})[0]
+            for u, t in zip(batch.users, batch.targets)
+        ])
+        negatives = self.item_embedding(negatives_ids)             # (B, D)
+        pos_scores = (users * positives).sum(axis=-1)
+        neg_scores = (users * negatives).sum(axis=-1)
+        return bpr_loss(pos_scores, neg_scores)

@@ -1,0 +1,62 @@
+"""CL4SRec (Xie et al., 2022): SASRec + contrastive sequence augmentation.
+
+Isolates the *self-supervised* ingredient of MISSL: same encoder as SASRec,
+plus an InfoNCE term between two stochastic augmentations (mask/crop/reorder)
+of each training sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.augment import augment_sequences
+from repro.core.ssl import augmentation_contrast
+from repro.data.batching import Batch
+from repro.data.sampling import NegativeSampler
+from repro.data.schema import BehaviorSchema
+from repro.nn.losses import cross_entropy_with_candidates
+from repro.nn.tensor import Tensor
+
+from .common import last_valid_state
+from .sasrec import SASRec
+
+__all__ = ["CL4SRec"]
+
+
+class CL4SRec(SASRec):
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int = 32,
+                 max_len: int = 30, num_heads: int = 2, num_layers: int = 1,
+                 rng: np.random.Generator | None = None, dropout: float = 0.1,
+                 seed: int = 0, lambda_aug: float = 0.1, temperature: float = 0.3,
+                 aug_mask_prob: float = 0.2, aug_crop_ratio: float = 0.6,
+                 aug_reorder_ratio: float = 0.25, similar: np.ndarray | None = None):
+        """``similar`` (item → substitute-item table, e.g. from
+        :func:`repro.core.augment.build_substitution_table`) extends the
+        augmentation pool with the substitute/insert operators."""
+        rng = rng or np.random.default_rng(seed)
+        super().__init__(num_items, schema, dim=dim, max_len=max_len,
+                         num_heads=num_heads, num_layers=num_layers, rng=rng,
+                         dropout=dropout)
+        self.lambda_aug = lambda_aug
+        self.temperature = temperature
+        self.aug_params = dict(mask_prob=aug_mask_prob, crop_ratio=aug_crop_ratio,
+                               reorder_ratio=aug_reorder_ratio, similar=similar)
+        self.aug_rng = np.random.default_rng(seed + 101)
+
+    def _view(self, items: np.ndarray, mask: np.ndarray) -> Tensor:
+        aug_items, aug_mask = augment_sequences(items, mask, self.aug_rng, **self.aug_params)
+        states = self.embed_sequence(aug_items)
+        return last_valid_state(self.encoder(states, aug_mask), aug_mask)
+
+    def training_loss(self, batch: Batch, sampler: NegativeSampler,
+                      num_negatives: int = 50) -> Tensor:
+        candidates = self.sample_training_candidates(batch, sampler, num_negatives)
+        scores = self.score_candidates(batch, candidates)
+        loss = cross_entropy_with_candidates(scores)
+        if self.lambda_aug > 0:
+            items, _, mask = self.sequence_inputs(batch)
+            view_a = self._view(items, mask)
+            view_b = self._view(items, mask)
+            loss = loss + augmentation_contrast(view_a, view_b, self.temperature) \
+                * self.lambda_aug
+        return loss

@@ -1,0 +1,35 @@
+"""ComiRec-SA (Cen et al., 2020): multi-interest single-behavior model.
+
+SASRec encoding followed by K-prototype attention pooling; scoring takes the
+max over interests.  Isolates the *multi-interest* ingredient of MISSL
+without multi-behavior or hypergraph information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interest import MultiInterestExtractor
+from repro.data.batching import Batch
+from repro.data.schema import BehaviorSchema
+from repro.nn.tensor import Tensor
+
+from .sasrec import SASRec
+
+__all__ = ["ComiRec"]
+
+
+class ComiRec(SASRec):
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int = 32,
+                 num_interests: int = 4, max_len: int = 30, num_heads: int = 2,
+                 num_layers: int = 1, rng: np.random.Generator | None = None,
+                 dropout: float = 0.1, seed: int = 0):
+        rng = rng or np.random.default_rng(seed)
+        super().__init__(num_items, schema, dim=dim, max_len=max_len,
+                         num_heads=num_heads, num_layers=num_layers, rng=rng,
+                         dropout=dropout)
+        self.interest_extractor = MultiInterestExtractor(dim, num_interests, rng)
+
+    def user_representation(self, batch: Batch) -> Tensor:
+        states, mask = self.encode(batch)
+        return self.interest_extractor(states, mask)

@@ -1,0 +1,98 @@
+"""Shared machinery for sequence-model baselines.
+
+Baselines come in two *behavior scopes*, matching the evaluation convention
+of the multi-behavior literature:
+
+* ``"target"`` — traditional single-behavior models (GRU4Rec, SASRec, ...)
+  see only the target-behavior sequence (e.g. the user's buys).  Their
+  struggle on sparse target behaviors is precisely the motivation for
+  multi-behavior methods.
+* ``"merged"`` — multi-behavior models read the fused cross-behavior
+  timeline and additionally embed the behavior-type ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SequentialRecommender
+from repro.data.batching import Batch
+from repro.data.schema import BehaviorSchema
+from repro.nn.layers import Dropout, Embedding, LayerNorm
+from repro.nn.tensor import Tensor
+
+__all__ = ["MergedSequenceModel", "last_valid_state"]
+
+
+def last_valid_state(states: Tensor, mask: np.ndarray) -> Tensor:
+    """The encoder state at each row's most recent valid position.
+
+    With left padding the most recent event sits in the final column, so this
+    is simply ``states[:, -1]``; rows that are entirely padding (possible for
+    behavior-restricted inputs) still return the final column, whose value is
+    meaningless — callers mask such rows out of losses.
+    """
+    return states[:, -1, :]
+
+
+class MergedSequenceModel(SequentialRecommender):
+    """Base for models that embed the fused timeline.
+
+    Handles the item/position/behavior embedding tables; subclasses provide
+    the sequence encoder and the read-out.
+    """
+
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int, max_len: int,
+                 rng: np.random.Generator, dropout: float = 0.0,
+                 use_behavior_embedding: bool = False, behavior_scope: str = "merged"):
+        super().__init__()
+        if behavior_scope not in ("merged", "target"):
+            raise ValueError(f"unknown behavior scope {behavior_scope!r}")
+        if behavior_scope == "target" and use_behavior_embedding:
+            raise ValueError("target-scope models have a single behavior; no type embedding")
+        self.num_items = num_items
+        self.schema = schema
+        self.dim = dim
+        self.max_len = max_len
+        self.behavior_scope = behavior_scope
+        self.use_behavior_embedding = use_behavior_embedding
+        self.item_embedding = Embedding(num_items + 1, dim, rng, padding_idx=0)
+        self.position_embedding = Embedding(max_len, dim, rng)
+        if use_behavior_embedding:
+            self.behavior_embedding = Embedding(schema.num_behaviors, dim, rng)
+        self.input_norm = LayerNorm(dim)
+        self.input_dropout = Dropout(dropout, rng)
+
+    def item_representations(self) -> Tensor:
+        return self.item_embedding.weight
+
+    def embed_sequence(self, items: np.ndarray, behaviors: np.ndarray | None = None,
+                       table: Tensor | None = None) -> Tensor:
+        """(B, L) ids → (B, L, D) states with right-aligned positions."""
+        batch, length = items.shape
+        if length > self.max_len:
+            items = items[:, -self.max_len:]
+            if behaviors is not None:
+                behaviors = behaviors[:, -self.max_len:]
+            length = self.max_len
+        table = self.item_representations() if table is None else table
+        vectors = table.take(items, axis=0)
+        positions = np.arange(self.max_len - length, self.max_len)
+        vectors = vectors + self.position_embedding(positions)
+        if self.use_behavior_embedding:
+            if behaviors is None:
+                raise ValueError("model expects behavior ids for the fused timeline")
+            vectors = vectors + self.behavior_embedding(np.asarray(behaviors))
+        return self.input_dropout(self.input_norm(vectors))
+
+    def sequence_inputs(self, batch: Batch) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+        """(items, behavior_ids_or_None, mask) for this model's behavior scope."""
+        if self.behavior_scope == "target":
+            target = self.schema.target
+            items = batch.items[target][:, -self.max_len:]
+            mask = batch.masks[target][:, -self.max_len:]
+            return items, None, mask
+        items = batch.merged_items[:, -self.max_len:]
+        behaviors = batch.merged_behaviors[:, -self.max_len:]
+        mask = batch.merged_mask[:, -self.max_len:]
+        return items, behaviors, mask

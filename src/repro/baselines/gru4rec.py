@@ -1,0 +1,35 @@
+"""GRU4Rec (Hidasi et al., 2015): recurrent single-behavior sequence model.
+
+Reads only the target-behavior sequence (the standard protocol for
+traditional baselines in multi-behavior comparisons); user state is the
+final GRU hidden state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.schema import BehaviorSchema
+from repro.nn.rnn import GRU
+from repro.nn.tensor import Tensor
+
+from .common import MergedSequenceModel
+
+__all__ = ["GRU4Rec"]
+
+
+class GRU4Rec(MergedSequenceModel):
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int = 32,
+                 max_len: int = 30, rng: np.random.Generator | None = None,
+                 dropout: float = 0.1, seed: int = 0):
+        rng = rng or np.random.default_rng(seed)
+        super().__init__(num_items, schema, dim, max_len, rng, dropout=dropout,
+                         use_behavior_embedding=False, behavior_scope="target")
+        self.gru = GRU(dim, dim, rng)
+
+    def user_representation(self, batch: Batch) -> Tensor:
+        items, _, mask = self.sequence_inputs(batch)
+        states = self.embed_sequence(items)
+        hidden = self.gru(states, mask)
+        return hidden[:, -1, :]

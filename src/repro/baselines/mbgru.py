@@ -1,0 +1,33 @@
+"""MB-GRU: recurrent multi-behavior baseline (NMTR-style signal usage).
+
+GRU over the fused timeline **with** behavior-type embeddings — the simplest
+model that can distinguish a view from a buy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.schema import BehaviorSchema
+from repro.nn.rnn import GRU
+from repro.nn.tensor import Tensor
+
+from .common import MergedSequenceModel
+
+__all__ = ["MBGRU"]
+
+
+class MBGRU(MergedSequenceModel):
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int = 32,
+                 max_len: int = 30, rng: np.random.Generator | None = None,
+                 dropout: float = 0.1, seed: int = 0):
+        rng = rng or np.random.default_rng(seed)
+        super().__init__(num_items, schema, dim, max_len, rng, dropout=dropout,
+                         use_behavior_embedding=True)
+        self.gru = GRU(dim, dim, rng)
+
+    def user_representation(self, batch: Batch) -> Tensor:
+        items, behaviors, mask = self.sequence_inputs(batch)
+        states = self.embed_sequence(items, behaviors)
+        return self.gru(states, mask)[:, -1, :]

@@ -1,0 +1,50 @@
+"""MB-HT-lite: hypergraph-enhanced multi-behavior transformer.
+
+Combines the hypergraph transformer item enhancement with the behavior-aware
+sequence encoder — i.e. MISSL **minus** multi-interest extraction and
+self-supervision.  The closest published relative is MB-HT (Yang et al.,
+KDD 2022); this ablated form isolates exactly what MISSL's remaining
+ingredients add.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import BehaviorSchema
+from repro.hypergraph.incidence import Hypergraph
+from repro.hypergraph.transformer import HypergraphTransformer
+from repro.nn.tensor import Tensor
+
+from .sasrec import SASRec
+
+__all__ = ["MBHTLite"]
+
+
+class MBHTLite(SASRec):
+    def __init__(self, num_items: int, schema: BehaviorSchema, graph: Hypergraph,
+                 dim: int = 32, max_len: int = 30, num_heads: int = 2,
+                 num_layers: int = 1, hg_layers: int = 1,
+                 rng: np.random.Generator | None = None, dropout: float = 0.1,
+                 seed: int = 0):
+        rng = rng or np.random.default_rng(seed)
+        super().__init__(num_items, schema, dim=dim, max_len=max_len,
+                         num_heads=num_heads, num_layers=num_layers, rng=rng,
+                         dropout=dropout, use_behavior_embedding=True,
+                         behavior_scope="merged")
+        self.hg_encoder = HypergraphTransformer(dim, graph, schema.num_behaviors + 1,
+                                                hg_layers, rng, dropout=dropout)
+        self._table_cache: Tensor | None = None
+
+    def item_representations(self) -> Tensor:
+        if not self.training and self._table_cache is not None:
+            return self._table_cache
+        table = self.hg_encoder(self.item_embedding.weight)
+        if not self.training:
+            self._table_cache = table.detach()
+            return self._table_cache
+        return table
+
+    def train(self, mode: bool = True) -> "MBHTLite":
+        self._table_cache = None
+        return super().train(mode)

@@ -1,0 +1,27 @@
+"""MB-SASRec: behavior-aware transformer (MB-STR-style baseline).
+
+SASRec's causal transformer over the fused timeline with behavior-type
+embeddings — multi-behavior awareness without hypergraphs, multi-interest
+extraction, or self-supervision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import BehaviorSchema
+
+from .sasrec import SASRec
+
+__all__ = ["MBSASRec"]
+
+
+class MBSASRec(SASRec):
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int = 32,
+                 max_len: int = 30, num_heads: int = 2, num_layers: int = 1,
+                 rng: np.random.Generator | None = None, dropout: float = 0.1,
+                 seed: int = 0):
+        super().__init__(num_items, schema, dim=dim, max_len=max_len,
+                         num_heads=num_heads, num_layers=num_layers, rng=rng,
+                         dropout=dropout, seed=seed, use_behavior_embedding=True,
+                         behavior_scope="merged")

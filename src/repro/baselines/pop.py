@@ -1,0 +1,49 @@
+"""Popularity baseline: rank candidates by global interaction count.
+
+Non-parametric floor for every comparison table.  ``fit`` counts training
+interactions; scoring ignores the user entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SequentialRecommender
+from repro.data.batching import Batch
+from repro.data.dataset import MultiBehaviorDataset
+from repro.nn.tensor import Tensor
+
+__all__ = ["Popularity"]
+
+
+class Popularity(SequentialRecommender):
+    """Global popularity scorer (no trainable parameters)."""
+
+    def __init__(self, num_items: int):
+        super().__init__()
+        self.num_items = num_items
+        self._counts = np.zeros(num_items + 1, dtype=np.float64)
+        self._fitted = False
+
+    def fit(self, dataset: MultiBehaviorDataset, target_only: bool = True) -> "Popularity":
+        """Count training interactions.
+
+        ``target_only=True`` (default) matches the single-behavior protocol:
+        popularity is measured on the behavior being predicted.
+        """
+        counts = np.zeros(self.num_items + 1, dtype=np.float64)
+        behaviors = (dataset.schema.target,) if target_only else dataset.schema.behaviors
+        for event in dataset.interactions():
+            if event.behavior in behaviors:
+                counts[event.item] += 1
+        self._counts = counts
+        self._fitted = True
+        return self
+
+    def score_candidates(self, batch: Batch, candidates: np.ndarray) -> Tensor:
+        if not self._fitted:
+            raise RuntimeError("Popularity.fit(dataset) must be called before scoring")
+        return Tensor(self._counts[candidates])
+
+    def training_loss(self, *args, **kwargs):  # pragma: no cover - defensive
+        raise RuntimeError("Popularity has no trainable parameters; call fit() instead")

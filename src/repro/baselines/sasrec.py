@@ -1,0 +1,43 @@
+"""SASRec (Kang & McAuley, 2018): causal self-attention sequence model.
+
+The workhorse single-behavior baseline (default scope: target-behavior
+sequence only); also the parent class of several derived baselines
+(ComiRec, CL4SRec, BERT4Rec, MB-SASRec) that reuse its encoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.schema import BehaviorSchema
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerEncoder
+
+from .common import MergedSequenceModel, last_valid_state
+
+__all__ = ["SASRec"]
+
+
+class SASRec(MergedSequenceModel):
+    def __init__(self, num_items: int, schema: BehaviorSchema, dim: int = 32,
+                 max_len: int = 30, num_heads: int = 2, num_layers: int = 1,
+                 rng: np.random.Generator | None = None, dropout: float = 0.1,
+                 seed: int = 0, use_behavior_embedding: bool = False,
+                 causal: bool = True, behavior_scope: str = "target"):
+        rng = rng or np.random.default_rng(seed)
+        super().__init__(num_items, schema, dim, max_len, rng, dropout=dropout,
+                         use_behavior_embedding=use_behavior_embedding,
+                         behavior_scope=behavior_scope)
+        self.encoder = TransformerEncoder(dim, num_heads, 2 * dim, num_layers, rng,
+                                          dropout=dropout, causal=causal)
+
+    def encode(self, batch: Batch) -> tuple[Tensor, np.ndarray]:
+        """Full encoded sequence ``(B, L, D)`` plus its validity mask."""
+        items, behaviors, mask = self.sequence_inputs(batch)
+        states = self.embed_sequence(items, behaviors if self.use_behavior_embedding else None)
+        return self.encoder(states, mask), mask
+
+    def user_representation(self, batch: Batch) -> Tensor:
+        states, mask = self.encode(batch)
+        return last_valid_state(states, mask)

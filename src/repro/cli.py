@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    stats        generate a synthetic corpus and print its statistics
+    train        train a model (MISSL or any zoo baseline) and report test metrics
+    experiment   run one registered experiment (T1..T4, F1..F6)
+    list         list registered experiments and zoo models
+    compare      significance-test two models on one dataset
+
+All commands are seeded and run on synthetic presets; see ``--help`` of each
+subcommand for knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="generate a corpus and print statistics")
+    stats.add_argument("--preset", default="taobao", choices=["taobao", "tmall", "yelp"])
+    stats.add_argument("--scale", type=float, default=0.5)
+    stats.add_argument("--seed", type=int, default=1)
+
+    train = sub.add_parser("train", help="train one model and report test metrics")
+    train.add_argument("--model", default="MISSL")
+    train.add_argument("--preset", default="taobao", choices=["taobao", "tmall", "yelp"])
+    train.add_argument("--scale", type=float, default=0.4)
+    train.add_argument("--dim", type=int, default=32)
+    train.add_argument("--epochs", type=int, default=12)
+    train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--checkpoint", default=None,
+                       help="save the trained model's parameters to this .npz path")
+
+    experiment = sub.add_parser("experiment", help="run a registered experiment")
+    experiment.add_argument("id", help="experiment id, e.g. T2 or F1")
+    experiment.add_argument("--scale", type=float, default=0.5)
+    experiment.add_argument("--epochs", type=int, default=15)
+    experiment.add_argument("--out", default=None, help="directory for CSV/markdown")
+
+    sub.add_parser("list", help="list experiments and models")
+
+    compare = sub.add_parser("compare", help="paired-bootstrap two models")
+    compare.add_argument("model_a")
+    compare.add_argument("model_b")
+    compare.add_argument("--preset", default="taobao", choices=["taobao", "tmall", "yelp"])
+    compare.add_argument("--scale", type=float, default=0.4)
+    compare.add_argument("--epochs", type=int, default=12)
+    compare.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_stats(args) -> int:
+    from repro.data import DATASET_PRESETS, generate, k_core_filter
+    from repro.utils import format_table
+    dataset = k_core_filter(generate(DATASET_PRESETS[args.preset](args.scale),
+                                     seed=args.seed))
+    stats = dataset.stats()
+    rows = [[behavior, count, f"{stats.avg_length_per_behavior[behavior]:.2f}"]
+            for behavior, count in stats.interactions_per_behavior.items()]
+    print(f"{stats.name}: {stats.num_users} users, {stats.num_items} items, "
+          f"{stats.num_interactions} interactions, density {stats.density:.4f}")
+    print(format_table(["behavior", "events", "avg/user"], rows))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.experiments import ExperimentContext, build_model, model_names, \
+        train_and_evaluate
+    if args.model not in model_names():
+        print(f"unknown model {args.model!r}; choose from {model_names()}",
+              file=sys.stderr)
+        return 2
+    context = ExperimentContext.build(args.preset, scale=args.scale, seed=args.seed)
+    model = build_model(args.model, context, dim=args.dim, seed=args.seed)
+    report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
+                                         seed=args.seed)
+    print(f"{args.model} on {args.preset} (scale {args.scale}): {report} "
+          f"[{seconds:.1f}s]")
+    if args.checkpoint and model.parameters():
+        from repro.nn.serialization import save_checkpoint
+        path = save_checkpoint(model, args.checkpoint,
+                               extra={"model": args.model, "preset": args.preset})
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import run_experiment
+    kwargs = {"scale": args.scale}
+    if args.id not in ("T1", "T4"):
+        kwargs["epochs"] = args.epochs
+    result = run_experiment(args.id.upper(), **kwargs)
+    print(result.render())
+    if args.out:
+        path = result.save(args.out)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments import EXPERIMENTS, MODEL_FAMILIES
+    print("experiments:")
+    for experiment in EXPERIMENTS.values():
+        print(f"  {experiment.experiment_id:3s} [{experiment.kind:6s}] "
+              f"{experiment.title}  ({experiment.bench_target})")
+    print("models:")
+    for name, family in MODEL_FAMILIES.items():
+        print(f"  {name:10s} {family}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.eval import rank_all
+    from repro.eval.significance import paired_bootstrap
+    from repro.experiments import ExperimentContext, build_model
+    from repro.train import TrainConfig, Trainer
+    context = ExperimentContext.build(args.preset, scale=args.scale, seed=args.seed)
+    ranks = {}
+    for name in (args.model_a, args.model_b):
+        model = build_model(name, context, seed=args.seed)
+        if model.parameters():
+            Trainer(model, context.split,
+                    TrainConfig(epochs=args.epochs, patience=3, seed=args.seed)).fit()
+        ranks[name] = rank_all(model, context.split.test, context.test_candidates,
+                               context.dataset.schema)
+    result = paired_bootstrap(ranks[args.model_a], ranks[args.model_b])
+    print(f"{args.model_a} vs {args.model_b} (NDCG@10, paired bootstrap):")
+    print(f"  {result}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "stats": _cmd_stats,
+        "train": _cmd_train,
+        "experiment": _cmd_experiment,
+        "list": _cmd_list,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""``repro.core`` — the MISSL model and its components."""
+
+from .augment import (augment_sequences, build_substitution_table, crop_items, insert_items,
+                      mask_items, reorder_items, substitute_items)
+from .base import SequentialRecommender
+from .config import MISSLConfig
+from .disentangle import interest_disentanglement, prototype_orthogonality
+from .embedding import SequenceEmbedding
+from .interest import MultiInterestExtractor
+from .model import MISSL, LossBreakdown
+from .routing import DynamicRoutingExtractor
+from .ssl import augmentation_contrast, cross_behavior_interest_contrast
+
+__all__ = [
+    "MISSL", "MISSLConfig", "LossBreakdown", "SequentialRecommender",
+    "SequenceEmbedding", "MultiInterestExtractor", "DynamicRoutingExtractor",
+    "augment_sequences", "mask_items", "crop_items", "reorder_items",
+    "substitute_items", "insert_items", "build_substitution_table",
+    "cross_behavior_interest_contrast", "augmentation_contrast",
+    "interest_disentanglement", "prototype_orthogonality",
+]

@@ -1,0 +1,196 @@
+"""Stochastic sequence augmentations for the self-supervised contrast.
+
+CL4SRec-style operators applied to left-padded ``(B, L)`` item matrices:
+
+* **mask** — replace random valid positions with the padding id (item-level
+  dropout; the position is also removed from the validity mask).
+* **crop** — keep a random contiguous fraction of the valid suffix.
+* **reorder** — shuffle a random contiguous window of valid positions.
+
+Two extension operators (CoSeRec-style, available via ``extra_ops=True``):
+
+* **substitute** — replace random valid items with co-occurring items from a
+  caller-provided similarity table.
+* **insert** — duplicate random valid items into adjacent positions
+  (shifting the prefix out), a soft emphasis augmentation that needs no
+  similarity model.
+
+Each call draws one operator per row, so the two "views" of a sequence are
+independently corrupted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import PAD_ITEM
+
+__all__ = ["augment_sequences", "mask_items", "crop_items", "reorder_items",
+           "substitute_items", "insert_items", "build_substitution_table"]
+
+
+def build_substitution_table(dataset) -> np.ndarray:
+    """Item → most co-interacted other item, from training co-occurrence.
+
+    Returns a ``(num_items + 1,)`` array; entry 0 and items with no
+    co-occurring partner map to 0 ("no substitute known").  Must be built
+    from a leakage-free training view of the corpus.
+    """
+    import scipy.sparse as sp
+    rows, cols = [], []
+    for user in dataset.users:
+        for item in dataset.items_of_user(user):
+            rows.append(user)
+            cols.append(item)
+    num_users = max(dataset.users) + 1 if dataset.users else 1
+    incidence = sp.csr_matrix((np.ones(len(rows)), (rows, cols)),
+                              shape=(num_users, dataset.num_items + 1))
+    co = (incidence.T @ incidence).tolil()
+    co.setdiag(0)
+    co = co.tocsr()
+    table = np.zeros(dataset.num_items + 1, dtype=np.int64)
+    for item in range(1, dataset.num_items + 1):
+        row = co.getrow(item)
+        if row.nnz:
+            table[item] = row.indices[row.data.argmax()]
+    return table
+
+
+def _valid_span(mask_row: np.ndarray) -> tuple[int, int]:
+    """(start, stop) of the valid suffix of a left-padded row; stop = L."""
+    valid = np.flatnonzero(mask_row)
+    if valid.size == 0:
+        return mask_row.size, mask_row.size
+    return int(valid[0]), mask_row.size
+
+
+def mask_items(items: np.ndarray, mask: np.ndarray, prob: float,
+               rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Drop each valid position independently with probability ``prob``."""
+    items = items.copy()
+    mask = mask.copy()
+    drop = mask & (rng.random(items.shape) < prob)
+    # Never drop everything: keep at least one valid position per row.
+    for row in range(items.shape[0]):
+        if mask[row].any() and (mask[row] & ~drop[row]).sum() == 0:
+            keep = rng.choice(np.flatnonzero(mask[row]))
+            drop[row, keep] = False
+    items[drop] = PAD_ITEM
+    mask[drop] = False
+    return items, mask
+
+
+def crop_items(items: np.ndarray, mask: np.ndarray, ratio: float,
+               rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Keep a random contiguous window of ``ratio`` of each row's valid span."""
+    items = items.copy()
+    mask = mask.copy()
+    for row in range(items.shape[0]):
+        start, stop = _valid_span(mask[row])
+        length = stop - start
+        if length <= 1:
+            continue
+        keep = max(1, int(round(length * ratio)))
+        offset = int(rng.integers(0, length - keep + 1))
+        window = slice(start + offset, start + offset + keep)
+        kept_items = items[row, window].copy()
+        items[row] = PAD_ITEM
+        mask[row] = False
+        items[row, -keep:] = kept_items
+        mask[row, -keep:] = True
+    return items, mask
+
+
+def reorder_items(items: np.ndarray, mask: np.ndarray, ratio: float,
+                  rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffle a random contiguous window of ``ratio`` of the valid span."""
+    items = items.copy()
+    for row in range(items.shape[0]):
+        start, stop = _valid_span(mask[row])
+        length = stop - start
+        window_len = max(2, int(round(length * ratio)))
+        if length < window_len:
+            continue
+        offset = int(rng.integers(0, length - window_len + 1))
+        window = slice(start + offset, start + offset + window_len)
+        permuted = rng.permutation(items[row, window])
+        items[row, window] = permuted
+    return items, mask.copy()
+
+
+def substitute_items(items: np.ndarray, mask: np.ndarray, prob: float,
+                     rng: np.random.Generator, similar: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Replace each valid item with a similar item with probability ``prob``.
+
+    ``similar`` maps item id → a substitute item id (e.g. the most
+    co-occurring item); id 0 entries mean "no substitute known" and are left
+    unchanged.
+    """
+    items = items.copy()
+    replace = mask & (rng.random(items.shape) < prob)
+    substitutes = similar[items[replace]]
+    known = substitutes != PAD_ITEM
+    target_positions = np.flatnonzero(replace.ravel())[known]
+    items.ravel()[target_positions] = substitutes[known]
+    return items, mask.copy()
+
+
+def insert_items(items: np.ndarray, mask: np.ndarray, prob: float,
+                 rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Duplicate random valid items in place (soft emphasis augmentation).
+
+    Each valid event is doubled with probability ``prob``; the row is then
+    re-padded to the fixed width, dropping the oldest events if it overflows.
+    """
+    out_items = items.copy()
+    out_mask = mask.copy()
+    width = items.shape[1]
+    for row in range(items.shape[0]):
+        sequence = items[row][mask[row]].tolist()
+        if not sequence:
+            continue
+        duplicated: list[int] = []
+        for value in sequence:
+            if rng.random() < prob:
+                duplicated.append(value)
+            duplicated.append(value)
+        duplicated = duplicated[-width:]
+        out_items[row] = PAD_ITEM
+        out_mask[row] = False
+        out_items[row, -len(duplicated):] = duplicated
+        out_mask[row, -len(duplicated):] = True
+    return out_items, out_mask
+
+
+def augment_sequences(items: np.ndarray, mask: np.ndarray, rng: np.random.Generator,
+                      mask_prob: float = 0.2, crop_ratio: float = 0.6,
+                      reorder_ratio: float = 0.25,
+                      substitute_prob: float = 0.2, insert_prob: float = 0.15,
+                      similar: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one randomly chosen operator per row.
+
+    The base pool is {mask, crop, reorder}; passing ``similar`` (an item →
+    substitute-item table) extends it with {substitute, insert}.
+    Returns a new ``(items, mask)`` pair; inputs are never modified.
+    """
+    out_items = items.copy()
+    out_mask = mask.copy()
+    operators = [
+        lambda i, m, r: mask_items(i, m, mask_prob, r),
+        lambda i, m, r: crop_items(i, m, crop_ratio, r),
+        lambda i, m, r: reorder_items(i, m, reorder_ratio, r),
+    ]
+    if similar is not None:
+        operators.append(lambda i, m, r: substitute_items(i, m, substitute_prob, r,
+                                                          similar))
+        operators.append(lambda i, m, r: insert_items(i, m, insert_prob, r))
+    choices = rng.integers(0, len(operators), size=items.shape[0])
+    for op_id, op in enumerate(operators):
+        rows = np.flatnonzero(choices == op_id)
+        if rows.size == 0:
+            continue
+        new_items, new_mask = op(items[rows], mask[rows], rng)
+        out_items[rows] = new_items
+        out_mask[rows] = new_mask
+    return out_items, out_mask

@@ -1,0 +1,100 @@
+"""MISSL hyper-parameter configuration.
+
+One dataclass holds every knob, including the ablation switches exercised by
+the T3 experiment; :meth:`MISSLConfig.ablate` produces modified copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MISSLConfig"]
+
+
+@dataclass(frozen=True)
+class MISSLConfig:
+    """Hyper-parameters of the MISSL model.
+
+    Architecture:
+        dim: embedding and hidden size.
+        num_interests: K, the number of interest vectors per behavior.
+        num_heads: attention heads in the sequence encoders.
+        seq_layers: transformer layers per behavior encoder.
+        hg_layers: hypergraph transformer layers (0 disables message passing).
+        max_len: per-behavior history truncation.
+        dropout: dropout probability throughout.
+        interest_mode: "attention" (prototype attention, ComiRec-SA style —
+            the default) or "routing" (MIND-style capsule dynamic routing).
+        routing_iterations: routing rounds when interest_mode="routing".
+        score_mode: interest read-out — "max" (hard argmax over interests)
+            or "softmax" (label-aware attention over interests).
+        score_pow: sharpness of the label-aware attention.
+
+    Self-supervision:
+        temperature: InfoNCE temperature τ.
+        lambda_ssl: weight of the cross-behavior interest contrast.
+        lambda_aug: weight of the augmentation (CL4SRec-style) contrast.
+        lambda_disent: weight of the interest-disentanglement penalty.
+        aug_mask_prob / aug_crop_ratio / aug_reorder_ratio: augmentation ops.
+
+    Training:
+        num_train_negatives: negatives per positive in the sampled softmax.
+
+    Ablations (T3 and config-level axes):
+        use_hypergraph: hypergraph transformer on/off (off = raw embeddings).
+        use_auxiliary: read auxiliary behavior sequences at all.
+        use_shared_fusion: gate auxiliary interests into target interests.
+        shared_prototypes: shared vs per-behavior interest extractors.
+    """
+
+    dim: int = 32
+    num_interests: int = 4
+    num_heads: int = 2
+    seq_layers: int = 1
+    hg_layers: int = 1
+    max_len: int = 30
+    dropout: float = 0.1
+    interest_mode: str = "attention"
+    routing_iterations: int = 3
+    score_mode: str = "max"
+    score_pow: float = 1.0
+
+    temperature: float = 0.3
+    lambda_ssl: float = 0.1
+    lambda_aug: float = 0.1
+    lambda_disent: float = 0.05
+    aug_mask_prob: float = 0.2
+    aug_crop_ratio: float = 0.6
+    aug_reorder_ratio: float = 0.25
+
+    num_train_negatives: int = 50
+
+    use_hypergraph: bool = True
+    use_auxiliary: bool = True
+    use_shared_fusion: bool = True
+    shared_prototypes: bool = True
+    """One interest extractor shared by all behaviors (slot-aligned interests,
+    enabling the slot-wise cross-behavior contrast) vs a dedicated extractor
+    per behavior (the "dedicated experts" variant; the SSL contrast then
+    falls back to comparing mean-pooled interests)."""
+
+    def __post_init__(self) -> None:
+        if self.dim % self.num_heads != 0:
+            raise ValueError(f"dim {self.dim} must be divisible by num_heads {self.num_heads}")
+        if self.num_interests < 1:
+            raise ValueError("need at least one interest")
+        if self.interest_mode not in ("attention", "routing"):
+            raise ValueError(f"unknown interest_mode {self.interest_mode!r}")
+        if self.routing_iterations < 1:
+            raise ValueError("routing_iterations must be positive")
+        if self.score_mode not in ("max", "softmax"):
+            raise ValueError(f"unknown score_mode {self.score_mode!r}")
+        if not 0.0 < self.temperature:
+            raise ValueError("temperature must be positive")
+        for name in ("lambda_ssl", "lambda_aug", "lambda_disent", "dropout"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def ablate(self, **changes) -> "MISSLConfig":
+        """A copy with the given fields changed (used by the ablation bench)."""
+        return replace(self, **changes)

@@ -1,0 +1,39 @@
+"""Interest disentanglement penalty.
+
+Keeps a user's K interest vectors from collapsing onto one direction by
+penalizing the squared off-diagonal cosine similarity between them, plus the
+same penalty on the global interest prototypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["interest_disentanglement", "prototype_orthogonality"]
+
+
+def interest_disentanglement(interests: Tensor) -> Tensor:
+    """Mean squared off-diagonal cosine similarity of ``(B, K, D)`` interests.
+
+    Zero when every user's interests are mutually orthogonal; for K = 1 the
+    penalty is identically zero.
+    """
+    batch, k, _ = interests.shape
+    if k == 1:
+        return Tensor(0.0)
+    normalized = F.l2_normalize(interests, axis=-1)
+    gram = normalized @ normalized.swapaxes(-1, -2)          # (B, K, K)
+    off_diagonal = ~np.eye(k, dtype=bool)[None]              # (1, K, K)
+    masked = gram.masked_fill(~off_diagonal, 0.0)
+    return (masked * masked).sum() * (1.0 / (batch * k * (k - 1)))
+
+
+def prototype_orthogonality(prototypes: Tensor) -> Tensor:
+    """Same penalty applied to the global ``(K, D)`` prototype table."""
+    k = prototypes.shape[0]
+    if k == 1:
+        return Tensor(0.0)
+    return interest_disentanglement(prototypes.expand_dims(0))

@@ -1,0 +1,61 @@
+"""Behavior-aware sequence embedding.
+
+Combines (hypergraph-enhanced) item embeddings with learned position and
+behavior-type embeddings to produce the input states of the per-behavior
+sequence encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import BehaviorSchema
+from repro.nn.layers import Dropout, Embedding, LayerNorm
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["SequenceEmbedding"]
+
+
+class SequenceEmbedding(Module):
+    """Embeds an ``(B, L)`` item-id matrix into ``(B, L, D)`` states.
+
+    The item table is passed at call time (it may be the raw table or the
+    hypergraph-enhanced table computed earlier in the same forward pass);
+    this module owns only the position and behavior-type tables.
+    """
+
+    def __init__(self, dim: int, max_len: int, schema: BehaviorSchema,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.max_len = max_len
+        self.position = Embedding(max_len, dim, rng)
+        self.behavior = Embedding(schema.num_behaviors, dim, rng)
+        self.norm = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng)
+        self.schema = schema
+
+    def forward(self, item_table: Tensor, items: np.ndarray,
+                behavior: str | np.ndarray) -> Tensor:
+        """Embed ``items`` with positions and behavior types.
+
+        Args:
+            item_table: ``(num_items + 1, D)`` lookup table.
+            items: ``(B, L)`` int ids, left-padded with 0.
+            behavior: a behavior name (whole matrix shares one type) or a
+                ``(B, L)`` behavior-id matrix (fused cross-behavior timeline).
+        """
+        batch, length = items.shape
+        if length > self.max_len:
+            raise ValueError(f"sequence length {length} exceeds max_len {self.max_len}")
+        vectors = item_table.take(items, axis=0)  # (B, L, D)
+        # Right-aligned positions: the most recent event always gets the
+        # highest position id regardless of padding length.
+        positions = np.arange(self.max_len - length, self.max_len)
+        vectors = vectors + self.position(positions)
+        if isinstance(behavior, str):
+            type_ids = np.full((batch, length), self.schema.behavior_id(behavior))
+        else:
+            type_ids = np.asarray(behavior)
+        vectors = vectors + self.behavior(type_ids)
+        return self.dropout(self.norm(vectors))

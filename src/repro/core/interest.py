@@ -1,0 +1,76 @@
+"""Multi-interest extraction from encoded sequences.
+
+Condenses a ``(B, L, D)`` sequence into K interest vectors ``(B, K, D)`` with
+K learnable interest prototypes attending over the sequence positions
+(the self-attentive variant of the ComiRec / MIND family that MISSL builds
+on).  Padded positions are masked out of the attention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiInterestExtractor"]
+
+_NEG_INF = -1e9
+
+
+class MultiInterestExtractor(Module):
+    """K-prototype attention pooling.
+
+    For prototype k: ``α_k = softmax_t(⟨W x_t, p_k⟩ / sqrt(D))`` over valid
+    positions, ``interest_k = Σ_t α_kt · x_t``.  A final linear mixes each
+    interest (keeps interests in the item-embedding space for dot-product
+    scoring).
+    """
+
+    def __init__(self, dim: int, num_interests: int, rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.num_interests = num_interests
+        prototypes = np.empty((num_interests, dim), dtype=np.float64)
+        init.xavier_normal_(prototypes, rng)
+        self.prototypes = Parameter(prototypes)
+        self.key_proj = Linear(dim, dim, rng, bias=False)
+        self.out_proj = Linear(dim, dim, rng, bias=False)
+        self._scale = 1.0 / np.sqrt(dim)
+
+    def forward(self, states: Tensor, valid_mask: np.ndarray) -> Tensor:
+        """Extract interests.
+
+        Args:
+            states: ``(B, L, D)`` encoded sequence.
+            valid_mask: ``(B, L)`` True at real positions.  Rows with zero
+                valid positions produce a uniform attention over all slots
+                (their output is meaningless and must be masked downstream —
+                caller responsibility, checked in tests).
+
+        Returns:
+            ``(B, K, D)`` interest vectors.
+        """
+        keys = self.key_proj(states)                         # (B, L, D)
+        scores = keys @ self.prototypes.T                    # (B, L, K)
+        scores = scores * self._scale
+        blocked = ~valid_mask.astype(bool)
+        # Guard fully-empty rows: unblock everything so softmax stays finite.
+        empty_rows = blocked.all(axis=1)
+        if empty_rows.any():
+            blocked = blocked.copy()
+            blocked[empty_rows] = False
+        scores = scores.masked_fill(blocked[:, :, None], _NEG_INF)
+        attention = F.softmax(scores, axis=1)                # over L
+        interests = attention.swapaxes(1, 2) @ states        # (B, K, D)
+        return self.out_proj(interests)
+
+    def attention_weights(self, states: Tensor, valid_mask: np.ndarray) -> np.ndarray:
+        """The ``(B, L, K)`` attention map (analysis/visualization only)."""
+        keys = self.key_proj(states)
+        scores = (keys @ self.prototypes.T) * self._scale
+        scores = scores.masked_fill(~valid_mask.astype(bool)[:, :, None], _NEG_INF)
+        return F.softmax(scores, axis=1).numpy()

@@ -1,0 +1,272 @@
+"""The MISSL model.
+
+Pipeline per forward pass:
+
+1. **Hypergraph enhancement** — the raw item table is refined by the
+   hypergraph transformer (cross-user, cross-behavior message passing).
+2. **Behavior-specific encoding** — each behavior's item sequence is embedded
+   (enhanced items + positions + behavior type) and encoded by its own causal
+   transformer.
+3. **Multi-interest extraction** — one shared K-prototype extractor condenses
+   every behavior's states into K slot-aligned interest vectors.
+4. **Gated fusion** — auxiliary-behavior interests are gated into the
+   target-behavior interests slot by slot.
+5. **Prediction** — a candidate item scores ``max_k ⟨u_k, e_item⟩``.
+
+Training adds the self-supervised terms (cross-behavior interest contrast,
+augmentation contrast, interest disentanglement) on top of the sampled
+softmax next-item loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.sampling import NegativeSampler
+from repro.data.schema import BehaviorSchema
+from repro.hypergraph.incidence import Hypergraph
+from repro.hypergraph.transformer import HypergraphTransformer
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, Linear
+from repro.nn.losses import cross_entropy_with_candidates
+from repro.nn.module import ModuleList
+from repro.nn.tensor import Tensor, concatenate
+from repro.nn.transformer import TransformerEncoder
+from repro.utils.seed import spawn_rngs
+
+from .augment import augment_sequences
+from .base import SequentialRecommender
+from .config import MISSLConfig
+from .disentangle import interest_disentanglement, prototype_orthogonality
+from .embedding import SequenceEmbedding
+from .interest import MultiInterestExtractor
+from .ssl import augmentation_contrast, cross_behavior_interest_contrast
+
+__all__ = ["MISSL", "LossBreakdown"]
+
+
+class LossBreakdown(dict):
+    """Named loss components of one training step (all floats, post-weighting)."""
+
+
+class MISSL(SequentialRecommender):
+    """Multi-behavior multi-interest recommender with self-supervised learning.
+
+    Args:
+        num_items: item vocabulary size (ids ``1..num_items``).
+        schema: behavior vocabulary; determines how many encoders are built.
+        graph: training hypergraph (may be None when ``use_hypergraph`` is
+            False or ``hg_layers`` is 0).
+        config: hyper-parameters.
+        seed: controls every random draw (init, dropout, augmentation).
+    """
+
+    def __init__(self, num_items: int, schema: BehaviorSchema, graph: Hypergraph | None,
+                 config: MISSLConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        self.schema = schema
+        self.num_items = num_items
+        init_rng, self.dropout_rng, self.aug_rng = spawn_rngs(seed, 3)
+
+        dim = config.dim
+        self.item_embedding = Embedding(num_items + 1, dim, init_rng, padding_idx=0)
+
+        self.use_hypergraph = config.use_hypergraph and config.hg_layers > 0 and graph is not None
+        if config.use_hypergraph and config.hg_layers > 0 and graph is None:
+            raise ValueError("use_hypergraph=True requires a hypergraph")
+        if self.use_hypergraph:
+            self.hg_encoder = HypergraphTransformer(
+                dim, graph, schema.num_behaviors + 1, config.hg_layers, init_rng,
+                dropout=config.dropout,
+            )
+
+        self.seq_embedding = SequenceEmbedding(dim, config.max_len, schema, init_rng,
+                                               dropout=config.dropout)
+        # One encoder per behavior + one fused encoder for SSL augmentation views.
+        behaviors = schema.behaviors if config.use_auxiliary else (schema.target,)
+        self.active_behaviors = behaviors
+        self.encoders = ModuleList([
+            TransformerEncoder(dim, config.num_heads, 2 * dim, config.seq_layers,
+                               init_rng, dropout=config.dropout, causal=True)
+            for _ in behaviors
+        ])
+        self._encoder_of = {behavior: i for i, behavior in enumerate(behaviors)}
+        self.fused_encoder = TransformerEncoder(dim, config.num_heads, 2 * dim,
+                                                config.seq_layers, init_rng,
+                                                dropout=config.dropout, causal=True)
+        def make_extractor():
+            if config.interest_mode == "routing":
+                from .routing import DynamicRoutingExtractor
+                return DynamicRoutingExtractor(dim, config.num_interests, init_rng,
+                                               iterations=config.routing_iterations)
+            return MultiInterestExtractor(dim, config.num_interests, init_rng)
+
+        # Shared extractor (slot-aligned interests) is the default; the
+        # "dedicated experts" variant gives every behavior stream its own
+        # prototype table (plus one for the fused timeline).
+        self.interest_extractor = make_extractor()
+        if not config.shared_prototypes:
+            self.behavior_extractors = ModuleList(
+                [make_extractor() for _ in behaviors])
+            self._extractor_of = {b: i for i, b in enumerate(behaviors)}
+        self.fusion_gate = Linear(2 * dim, 1, init_rng)
+        self.score_mode = config.score_mode
+        self.score_pow = config.score_pow
+        # Eval-time cache of the enhanced item table (invalidated on train()).
+        self._table_cache: Tensor | None = None
+
+    # ------------------------------------------------------------------
+    # item table
+    # ------------------------------------------------------------------
+    def item_representations(self) -> Tensor:
+        """(Hypergraph-enhanced) item table ``(num_items + 1, D)``."""
+        if not self.training and self._table_cache is not None:
+            return self._table_cache
+        table = self.item_embedding.weight
+        if self.use_hypergraph:
+            table = self.hg_encoder(table)
+        if not self.training:
+            self._table_cache = table.detach()
+            return self._table_cache
+        return table
+
+    def train(self, mode: bool = True) -> "MISSL":
+        self._table_cache = None
+        return super().train(mode)
+
+    # ------------------------------------------------------------------
+    # interest pipeline
+    # ------------------------------------------------------------------
+    def _clip(self, *arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Truncate ``(B, L)`` arrays to the model's ``max_len`` (keep recent)."""
+        return tuple(a[:, -self.config.max_len:] for a in arrays)
+
+    def _encode_behavior(self, table: Tensor, behavior: str, items: np.ndarray,
+                         mask: np.ndarray) -> Tensor:
+        items, mask = self._clip(items, mask)
+        states = self.seq_embedding(table, items, behavior)
+        encoder = self.encoders[self._encoder_of[behavior]]
+        return encoder(states, mask)
+
+    FUSED_KEY = "__fused__"
+
+    def behavior_interests(self, batch: Batch, table: Tensor | None = None
+                           ) -> dict[str, Tensor]:
+        """Per-behavior ``(B, K, D)`` interests for every active behavior.
+
+        When auxiliary behaviors are enabled the dict also carries the fused
+        cross-behavior timeline's interests under :attr:`FUSED_KEY` — the
+        "shared view" that preserves cross-behavior recency information the
+        per-behavior encoders cannot see.
+        """
+        table = self.item_representations() if table is None else table
+        interests: dict[str, Tensor] = {}
+        for behavior in self.active_behaviors:
+            items, mask = self._clip(batch.items[behavior], batch.masks[behavior])
+            states = self._encode_behavior(table, behavior, items, mask)
+            extractor = self.interest_extractor if self.config.shared_prototypes \
+                else self.behavior_extractors[self._extractor_of[behavior]]
+            interests[behavior] = extractor(states, mask)
+        if self.config.use_auxiliary:
+            merged_items, merged_behaviors, merged_mask = self._clip(
+                batch.merged_items, batch.merged_behaviors, batch.merged_mask)
+            behaviors = np.where(merged_mask, merged_behaviors, 0)
+            states = self.seq_embedding(table, merged_items, behaviors)
+            encoded = self.fused_encoder(states, merged_mask)
+            interests[self.FUSED_KEY] = self.interest_extractor(encoded, merged_mask)
+        return interests
+
+    def _fuse(self, interests: dict[str, Tensor], batch: Batch) -> Tensor:
+        """Gate auxiliary interests into the target interests, slot-aligned."""
+        target = interests[self.schema.target]
+        if not self.config.use_auxiliary or not self.config.use_shared_fusion:
+            return target
+        fused = target
+        views: list[tuple[Tensor, np.ndarray]] = []
+        for behavior in self.schema.auxiliary:
+            if behavior in interests:
+                views.append((interests[behavior], batch.masks[behavior].any(axis=1)))
+        if self.FUSED_KEY in interests:
+            views.append((interests[self.FUSED_KEY], batch.merged_mask.any(axis=1)))
+        for aux, has_rows in views:
+            gate = F.sigmoid(self.fusion_gate(concatenate([target, aux], axis=-1)))
+            # Rows whose stream is empty are gated out entirely.
+            gate = gate * Tensor(has_rows.astype(target.data.dtype)[:, None, None])
+            fused = fused + gate * aux
+        return fused
+
+    def user_representation(self, batch: Batch) -> Tensor:
+        interests = self.behavior_interests(batch)
+        return self._fuse(interests, batch)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _augmented_view(self, batch: Batch, table: Tensor) -> Tensor:
+        """Aggregated interests of one stochastic augmentation of the fused timeline."""
+        merged_items, merged_behaviors, merged_mask = self._clip(
+            batch.merged_items, batch.merged_behaviors, batch.merged_mask)
+        items, mask = augment_sequences(
+            merged_items, merged_mask, self.aug_rng,
+            mask_prob=self.config.aug_mask_prob,
+            crop_ratio=self.config.aug_crop_ratio,
+            reorder_ratio=self.config.aug_reorder_ratio,
+        )
+        behaviors = np.where(mask, merged_behaviors, 0)
+        states = self.seq_embedding(table, items, behaviors)
+        encoded = self.fused_encoder(states, mask)
+        return self.interest_extractor(encoded, mask)
+
+    def training_loss(self, batch: Batch, sampler: NegativeSampler,
+                      num_negatives: int | None = None,
+                      return_breakdown: bool = False):
+        """Joint loss ``L_rec + λ_ssl·L_ssl + λ_aug·L_aug + λ_d·L_disent``."""
+        config = self.config
+        num_negatives = config.num_train_negatives if num_negatives is None else num_negatives
+        table = self.item_representations()
+        interests = self.behavior_interests(batch, table)
+        users = self._fuse(interests, batch)
+
+        candidates = self.sample_training_candidates(batch, sampler, num_negatives)
+        item_vectors = table.take(candidates, axis=0)            # (B, C, D)
+        scores = self.interest_readout(users @ item_vectors.swapaxes(-1, -2))
+        main = cross_entropy_with_candidates(scores)
+        total = main
+        breakdown = LossBreakdown(main=float(main.data))
+
+        if config.use_auxiliary and config.lambda_ssl > 0 and len(self.schema.auxiliary) > 0:
+            aux_interests, valid = [], np.ones(batch.size, dtype=bool)
+            for behavior in self.schema.auxiliary:
+                if behavior in interests:
+                    aux_interests.append(interests[behavior])
+                    valid &= batch.masks[behavior].any(axis=1)
+            if aux_interests:
+                ssl = cross_behavior_interest_contrast(
+                    interests[self.schema.target], aux_interests,
+                    temperature=config.temperature, valid_users=valid,
+                    slot_aligned=config.shared_prototypes,
+                )
+                total = total + ssl * config.lambda_ssl
+                breakdown["ssl"] = float(ssl.data) * config.lambda_ssl
+
+        if config.lambda_aug > 0:
+            view_a = self._augmented_view(batch, table)
+            view_b = self._augmented_view(batch, table)
+            aug = augmentation_contrast(view_a, view_b, temperature=config.temperature)
+            total = total + aug * config.lambda_aug
+            breakdown["aug"] = float(aug.data) * config.lambda_aug
+
+        if config.lambda_disent > 0:
+            disent = interest_disentanglement(users)
+            prototypes = getattr(self.interest_extractor, "prototypes", None)
+            if prototypes is not None:  # routing extractor has no prototype table
+                disent = disent + prototype_orthogonality(prototypes)
+            total = total + disent * config.lambda_disent
+            breakdown["disent"] = float(disent.data) * config.lambda_disent
+
+        breakdown["total"] = float(total.data)
+        if return_breakdown:
+            return total, breakdown
+        return total

@@ -1,0 +1,94 @@
+"""Dynamic-routing multi-interest extraction (the MIND-family alternative).
+
+MISSL's default extractor uses prototype attention (:mod:`.interest`).  The
+multi-interest literature's other canonical mechanism is capsule dynamic
+routing (MIND, Li et al. 2019): interest capsules iteratively claim sequence
+positions through routing logits updated by agreement.  Provided here both as
+an ablation axis (``MISSLConfig.interest_mode = "routing"``) and so the
+library covers the design space the paper builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["DynamicRoutingExtractor"]
+
+
+class DynamicRoutingExtractor(Module):
+    """Capsule-style interest extraction via iterative dynamic routing.
+
+    B2I routing (behavior-to-interest): each sequence position sends its
+    (projected) vector to K interest capsules; routing weights are refined
+    for ``iterations`` rounds by agreement between capsule outputs and
+    position messages.  The squash non-linearity keeps capsule norms in
+    (0, 1), as in the original formulation.
+    """
+
+    def __init__(self, dim: int, num_interests: int, rng: np.random.Generator,
+                 iterations: int = 3):
+        super().__init__()
+        if iterations < 1:
+            raise ValueError("need at least one routing iteration")
+        self.dim = dim
+        self.num_interests = num_interests
+        self.iterations = iterations
+        self.bilinear = Linear(dim, dim, rng, bias=False)
+        # Learned routing-logit priors, one per interest capsule.
+        priors = np.empty((num_interests,), dtype=np.float64)
+        init.normal_(priors, rng, std=0.1)
+        self.logit_prior = Parameter(priors)
+
+    @staticmethod
+    def _squash(x: Tensor) -> Tensor:
+        """v -> (|v|^2 / (1 + |v|^2)) * v / |v|, per capsule."""
+        squared = (x * x).sum(axis=-1, keepdims=True)
+        norm = (squared + 1e-9).sqrt()
+        return x * (squared / (1.0 + squared) / norm)
+
+    def forward(self, states: Tensor, valid_mask: np.ndarray) -> Tensor:
+        """Extract ``(B, K, D)`` interest capsules from ``(B, L, D)`` states."""
+        batch, length, dim = states.shape
+        messages = self.bilinear(states)                       # (B, L, D)
+        # Invalid positions must contribute nothing to any capsule.  The
+        # softmax runs over capsules (per position), so it cannot express
+        # "no contribution" — instead the post-softmax weights are zeroed.
+        valid = Tensor(valid_mask.astype(messages.data.dtype)[:, :, None])
+
+        # Routing logits b: (B, L, K); start from the learned prior.
+        logits = (self.logit_prior.expand_dims(0).expand_dims(0)
+                  + Tensor(np.zeros((batch, length, self.num_interests))))
+        capsules = None
+        for iteration in range(self.iterations):
+            weights = F.softmax(logits, axis=2) * valid         # (B, L, K)
+            # Aggregate position messages into capsules: (B, K, D).
+            capsules = self._squash(weights.swapaxes(1, 2) @ messages)
+            if iteration < self.iterations - 1:
+                # Agreement update; routing weights are treated as constants
+                # (standard MIND practice: gradients flow through the last
+                # aggregation only).
+                agreement = (messages @ capsules.swapaxes(1, 2)).detach()
+                logits = logits + agreement
+        return capsules
+
+    def attention_weights(self, states: Tensor, valid_mask: np.ndarray) -> np.ndarray:
+        """Final routing distribution ``(B, L, K)`` (analysis only)."""
+        from repro.nn.tensor import no_grad
+        with no_grad():
+            batch, length, _ = states.shape
+            messages = self.bilinear(states)
+            valid = Tensor(valid_mask.astype(messages.data.dtype)[:, :, None])
+            logits = (self.logit_prior.expand_dims(0).expand_dims(0)
+                      + Tensor(np.zeros((batch, length, self.num_interests))))
+            for _ in range(self.iterations - 1):
+                weights = F.softmax(logits, axis=2) * valid
+                capsules = self._squash(weights.swapaxes(1, 2) @ messages)
+                logits = logits + (messages @ capsules.swapaxes(1, 2))
+            weights = F.softmax(logits, axis=2) * valid
+            return weights.numpy()

@@ -1,0 +1,83 @@
+"""Self-supervised objectives of MISSL.
+
+Two contrasts regularize the interest space:
+
+* :func:`cross_behavior_interest_contrast` — the k-th interest of a user
+  extracted from an **auxiliary** behavior should agree with the k-th
+  interest of the same user extracted from the **target** behavior
+  (slot-wise positive pairs; all other (user, slot) combinations in the
+  batch are negatives).
+* :func:`augmentation_contrast` — two stochastic augmentations of the same
+  fused sequence should produce the same aggregated interest vector
+  (CL4SRec-style instance discrimination).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import info_nce
+from repro.nn.tensor import Tensor
+
+__all__ = ["cross_behavior_interest_contrast", "augmentation_contrast"]
+
+
+def cross_behavior_interest_contrast(target_interests: Tensor,
+                                     auxiliary_interests: list[Tensor],
+                                     temperature: float,
+                                     valid_users: np.ndarray | None = None,
+                                     slot_aligned: bool = True) -> Tensor:
+    """InfoNCE between interests across behaviors.
+
+    Args:
+        target_interests: ``(B, K, D)`` from the target behavior.
+        auxiliary_interests: list of ``(B, K, D)`` tensors, one per auxiliary
+            behavior.
+        temperature: τ.
+        valid_users: optional ``(B,)`` bool — rows where the auxiliary
+            sequence was empty contribute degenerate interests and are
+            dropped from the contrast.
+        slot_aligned: when True (shared prototypes), the k-th interest slots
+            of the two behaviors form a positive pair; when False (dedicated
+            extractors, slots not comparable), the mean-pooled interests do.
+
+    Returns the mean loss over auxiliary behaviors (zero tensor when no
+    auxiliary view has enough valid rows for a meaningful contrast).
+    """
+    batch, k, dim = target_interests.shape
+    losses: list[Tensor] = []
+    for aux in auxiliary_interests:
+        if aux.shape != target_interests.shape:
+            raise ValueError(f"interest shapes differ: {aux.shape} vs {target_interests.shape}")
+        if valid_users is not None:
+            rows = np.flatnonzero(valid_users)
+            if rows.size < 2:
+                continue
+            anchor3 = target_interests[rows]
+            positive3 = aux[rows]
+        else:
+            rows = np.arange(batch)
+            anchor3 = target_interests
+            positive3 = aux
+        if slot_aligned:
+            anchor = anchor3.reshape(rows.size * k, dim)
+            positive = positive3.reshape(rows.size * k, dim)
+        else:
+            anchor = anchor3.mean(axis=1)
+            positive = positive3.mean(axis=1)
+        losses.append(info_nce(anchor, positive, temperature=temperature))
+    if not losses:
+        return Tensor(0.0)
+    total = losses[0]
+    for loss in losses[1:]:
+        total = total + loss
+    return total * (1.0 / len(losses))
+
+
+def augmentation_contrast(view_a: Tensor, view_b: Tensor, temperature: float) -> Tensor:
+    """InfoNCE between aggregated interests of two augmented views ``(B, D)``."""
+    if view_a.ndim == 3:
+        view_a = view_a.mean(axis=1)
+    if view_b.ndim == 3:
+        view_b = view_b.mean(axis=1)
+    return info_nce(view_a, view_b, temperature=temperature)

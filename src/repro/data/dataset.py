@@ -1,0 +1,165 @@
+"""In-memory multi-behavior interaction store.
+
+:class:`MultiBehaviorDataset` is the central data structure consumed by
+preprocessing, splitting, hypergraph construction and training.  It indexes
+interactions by user and behavior, keeps each user's per-behavior sequence in
+chronological order, and reports the corpus statistics used by the T1
+experiment.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .schema import BehaviorSchema, Interaction, PAD_ITEM
+
+__all__ = ["MultiBehaviorDataset", "DatasetStats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Corpus-level statistics (one row of the T1 table)."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    interactions_per_behavior: dict[str, int]
+    avg_length_per_behavior: dict[str, float]
+    density: float
+    """Unique (user, item) pairs divided by the user-item matrix size."""
+
+    def as_row(self) -> list:
+        per_behavior = ", ".join(
+            f"{b}:{n}" for b, n in self.interactions_per_behavior.items()
+        )
+        return [self.name, self.num_users, self.num_items, self.num_interactions,
+                per_behavior, f"{self.density:.6f}"]
+
+
+class MultiBehaviorDataset:
+    """Chronologically ordered multi-behavior interaction sequences.
+
+    Args:
+        interactions: events in any order; they are sorted by
+            ``(user, timestamp)`` internally.  Ties in timestamp keep input
+            order (stable sort), which matters for funnel events generated at
+            the same instant (view then buy).
+        schema: the behavior vocabulary.
+        num_items: size of the item vocabulary (ids are ``1..num_items``).
+        name: label used in reports.
+    """
+
+    def __init__(self, interactions: Iterable[Interaction], schema: BehaviorSchema,
+                 num_items: int, name: str = "dataset"):
+        self.schema = schema
+        self.num_items = int(num_items)
+        self.name = name
+        events = sorted(interactions, key=lambda e: (e.user, e.timestamp))
+        for event in events:
+            if event.behavior not in schema.behaviors:
+                raise ValueError(f"interaction has unknown behavior {event.behavior!r}")
+            if not 1 <= event.item <= self.num_items:
+                raise ValueError(f"item id {event.item} outside [1, {self.num_items}]")
+        self._events = events
+        # user -> behavior -> list[(item, timestamp)]
+        self._sequences: dict[int, dict[str, list[tuple[int, int]]]] = defaultdict(
+            lambda: {b: [] for b in schema.behaviors}
+        )
+        for event in events:
+            self._sequences[event.user][event.behavior].append((event.item, event.timestamp))
+        self._users = sorted(self._sequences)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> list[int]:
+        return list(self._users)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._users)
+
+    @property
+    def num_interactions(self) -> int:
+        return len(self._events)
+
+    def interactions(self) -> list[Interaction]:
+        """All events sorted by (user, timestamp)."""
+        return list(self._events)
+
+    def sequence(self, user: int, behavior: str) -> list[int]:
+        """Item ids of ``user``'s ``behavior`` sequence, oldest first."""
+        return [item for item, _ in self._sequences[user][behavior]]
+
+    def sequence_with_times(self, user: int, behavior: str) -> list[tuple[int, int]]:
+        """(item, timestamp) pairs of the user's behavior sequence."""
+        return list(self._sequences[user][behavior])
+
+    def merged_sequence(self, user: int) -> list[tuple[int, str, int]]:
+        """All of the user's events merged across behaviors, time-ordered.
+
+        Returns ``(item, behavior, timestamp)`` triples.  Ties are broken by
+        schema behavior order so funnel events at one instant appear
+        view → … → buy.
+        """
+        triples = [
+            (item, behavior, ts)
+            for behavior in self.schema.behaviors
+            for item, ts in self._sequences[user][behavior]
+        ]
+        order = {b: i for i, b in enumerate(self.schema.behaviors)}
+        triples.sort(key=lambda t: (t[2], order[t[1]]))
+        return triples
+
+    def items_of_user(self, user: int) -> set[int]:
+        """Every item the user touched under any behavior (negative-sampling exclusion)."""
+        return {item for behavior in self.schema.behaviors
+                for item, _ in self._sequences[user][behavior]}
+
+    # ------------------------------------------------------------------
+    # statistics / derived views
+    # ------------------------------------------------------------------
+    def stats(self) -> DatasetStats:
+        per_behavior = {b: 0 for b in self.schema.behaviors}
+        for event in self._events:
+            per_behavior[event.behavior] += 1
+        avg_length = {
+            b: (per_behavior[b] / self.num_users if self.num_users else 0.0)
+            for b in self.schema.behaviors
+        }
+        cells = self.num_users * self.num_items
+        unique_pairs = len({(e.user, e.item) for e in self._events})
+        return DatasetStats(
+            name=self.name,
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_interactions=self.num_interactions,
+            interactions_per_behavior=per_behavior,
+            avg_length_per_behavior=avg_length,
+            density=unique_pairs / cells if cells else 0.0,
+        )
+
+    def restrict_behaviors(self, keep: Sequence[str]) -> "MultiBehaviorDataset":
+        """A copy containing only the ``keep`` behaviors (F5 experiment)."""
+        sub_schema = self.schema.subset(tuple(keep))
+        events = [e for e in self._events if e.behavior in sub_schema.behaviors]
+        return MultiBehaviorDataset(events, sub_schema, self.num_items,
+                                    name=f"{self.name}-{'+'.join(sub_schema.behaviors)}")
+
+    def target_lengths(self) -> Mapping[int, int]:
+        """Per-user length of the target-behavior sequence (cold-start grouping)."""
+        return {u: len(self._sequences[u][self.schema.target]) for u in self._users}
+
+    def item_popularity(self) -> np.ndarray:
+        """Interaction counts per item id; index 0 (padding) stays zero."""
+        counts = np.zeros(self.num_items + 1, dtype=np.int64)
+        for event in self._events:
+            counts[event.item] += 1
+        assert counts[PAD_ITEM] == 0
+        return counts

@@ -1,0 +1,120 @@
+"""Corpus preprocessing: k-core filtering, truncation, and id remapping.
+
+Mirrors the standard pipeline of the multi-behavior literature: drop users
+with too few target-behavior events and items with too few interactions
+(iterated to a fixed point), keep only each user's most recent history, and
+re-map ids to a dense 1-based vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .dataset import MultiBehaviorDataset
+from .schema import Interaction
+
+__all__ = ["k_core_filter", "truncate_history", "remap_ids", "drop_holdout_targets"]
+
+
+def _carry_clusters(source: MultiBehaviorDataset, result: MultiBehaviorDataset
+                    ) -> MultiBehaviorDataset:
+    """Propagate the synthetic ``item_clusters`` ground truth, when present."""
+    clusters = getattr(source, "item_clusters", None)
+    if clusters is not None:
+        result.item_clusters = clusters  # type: ignore[attr-defined]
+    return result
+
+
+def drop_holdout_targets(dataset: MultiBehaviorDataset, holdout: int = 2
+                         ) -> MultiBehaviorDataset:
+    """Remove every event at or after each user's ``holdout``-th-from-last
+    target event.
+
+    Produces the **training view** of a corpus under the leave-one-out
+    protocol: the validation and test target events — and any auxiliary
+    events that happen after them — are excluded.  Non-parametric models
+    (popularity, ItemKNN) must be fit on this view to avoid leakage; the
+    hypergraph builder applies the same cutoff internally.
+    """
+    if holdout < 0:
+        raise ValueError("holdout must be non-negative")
+    if holdout == 0:
+        return dataset
+    kept: list[Interaction] = []
+    target = dataset.schema.target
+    for user in dataset.users:
+        timeline = dataset.sequence_with_times(user, target)
+        cutoff = timeline[-holdout][1] if len(timeline) > holdout else None
+        for item, behavior, ts in dataset.merged_sequence(user):
+            if cutoff is None or ts < cutoff:
+                kept.append(Interaction(user, item, behavior, ts))
+    result = MultiBehaviorDataset(kept, dataset.schema, dataset.num_items,
+                                  name=dataset.name)
+    clusters = getattr(dataset, "item_clusters", None)
+    if clusters is not None:
+        result.item_clusters = clusters  # type: ignore[attr-defined]
+    return result
+
+
+def k_core_filter(dataset: MultiBehaviorDataset, min_user_targets: int = 3,
+                  min_item_interactions: int = 3, max_rounds: int = 20
+                  ) -> MultiBehaviorDataset:
+    """Iteratively drop sparse users/items until both constraints hold.
+
+    A user survives if it has at least ``min_user_targets`` target-behavior
+    events; an item survives if it appears in at least
+    ``min_item_interactions`` events of any behavior.
+    """
+    events = dataset.interactions()
+    target = dataset.schema.target
+    for _ in range(max_rounds):
+        user_targets: Counter = Counter(e.user for e in events if e.behavior == target)
+        item_counts: Counter = Counter(e.item for e in events)
+        keep_users = {u for u, n in user_targets.items() if n >= min_user_targets}
+        keep_items = {i for i, n in item_counts.items() if n >= min_item_interactions}
+        filtered = [e for e in events if e.user in keep_users and e.item in keep_items]
+        if len(filtered) == len(events):
+            break
+        events = filtered
+    result = _carry_clusters(dataset, MultiBehaviorDataset(
+        events, dataset.schema, dataset.num_items, name=dataset.name))
+    return remap_ids(result)
+
+
+def truncate_history(dataset: MultiBehaviorDataset, max_events_per_user: int = 50
+                     ) -> MultiBehaviorDataset:
+    """Keep only each user's most recent ``max_events_per_user`` events.
+
+    Truncation operates on the merged (all-behavior) timeline, matching the
+    "retain the 50 most recent historical records" convention.
+    """
+    kept: list[Interaction] = []
+    for user in dataset.users:
+        merged = dataset.merged_sequence(user)
+        recent = merged[-max_events_per_user:]
+        kept.extend(Interaction(user, item, behavior, ts) for item, behavior, ts in recent)
+    return _carry_clusters(dataset, MultiBehaviorDataset(
+        kept, dataset.schema, dataset.num_items, name=dataset.name))
+
+
+def remap_ids(dataset: MultiBehaviorDataset) -> MultiBehaviorDataset:
+    """Re-map user ids to ``0..U-1`` and item ids to ``1..I`` densely.
+
+    Preserves the ``item_clusters`` ground-truth attribute when present
+    (synthetic corpora carry it for the interest-space analysis).
+    """
+    events = dataset.interactions()
+    users = sorted({e.user for e in events})
+    items = sorted({e.item for e in events})
+    user_map = {u: i for i, u in enumerate(users)}
+    item_map = {old: new for new, old in enumerate(items, start=1)}
+    remapped = [
+        Interaction(user_map[e.user], item_map[e.item], e.behavior, e.timestamp)
+        for e in events
+    ]
+    result = MultiBehaviorDataset(remapped, dataset.schema, len(items), name=dataset.name)
+    clusters = getattr(dataset, "item_clusters", None)
+    if clusters is not None:
+        # item_clusters is 0-indexed by (item_id - 1) in the original space.
+        result.item_clusters = clusters[[old - 1 for old in items]]  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,82 @@
+"""Negative sampling for training and ranking evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import MultiBehaviorDataset
+from .splits import SequenceExample
+
+__all__ = ["NegativeSampler"]
+
+
+class NegativeSampler:
+    """Samples items a user has NOT interacted with.
+
+    Two modes:
+
+    * ``uniform`` — every non-interacted item is equally likely (the protocol
+      used for the 99-negative ranking evaluation).
+    * ``popularity`` — items are drawn proportional to corpus popularity
+      (harder negatives; used as a training option).
+    """
+
+    def __init__(self, dataset: MultiBehaviorDataset, rng: np.random.Generator,
+                 mode: str = "uniform"):
+        if mode not in ("uniform", "popularity"):
+            raise ValueError(f"unknown sampling mode {mode!r}")
+        self.num_items = dataset.num_items
+        self.rng = rng
+        self.mode = mode
+        self._user_items = {user: dataset.items_of_user(user) for user in dataset.users}
+        if mode == "popularity":
+            counts = dataset.item_popularity().astype(np.float64)
+            counts[0] = 0.0
+            total = counts.sum()
+            self._probs = counts / total if total > 0 else None
+        else:
+            self._probs = None
+
+    def user_items(self, user: int) -> set[int]:
+        """The exclusion set for ``user`` (empty for unseen users)."""
+        return self._user_items.get(user, set())
+
+    def sample(self, user: int, count: int, exclude: set[int] | None = None) -> np.ndarray:
+        """Draw ``count`` distinct negatives for ``user``.
+
+        ``exclude`` adds extra forbidden ids (e.g. the current positive).
+        Falls back to allowing repeats only if the item space is too small,
+        which cannot happen at realistic scales.
+        """
+        forbidden = set(self.user_items(user))
+        if exclude:
+            forbidden |= exclude
+        available = self.num_items - len(forbidden)
+        if available < count:
+            raise ValueError(
+                f"cannot sample {count} negatives: only {available} items available"
+            )
+        chosen: list[int] = []
+        seen: set[int] = set()
+        # Rejection sampling: fast because forbidden sets are small relative
+        # to the item vocabulary.
+        batch = max(4 * count, 16)
+        while len(chosen) < count:
+            if self.mode == "popularity" and self._probs is not None:
+                candidates = self.rng.choice(self.num_items + 1, size=batch, p=self._probs)
+            else:
+                candidates = self.rng.integers(1, self.num_items + 1, size=batch)
+            for item in candidates:
+                item = int(item)
+                if item in forbidden or item in seen:
+                    continue
+                chosen.append(item)
+                seen.add(item)
+                if len(chosen) == count:
+                    break
+        return np.array(chosen, dtype=np.int64)
+
+    def candidates_for(self, example: SequenceExample, num_negatives: int = 99) -> np.ndarray:
+        """Ranking candidates ``[positive, neg_1, ..., neg_n]`` for one example."""
+        negatives = self.sample(example.user, num_negatives, exclude={example.target})
+        return np.concatenate([[example.target], negatives]).astype(np.int64)

@@ -1,0 +1,89 @@
+"""Core data-model types for multi-behavior recommendation.
+
+An *interaction* is one (user, item, behavior, timestamp) event.  A
+*behavior schema* names the behavior types a dataset contains and singles
+out the **target behavior** — the one the recommender must predict (e.g.
+``buy``) — from the **auxiliary behaviors** that provide side evidence
+(e.g. ``view``, ``cart``, ``fav``).
+
+Item ids are 1-based everywhere; id 0 is reserved for sequence padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Interaction", "BehaviorSchema", "PAD_ITEM", "TAOBAO_SCHEMA", "TMALL_SCHEMA",
+           "YELP_SCHEMA"]
+
+PAD_ITEM = 0
+"""Reserved item id used to pad sequences (never a real item)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Interaction:
+    """A single user-item event under one behavior type."""
+
+    user: int
+    item: int
+    behavior: str
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if self.item == PAD_ITEM:
+            raise ValueError("item id 0 is reserved for padding")
+        if self.user < 0:
+            raise ValueError(f"negative user id: {self.user}")
+
+
+@dataclass(frozen=True)
+class BehaviorSchema:
+    """The behavior vocabulary of a dataset.
+
+    Attributes:
+        behaviors: all behavior names, auxiliary first, target last by
+            convention (order defines the behavior-id encoding used by
+            models: ``behavior_id = behaviors.index(name)``).
+        target: the behavior whose next item the model predicts.
+    """
+
+    behaviors: tuple[str, ...]
+    target: str
+
+    def __post_init__(self) -> None:
+        if len(set(self.behaviors)) != len(self.behaviors):
+            raise ValueError(f"duplicate behavior names: {self.behaviors}")
+        if self.target not in self.behaviors:
+            raise ValueError(f"target {self.target!r} not among behaviors {self.behaviors}")
+
+    @property
+    def auxiliary(self) -> tuple[str, ...]:
+        """Behaviors other than the target, in schema order."""
+        return tuple(b for b in self.behaviors if b != self.target)
+
+    @property
+    def num_behaviors(self) -> int:
+        return len(self.behaviors)
+
+    def behavior_id(self, name: str) -> int:
+        """Stable integer encoding of a behavior name."""
+        try:
+            return self.behaviors.index(name)
+        except ValueError:
+            raise KeyError(f"unknown behavior {name!r}; schema has {self.behaviors}") from None
+
+    def subset(self, keep: tuple[str, ...]) -> "BehaviorSchema":
+        """Schema restricted to ``keep`` (must include the target).
+
+        Used by the behavior-contribution experiment (F5).
+        """
+        if self.target not in keep:
+            raise ValueError("subset must keep the target behavior")
+        ordered = tuple(b for b in self.behaviors if b in keep)
+        return BehaviorSchema(behaviors=ordered, target=self.target)
+
+
+# The three standard dataset schemas for this subfield.
+TAOBAO_SCHEMA = BehaviorSchema(behaviors=("view", "cart", "fav", "buy"), target="buy")
+TMALL_SCHEMA = BehaviorSchema(behaviors=("view", "fav", "cart", "buy"), target="buy")
+YELP_SCHEMA = BehaviorSchema(behaviors=("view", "like", "tip"), target="tip")

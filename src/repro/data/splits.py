@@ -1,0 +1,149 @@
+"""Leave-one-out splitting into next-item prediction examples.
+
+Following the standard protocol: for every user, the **last** target-behavior
+event is the test example and the **second-to-last** is validation; every
+earlier target event (with at least one preceding event) becomes a training
+example.  An example's inputs are all events that happened strictly before
+the predicted event, per behavior, truncated to the most recent ``max_len``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dataset import MultiBehaviorDataset
+
+__all__ = ["SequenceExample", "DataSplit", "leave_one_out_split", "temporal_split"]
+
+
+@dataclass(frozen=True)
+class SequenceExample:
+    """One next-item prediction instance.
+
+    Attributes:
+        user: user id.
+        inputs: behavior name → chronological item ids before the target.
+        merged_items / merged_behavior_ids: the cross-behavior timeline before
+            the target (items and their behavior-type ids), for models that
+            consume one fused sequence.
+        target: the item to predict.
+    """
+
+    user: int
+    inputs: dict[str, tuple[int, ...]]
+    merged_items: tuple[int, ...]
+    merged_behavior_ids: tuple[int, ...]
+    target: int
+
+
+@dataclass
+class DataSplit:
+    """Train/validation/test example sets plus the source dataset."""
+
+    dataset: MultiBehaviorDataset
+    train: list[SequenceExample] = field(default_factory=list)
+    valid: list[SequenceExample] = field(default_factory=list)
+    test: list[SequenceExample] = field(default_factory=list)
+
+    def summary(self) -> dict[str, int]:
+        return {"train": len(self.train), "valid": len(self.valid), "test": len(self.test)}
+
+
+def _example_at(dataset: MultiBehaviorDataset, user: int, cutoff_ts: int, target: int,
+                max_len: int) -> SequenceExample | None:
+    """Build the example predicting ``target`` from events before ``cutoff_ts``."""
+    schema = dataset.schema
+    inputs: dict[str, tuple[int, ...]] = {}
+    for behavior in schema.behaviors:
+        history = [item for item, ts in dataset.sequence_with_times(user, behavior)
+                   if ts < cutoff_ts]
+        inputs[behavior] = tuple(history[-max_len:])
+    if all(len(seq) == 0 for seq in inputs.values()):
+        return None
+    merged = [(item, schema.behavior_id(behavior))
+              for item, behavior, ts in dataset.merged_sequence(user) if ts < cutoff_ts]
+    merged = merged[-max_len:]
+    return SequenceExample(
+        user=user,
+        inputs=inputs,
+        merged_items=tuple(item for item, _ in merged),
+        merged_behavior_ids=tuple(bid for _, bid in merged),
+        target=target,
+    )
+
+
+def leave_one_out_split(dataset: MultiBehaviorDataset, max_len: int = 50,
+                        max_train_per_user: int | None = None) -> DataSplit:
+    """Split a corpus into train/valid/test next-item examples.
+
+    Args:
+        dataset: the interaction corpus.
+        max_len: per-behavior history truncation (most recent events kept).
+        max_train_per_user: optional cap on training examples per user (keeps
+            the most recent ones); None keeps all.
+    """
+    split = DataSplit(dataset=dataset)
+    target_behavior = dataset.schema.target
+    for user in dataset.users:
+        timeline = dataset.sequence_with_times(user, target_behavior)
+        if len(timeline) < 3:
+            # Not enough target events for train+valid+test; skip the user
+            # (k-core preprocessing normally guarantees this never triggers).
+            continue
+        test_item, test_ts = timeline[-1]
+        valid_item, valid_ts = timeline[-2]
+        test_example = _example_at(dataset, user, test_ts, test_item, max_len)
+        valid_example = _example_at(dataset, user, valid_ts, valid_item, max_len)
+        if test_example is None or valid_example is None:
+            continue
+        split.test.append(test_example)
+        split.valid.append(valid_example)
+        train_events = timeline[:-2]
+        user_train = []
+        for item, ts in train_events:
+            example = _example_at(dataset, user, ts, item, max_len)
+            if example is not None:
+                user_train.append(example)
+        if max_train_per_user is not None:
+            user_train = user_train[-max_train_per_user:]
+        split.train.extend(user_train)
+    return split
+
+
+def temporal_split(dataset: MultiBehaviorDataset, valid_fraction: float = 0.1,
+                   test_fraction: float = 0.1, max_len: int = 50) -> DataSplit:
+    """Global-time split: the last fractions of each user's *timeline* become
+    validation/test target events.
+
+    The stricter alternative to leave-one-out: instead of exactly one test
+    event per user, every target event in a user's final ``test_fraction`` of
+    (per-user) time becomes a test example, the preceding ``valid_fraction``
+    becomes validation, and the rest train.  Users whose history is too short
+    to populate all three regions contribute only to the regions they reach.
+    """
+    if not 0.0 < valid_fraction < 1.0 or not 0.0 < test_fraction < 1.0:
+        raise ValueError("fractions must lie in (0, 1)")
+    if valid_fraction + test_fraction >= 1.0:
+        raise ValueError("fractions must leave room for training data")
+    split = DataSplit(dataset=dataset)
+    target_behavior = dataset.schema.target
+    for user in dataset.users:
+        merged = dataset.merged_sequence(user)
+        if not merged:
+            continue
+        start_ts = merged[0][2]
+        end_ts = merged[-1][2]
+        span = max(end_ts - start_ts, 1)
+        test_cut = end_ts - span * test_fraction
+        valid_cut = test_cut - span * valid_fraction
+        for item, ts in dataset.sequence_with_times(user, target_behavior):
+            example = _example_at(dataset, user, ts, item, max_len)
+            if example is None:
+                continue
+            if ts > test_cut:
+                split.test.append(example)
+            elif ts > valid_cut:
+                split.valid.append(example)
+            else:
+                split.train.append(example)
+    return split

@@ -1,0 +1,49 @@
+"""Ranking evaluator driving any model that implements ``score_candidates``.
+
+The model contract (see :class:`repro.baselines.base.SequentialRecommender`):
+``score_candidates(batch, candidates)`` returns a ``(B, C)`` score tensor for
+the ``(B, C)`` candidate item-id matrix, higher = more likely next item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.batching import collate
+from repro.data.schema import BehaviorSchema
+from repro.data.splits import SequenceExample
+from repro.nn.tensor import no_grad
+
+from .metrics import MetricReport, ranks_from_scores
+from .protocol import CandidateSets
+
+__all__ = ["evaluate_ranking", "rank_all"]
+
+
+def rank_all(model, examples: list[SequenceExample], candidate_sets: CandidateSets,
+             schema: BehaviorSchema, batch_size: int = 128) -> np.ndarray:
+    """Compute the positive item's rank for every example.
+
+    Returns an ``(N,)`` int array of 0-based ranks; input ordering preserved.
+    """
+    if len(examples) != len(candidate_sets):
+        raise ValueError("examples and candidate sets are misaligned")
+    model.eval()
+    ranks: list[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(examples), batch_size):
+            chunk_idx = np.arange(start, min(start + batch_size, len(examples)))
+            batch = collate([examples[i] for i in chunk_idx], schema)
+            candidates = candidate_sets.slice(chunk_idx)
+            scores = model.score_candidates(batch, candidates)
+            ranks.append(ranks_from_scores(scores.numpy()))
+    model.train()
+    return np.concatenate(ranks) if ranks else np.zeros(0, dtype=np.int64)
+
+
+def evaluate_ranking(model, examples: list[SequenceExample], candidate_sets: CandidateSets,
+                     schema: BehaviorSchema, ks: tuple[int, ...] = (5, 10, 20),
+                     batch_size: int = 128) -> MetricReport:
+    """Full sampled-ranking evaluation → HR@K / NDCG@K / MRR report."""
+    ranks = rank_all(model, examples, candidate_sets, schema, batch_size=batch_size)
+    return MetricReport.from_ranks(ranks, ks=ks)

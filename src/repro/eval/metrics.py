@@ -1,0 +1,97 @@
+"""Ranking metrics: HR@K, NDCG@K, MRR, Recall@K.
+
+All metrics consume an array of **ranks**: for each evaluation instance, the
+0-based position of the positive item in the model's sorted candidate list
+(rank 0 = the model put the positive first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hit_rate", "ndcg", "mrr", "recall", "ranks_from_scores", "MetricReport",
+           "item_coverage", "top_k_items"]
+
+
+def ranks_from_scores(scores: np.ndarray, positive_column: int = 0) -> np.ndarray:
+    """Rank of the positive candidate within each row of ``scores``.
+
+    ``scores`` is ``(N, C)``; higher is better.  Ties are resolved
+    pessimistically (tied candidates count as ranked above the positive),
+    which penalizes degenerate constant scorers instead of rewarding them.
+    """
+    positive = scores[:, positive_column][:, None]
+    better = (scores > positive).sum(axis=1)
+    ties = (scores == positive).sum(axis=1) - 1  # exclude the positive itself
+    return better + ties
+
+
+def hit_rate(ranks: np.ndarray, k: int) -> float:
+    """Fraction of instances whose positive lands in the top-k."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float((ranks < k).mean())
+
+
+def ndcg(ranks: np.ndarray, k: int) -> float:
+    """Normalized discounted cumulative gain with a single relevant item.
+
+    With one positive, NDCG@k reduces to ``1 / log2(rank + 2)`` when the
+    positive is in the top-k, else 0.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    gains = np.where(ranks < k, 1.0 / np.log2(ranks + 2.0), 0.0)
+    return float(gains.mean())
+
+
+def mrr(ranks: np.ndarray) -> float:
+    """Mean reciprocal rank."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float((1.0 / (ranks + 1.0)).mean())
+
+
+def recall(ranks: np.ndarray, k: int) -> float:
+    """Recall@k; identical to HR@k in the one-positive protocol."""
+    return hit_rate(ranks, k)
+
+
+def top_k_items(scores: np.ndarray, candidates: np.ndarray, k: int) -> np.ndarray:
+    """Top-k candidate item ids per row, ordered by descending score."""
+    if scores.shape != candidates.shape:
+        raise ValueError(f"shapes differ: {scores.shape} vs {candidates.shape}")
+    order = np.argsort(-scores, axis=1)[:, :k]
+    return np.take_along_axis(candidates, order, axis=1)
+
+
+def item_coverage(recommended: np.ndarray, num_items: int) -> float:
+    """Catalog coverage: fraction of the item vocabulary ever recommended.
+
+    ``recommended`` holds top-k item ids per test instance (any shape); a
+    low value signals popularity bias in the recommender.
+    """
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    unique = np.unique(np.asarray(recommended).ravel())
+    unique = unique[unique > 0]
+    return float(unique.size / num_items)
+
+
+class MetricReport(dict):
+    """Metric-name → value mapping with a compact renderer."""
+
+    @classmethod
+    def from_ranks(cls, ranks: np.ndarray, ks: tuple[int, ...] = (5, 10, 20)) -> "MetricReport":
+        report = cls()
+        for k in ks:
+            report[f"HR@{k}"] = hit_rate(ranks, k)
+            report[f"NDCG@{k}"] = ndcg(ranks, k)
+        report["MRR"] = mrr(ranks)
+        return report
+
+    def __str__(self) -> str:
+        return "  ".join(f"{name}={value:.4f}" for name, value in self.items())

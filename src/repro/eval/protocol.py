@@ -1,0 +1,43 @@
+"""Evaluation protocol: fixed candidate sets shared across models.
+
+The paper's protocol pairs each positive test item with 99 uniformly sampled
+negatives.  To compare models fairly (and to keep benchmark tables stable),
+the candidate sets are drawn **once** per split from a seeded generator and
+reused for every model — the same trick the original pipeline framework uses
+when re-running all baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import MultiBehaviorDataset
+from repro.data.sampling import NegativeSampler
+from repro.data.splits import SequenceExample
+
+__all__ = ["CandidateSets"]
+
+
+class CandidateSets:
+    """Pre-drawn ranking candidates for a list of evaluation examples.
+
+    ``candidates[i]`` is the ``(1 + num_negatives,)`` id array for example i,
+    with the positive in column 0.
+    """
+
+    def __init__(self, dataset: MultiBehaviorDataset, examples: list[SequenceExample],
+                 num_negatives: int = 99, seed: int = 7):
+        rng = np.random.default_rng(seed)
+        sampler = NegativeSampler(dataset, rng, mode="uniform")
+        self.num_negatives = num_negatives
+        self.examples = examples
+        self.candidates = np.stack([
+            sampler.candidates_for(example, num_negatives) for example in examples
+        ]) if examples else np.zeros((0, num_negatives + 1), dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def slice(self, indices: np.ndarray) -> np.ndarray:
+        """Candidate matrix rows for a batch of example indices."""
+        return self.candidates[indices]

@@ -1,0 +1,88 @@
+"""Statistical significance testing for metric differences.
+
+Implements the paired bootstrap test standard in IR evaluation: given the
+per-instance ranks of two systems on the *same* test examples and candidate
+sets, estimate the probability that system A's metric advantage over system B
+would survive resampling of the test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .metrics import ndcg
+
+__all__ = ["paired_bootstrap", "BootstrapResult"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison.
+
+    Attributes:
+        metric_a / metric_b: point estimates on the full test set.
+        delta: ``metric_a - metric_b``.
+        p_value: fraction of bootstrap resamples where A does NOT beat B
+            (one-sided); small values mean A's win is stable.
+        ci_low / ci_high: 95% percentile confidence interval of the delta.
+    """
+
+    metric_a: float
+    metric_b: float
+    delta: float
+    p_value: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def significant(self) -> bool:
+        """True when A beats B at the 0.05 level."""
+        return self.p_value < 0.05
+
+    def __str__(self) -> str:
+        marker = "*" if self.significant else " "
+        return (f"A={self.metric_a:.4f} B={self.metric_b:.4f} "
+                f"Δ={self.delta:+.4f} [{self.ci_low:+.4f}, {self.ci_high:+.4f}] "
+                f"p={self.p_value:.3f}{marker}")
+
+
+def paired_bootstrap(ranks_a: np.ndarray, ranks_b: np.ndarray,
+                     metric: Callable[[np.ndarray], float] | None = None,
+                     num_resamples: int = 2000, seed: int = 0) -> BootstrapResult:
+    """Compare two systems' per-instance ranks with a paired bootstrap.
+
+    Args:
+        ranks_a / ranks_b: 0-based positive-item ranks, aligned by instance
+            (same test examples, same candidate sets).
+        metric: rank-array → scalar; defaults to NDCG@10.
+        num_resamples: bootstrap iterations.
+        seed: resampling seed.
+    """
+    ranks_a = np.asarray(ranks_a)
+    ranks_b = np.asarray(ranks_b)
+    if ranks_a.shape != ranks_b.shape:
+        raise ValueError(f"rank arrays misaligned: {ranks_a.shape} vs {ranks_b.shape}")
+    if ranks_a.size == 0:
+        raise ValueError("cannot bootstrap an empty test set")
+    if metric is None:
+        metric = lambda ranks: ndcg(ranks, 10)
+
+    n = ranks_a.size
+    rng = np.random.default_rng(seed)
+    deltas = np.empty(num_resamples)
+    for i in range(num_resamples):
+        idx = rng.integers(0, n, size=n)
+        deltas[i] = metric(ranks_a[idx]) - metric(ranks_b[idx])
+    point_a = metric(ranks_a)
+    point_b = metric(ranks_b)
+    return BootstrapResult(
+        metric_a=point_a,
+        metric_b=point_b,
+        delta=point_a - point_b,
+        p_value=float((deltas <= 0).mean()),
+        ci_low=float(np.percentile(deltas, 2.5)),
+        ci_high=float(np.percentile(deltas, 97.5)),
+    )

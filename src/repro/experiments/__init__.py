@@ -1,0 +1,28 @@
+"""``repro.experiments`` — the framework regenerating every table and figure."""
+
+from .context import ExperimentContext
+from .registry import EXPERIMENTS, Experiment, run_experiment
+from .results import ExperimentResult
+from .ablations import (run_a1_interest_mode, run_a2_hypergraph_construction,
+                        run_a3_nonsequential_references)
+from .multiseed import aggregate_results, run_multi_seed
+from .report import generate_experiments_md
+from .search import GridSearchResult, grid_search
+from .runners import (run_f1_num_interests, run_f2_ssl_grid, run_f3_depth_dim,
+                      run_f4_cold_start, run_f5_behavior_subsets, run_f6_interest_space,
+                      run_t1_dataset_stats, run_t2_overall, run_t3_ablation,
+                      run_t4_efficiency, train_and_evaluate)
+from .zoo import MODEL_FAMILIES, NONPARAMETRIC, build_model, model_names
+
+__all__ = [
+    "ExperimentContext", "ExperimentResult", "Experiment", "EXPERIMENTS", "run_experiment",
+    "build_model", "model_names", "MODEL_FAMILIES", "NONPARAMETRIC",
+    "train_and_evaluate",
+    "run_t1_dataset_stats", "run_t2_overall", "run_t3_ablation", "run_t4_efficiency",
+    "run_f1_num_interests", "run_f2_ssl_grid", "run_f3_depth_dim", "run_f4_cold_start",
+    "run_f5_behavior_subsets", "run_f6_interest_space",
+    "grid_search", "GridSearchResult",
+    "run_multi_seed", "aggregate_results", "generate_experiments_md",
+    "run_a1_interest_mode", "run_a2_hypergraph_construction",
+    "run_a3_nonsequential_references",
+]

@@ -1,0 +1,112 @@
+"""Extra ablation experiments for this implementation's own design choices.
+
+Beyond the paper's component ablation (T3), DESIGN.md §6 names design
+decisions internal to this reconstruction; these runners measure them:
+
+* **A1** — interest-extraction mechanism: prototype attention (default)
+  vs MIND-style capsule dynamic routing.
+* **A2** — hypergraph construction: sequence-window size, and whether the
+  cross-behavior user edges exist at all.
+"""
+
+from __future__ import annotations
+
+from repro.core import MISSLConfig
+from repro.hypergraph import BuilderConfig
+
+from .context import ExperimentContext
+from .results import ExperimentResult
+from .runners import train_and_evaluate
+from .zoo import build_model
+
+__all__ = ["run_a1_interest_mode", "run_a2_hypergraph_construction",
+           "run_a3_nonsequential_references"]
+
+
+def run_a1_interest_mode(preset: str = "taobao", scale: float = 0.5, dim: int = 32,
+                         epochs: int = 15, seed: int = 1) -> ExperimentResult:
+    """Prototype attention vs dynamic routing, at matched K."""
+    context = ExperimentContext.build(preset, scale=scale, seed=seed)
+    headers = ["extractor", "K", "HR@10", "NDCG@10", "secs"]
+    rows = []
+    raw: dict = {}
+    for mode in ("attention", "routing"):
+        config = MISSLConfig(dim=dim, interest_mode=mode)
+        model = build_model("MISSL", context, dim=dim, seed=seed, missl_config=config)
+        report, seconds = train_and_evaluate(model, context, epochs=epochs, seed=seed)
+        rows.append([mode, config.num_interests, report["HR@10"], report["NDCG@10"],
+                     round(seconds, 1)])
+        raw[mode] = report
+    return ExperimentResult(
+        experiment_id="A1", title="Interest-extractor ablation (attention vs routing)",
+        headers=headers, rows=rows,
+        notes="Both mechanisms must be competitive; attention is the default "
+              "for its stability on short behavior sequences.",
+        raw=raw,
+    )
+
+
+def run_a2_hypergraph_construction(preset: str = "taobao", scale: float = 0.5,
+                                   dim: int = 32, epochs: int = 15, seed: int = 1,
+                                   windows: tuple = (5, 10, None)) -> ExperimentResult:
+    """Hypergraph construction knobs: window size and cross-behavior edges."""
+    headers = ["variant", "edges", "HR@10", "NDCG@10"]
+    rows = []
+    raw: dict = {}
+    variants: list[tuple[str, BuilderConfig]] = []
+    for window in windows:
+        label = f"window={window if window is not None else 'whole-seq'}"
+        variants.append((label, BuilderConfig(window=window)))
+    variants.append(("no cross-behavior edges",
+                     BuilderConfig(window=10, include_cross_behavior=False)))
+    for label, builder in variants:
+        context = ExperimentContext.build(preset, scale=scale, seed=seed,
+                                          builder=builder)
+        config = MISSLConfig(dim=dim)
+        model = build_model("MISSL", context, dim=dim, seed=seed, missl_config=config)
+        report, _ = train_and_evaluate(model, context, epochs=epochs, seed=seed)
+        rows.append([label, context.graph.num_edges, report["HR@10"],
+                     report["NDCG@10"]])
+        raw[label] = report
+    return ExperimentResult(
+        experiment_id="A2", title="Hypergraph-construction ablation",
+        headers=headers, rows=rows,
+        notes="Windowed sequence edges plus cross-behavior user edges is the "
+              "default construction.",
+        raw=raw,
+    )
+
+
+def run_a3_nonsequential_references(preset: str = "taobao", scale: float = 0.5,
+                                    dim: int = 32, epochs: int = 15, seed: int = 1
+                                    ) -> ExperimentResult:
+    """Non-sequential reference models vs MISSL (outside the paper's table).
+
+    The paper compares only against sequential methods.  This experiment adds
+    the classic non-sequential references (popularity, ItemKNN, BPR-MF,
+    LightGCN) for completeness.  On this synthetic substrate LightGCN is a
+    *strong* reference: planted user interests are largely stationary, which
+    is the regime pure collaborative filtering excels in — an honest,
+    documented limitation of the simulator rather than of MISSL (real
+    behavior logs carry far more temporal drift, and published results show
+    sequential MB methods ahead there).
+    """
+    context = ExperimentContext.build(preset, scale=scale, seed=seed)
+    headers = ["model", "type", "HR@10", "NDCG@10"]
+    rows = []
+    raw: dict = {}
+    kinds = {"POP": "non-sequential", "ItemKNN": "non-sequential",
+             "BPRMF": "non-sequential", "LightGCN": "non-sequential",
+             "MISSL": "sequential (ours)"}
+    for name in ("POP", "ItemKNN", "BPRMF", "LightGCN", "MISSL"):
+        model = build_model(name, context, dim=dim, seed=seed)
+        report, _ = train_and_evaluate(model, context, epochs=epochs, seed=seed)
+        rows.append([name, kinds[name], report["HR@10"], report["NDCG@10"]])
+        raw[name] = report
+    return ExperimentResult(
+        experiment_id="A3", title="Non-sequential reference comparison",
+        headers=headers, rows=rows,
+        notes="LightGCN is reported but not asserted against: stationary "
+              "synthetic interests favor pure CF (see docstring).",
+        raw=raw,
+    )

@@ -1,0 +1,90 @@
+"""Experiment context: one place that assembles data, splits and hypergraphs.
+
+Every benchmark builds an :class:`ExperimentContext` from a dataset preset
+name, a scale factor and a seed; the context memoizes the derived artifacts
+(splits, training view, hypergraph, candidate sets) so multi-model
+experiments reuse them, exactly as a shared pipeline would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data import (DATASET_PRESETS, DataSplit, MultiBehaviorDataset, SyntheticConfig,
+                        drop_holdout_targets, generate, k_core_filter, leave_one_out_split)
+from repro.eval.protocol import CandidateSets
+from repro.hypergraph import BuilderConfig, Hypergraph, build_hypergraph
+
+__all__ = ["ExperimentContext"]
+
+
+@dataclass
+class ExperimentContext:
+    """Data artifacts shared by all models of one experiment.
+
+    Attributes:
+        dataset: the preprocessed corpus (k-core filtered, ids remapped).
+        split: leave-one-out train/valid/test examples.
+        train_view: the corpus with holdout target events removed — what
+            non-parametric models fit on and the hypergraph is built from.
+        graph: the training hypergraph.
+        test_candidates / valid_candidates: fixed 99-negative candidate sets.
+    """
+
+    dataset: MultiBehaviorDataset
+    split: DataSplit
+    train_view: MultiBehaviorDataset
+    graph: Hypergraph
+    test_candidates: CandidateSets
+    valid_candidates: CandidateSets
+    seed: int
+
+    @classmethod
+    def build(cls, preset: str = "taobao", scale: float = 0.5, seed: int = 1,
+              max_len: int = 30, num_negatives: int = 99,
+              config: SyntheticConfig | None = None,
+              builder: BuilderConfig | None = None) -> "ExperimentContext":
+        """Generate, preprocess and split one dataset.
+
+        ``config`` overrides the preset entirely when given (used by
+        generator-sensitivity experiments).
+        """
+        if config is None:
+            if preset not in DATASET_PRESETS:
+                raise KeyError(f"unknown preset {preset!r}; have {sorted(DATASET_PRESETS)}")
+            config = DATASET_PRESETS[preset](scale)
+        dataset = k_core_filter(generate(config, seed=seed))
+        split = leave_one_out_split(dataset, max_len=max_len)
+        train_view = drop_holdout_targets(dataset, 2)
+        graph = build_hypergraph(dataset, builder)
+        # At tiny scales the item vocabulary may not support the requested
+        # negative count; clamp so every user can still be sampled.
+        if dataset.users:
+            max_profile = max(len(dataset.items_of_user(u)) for u in dataset.users)
+            num_negatives = min(num_negatives, max(1, dataset.num_items - max_profile - 1))
+        return cls(
+            dataset=dataset,
+            split=split,
+            train_view=train_view,
+            graph=graph,
+            test_candidates=CandidateSets(dataset, split.test, num_negatives, seed=seed + 70),
+            valid_candidates=CandidateSets(dataset, split.valid, num_negatives, seed=seed + 71),
+            seed=seed,
+        )
+
+    def restrict_behaviors(self, keep: tuple[str, ...]) -> "ExperimentContext":
+        """Context over the same corpus but with only ``keep`` behaviors (F5)."""
+        dataset = self.dataset.restrict_behaviors(keep)
+        split = leave_one_out_split(dataset, max_len=30)
+        return ExperimentContext(
+            dataset=dataset,
+            split=split,
+            train_view=drop_holdout_targets(dataset, 2),
+            graph=build_hypergraph(dataset),
+            test_candidates=CandidateSets(dataset, split.test, self.test_candidates.num_negatives,
+                                          seed=self.seed + 70),
+            valid_candidates=CandidateSets(dataset, split.valid,
+                                           self.valid_candidates.num_negatives,
+                                           seed=self.seed + 71),
+            seed=self.seed,
+        )

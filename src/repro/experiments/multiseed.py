@@ -1,0 +1,71 @@
+"""Multi-seed aggregation for experiment stability.
+
+The tables in this reconstruction come from single seeded runs (CPU budget);
+this helper reruns any registered experiment across seeds and aggregates
+every numeric column into mean ± std — the form papers report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import run_experiment
+from .results import ExperimentResult
+
+__all__ = ["run_multi_seed", "aggregate_results"]
+
+
+def _row_key(row: list, numeric_columns: list[int]) -> tuple:
+    """Identity of a row across seeds: its non-numeric cells."""
+    return tuple(cell for i, cell in enumerate(row) if i not in numeric_columns)
+
+
+def _numeric_columns(headers: list[str], rows: list[list]) -> list[int]:
+    """Columns whose every value parses as a float (and isn't the key)."""
+    columns = []
+    for index in range(len(headers)):
+        try:
+            for row in rows:
+                float(row[index])
+        except (TypeError, ValueError):
+            continue
+        columns.append(index)
+    return columns
+
+
+def aggregate_results(results: list[ExperimentResult]) -> ExperimentResult:
+    """Merge same-shaped results into one with ``mean±std`` numeric cells."""
+    if not results:
+        raise ValueError("nothing to aggregate")
+    first = results[0]
+    for other in results[1:]:
+        if other.headers != first.headers or len(other.rows) != len(first.rows):
+            raise ValueError("results have different shapes; cannot aggregate")
+    numeric = _numeric_columns(first.headers, first.rows)
+    rows = []
+    for row_index, base_row in enumerate(first.rows):
+        merged = list(base_row)
+        for column in numeric:
+            values = np.array([float(r.rows[row_index][column]) for r in results])
+            merged[column] = f"{values.mean():.4f}±{values.std():.4f}"
+        rows.append(merged)
+    return ExperimentResult(
+        experiment_id=first.experiment_id,
+        title=f"{first.title} (mean±std over {len(results)} seeds)",
+        headers=first.headers,
+        rows=rows,
+        notes=first.notes,
+        raw={"seeds": [r.raw for r in results]},
+    )
+
+
+def run_multi_seed(experiment_id: str, seeds: tuple[int, ...] = (1, 2, 3),
+                   **kwargs) -> ExperimentResult:
+    """Run one experiment per seed and aggregate.
+
+    ``kwargs`` are forwarded to the runner (scale, epochs, ...); the runner
+    must accept a ``seed`` argument (all registered runners do except T1's
+    statistics, which is still seedable).
+    """
+    results = [run_experiment(experiment_id, seed=seed, **kwargs) for seed in seeds]
+    return aggregate_results(results)

@@ -1,0 +1,65 @@
+"""Registry mapping experiment ids to their runners (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import ablations, runners
+from .results import ExperimentResult
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One entry of the per-experiment index."""
+
+    experiment_id: str
+    title: str
+    kind: str                      # "table" or "figure"
+    runner: Callable[..., ExperimentResult]
+    bench_target: str              # the benchmark file regenerating it
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.experiment_id: exp for exp in (
+        Experiment("T1", "Dataset statistics", "table",
+                   runners.run_t1_dataset_stats, "benchmarks/bench_t1_dataset_stats.py"),
+        Experiment("T2", "Overall performance comparison", "table",
+                   runners.run_t2_overall, "benchmarks/bench_t2_overall.py"),
+        Experiment("T3", "Ablation study", "table",
+                   runners.run_t3_ablation, "benchmarks/bench_t3_ablation.py"),
+        Experiment("F1", "Number of interests K", "figure",
+                   runners.run_f1_num_interests, "benchmarks/bench_f1_num_interests.py"),
+        Experiment("F2", "SSL weight x temperature grid", "figure",
+                   runners.run_f2_ssl_grid, "benchmarks/bench_f2_ssl_grid.py"),
+        Experiment("F3", "Hypergraph depth and dim", "figure",
+                   runners.run_f3_depth_dim, "benchmarks/bench_f3_depth_dim.py"),
+        Experiment("F4", "Cold-start analysis", "figure",
+                   runners.run_f4_cold_start, "benchmarks/bench_f4_cold_start.py"),
+        Experiment("F5", "Auxiliary-behavior contribution", "figure",
+                   runners.run_f5_behavior_subsets, "benchmarks/bench_f5_behavior_subsets.py"),
+        Experiment("T4", "Time efficiency", "table",
+                   runners.run_t4_efficiency, "benchmarks/bench_t4_efficiency.py"),
+        Experiment("F6", "Interest-space analysis", "figure",
+                   runners.run_f6_interest_space, "benchmarks/bench_f6_interest_space.py"),
+        Experiment("F7", "Convergence analysis", "figure",
+                   runners.run_f7_convergence, "benchmarks/bench_f7_convergence.py"),
+        Experiment("A1", "Interest-extractor ablation", "table",
+                   ablations.run_a1_interest_mode, "benchmarks/bench_a1_interest_mode.py"),
+        Experiment("A2", "Hypergraph-construction ablation", "table",
+                   ablations.run_a2_hypergraph_construction,
+                   "benchmarks/bench_a2_hypergraph_construction.py"),
+        Experiment("A3", "Non-sequential reference comparison", "table",
+                   ablations.run_a3_nonsequential_references,
+                   "benchmarks/bench_a3_nonsequential.py"),
+    )
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id with runner-specific overrides."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[experiment_id].runner(**kwargs)

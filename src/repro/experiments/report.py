@@ -1,0 +1,148 @@
+"""EXPERIMENTS.md generation from committed benchmark results.
+
+Reads the ``benchmarks/results/*.csv`` files written by the benchmark suite
+and renders the paper-vs-measured record: for every experiment, the
+qualitative claim the paper's narrative makes, the regenerated table, and
+whether the claim held in the committed run.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+__all__ = ["generate_experiments_md", "load_result_csv"]
+
+# Per-experiment qualitative claims (the "shape" being reproduced).
+CLAIMS: dict[str, list[str]] = {
+    "T1": ["Behavior funnel: the dense root behavior (view) dominates every corpus",
+           "Sparse regime: unique user-item density below 15%"],
+    "T2": ["MISSL is the best method on every dataset (headline claim)",
+           "Multi-behavior methods beat single-behavior methods",
+           "Multi-interest (ComiRec) ≥ single-interest (SASRec) among "
+           "single-behavior models"],
+    "T3": ["Every ablated variant underperforms the full model (within noise)",
+           "Removing auxiliary behaviors hurts the most"],
+    "F1": ["K > 1 interests beat a single pooled vector",
+           "The optimum K is intermediate, near the planted interests-per-user"],
+    "F2": ["A non-zero SSL weight matches or beats λ = 0",
+           "Performance varies across the (λ, τ) grid — the knobs matter"],
+    "F3": ["Hypergraph propagation depth ≥ 1 beats depth 0",
+           "Gains saturate with depth (no monotone improvement)"],
+    "F4": ["MISSL beats SASRec on the coldest user group",
+           "Averaged over groups, MISSL beats SASRec"],
+    "F5": ["Adding auxiliary behaviors improves over target-only training"],
+    "T4": ["MISSL costs more than SASRec but stays within one order of magnitude"],
+    "F6": ["The disentanglement penalty separates the interest prototypes",
+           "The hypergraph-enhanced item table separates planted clusters "
+           "better than the raw table"],
+    "F7": ["Training losses decrease for every model",
+           "MISSL's validation curve ends above the baselines'"],
+    "A1": ["Both interest extractors (attention, routing) are competitive"],
+    "A2": ["Windowed sequence edges + cross-behavior user edges is a sound "
+           "default hypergraph construction"],
+    "A3": ["MISSL beats the classic non-sequential references (POP, ItemKNN, "
+           "BPR-MF); LightGCN is reported un-asserted — stationary synthetic "
+           "interests favor pure CF (simulator limitation, documented)"],
+}
+
+PREAMBLE = """\
+# EXPERIMENTS — paper-vs-measured record
+
+This file records the committed benchmark run of every reconstructed table
+and figure (see DESIGN.md §4 for the experiment index and the ⚠ note on the
+paper-text mismatch).  Because the substrate is a calibrated synthetic
+simulator rather than the authors' datasets, the reproduction target is the
+**shape** of each result — who wins, roughly by how much, where curves peak —
+not absolute numbers.  Every claim below is also *asserted* by the
+corresponding benchmark, so `pytest benchmarks/ --benchmark-only` re-checks
+this whole file.
+
+Regenerate any experiment with `python -m repro experiment <ID>` or
+`pytest benchmarks/bench_<id>_*.py --benchmark-only`.
+"""
+
+DISCUSSION = """\
+## Reading notes (committed run)
+
+Honest observations a reader should have alongside the tables:
+
+* **T2.** The headline ordering holds on all three corpora by NDCG@10:
+  MISSL > MB-HT-lite / MB-SASRec > every single-behavior model.  The
+  multi-behavior jump (e.g. SASRec 0.104 → MB-SASRec 0.236 NDCG@10 on
+  taobao-like) dwarfs every other effect — exactly the paper family's
+  central argument.
+* **T3.** "w/o auxiliary" collapses (−54% NDCG) and "w/o hypergraph" drops
+  clearly (−15%).  The three regularizers (SSL contrast, augmentation,
+  disentanglement) sit within noise of the full model at this corpus scale;
+  F2 shows the SSL contrast *does* help at its best temperature (λ=0.1,
+  τ=0.1 is the best grid cell).  Single-seed small-corpus runs simply cannot
+  resolve ±0.02 effects — the paper's larger datasets can.
+* **F5.** The view stream carries most of the auxiliary signal
+  (buy-only 0.092 → +view 0.289 NDCG@10); cart/fav add little at this scale.
+* **F6.** The disentanglement penalty separates prototypes (|cos| 0.15 →
+  0.04) *and* fused user interests (0.98 → 0.66); the hypergraph-enhanced
+  table separates the generator's planted clusters far better than the raw
+  table (0.81 vs 0.56) — the quantitative counterpart of the paper's t-SNE
+  panels.
+* **A2.** Dropping the cross-behavior user edges is slightly *better* than
+  the default here (0.302 vs 0.281).  Plausible cause: the fused-timeline
+  encoder already carries cross-behavior signal within a user, making the
+  cross edges partially redundant while inflating hyperedge sizes.  Kept as
+  default for faithfulness to the reconstruction; flagged as a knob worth
+  re-examining on real data.
+* **A3.** LightGCN (non-sequential graph CF) beats every sequential model on
+  this substrate (0.40 NDCG@10).  This is a *simulator* property: planted
+  user interests are largely stationary, which is precisely the regime pure
+  CF excels in.  Real logs drift; published results on Taobao/Tmall show
+  sequential multi-behavior models ahead.  Reported un-asserted, per the
+  faithful-reporting policy.
+"""
+
+
+def load_result_csv(path: Path) -> tuple[list[str], list[list[str]]]:
+    """(headers, rows) of one result CSV."""
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    return rows[0], rows[1:]
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def generate_experiments_md(results_dir: str | Path, output: str | Path,
+                            titles: dict[str, str] | None = None) -> Path:
+    """Render EXPERIMENTS.md from the CSVs in ``results_dir``."""
+    from .registry import EXPERIMENTS
+
+    results_dir = Path(results_dir)
+    output = Path(output)
+    sections = [PREAMBLE]
+    for experiment_id, experiment in EXPERIMENTS.items():
+        csv_path = results_dir / f"{experiment_id}.csv"
+        sections.append(f"\n## {experiment_id} — {experiment.title}\n")
+        sections.append(f"*Kind:* {experiment.kind} · *Regenerated by:* "
+                        f"`{experiment.bench_target}`\n")
+        claims = CLAIMS.get(experiment_id, [])
+        if claims:
+            sections.append("**Claims reproduced (asserted by the benchmark):**\n")
+            sections.extend(f"- {claim}" for claim in claims)
+            sections.append("")
+        if csv_path.exists():
+            headers, rows = load_result_csv(csv_path)
+            sections.append("**Measured (committed run):**\n")
+            sections.append(_markdown_table(headers, rows))
+            sections.append("")
+        else:
+            sections.append("*(no committed result — run the benchmark to "
+                            "populate this section)*\n")
+    sections.append("\n" + DISCUSSION)
+    output.write_text("\n".join(sections) + "\n")
+    return output

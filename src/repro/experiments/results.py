@@ -1,0 +1,47 @@
+"""Experiment result container and renderers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.utils.tables import format_table, write_csv, write_markdown
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``rows`` is the tabular payload (figures are reported as the table of
+    series points the plot would show); ``raw`` keeps anything non-tabular a
+    test might want to assert on.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    raw: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = f"== {self.experiment_id}: {self.title} ==\n"
+        text += format_table(self.headers, self.rows)
+        if self.notes:
+            text += f"\nNOTE: {self.notes}"
+        return text
+
+    def save(self, directory: str | Path) -> Path:
+        """Write CSV + markdown into ``directory``; returns the markdown path."""
+        directory = Path(directory)
+        write_csv(directory / f"{self.experiment_id}.csv", self.headers, self.rows)
+        return write_markdown(directory / f"{self.experiment_id}.md", self.headers,
+                              self.rows, title=f"{self.experiment_id}: {self.title}")
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]

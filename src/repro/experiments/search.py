@@ -1,0 +1,85 @@
+"""Grid-search driver for MISSL hyper-parameters.
+
+A small, explicit alternative to heavyweight tuning frameworks: enumerate a
+config grid, train each candidate on the training split, select by
+validation NDCG@10 (never by test metrics), and report the winner evaluated
+once on test.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core import MISSLConfig
+from repro.eval.evaluator import evaluate_ranking
+from repro.train import TrainConfig, Trainer
+
+from .context import ExperimentContext
+from .zoo import build_model
+
+__all__ = ["GridSearchResult", "grid_search"]
+
+
+@dataclass
+class GridSearchResult:
+    """Everything a tuning run produced."""
+
+    best_config: MISSLConfig
+    best_valid_metric: float
+    test_report: dict
+    trials: list[dict] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"{len(self.trials)} trials; "
+                 f"best valid NDCG@10 = {self.best_valid_metric:.4f}"]
+        for trial in sorted(self.trials, key=lambda t: -t["valid_metric"])[:5]:
+            lines.append(f"  {trial['overrides']} -> {trial['valid_metric']:.4f} "
+                         f"({trial['seconds']:.0f}s)")
+        return "\n".join(lines)
+
+
+def grid_search(context: ExperimentContext, grid: dict[str, list],
+                base: MISSLConfig | None = None, epochs: int = 12,
+                seed: int = 0, monitor: str = "NDCG@10") -> GridSearchResult:
+    """Exhaustively search ``grid`` (field name → candidate values).
+
+    Example::
+
+        grid_search(context, {"num_interests": [2, 4], "lambda_ssl": [0.0, 0.1]})
+    """
+    if not grid:
+        raise ValueError("empty search grid")
+    base = base or MISSLConfig()
+    names = list(grid)
+    trials: list[dict] = []
+    best = None
+    for values in itertools.product(*(grid[name] for name in names)):
+        overrides = dict(zip(names, values))
+        config = base.ablate(**overrides)
+        model = build_model("MISSL", context, dim=config.dim, seed=seed,
+                            missl_config=config)
+        start = time.perf_counter()
+        trainer = Trainer(model, context.split,
+                          TrainConfig(epochs=epochs, patience=3, seed=seed,
+                                      monitor=monitor))
+        history = trainer.fit()
+        seconds = time.perf_counter() - start
+        trial = {"overrides": overrides, "config": config,
+                 "valid_metric": history.best_metric, "seconds": seconds,
+                 "model": model}
+        trials.append(trial)
+        if best is None or trial["valid_metric"] > best["valid_metric"]:
+            best = trial
+
+    test_report = evaluate_ranking(best["model"], context.split.test,
+                                   context.test_candidates, context.dataset.schema)
+    for trial in trials:
+        trial.pop("model")  # don't hold every model alive in the result
+    return GridSearchResult(
+        best_config=best["config"],
+        best_valid_metric=best["valid_metric"],
+        test_report=dict(test_report),
+        trials=trials,
+    )

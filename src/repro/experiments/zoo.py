@@ -1,0 +1,76 @@
+"""Model zoo: named constructors for every method in the comparison tables."""
+
+from __future__ import annotations
+
+from repro.baselines import (BERT4Rec, BPRMF, CL4SRec, ComiRec, GRU4Rec, ItemKNN, LightGCN,
+                             MBGRU, MBHTLite, MBSASRec, Popularity, SASRec)
+from repro.core import MISSL, MISSLConfig
+
+from .context import ExperimentContext
+
+__all__ = ["MODEL_FAMILIES", "build_model", "model_names", "NONPARAMETRIC"]
+
+# Model name → comparison-family label (the T2 table's grouping).
+MODEL_FAMILIES: dict[str, str] = {
+    "POP": "traditional",
+    "ItemKNN": "traditional",
+    "BPRMF": "traditional",
+    "LightGCN": "traditional",
+    "GRU4Rec": "traditional",
+    "SASRec": "traditional",
+    "BERT4Rec": "traditional",
+    "ComiRec": "multi-interest/SSL",
+    "CL4SRec": "multi-interest/SSL",
+    "MBGRU": "multi-behavior",
+    "MBSASRec": "multi-behavior",
+    "MBHTLite": "multi-behavior",
+    "MISSL": "ours",
+}
+
+NONPARAMETRIC = ("POP", "ItemKNN")
+
+
+def model_names() -> list[str]:
+    """All zoo model names in table order."""
+    return list(MODEL_FAMILIES)
+
+
+def build_model(name: str, context: ExperimentContext, dim: int = 32, seed: int = 0,
+                missl_config: MISSLConfig | None = None):
+    """Construct (and for non-parametric models, fit) a zoo model.
+
+    Non-parametric models are fit on the leakage-free training view.
+    """
+    dataset = context.dataset
+    num_items = dataset.num_items
+    schema = dataset.schema
+    if name == "POP":
+        return Popularity(num_items).fit(context.train_view)
+    if name == "ItemKNN":
+        return ItemKNN(num_items).fit(context.train_view)
+    if name == "BPRMF":
+        return BPRMF(num_items, dataset.num_users, schema, dim=dim, seed=seed)
+    if name == "LightGCN":
+        return LightGCN(num_items, dataset.num_users, context.train_view,
+                        dim=dim, seed=seed)
+    if name == "GRU4Rec":
+        return GRU4Rec(num_items, schema, dim=dim, seed=seed)
+    if name == "SASRec":
+        return SASRec(num_items, schema, dim=dim, seed=seed)
+    if name == "BERT4Rec":
+        return BERT4Rec(num_items, schema, dim=dim, seed=seed)
+    if name == "ComiRec":
+        return ComiRec(num_items, schema, dim=dim, seed=seed)
+    if name == "CL4SRec":
+        return CL4SRec(num_items, schema, dim=dim, seed=seed)
+    if name == "MBGRU":
+        return MBGRU(num_items, schema, dim=dim, seed=seed)
+    if name == "MBSASRec":
+        return MBSASRec(num_items, schema, dim=dim, seed=seed)
+    if name == "MBHTLite":
+        return MBHTLite(num_items, schema, context.graph, dim=dim, seed=seed)
+    if name == "MISSL":
+        config = missl_config or MISSLConfig(dim=dim)
+        graph = context.graph if config.use_hypergraph else None
+        return MISSL(num_items, schema, graph, config, seed=seed)
+    raise KeyError(f"unknown model {name!r}; have {model_names()}")

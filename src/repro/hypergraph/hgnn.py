@@ -1,0 +1,57 @@
+"""Spectral hypergraph convolution (HGNN, Feng et al. 2019).
+
+The simpler, non-attentive propagation rule — used both as an ablation
+reference inside MISSL ("replace the hypergraph transformer with plain HGNN")
+and as part of the MB-HT-lite baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+from .incidence import Hypergraph, hgnn_propagation_matrix
+from .ops import sparse_mm
+
+__all__ = ["HGNNConv", "HGNNEncoder"]
+
+
+class HGNNConv(Module):
+    """One HGNN layer: ``X' = X + Drop(Act(P X W))`` with ``P`` precomputed.
+
+    The residual connection keeps isolated nodes (padding item) unchanged and
+    stabilizes deep stacks.
+    """
+
+    def __init__(self, dim: int, graph: Hypergraph, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        self.propagation: sp.csr_matrix = hgnn_propagation_matrix(graph)
+        self.linear = Linear(dim, dim, rng)
+        self.norm = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        propagated = sparse_mm(self.propagation, x)
+        return self.norm(x + self.dropout(self.linear(propagated).relu()))
+
+
+class HGNNEncoder(Module):
+    """A stack of HGNN convolutions over the item-node embedding table."""
+
+    def __init__(self, dim: int, graph: Hypergraph, num_layers: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        from repro.nn.module import ModuleList
+        self.layers = ModuleList([
+            HGNNConv(dim, graph, rng, dropout=dropout) for _ in range(num_layers)
+        ])
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

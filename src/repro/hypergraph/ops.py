@@ -1,0 +1,99 @@
+"""Differentiable sparse/segment primitives for hypergraph message passing.
+
+Three custom autodiff ops bridge scipy-sparse structures into the
+:mod:`repro.nn` graph:
+
+* :func:`sparse_mm` — multiply a **constant** sparse matrix with a dense
+  tensor (backward: transpose-multiply).
+* :func:`segment_sum` — scatter-add rows into groups (backward: gather).
+* :func:`segment_softmax` — softmax over variable-size groups, the core of
+  attention on incidence structures (backward: per-group softmax Jacobian).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["sparse_mm", "segment_sum", "segment_softmax", "segment_max"]
+
+
+def sparse_mm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """``matrix @ x`` where ``matrix`` is a constant scipy sparse matrix.
+
+    ``x`` is ``(N, D)``; the result is ``(M, D)`` for an ``(M, N)`` matrix.
+    """
+    matrix = matrix.tocsr()
+    if matrix.shape[1] != x.shape[0]:
+        raise ValueError(f"shape mismatch: {matrix.shape} @ {x.shape}")
+    out = Tensor._make(np.asarray(matrix @ x.data), (x,), "sparse_mm")
+    if out.requires_grad:
+        # Cache the transpose on the matrix object: layers call sparse_mm
+        # with the same constant matrix every step.
+        transposed = getattr(matrix, "_repro_transpose_cache", None)
+        if transposed is None:
+            transposed = matrix.T.tocsr()
+            matrix._repro_transpose_cache = transposed
+
+        def _backward() -> None:
+            x._accumulate(np.asarray(transposed @ out.grad))
+        out._backward = _backward
+    return out
+
+
+def _check_segments(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    segment_ids = np.asarray(segment_ids)
+    if segment_ids.ndim != 1:
+        raise ValueError("segment_ids must be 1-D")
+    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment id out of range")
+    return segment_ids
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` ``(N, ...)`` into ``num_segments`` groups."""
+    segment_ids = _check_segments(segment_ids, num_segments)
+    out_data = np.zeros((num_segments,) + values.shape[1:], dtype=values.data.dtype)
+    np.add.at(out_data, segment_ids, values.data)
+    out = Tensor._make(out_data, (values,), "segment_sum")
+    if out.requires_grad:
+        def _backward() -> None:
+            values._accumulate(out.grad[segment_ids])
+        out._backward = _backward
+    return out
+
+
+def segment_max(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Per-segment maximum of a raw 1-D array (non-differentiable helper)."""
+    result = np.full(num_segments, -np.inf, dtype=values.dtype)
+    np.maximum.at(result, segment_ids, values)
+    return result
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of 1-D ``scores`` within each segment.
+
+    Entries sharing a segment id compete in one softmax; the output sums to 1
+    within every non-empty segment.  Numerically stabilized with a per-segment
+    max shift.
+    """
+    segment_ids = _check_segments(segment_ids, num_segments)
+    if scores.ndim != 1:
+        raise ValueError("segment_softmax expects 1-D scores")
+    shift = segment_max(scores.data, segment_ids, num_segments)
+    exp = np.exp(scores.data - shift[segment_ids])
+    denom = np.zeros(num_segments, dtype=exp.dtype)
+    np.add.at(denom, segment_ids, exp)
+    value = exp / denom[segment_ids]
+    out = Tensor._make(value, (scores,), "segment_softmax")
+    if out.requires_grad:
+        def _backward() -> None:
+            g = out.grad
+            s = out.data
+            weighted = np.zeros(num_segments, dtype=s.dtype)
+            np.add.at(weighted, segment_ids, g * s)
+            scores._accumulate(s * (g - weighted[segment_ids]))
+        out._backward = _backward
+    return out

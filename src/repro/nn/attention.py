@@ -1,0 +1,113 @@
+"""Scaled dot-product and multi-head attention.
+
+Supports self-attention and cross-attention with optional boolean masks and
+causal masking, batched over arbitrary leading dimensions ``(B, L, D)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["scaled_dot_product_attention", "MultiHeadAttention", "AdditiveAttentionPool"]
+
+_NEG_INF = -1e9
+
+
+def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor,
+                                 mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+    """Attention(Q, K, V) = softmax(QK^T / sqrt(d)) V.
+
+    Args:
+        query: ``(..., Lq, d)``.
+        key:   ``(..., Lk, d)``.
+        value: ``(..., Lk, dv)``.
+        mask:  boolean array broadcastable to ``(..., Lq, Lk)``; True marks
+               positions that must NOT be attended to.
+
+    Returns:
+        ``(output, weights)`` where output is ``(..., Lq, dv)`` and weights
+        are the post-softmax attention probabilities.
+    """
+    d = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        scores = scores.masked_fill(mask, _NEG_INF)
+    weights = F.softmax(scores, axis=-1)
+    return weights @ value, weights
+
+
+def make_padding_mask(lengths_mask: np.ndarray) -> np.ndarray:
+    """Turn a ``(B, L)`` validity mask (True = real token) into an attention
+    mask of shape ``(B, 1, 1, L)`` where True marks padded keys."""
+    invalid = ~lengths_mask.astype(bool)
+    return invalid[:, None, None, :]
+
+
+def make_causal_mask(length: int) -> np.ndarray:
+    """Upper-triangular causal mask ``(1, 1, L, L)``; True = future position."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)[None, None]
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with separate Q/K/V projections and output proj."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, _, length, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+
+    def forward(self, query: Tensor, key: Tensor | None = None, value: Tensor | None = None,
+                mask: np.ndarray | None = None) -> Tensor:
+        """Compute attention; ``key``/``value`` default to ``query`` (self-attn).
+
+        ``mask`` is boolean, broadcastable to ``(B, H, Lq, Lk)``, True = block.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        attended, _ = scaled_dot_product_attention(q, k, v, mask=mask)
+        return self.dropout(self.out_proj(self._merge_heads(attended)))
+
+
+class AdditiveAttentionPool(Module):
+    """Attention pooling: collapse ``(B, L, D)`` to ``(B, D)`` with a learned query.
+
+    score_i = v^T tanh(W h_i); weights = softmax over valid positions.
+    Used for lightweight sequence summarization (e.g. SSL projection heads).
+    """
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.proj = Linear(dim, hidden, rng)
+        self.score = Linear(hidden, 1, rng, bias=False)
+
+    def forward(self, x: Tensor, valid_mask: np.ndarray | None = None) -> Tensor:
+        scores = self.score(self.proj(x).tanh()).squeeze(-1)  # (B, L)
+        if valid_mask is not None:
+            scores = scores.masked_fill(~valid_mask.astype(bool), _NEG_INF)
+        weights = F.softmax(scores, axis=-1)  # (B, L)
+        return (x * weights.expand_dims(-1)).sum(axis=1)

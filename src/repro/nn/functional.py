@@ -1,0 +1,98 @@
+"""Functional neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+Stateless counterparts of the layers in :mod:`repro.nn.layers`.  The softmax
+family is implemented as fused primitives (single graph node) because they sit
+on the hot path of every attention layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "dropout",
+    "l2_normalize",
+    "cosine_similarity",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (fused forward/backward)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=axis, keepdims=True)
+    out = Tensor._make(value, (x,), "softmax")
+    if out.requires_grad:
+        def _backward() -> None:
+            g = out.grad
+            s = out.data
+            inner = (g * s).sum(axis=axis, keepdims=True)
+            x._accumulate(s * (g - inner))
+        out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    value = shifted - log_sum
+    out = Tensor._make(value, (x,), "log_softmax")
+    if out.requires_grad:
+        def _backward() -> None:
+            g = out.grad
+            softmax_value = np.exp(out.data)
+            x._accumulate(g - softmax_value * g.sum(axis=axis, keepdims=True))
+        out._backward = _backward
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit: max(x, 0)."""
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as in BERT/GPT)."""
+    c = np.sqrt(2.0 / np.pi).astype(np.float64)
+    inner = (x + x * x * x * 0.044715) * float(c)
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic function 1 / (1 + exp(-x))."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero with probability ``p`` and rescale by 1/(1-p)."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalize ``x`` to unit L2 norm along ``axis``."""
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Cosine similarity between broadcastable tensors ``a`` and ``b``."""
+    return (l2_normalize(a, axis=axis) * l2_normalize(b, axis=axis)).sum(axis=axis)

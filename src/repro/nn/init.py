@@ -1,0 +1,76 @@
+"""Parameter initialization schemes.
+
+Each initializer fills a NumPy array in place from a caller-provided
+``numpy.random.Generator`` so that model construction is fully reproducible
+given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normal_",
+    "uniform_",
+    "xavier_uniform_",
+    "xavier_normal_",
+    "kaiming_uniform_",
+    "zeros_",
+    "ones_",
+]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer requires at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def normal_(array: np.ndarray, rng: np.random.Generator, std: float = 0.02, mean: float = 0.0) -> np.ndarray:
+    """Fill with N(mean, std^2); the 0.02 default matches BERT-style tables."""
+    array[...] = rng.normal(mean, std, size=array.shape).astype(array.dtype)
+    return array
+
+
+def uniform_(array: np.ndarray, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Fill with U(low, high)."""
+    array[...] = rng.uniform(low, high, size=array.shape).astype(array.dtype)
+    return array
+
+
+def xavier_uniform_(array: np.ndarray, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(±sqrt(6 / (fan_in + fan_out))) scaled by gain."""
+    fan_in, fan_out = _fan_in_out(array.shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return uniform_(array, rng, -bound, bound)
+
+
+def xavier_normal_(array: np.ndarray, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(array.shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return normal_(array, rng, std=std)
+
+
+def kaiming_uniform_(array: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """He uniform: U(±sqrt(6 / fan_in)), for ReLU fan-in scaling."""
+    fan_in, _ = _fan_in_out(array.shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return uniform_(array, rng, -bound, bound)
+
+
+def zeros_(array: np.ndarray) -> np.ndarray:
+    """Fill with zeros."""
+    array[...] = 0.0
+    return array
+
+
+def ones_(array: np.ndarray) -> np.ndarray:
+    """Fill with ones."""
+    array[...] = 1.0
+    return array

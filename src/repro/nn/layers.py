@@ -1,0 +1,169 @@
+"""Core trainable layers: Linear, Embedding, LayerNorm, Dropout, FFN.
+
+Every layer takes a ``numpy.random.Generator`` at construction so weight
+initialization is deterministic under a fixed seed, and uses it again at
+forward time where stochasticity is needed (Dropout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "FeedForward",
+           "SinusoidalPositionalEncoding"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` applied to the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        weight = np.empty((out_features, in_features), dtype=np.float64)
+        init.xavier_uniform_(weight, rng)
+        self.weight = Parameter(weight)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table of shape ``(num_embeddings, dim)``.
+
+    ``padding_idx`` rows are initialized to zero and their gradient is masked
+    out after each backward pass by the optimizer-facing ``apply_padding``
+    hook (called in :meth:`forward`'s backward via a grad mask would cost a
+    graph node; zeroing at init plus masking updates is equivalent because the
+    padded position never contributes to the loss when masks are applied
+    downstream — we still zero its gradient defensively in optimizers via the
+    ``frozen_rows`` attribute).
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator,
+                 padding_idx: int | None = None, std: float = 0.02):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.padding_idx = padding_idx
+        weight = np.empty((num_embeddings, dim), dtype=np.float64)
+        init.normal_(weight, rng, std=std)
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight)
+        if padding_idx is not None:
+            # Consulted by optimizers to keep the padding row at zero.
+            self.weight.frozen_rows = np.array([padding_idx])  # type: ignore[attr-defined]
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices.data if isinstance(indices, Tensor) else indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return self.weight.take(indices, axis=0)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.dim}, padding_idx={self.padding_idx})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.dim}, eps={self.eps})"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class SinusoidalPositionalEncoding(Module):
+    """Fixed sin/cos positional table (Vaswani et al., 2017).
+
+    Parameter-free alternative to a learned position Embedding; useful when
+    sequences at inference may be longer than anything seen in training.
+    Call with integer position indices, like an Embedding.
+    """
+
+    def __init__(self, max_len: int, dim: int):
+        super().__init__()
+        if dim % 2 != 0:
+            raise ValueError(f"dim must be even for sin/cos pairs, got {dim}")
+        positions = np.arange(max_len, dtype=np.float64)[:, None]
+        frequencies = np.exp(-np.log(10000.0) * np.arange(0, dim, 2) / dim)[None, :]
+        table = np.zeros((max_len, dim))
+        table[:, 0::2] = np.sin(positions * frequencies)
+        table[:, 1::2] = np.cos(positions * frequencies)
+        self.max_len = max_len
+        self.dim = dim
+        self._table = table.astype(np.float32)
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices.data if isinstance(indices, Tensor) else indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.max_len):
+            raise IndexError(f"position index out of range [0, {self.max_len})")
+        return Tensor(self._table[indices])
+
+    def __repr__(self) -> str:
+        return f"SinusoidalPositionalEncoding({self.max_len}, {self.dim})"
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block: Linear → activation → Dropout → Linear."""
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator,
+                 dropout: float = 0.0, activation: str = "gelu"):
+        super().__init__()
+        if activation not in ("gelu", "relu"):
+            raise ValueError(f"unsupported activation: {activation}")
+        self.fc1 = Linear(dim, hidden_dim, rng)
+        self.fc2 = Linear(hidden_dim, dim, rng)
+        self.dropout = Dropout(dropout, rng)
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        hidden = F.gelu(hidden) if self.activation == "gelu" else F.relu(hidden)
+        return self.fc2(self.dropout(hidden))

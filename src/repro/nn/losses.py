@@ -1,0 +1,95 @@
+"""Loss functions: cross-entropy, BPR, and InfoNCE contrastive losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = [
+    "cross_entropy",
+    "cross_entropy_with_candidates",
+    "bpr_loss",
+    "info_nce",
+    "info_nce_from_logits",
+]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int | None = None,
+                  label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy of ``logits`` ``(N, C)`` against integer ``targets`` ``(N,)``.
+
+    Rows whose target equals ``ignore_index`` contribute nothing to the mean.
+    ``label_smoothing`` mixes the one-hot target with the uniform distribution.
+    """
+    targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    n, c = logits.shape
+    log_probs = F.log_softmax(logits, axis=-1)
+
+    keep = np.ones(n, dtype=bool) if ignore_index is None else targets != ignore_index
+    count = int(keep.sum())
+    if count == 0:
+        raise ValueError("all targets are ignored; cannot compute a loss")
+    safe_targets = np.where(keep, targets, 0)
+
+    picked = log_probs[np.arange(n), safe_targets]  # (N,)
+    weights = keep.astype(log_probs.data.dtype) / count
+    nll = -(picked * Tensor(weights)).sum()
+    if label_smoothing <= 0.0:
+        return nll
+    uniform = -(log_probs * Tensor(weights[:, None] / c)).sum()
+    return nll * (1.0 - label_smoothing) + uniform * label_smoothing
+
+
+def cross_entropy_with_candidates(scores: Tensor, positive_column: int = 0) -> Tensor:
+    """Softmax CE over per-row candidate scores ``(N, 1 + num_negatives)``.
+
+    The standard sampled-softmax objective for next-item prediction: column
+    ``positive_column`` holds the positive item's score.
+    """
+    log_probs = F.log_softmax(scores, axis=-1)
+    return -(log_probs[:, positive_column]).mean()
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Bayesian personalized ranking: -mean log σ(pos - neg), broadcastable."""
+    diff = pos_scores - neg_scores
+    # -log σ(x) = softplus(-x); computed stably.
+    x = -diff
+    loss = F.relu(x) + ((-(x.abs())).exp() + 1.0).log()
+    return loss.mean()
+
+
+def info_nce(anchor: Tensor, positive: Tensor, temperature: float = 0.2,
+             normalize: bool = True) -> Tensor:
+    """Symmetric in-batch InfoNCE between aligned rows of two ``(N, D)`` views.
+
+    Row i of ``anchor`` and row i of ``positive`` are a positive pair; every
+    other row of the opposite view is a negative.  Returns the mean of the
+    two directional losses.
+    """
+    if anchor.shape != positive.shape:
+        raise ValueError(f"view shapes differ: {anchor.shape} vs {positive.shape}")
+    if normalize:
+        anchor = F.l2_normalize(anchor, axis=-1)
+        positive = F.l2_normalize(positive, axis=-1)
+    logits = (anchor @ positive.T) * (1.0 / temperature)  # (N, N)
+    n = logits.shape[0]
+    labels = np.arange(n)
+    loss_ab = cross_entropy(logits, labels)
+    loss_ba = cross_entropy(logits.T, labels)
+    return (loss_ab + loss_ba) * 0.5
+
+
+def info_nce_from_logits(logits: Tensor, positive_index: np.ndarray,
+                         temperature: float = 1.0) -> Tensor:
+    """InfoNCE where the caller pre-computed a similarity matrix.
+
+    ``logits`` is ``(N, M)``; ``positive_index[i]`` names the positive column
+    for row i.  Temperature is applied here for convenience.
+    """
+    scaled = logits * (1.0 / temperature)
+    return cross_entropy(scaled, np.asarray(positive_index))

@@ -1,0 +1,70 @@
+"""Gated recurrent unit (GRU) layer, used by the GRU4Rec baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import tensor as T
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Single-step GRU cell.
+
+    r = σ(W_r x + U_r h); z = σ(W_z x + U_z h); n = tanh(W_n x + r ⊙ U_n h)
+    h' = (1 - z) ⊙ n + z ⊙ h
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        # Fused projections: one matmul produces r/z/n pre-activations.
+        self.x_proj = Linear(input_dim, 3 * hidden_dim, rng)
+        self.h_proj = Linear(hidden_dim, 3 * hidden_dim, rng, bias=False)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        d = self.hidden_dim
+        gx = self.x_proj(x)
+        gh = self.h_proj(h)
+        r = (gx[:, 0:d] + gh[:, 0:d]).sigmoid()
+        z = (gx[:, d:2 * d] + gh[:, d:2 * d]).sigmoid()
+        n = (gx[:, 2 * d:] + r * gh[:, 2 * d:]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class GRU(Module):
+    """Unrolled GRU over ``(B, L, D)`` input.
+
+    Padded steps (valid_mask False) carry the previous hidden state through
+    unchanged, so left-padded and right-padded sequences both work.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, x: Tensor, valid_mask: np.ndarray | None = None) -> Tensor:
+        """Return the sequence of hidden states ``(B, L, H)``."""
+        batch, length, _ = x.shape
+        h = T.zeros(batch, self.hidden_dim)
+        outputs = []
+        for t in range(length):
+            step = x[:, t, :]
+            h_new = self.cell(step, h)
+            if valid_mask is not None:
+                keep = valid_mask[:, t].astype(h.data.dtype)[:, None]
+                h = h_new * Tensor(keep) + h * Tensor(1.0 - keep)
+            else:
+                h = h_new
+            outputs.append(h)
+        return T.stack(outputs, axis=1)
+
+    def last_state(self, x: Tensor, valid_mask: np.ndarray | None = None) -> Tensor:
+        """Return the final hidden state ``(B, H)`` after consuming the sequence."""
+        states = self.forward(x, valid_mask)
+        return states[:, -1, :]

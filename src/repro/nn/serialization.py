@@ -1,0 +1,63 @@
+"""Checkpoint serialization: save/load Module state to ``.npz`` files.
+
+The format is a flat NumPy archive — one array per named parameter plus a
+``__meta__`` JSON blob (format version and parameter manifest) used to give
+clear errors on mismatched checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(module: Module, path: str | Path, extra: dict | None = None) -> Path:
+    """Write a module's parameters (and optional JSON-serializable ``extra``
+    metadata, e.g. the epoch or config) to ``path``.
+
+    Returns the written path (``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "parameters": sorted(state),
+        "extra": extra or {},
+    }
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``.
+
+    Returns the ``extra`` metadata dict.  Raises ``KeyError``/``ValueError``
+    on manifest or shape mismatches (delegated to ``load_state_dict``).
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint (missing metadata)")
+        meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode())
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {meta.get('format_version')} unsupported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        state = {name: archive[name] for name in meta["parameters"]}
+    module.load_state_dict(state)
+    return meta.get("extra", {})

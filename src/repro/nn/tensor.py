@@ -1,0 +1,723 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the ``repro.nn`` substrate: a small but
+complete autodiff engine in the spirit of PyTorch's eager autograd.  Every
+differentiable operation builds a node in a dynamic computation graph; calling
+:meth:`Tensor.backward` runs a topological sweep that accumulates gradients
+into every tensor created with ``requires_grad=True``.
+
+Design notes
+------------
+* Data is stored as ``numpy.ndarray``.  The default dtype is ``float32`` (set
+  via :data:`DEFAULT_DTYPE`); gradient-check tests switch to ``float64``.
+* Broadcasting follows NumPy semantics.  Backward passes reduce gradients back
+  to the operand's original shape with :func:`unbroadcast`.
+* ``backward`` dismantles the graph as it sweeps: after an interior node's
+  backward fires, its gradient, closure and parent references are dropped
+  (PyTorch's non-leaf semantics).  Leaves keep their accumulated ``grad``;
+  leaf grads accumulate across separate backward calls.  A graph can only be
+  backpropagated once — build a fresh forward pass for another sweep.
+* A process-global :func:`no_grad` context manager disables graph building,
+  used by evaluation code and by optimizers during parameter updates.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "DEFAULT_DTYPE",
+    "set_default_dtype",
+    "get_default_dtype",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "zeros_like",
+    "ones_like",
+    "arange",
+    "unbroadcast",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+]
+
+DEFAULT_DTYPE = np.float32
+
+_GRAD_ENABLED = True
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used by tensor factory functions (float32 or float64)."""
+    global DEFAULT_DTYPE
+    dtype = np.dtype(dtype).type
+    if dtype not in (np.float32, np.float64):
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    DEFAULT_DTYPE = dtype
+
+
+def get_default_dtype():
+    """Return the current default floating dtype."""
+    return DEFAULT_DTYPE
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    >>> with no_grad():
+    ...     y = x * 2   # y.requires_grad is False even if x requires grad
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape after broadcasting) back to ``shape``.
+
+    Sums over axes that were added or expanded by NumPy broadcasting so that
+    the returned array has exactly ``shape``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that broadcasting prepended.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got a Tensor")
+    arr = np.asarray(value, dtype=dtype if dtype is not None else None)
+    if arr.dtype.kind in "fc" and dtype is None:
+        arr = arr.astype(DEFAULT_DTYPE, copy=False)
+    elif arr.dtype.kind in "iub" and dtype is None:
+        # Integer data (e.g. index arrays) is kept as-is.
+        pass
+    return arr
+
+
+class Tensor:
+    """A NumPy-backed tensor that records operations for reverse-mode AD."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op",
+                 "__weakref__")
+    __array_priority__ = 100  # make NumPy defer to our __r*__ operators
+
+    def __init__(self, data, requires_grad: bool = False, _prev: tuple = (), _op: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = _prev if self.requires_grad or _prev else ()
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        out = Tensor.__new__(Tensor)
+        out.data = self.data.astype(dtype)
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._prev = ()
+        out._op = "astype"
+        return out
+
+    # ------------------------------------------------------------------
+    # graph machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.requires_grad = requires
+        out.grad = None
+        out._backward = None
+        out._prev = tuple(parents) if requires else ()
+        out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument, matching the
+        common ``loss.backward()`` idiom).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        # Reverse sweep.  After a node's backward fires, the node is an
+        # interior vertex whose gradient and closure are no longer needed:
+        # both are dropped immediately (PyTorch's non-leaf semantics).  This
+        # keeps peak memory proportional to the frontier of the sweep rather
+        # than the whole graph, and breaks the tensor↔closure reference
+        # cycles without waiting for the garbage collector.  Leaves (nodes
+        # with no ``_backward``) keep their accumulated ``grad``.
+        for node in reversed(topo):
+            if node._backward is not None:
+                if node.grad is not None:
+                    node._backward()
+                node._backward = None
+                node._prev = ()
+                node.grad = None
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data + other.data, (self, other), "add")
+        if out.requires_grad:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(out.grad, other.shape))
+            out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data * other.data, (self, other), "mul")
+        if out.requires_grad:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(out.grad * self.data, other.shape))
+            out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor._make(-self.data, (self,), "neg")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(-out.grad)
+            out._backward = _backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data - other.data, (self, other), "sub")
+        if out.requires_grad:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(-out.grad, other.shape))
+            out._backward = _backward
+        return out
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) - self
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data / other.data, (self, other), "div")
+        if out.requires_grad:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(out.grad / other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(
+                        unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape)
+                    )
+            out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor._make(self.data ** exponent, (self,), "pow")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+            out._backward = _backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._make(self.data @ other.data, (self, other), "matmul")
+        if out.requires_grad:
+            def _backward() -> None:
+                a, b = self.data, other.data
+                # Promote 1-D operands to 2-D so a single rule covers all cases,
+                # then strip the added axes from the computed gradients.
+                grad = out.grad
+                a2 = a[None, :] if a.ndim == 1 else a
+                b2 = b[:, None] if b.ndim == 1 else b
+                g2 = grad
+                if b.ndim == 1:
+                    g2 = np.expand_dims(g2, -1)
+                if a.ndim == 1:
+                    g2 = np.expand_dims(g2, -2)
+                if self.requires_grad:
+                    ga = g2 @ np.swapaxes(b2, -1, -2)
+                    if a.ndim == 1:
+                        ga = np.squeeze(ga, -2)
+                    self._accumulate(unbroadcast(ga, a.shape))
+                if other.requires_grad:
+                    gb = np.swapaxes(a2, -1, -2) @ g2
+                    if b.ndim == 1:
+                        gb = np.squeeze(gb, -1)
+                    other._accumulate(unbroadcast(gb, b.shape))
+            out._backward = _backward
+        return out
+
+    # comparisons produce plain boolean arrays (non-differentiable)
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+    # ------------------------------------------------------------------
+    # elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = Tensor._make(np.exp(self.data), (self,), "exp")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * out.data)
+            out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor._make(np.log(self.data), (self,), "log")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad / self.data)
+            out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        out = Tensor._make(np.sqrt(self.data), (self,), "sqrt")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * 0.5 / out.data)
+            out._backward = _backward
+        return out
+
+    def tanh(self) -> "Tensor":
+        out = Tensor._make(np.tanh(self.data), (self,), "tanh")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * (1.0 - out.data ** 2))
+            out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic, computed piecewise to avoid overflow.
+        x = self.data
+        value = np.empty_like(x)
+        positive = x >= 0
+        value[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        value[~positive] = exp_x / (1.0 + exp_x)
+        out = Tensor._make(value, (self,), "sigmoid")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * out.data * (1.0 - out.data))
+            out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        out = Tensor._make(np.maximum(self.data, 0.0), (self,), "relu")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * (self.data > 0))
+            out._backward = _backward
+        return out
+
+    def abs(self) -> "Tensor":
+        out = Tensor._make(np.abs(self.data), (self,), "abs")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * np.sign(self.data))
+            out._backward = _backward
+        return out
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out = Tensor._make(np.clip(self.data, low, high), (self,), "clip")
+        if out.requires_grad:
+            def _backward() -> None:
+                inside = (self.data >= low) & (self.data <= high)
+                self._accumulate(out.grad * inside)
+            out._backward = _backward
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+        if out.requires_grad:
+            def _backward() -> None:
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.ndim for a in axes):
+                        grad = np.expand_dims(grad, ax)
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else np.prod(
+            [self.shape[a % self.ndim] for a in (axis if isinstance(axis, tuple) else (axis,))]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor._make(out_data, (self,), "max")
+        if out.requires_grad:
+            def _backward() -> None:
+                grad = out.grad
+                value = out.data
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.ndim for a in axes):
+                        grad = np.expand_dims(grad, ax)
+                        value = np.expand_dims(value, ax)
+                mask = self.data == value
+                # Split gradient evenly among ties, matching NumPy-style subgradient.
+                counts = mask.sum(
+                    axis=axis if axis is not None else None, keepdims=True
+                )
+                self._accumulate(np.broadcast_to(grad, self.shape) * mask / counts)
+            out._backward = _backward
+        return out
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def argmax(self, axis=None):
+        return self.data.argmax(axis=axis)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor._make(self.data.reshape(shape), (self,), "reshape")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad.reshape(self.shape))
+            out._backward = _backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        axes_arg = axes if axes else None
+        out = Tensor._make(self.data.transpose(axes_arg), (self,), "transpose")
+        if out.requires_grad:
+            if axes_arg is None:
+                inverse = None
+            else:
+                inverse = tuple(np.argsort(axes_arg))
+
+            def _backward() -> None:
+                self._accumulate(out.grad.transpose(inverse))
+            out._backward = _backward
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        out = Tensor._make(self.data.swapaxes(axis1, axis2), (self,), "swapaxes")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad.swapaxes(axis1, axis2))
+            out._backward = _backward
+        return out
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out = Tensor._make(np.expand_dims(self.data, axis), (self,), "expand_dims")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(np.squeeze(out.grad, axis=axis))
+            out._backward = _backward
+        return out
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out = Tensor._make(np.squeeze(self.data, axis=axis), (self,), "squeeze")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(np.expand_dims(out.grad, axis))
+            out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        index = index.data if isinstance(index, Tensor) else index
+        out = Tensor._make(self.data[index], (self,), "getitem")
+        if out.requires_grad:
+            def _backward() -> None:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    def take(self, indices: np.ndarray, axis: int = 0) -> "Tensor":
+        """Differentiable ``np.take`` along ``axis`` (used by Embedding)."""
+        indices = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        out = Tensor._make(np.take(self.data, indices, axis=axis), (self,), "take")
+        if out.requires_grad:
+            def _backward() -> None:
+                grad = np.zeros_like(self.data)
+                if axis == 0:
+                    np.add.at(grad, indices.reshape(-1),
+                              out.grad.reshape(-1, *self.shape[1:]))
+                else:  # pragma: no cover - axis 0 is the only one used internally
+                    moved = np.moveaxis(grad, axis, 0)
+                    np.add.at(moved, indices.reshape(-1),
+                              np.moveaxis(out.grad, axis, 0).reshape(-1, *moved.shape[1:]))
+                self._accumulate(grad)
+            out._backward = _backward
+        return out
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a tensor with ``value`` where ``mask`` is True."""
+        mask = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+        mask = mask.astype(bool)
+        out_data = np.where(mask, np.asarray(value, dtype=self.data.dtype), self.data)
+        out = Tensor._make(out_data, (self,), "masked_fill")
+        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * ~mask)
+            out._backward = _backward
+        return out
+
+
+# ----------------------------------------------------------------------
+# free functions
+# ----------------------------------------------------------------------
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    """An all-zeros tensor of the given shape."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    """An all-ones tensor of the given shape."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:
+    """A zeros tensor with the same shape/dtype as ``t``."""
+    return Tensor(np.zeros_like(t.data), requires_grad=requires_grad)
+
+
+def ones_like(t: Tensor, requires_grad: bool = False) -> Tensor:
+    """A ones tensor with the same shape/dtype as ``t``."""
+    return Tensor(np.ones_like(t.data), requires_grad=requires_grad)
+
+
+def arange(*args, **kwargs) -> Tensor:
+    """``np.arange`` wrapped in a (non-differentiable) tensor."""
+    return Tensor(np.arange(*args, **kwargs))
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = Tensor._make(data, tuple(tensors), "concatenate")
+    if out.requires_grad:
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward() -> None:
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    slicer = [slice(None)] * out.grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    t._accumulate(out.grad[tuple(slicer)])
+        out._backward = _backward
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stacking along a new axis."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = Tensor._make(data, tuple(tensors), "stack")
+    if out.requires_grad:
+        def _backward() -> None:
+            for i, t in enumerate(tensors):
+                if t.requires_grad:
+                    t._accumulate(np.take(out.grad, i, axis=axis))
+        out._backward = _backward
+    return out
+
+
+def where(condition, a, b) -> Tensor:
+    """Differentiable ``np.where`` (condition is non-differentiable)."""
+    condition = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    condition = condition.astype(bool)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out = Tensor._make(np.where(condition, a.data, b.data), (a, b), "where")
+    if out.requires_grad:
+        def _backward() -> None:
+            if a.requires_grad:
+                a._accumulate(unbroadcast(out.grad * condition, a.shape))
+            if b.requires_grad:
+                b._accumulate(unbroadcast(out.grad * ~condition, b.shape))
+        out._backward = _backward
+    return out
+
+
+def maximum(a, b) -> Tensor:
+    """Differentiable elementwise maximum (ties split evenly)."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out = Tensor._make(np.maximum(a.data, b.data), (a, b), "maximum")
+    if out.requires_grad:
+        def _backward() -> None:
+            ties = a.data == b.data
+            if a.requires_grad:
+                a._accumulate(unbroadcast(out.grad * ((a.data > b.data) + 0.5 * ties), a.shape))
+            if b.requires_grad:
+                b._accumulate(unbroadcast(out.grad * ((b.data > a.data) + 0.5 * ties), b.shape))
+        out._backward = _backward
+    return out
+
+
+def minimum(a, b) -> Tensor:
+    """Differentiable elementwise minimum."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    return -maximum(-a, -b)

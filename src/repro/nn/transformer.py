@@ -1,0 +1,65 @@
+"""Transformer encoder stack (pre-LN variant, as used by SASRec-style models)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention, make_causal_mask, make_padding_mask
+from .layers import Dropout, FeedForward, LayerNorm
+from .module import Module, ModuleList
+from .tensor import Tensor
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-LN transformer block: x + MHA(LN(x)), then x + FFN(LN(x))."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        self.attn_norm = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng, dropout=dropout)
+        self.ffn_norm = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_dim, rng, dropout=dropout)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        normed = self.attn_norm(x)
+        x = x + self.attn(normed, mask=mask)
+        x = x + self.dropout(self.ffn(self.ffn_norm(x)))
+        return x
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers with optional causal masking.
+
+    The caller supplies a ``(B, L)`` validity mask (True = real token); the
+    encoder combines it with a causal mask when ``causal=True``.
+    """
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int, num_layers: int,
+                 rng: np.random.Generator, dropout: float = 0.0, causal: bool = True):
+        super().__init__()
+        self.layers = ModuleList([
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, rng, dropout=dropout)
+            for _ in range(num_layers)
+        ])
+        self.final_norm = LayerNorm(dim)
+        self.causal = causal
+
+    def build_mask(self, valid_mask: np.ndarray | None, length: int) -> np.ndarray | None:
+        """Combine padding and causal masks into a single boolean block mask."""
+        mask = None
+        if valid_mask is not None:
+            mask = make_padding_mask(valid_mask)
+        if self.causal:
+            causal = make_causal_mask(length)
+            mask = causal if mask is None else (mask | causal)
+        return mask
+
+    def forward(self, x: Tensor, valid_mask: np.ndarray | None = None) -> Tensor:
+        mask = self.build_mask(valid_mask, x.shape[1])
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return self.final_norm(x)

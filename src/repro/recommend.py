@@ -1,0 +1,99 @@
+"""Serving-style recommendation API.
+
+The evaluation stack ranks pre-drawn candidates; a *deployed* recommender
+answers "give me the top-k items for this user, excluding what they already
+interacted with."  :func:`recommend` provides that surface over any trained
+:class:`~repro.core.base.SequentialRecommender`, building the user's input
+from the corpus on the fly.
+
+    >>> recs = recommend(model, dataset, user=42, k=10)
+    >>> [r.item for r in recs]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import collate
+from repro.data.dataset import MultiBehaviorDataset
+from repro.data.splits import SequenceExample
+from repro.nn.tensor import no_grad
+
+__all__ = ["Recommendation", "recommend", "recommend_batch", "build_inference_example"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended item with its model score and rank (0-based)."""
+
+    item: int
+    score: float
+    rank: int
+
+
+def build_inference_example(dataset: MultiBehaviorDataset, user: int,
+                            max_len: int = 50) -> SequenceExample:
+    """The prediction input for ``user``'s *entire* recorded history.
+
+    Unlike split examples (which cut at a target event), inference consumes
+    everything the corpus knows about the user.  The ``target`` field is a
+    placeholder (0 is never a real item) and must not be read.
+    """
+    if user not in set(dataset.users):
+        raise KeyError(f"user {user} not in the corpus")
+    schema = dataset.schema
+    inputs = {
+        behavior: tuple(dataset.sequence(user, behavior)[-max_len:])
+        for behavior in schema.behaviors
+    }
+    merged = [(item, schema.behavior_id(behavior))
+              for item, behavior, _ in dataset.merged_sequence(user)][-max_len:]
+    return SequenceExample(
+        user=user,
+        inputs=inputs,
+        merged_items=tuple(item for item, _ in merged),
+        merged_behavior_ids=tuple(bid for _, bid in merged),
+        target=1,  # placeholder; never used for inference
+    )
+
+
+def recommend_batch(model, dataset: MultiBehaviorDataset, users: list[int],
+                    k: int = 10, max_len: int = 50,
+                    exclude_seen: bool = True) -> dict[int, list[Recommendation]]:
+    """Top-``k`` recommendations for several users at once.
+
+    Scores the full catalog per user; items the user already interacted with
+    (under any behavior) are excluded when ``exclude_seen`` is True.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    examples = [build_inference_example(dataset, user, max_len) for user in users]
+    batch = collate(examples, dataset.schema)
+    all_items = np.arange(1, dataset.num_items + 1)
+    candidates = np.tile(all_items, (len(users), 1))
+    model.eval()
+    with no_grad():
+        scores = model.score_candidates(batch, candidates).numpy()
+    results: dict[int, list[Recommendation]] = {}
+    for row, user in enumerate(users):
+        row_scores = scores[row].astype(np.float64, copy=True)
+        if exclude_seen:
+            seen = dataset.items_of_user(user)
+            if seen:
+                row_scores[np.fromiter(seen, dtype=np.int64) - 1] = -np.inf
+        top = np.argsort(-row_scores)[:k]
+        results[user] = [
+            Recommendation(item=int(all_items[i]), score=float(row_scores[i]),
+                           rank=rank)
+            for rank, i in enumerate(top) if np.isfinite(row_scores[i])
+        ]
+    return results
+
+
+def recommend(model, dataset: MultiBehaviorDataset, user: int, k: int = 10,
+              max_len: int = 50, exclude_seen: bool = True) -> list[Recommendation]:
+    """Top-``k`` novel items for one user (see :func:`recommend_batch`)."""
+    return recommend_batch(model, dataset, [user], k=k, max_len=max_len,
+                           exclude_seen=exclude_seen)[user]

@@ -1,0 +1,6 @@
+"""``repro.train`` — optimization loop and history tracking."""
+
+from .history import EpochRecord, History
+from .trainer import TrainConfig, Trainer
+
+__all__ = ["TrainConfig", "Trainer", "History", "EpochRecord"]

@@ -1,0 +1,44 @@
+"""Training history: per-epoch records of losses, metrics and timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EpochRecord", "History"]
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's summary."""
+
+    epoch: int
+    train_loss: float
+    valid_metrics: dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+    learning_rate: float = 0.0
+
+
+@dataclass
+class History:
+    """Sequence of epoch records plus the early-stopping outcome."""
+
+    records: list[EpochRecord] = field(default_factory=list)
+    best_epoch: int = -1
+    best_metric: float = -float("inf")
+    stopped_early: bool = False
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.records)
+
+    def train_losses(self) -> list[float]:
+        return [r.train_loss for r in self.records]
+
+    def metric_curve(self, name: str) -> list[float]:
+        return [r.valid_metrics.get(name, float("nan")) for r in self.records]
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)

@@ -1,0 +1,142 @@
+"""Training loop with validation-driven early stopping.
+
+Matches the protocol of the paper's pipeline: Adam, gradient clipping,
+evaluate NDCG@10 on the validation split each epoch, stop after ``patience``
+epochs without improvement, restore the best checkpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.batching import BatchLoader
+from repro.data.sampling import NegativeSampler
+from repro.data.splits import DataSplit
+from repro.eval.evaluator import evaluate_ranking
+from repro.eval.protocol import CandidateSets
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.schedule import ConstantLR, StepDecay, WarmupCosine
+
+from .history import EpochRecord, History
+
+__all__ = ["TrainConfig", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Optimization hyper-parameters (model hyper-parameters live elsewhere)."""
+
+    epochs: int = 30
+    batch_size: int = 128
+    learning_rate: float = 3e-3
+    weight_decay: float = 0.0
+    clip_norm: float = 5.0
+    patience: int = 5
+    monitor: str = "NDCG@10"
+    num_eval_negatives: int = 99
+    seed: int = 0
+    checkpoint_path: str | None = None
+    """When set, the best-so-far model is also written to this .npz path."""
+    lr_schedule: str = "constant"
+    """Per-epoch LR schedule: "constant", "warmup_cosine", or "step"."""
+    warmup_epochs: int = 2
+    """Warmup length for the warmup_cosine schedule."""
+    step_size: int = 10
+    step_gamma: float = 0.5
+    """Decay interval/factor for the step schedule."""
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("need at least one epoch")
+        if self.patience < 1:
+            raise ValueError("patience must be positive")
+        if self.lr_schedule not in ("constant", "warmup_cosine", "step"):
+            raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+
+
+class Trainer:
+    """Fits any :class:`~repro.core.base.SequentialRecommender` on a split."""
+
+    def __init__(self, model, split: DataSplit, config: TrainConfig | None = None):
+        self.model = model
+        self.split = split
+        self.config = config or TrainConfig()
+        self.dataset = split.dataset
+        rng = np.random.default_rng(self.config.seed)
+        self._loader_rng = rng
+        self.sampler = NegativeSampler(self.dataset, np.random.default_rng(self.config.seed + 1))
+        # Clamp the negative count so tiny corpora remain evaluable.
+        num_negatives = self.config.num_eval_negatives
+        if self.dataset.users:
+            max_profile = max(len(self.dataset.items_of_user(u))
+                              for u in self.dataset.users)
+            num_negatives = min(num_negatives,
+                                max(1, self.dataset.num_items - max_profile - 1))
+        self.valid_candidates = CandidateSets(
+            self.dataset, split.valid, num_negatives, seed=self.config.seed + 2,
+        )
+
+    def fit(self, verbose: bool = False) -> History:
+        """Train with early stopping; the model ends at its best checkpoint."""
+        config = self.config
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+        if config.lr_schedule == "warmup_cosine":
+            schedule = WarmupCosine(optimizer, warmup_steps=config.warmup_epochs,
+                                    total_steps=max(config.epochs, config.warmup_epochs + 1))
+        elif config.lr_schedule == "step":
+            schedule = StepDecay(optimizer, step_size=config.step_size,
+                                 gamma=config.step_gamma)
+        else:
+            schedule = ConstantLR(optimizer)
+        loader = BatchLoader(self.split.train, self.dataset.schema, config.batch_size,
+                             rng=self._loader_rng)
+        history = History()
+        best_state = None
+        epochs_since_best = 0
+        for epoch in range(config.epochs):
+            start = time.perf_counter()
+            schedule.step()
+            self.model.train()
+            losses = []
+            for batch in loader:
+                optimizer.zero_grad()
+                loss = self.model.training_loss(batch, self.sampler)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), config.clip_norm)
+                optimizer.step()
+                losses.append(float(loss.data))
+            metrics = evaluate_ranking(self.model, self.split.valid, self.valid_candidates,
+                                       self.dataset.schema)
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                valid_metrics=dict(metrics),
+                seconds=time.perf_counter() - start,
+                learning_rate=optimizer.lr,
+            )
+            history.append(record)
+            if verbose:
+                print(f"[epoch {epoch:02d}] loss={record.train_loss:.4f} {metrics}")
+            monitored = metrics.get(config.monitor, 0.0)
+            if monitored > history.best_metric:
+                history.best_metric = monitored
+                history.best_epoch = epoch
+                best_state = self.model.state_dict()
+                if config.checkpoint_path is not None:
+                    from repro.nn.serialization import save_checkpoint
+                    save_checkpoint(self.model, config.checkpoint_path,
+                                    extra={"epoch": epoch, config.monitor: monitored})
+                epochs_since_best = 0
+            else:
+                epochs_since_best += 1
+                if epochs_since_best >= config.patience:
+                    history.stopped_early = True
+                    break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history

@@ -1,0 +1,15 @@
+"""Shared utilities: seeding, simple logging, table formatting, gradcheck."""
+
+from .gradcheck import gradcheck, numerical_gradient
+from .seed import seeded_rng, spawn_rngs
+from .tables import format_table, write_csv, write_markdown
+
+__all__ = [
+    "seeded_rng",
+    "spawn_rngs",
+    "gradcheck",
+    "numerical_gradient",
+    "format_table",
+    "write_csv",
+    "write_markdown",
+]

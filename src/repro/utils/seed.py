@@ -1,0 +1,28 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in this project (initialization, dropout, negative
+sampling, data generation, augmentation) draws from an explicitly passed
+``numpy.random.Generator``.  These helpers create and fan out generators so
+that a single integer seed reproduces an entire experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seeded_rng", "spawn_rngs"]
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """Create a PCG64 generator from an integer seed."""
+    return np.random.default_rng(int(seed))
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent generators derived from one seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are statistically independent —
+    safer than seeding with ``seed + i``.
+    """
+    sequence = np.random.SeedSequence(int(seed))
+    return [np.random.default_rng(child) for child in sequence.spawn(n)]

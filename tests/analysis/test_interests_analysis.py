@@ -1,0 +1,73 @@
+"""Tests for the interest-space analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (cluster_purity, interest_attention_report, interest_separation,
+                            prototype_separation)
+from repro.core import MISSL, MISSLConfig
+from repro.data import collate
+
+
+class TestSeparationMetrics:
+    def test_orthogonal_is_zero(self):
+        interests = np.eye(4)[None, :3, :]
+        assert interest_separation(interests) == pytest.approx(0.0, abs=1e-9)
+
+    def test_collapsed_is_one(self):
+        vec = np.ones((1, 1, 5))
+        interests = np.concatenate([vec, 2 * vec], axis=1)
+        assert interest_separation(interests) == pytest.approx(1.0, rel=1e-6)
+
+    def test_single_slot_zero(self, rng):
+        assert interest_separation(rng.normal(size=(3, 1, 4))) == 0.0
+
+    def test_accepts_2d_prototypes(self, rng):
+        value = interest_separation(rng.normal(size=(4, 8)))
+        assert 0.0 <= value <= 1.0
+
+    def test_prototype_separation_on_model(self, tiny_dataset, tiny_graph):
+        config = MISSLConfig(dim=16, num_interests=3, max_len=20)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        value = prototype_separation(model)
+        assert 0.0 <= value <= 1.0
+
+
+class TestClusterPurity:
+    def test_pure_attention_scores_one(self):
+        # 2 clusters; slot 0 attends only to cluster-0 items.
+        attention = np.zeros((1, 4, 1))
+        attention[0, :2, 0] = 0.5
+        items = np.array([[1, 2, 3, 4]])
+        valid = np.ones((1, 4), dtype=bool)
+        clusters = np.array([0, 0, 1, 1])
+        assert cluster_purity(attention, items, valid, clusters) == pytest.approx(1.0)
+
+    def test_uniform_attention_scores_half(self):
+        attention = np.full((1, 4, 1), 0.25)
+        items = np.array([[1, 2, 3, 4]])
+        valid = np.ones((1, 4), dtype=bool)
+        clusters = np.array([0, 0, 1, 1])
+        assert cluster_purity(attention, items, valid, clusters) == pytest.approx(0.5)
+
+    def test_empty_rows_skipped(self):
+        attention = np.ones((1, 3, 2))
+        items = np.array([[1, 2, 3]])
+        valid = np.zeros((1, 3), dtype=bool)
+        assert cluster_purity(attention, items, valid, np.array([0, 1, 0])) == 0.0
+
+
+class TestAttentionReport:
+    def test_report_structure(self, tiny_dataset, tiny_graph, tiny_split):
+        config = MISSLConfig(dim=16, num_interests=2, max_len=20)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        model.eval()
+        batch = collate(tiny_split.test[:3], tiny_dataset.schema)
+        report = interest_attention_report(model, batch, top_n=2)
+        assert len(report) == 3 * 2  # users x slots
+        for entry in report:
+            assert set(entry) == {"user", "slot", "top_items", "top_weights"}
+            assert len(entry["top_items"]) <= 2
+            assert all(w >= 0 for w in entry["top_weights"])

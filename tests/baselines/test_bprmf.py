@@ -1,0 +1,58 @@
+"""Tests for the BPR-MF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPRMF
+from repro.data import NegativeSampler, collate
+from repro.nn import Adam
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture
+def model(tiny_dataset):
+    return BPRMF(tiny_dataset.num_items, tiny_dataset.num_users, tiny_dataset.schema,
+                 dim=16, seed=0)
+
+
+class TestBPRMF:
+    def test_scores_shape(self, model, tiny_dataset, tiny_split, rng):
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        candidates = rng.integers(1, tiny_dataset.num_items + 1, size=(4, 9))
+        with no_grad():
+            scores = model.score_candidates(batch, candidates)
+        assert scores.shape == (4, 9)
+
+    def test_history_blind(self, model, tiny_dataset, tiny_split):
+        """BPR-MF depends only on the user id, not on the sequences."""
+        model.eval()
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        candidates = np.tile(np.arange(1, 9), (4, 1))
+        with no_grad():
+            before = model.score_candidates(batch, candidates).numpy()
+            batch.merged_items[:] = 1
+            for behavior in batch.items:
+                batch.items[behavior][:] = 1
+            after = model.score_candidates(batch, candidates).numpy()
+        assert np.allclose(before, after)
+
+    def test_unknown_user_rejected(self, model, tiny_dataset, tiny_split):
+        batch = collate(tiny_split.test[:1], tiny_dataset.schema)
+        batch.users[:] = 10_000
+        with pytest.raises(IndexError):
+            model.user_representation(batch)
+
+    def test_bpr_training_separates_pos_from_neg(self, model, tiny_dataset,
+                                                 tiny_split, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        opt = Adam(model.parameters(), lr=0.01)
+        batch = collate(tiny_split.train[:32], tiny_dataset.schema)
+        losses = []
+        for _ in range(20):
+            opt.zero_grad()
+            loss = model.training_loss(batch, sampler)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+        assert losses[-1] < np.log(2.0)  # better than random pairwise ordering

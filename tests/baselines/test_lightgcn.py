@@ -1,0 +1,78 @@
+"""Tests for the LightGCN graph-CF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LightGCN, build_bipartite_adjacency
+from repro.data import NegativeSampler, collate, drop_holdout_targets
+from repro.nn import Adam
+from repro.nn.tensor import no_grad
+
+
+@pytest.fixture
+def model(tiny_dataset):
+    train_view = drop_holdout_targets(tiny_dataset, 2)
+    return LightGCN(tiny_dataset.num_items, tiny_dataset.num_users, train_view,
+                    dim=16, num_layers=2, seed=0)
+
+
+class TestAdjacency:
+    def test_symmetric_and_normalized(self, tiny_dataset):
+        adjacency = build_bipartite_adjacency(tiny_dataset)
+        dense = adjacency.toarray()
+        assert np.allclose(dense, dense.T, atol=1e-10)
+        # Spectral radius of the symmetric-normalized adjacency is <= 1.
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.max() <= 1.0 + 1e-6
+
+    def test_padding_item_isolated(self, tiny_dataset):
+        adjacency = build_bipartite_adjacency(tiny_dataset)
+        num_users = max(tiny_dataset.users) + 1
+        assert adjacency[num_users].nnz == 0  # item id 0 row
+
+    def test_behavior_weights_respected(self, toy_dataset):
+        heavy = build_bipartite_adjacency(toy_dataset, {"view": 0.0, "buy": 1.0})
+        light = build_bipartite_adjacency(toy_dataset, {"view": 1.0, "buy": 1.0})
+        assert heavy.nnz <= light.nnz
+
+
+class TestLightGCN:
+    def test_scores_shape(self, model, tiny_dataset, tiny_split, rng):
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        candidates = rng.integers(1, tiny_dataset.num_items + 1, size=(4, 7))
+        with no_grad():
+            scores = model.score_candidates(batch, candidates)
+        assert scores.shape == (4, 7)
+        assert np.isfinite(scores.numpy()).all()
+
+    def test_eval_cache(self, model):
+        model.eval()
+        with no_grad():
+            first = model.propagate()
+            assert model.propagate() is first
+        model.train()
+        assert model._cache is None
+
+    def test_training_improves_bpr(self, model, tiny_dataset, tiny_split, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:32], tiny_dataset.schema)
+        opt = Adam(model.parameters(), lr=0.02)
+        losses = []
+        for _ in range(15):
+            opt.zero_grad()
+            loss = model.training_loss(batch, sampler)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_propagation_layers_required(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            LightGCN(tiny_dataset.num_items, tiny_dataset.num_users, tiny_dataset,
+                     num_layers=0)
+
+    def test_unknown_user_rejected(self, model, tiny_dataset, tiny_split):
+        batch = collate(tiny_split.test[:1], tiny_dataset.schema)
+        batch.users[:] = 99_999
+        with pytest.raises(IndexError):
+            model.user_representation(batch)

@@ -1,0 +1,146 @@
+"""Tests shared by all neural baselines + scope-specific behavior checks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BERT4Rec, CL4SRec, ComiRec, GRU4Rec, MBGRU, MBHTLite,
+                             MBSASRec, SASRec)
+from repro.data import NegativeSampler, collate
+from repro.nn import Adam
+from repro.nn.tensor import no_grad
+
+DIM = 16
+
+
+def build(name, dataset, graph):
+    factories = {
+        "GRU4Rec": lambda: GRU4Rec(dataset.num_items, dataset.schema, dim=DIM, seed=0),
+        "SASRec": lambda: SASRec(dataset.num_items, dataset.schema, dim=DIM, seed=0),
+        "BERT4Rec": lambda: BERT4Rec(dataset.num_items, dataset.schema, dim=DIM, seed=0),
+        "ComiRec": lambda: ComiRec(dataset.num_items, dataset.schema, dim=DIM, seed=0),
+        "CL4SRec": lambda: CL4SRec(dataset.num_items, dataset.schema, dim=DIM, seed=0),
+        "MBGRU": lambda: MBGRU(dataset.num_items, dataset.schema, dim=DIM, seed=0),
+        "MBSASRec": lambda: MBSASRec(dataset.num_items, dataset.schema, dim=DIM, seed=0),
+        "MBHTLite": lambda: MBHTLite(dataset.num_items, dataset.schema, graph,
+                                     dim=DIM, seed=0),
+    }
+    return factories[name]()
+
+
+ALL = ["GRU4Rec", "SASRec", "BERT4Rec", "ComiRec", "CL4SRec", "MBGRU", "MBSASRec",
+       "MBHTLite"]
+SINGLE_BEHAVIOR = ["GRU4Rec", "SASRec", "BERT4Rec", "ComiRec", "CL4SRec"]
+MULTI_BEHAVIOR = ["MBGRU", "MBSASRec", "MBHTLite"]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestCommonContract:
+    def test_score_shape_and_finiteness(self, name, tiny_dataset, tiny_graph,
+                                        tiny_split, rng):
+        model = build(name, tiny_dataset, tiny_graph)
+        model.eval()
+        batch = collate(tiny_split.test[:6], tiny_dataset.schema)
+        candidates = rng.integers(1, tiny_dataset.num_items + 1, size=(6, 11))
+        with no_grad():
+            scores = model.score_candidates(batch, candidates)
+        assert scores.shape == (6, 11)
+        assert np.isfinite(scores.numpy()).all()
+
+    def test_one_training_step(self, name, tiny_dataset, tiny_graph, tiny_split, rng):
+        model = build(name, tiny_dataset, tiny_graph)
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        opt = Adam(model.parameters(), lr=1e-3)
+        loss = model.training_loss(batch, sampler, num_negatives=8)
+        loss.backward()
+        opt.step()
+        assert np.isfinite(loss.item())
+
+    def test_deterministic_under_seed(self, name, tiny_dataset, tiny_graph, tiny_split):
+        scores = []
+        for _ in range(2):
+            model = build(name, tiny_dataset, tiny_graph)
+            model.eval()
+            batch = collate(tiny_split.test[:3], tiny_dataset.schema)
+            candidates = np.tile(np.arange(1, 8), (3, 1))
+            with no_grad():
+                scores.append(model.score_candidates(batch, candidates).numpy())
+        assert np.allclose(scores[0], scores[1])
+
+
+@pytest.mark.parametrize("name", SINGLE_BEHAVIOR)
+class TestSingleBehaviorScope:
+    def test_auxiliary_stream_ignored(self, name, tiny_dataset, tiny_graph, tiny_split):
+        """Single-behavior models must not read auxiliary sequences."""
+        model = build(name, tiny_dataset, tiny_graph)
+        model.eval()
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        candidates = np.tile(np.arange(1, 9), (4, 1))
+        with no_grad():
+            before = model.score_candidates(batch, candidates).numpy()
+            aux = tiny_dataset.schema.auxiliary[0]
+            batch.items[aux][:] = 1
+            batch.merged_items[:] = 1  # merged timeline also off-limits
+            after = model.score_candidates(batch, candidates).numpy()
+        assert np.allclose(before, after, atol=1e-5)
+
+
+@pytest.mark.parametrize("name", MULTI_BEHAVIOR)
+class TestMultiBehaviorScope:
+    def test_merged_timeline_matters(self, name, tiny_dataset, tiny_graph, tiny_split):
+        """Multi-behavior models must respond to the fused timeline."""
+        model = build(name, tiny_dataset, tiny_graph)
+        model.eval()
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        candidates = np.tile(np.arange(1, 9), (4, 1))
+        with no_grad():
+            before = model.score_candidates(batch, candidates).numpy()
+            rng = np.random.default_rng(0)
+            batch.merged_items[batch.merged_mask] = rng.integers(
+                1, tiny_dataset.num_items + 1, size=int(batch.merged_mask.sum()))
+            after = model.score_candidates(batch, candidates).numpy()
+        assert not np.allclose(before, after, atol=1e-4)
+
+
+class TestSpecifics:
+    def test_comirec_multi_interest_shape(self, tiny_dataset, tiny_graph, tiny_split):
+        model = ComiRec(tiny_dataset.num_items, tiny_dataset.schema, dim=DIM,
+                        num_interests=4, seed=0)
+        batch = collate(tiny_split.test[:5], tiny_dataset.schema)
+        users = model.user_representation(batch)
+        assert users.shape == (5, 4, DIM)
+
+    def test_cl4srec_aug_loss_added(self, tiny_dataset, tiny_graph, tiny_split, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:8], tiny_dataset.schema)
+        with_aug = CL4SRec(tiny_dataset.num_items, tiny_dataset.schema, dim=DIM,
+                           seed=0, lambda_aug=1.0)
+        without = CL4SRec(tiny_dataset.num_items, tiny_dataset.schema, dim=DIM,
+                          seed=0, lambda_aug=0.0)
+        loss_with = with_aug.training_loss(batch, sampler, num_negatives=8).item()
+        loss_without = without.training_loss(batch, sampler, num_negatives=8).item()
+        assert loss_with != pytest.approx(loss_without)
+
+    def test_mbht_table_cache(self, tiny_dataset, tiny_graph):
+        model = MBHTLite(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                         dim=DIM, seed=0)
+        model.eval()
+        with no_grad():
+            first = model.item_representations()
+            assert model.item_representations() is first
+        model.train()
+        assert model._table_cache is None
+
+    def test_bert4rec_is_bidirectional(self, tiny_dataset, tiny_graph):
+        model = BERT4Rec(tiny_dataset.num_items, tiny_dataset.schema, dim=DIM, seed=0)
+        assert model.encoder.causal is False
+
+    def test_scope_validation(self, tiny_dataset):
+        from repro.baselines.common import MergedSequenceModel
+        with pytest.raises(ValueError):
+            MergedSequenceModel(tiny_dataset.num_items, tiny_dataset.schema, DIM, 20,
+                                np.random.default_rng(0), behavior_scope="weird")
+        with pytest.raises(ValueError):
+            MergedSequenceModel(tiny_dataset.num_items, tiny_dataset.schema, DIM, 20,
+                                np.random.default_rng(0), behavior_scope="target",
+                                use_behavior_embedding=True)

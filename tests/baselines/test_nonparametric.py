@@ -1,0 +1,76 @@
+"""Tests for Popularity and ItemKNN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ItemKNN, Popularity
+from repro.data import SequenceExample, collate
+
+
+class TestPopularity:
+    def test_orders_by_count(self, tiny_dataset, tiny_split):
+        model = Popularity(tiny_dataset.num_items).fit(tiny_dataset, target_only=False)
+        popularity = tiny_dataset.item_popularity()
+        batch = collate(tiny_split.test[:2], tiny_dataset.schema)
+        candidates = np.array([[1, 2, 3], [4, 5, 6]])
+        scores = model.score_candidates(batch, candidates).numpy()
+        assert np.allclose(scores, popularity[candidates])
+
+    def test_target_only_counts(self, toy_dataset):
+        model = Popularity(toy_dataset.num_items).fit(toy_dataset, target_only=True)
+        # item 4 has 2 buys, item 3 has 1 buy
+        example = SequenceExample(user=0, inputs={"view": (1,), "buy": (1,)},
+                                  merged_items=(1,), merged_behavior_ids=(0,), target=2)
+        batch = collate([example], toy_dataset.schema)
+        scores = model.score_candidates(batch, np.array([[4, 3]])).numpy()
+        assert scores[0, 0] > scores[0, 1]
+
+    def test_unfitted_raises(self, tiny_dataset, tiny_split):
+        model = Popularity(tiny_dataset.num_items)
+        batch = collate(tiny_split.test[:1], tiny_dataset.schema)
+        with pytest.raises(RuntimeError):
+            model.score_candidates(batch, np.array([[1]]))
+
+    def test_training_loss_forbidden(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            Popularity(tiny_dataset.num_items).training_loss()
+
+    def test_no_parameters(self, tiny_dataset):
+        assert Popularity(tiny_dataset.num_items).parameters() == []
+
+
+class TestItemKNN:
+    def test_scores_finite(self, tiny_dataset, tiny_split):
+        model = ItemKNN(tiny_dataset.num_items).fit(tiny_dataset)
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        candidates = np.tile(np.arange(1, 11), (4, 1))
+        scores = model.score_candidates(batch, candidates).numpy()
+        assert scores.shape == (4, 10)
+        assert np.isfinite(scores).all()
+
+    def test_cobought_items_score_higher(self, toy_dataset, tiny_split):
+        """Items bought together by users should be similar."""
+        model = ItemKNN(toy_dataset.num_items, target_only=True).fit(toy_dataset)
+        sim = model._similarity.toarray()
+        # Users 0 and 2 both bought items 1 and 2 → positive similarity.
+        assert sim[1, 2] > 0
+        # Item 4 is bought only by user 1, who never bought item 3.
+        assert sim[4, 3] == 0
+
+    def test_unfitted_raises(self, tiny_dataset, tiny_split):
+        model = ItemKNN(tiny_dataset.num_items)
+        batch = collate(tiny_split.test[:1], tiny_dataset.schema)
+        with pytest.raises(RuntimeError):
+            model.score_candidates(batch, np.array([[1]]))
+
+    def test_invalid_decay(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            ItemKNN(tiny_dataset.num_items, decay=0.0)
+
+    def test_empty_history_scores_zero(self, tiny_dataset, tiny_split):
+        model = ItemKNN(tiny_dataset.num_items).fit(tiny_dataset)
+        batch = collate(tiny_split.test[:1], tiny_dataset.schema)
+        batch.items[tiny_dataset.schema.target][:] = 0
+        batch.masks[tiny_dataset.schema.target][:] = False
+        scores = model.score_candidates(batch, np.array([[1, 2]])).numpy()
+        assert np.allclose(scores, 0.0)

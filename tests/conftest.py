@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+Gradient-check tests need float64 precision; everything else runs on the
+default float32.  The ``float64`` fixture flips the global default dtype and
+restores it afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (BehaviorSchema, Interaction, MultiBehaviorDataset, SyntheticConfig,
+                        TAOBAO_SCHEMA, generate, k_core_filter, leave_one_out_split)
+from repro.nn.tensor import get_default_dtype, set_default_dtype
+
+
+@pytest.fixture
+def float64():
+    """Run the test with float64 tensors (for finite-difference checks)."""
+    previous = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+TINY_CONFIG = SyntheticConfig(
+    num_users=60, num_items=120, num_interests=4, interests_per_user=2,
+    sessions_per_user=5.0, session_length=5.0, target_per_session=0.7,
+    min_target_events=3, name="tiny",
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> MultiBehaviorDataset:
+    """A small but structurally complete corpus (session-scoped: read-only)."""
+    return k_core_filter(generate(TINY_CONFIG, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return leave_one_out_split(tiny_dataset, max_len=20)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_dataset):
+    from repro.hypergraph import build_hypergraph
+    return build_hypergraph(tiny_dataset)
+
+
+@pytest.fixture
+def toy_dataset() -> MultiBehaviorDataset:
+    """A 3-user hand-written corpus for exact assertions."""
+    schema = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+    events = [
+        Interaction(0, 1, "view", 1), Interaction(0, 2, "view", 2),
+        Interaction(0, 1, "buy", 3), Interaction(0, 3, "view", 4),
+        Interaction(0, 3, "buy", 5), Interaction(0, 2, "buy", 6),
+        Interaction(1, 4, "view", 1), Interaction(1, 4, "buy", 2),
+        Interaction(1, 5, "view", 3), Interaction(1, 5, "buy", 4),
+        Interaction(1, 4, "buy", 5),
+        Interaction(2, 2, "view", 1), Interaction(2, 2, "buy", 2),
+        Interaction(2, 1, "view", 3), Interaction(2, 1, "buy", 4),
+        Interaction(2, 5, "buy", 5),
+    ]
+    return MultiBehaviorDataset(events, schema, num_items=5, name="toy")

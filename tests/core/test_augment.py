@@ -1,0 +1,93 @@
+"""Property-based tests for sequence augmentations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import augment_sequences, crop_items, mask_items, reorder_items
+from repro.data import PAD_ITEM, pad_sequences
+
+
+def random_batch(rng, batch=4, max_len=10):
+    sequences = [list(rng.integers(1, 50, size=rng.integers(1, max_len + 1)))
+                 for _ in range(batch)]
+    return pad_sequences(sequences, max_len)
+
+
+class TestMask:
+    def test_keeps_at_least_one(self, rng):
+        items, mask = random_batch(rng)
+        new_items, new_mask = mask_items(items, mask, prob=0.99, rng=rng)
+        assert (new_mask.sum(axis=1) >= 1).all()
+
+    def test_dropped_positions_padded(self, rng):
+        items, mask = random_batch(rng)
+        new_items, new_mask = mask_items(items, mask, prob=0.5, rng=rng)
+        dropped = mask & ~new_mask
+        assert (new_items[dropped] == PAD_ITEM).all()
+
+    def test_inputs_untouched(self, rng):
+        items, mask = random_batch(rng)
+        before = items.copy()
+        mask_items(items, mask, prob=0.5, rng=rng)
+        assert np.array_equal(items, before)
+
+
+class TestCrop:
+    def test_result_contiguous_subsequence(self, rng):
+        items, mask = random_batch(rng)
+        new_items, new_mask = crop_items(items, mask, ratio=0.5, rng=rng)
+        for row in range(items.shape[0]):
+            original = items[row][mask[row]].tolist()
+            cropped = new_items[row][new_mask[row]].tolist()
+            assert len(cropped) >= 1
+            # cropped must appear as a contiguous run inside original
+            joined = ",".join(map(str, original))
+            assert ",".join(map(str, cropped)) in joined
+
+    def test_ratio_respected_approximately(self, rng):
+        sequences = [list(range(1, 11))] * 4
+        items, mask = pad_sequences(sequences, 10)
+        new_items, new_mask = crop_items(items, mask, ratio=0.5, rng=rng)
+        assert (new_mask.sum(axis=1) == 5).all()
+
+
+class TestReorder:
+    def test_multiset_preserved(self, rng):
+        items, mask = random_batch(rng)
+        new_items, new_mask = reorder_items(items, mask, ratio=0.5, rng=rng)
+        for row in range(items.shape[0]):
+            assert sorted(items[row][mask[row]]) == sorted(new_items[row][new_mask[row]])
+
+    def test_mask_unchanged(self, rng):
+        items, mask = random_batch(rng)
+        _, new_mask = reorder_items(items, mask, ratio=0.5, rng=rng)
+        assert np.array_equal(mask, new_mask)
+
+
+class TestAugmentSequences:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_for_any_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        items, mask = random_batch(rng)
+        new_items, new_mask = augment_sequences(items, mask, rng)
+        # (1) shape preserved
+        assert new_items.shape == items.shape
+        # (2) at least one valid event survives per non-empty row
+        non_empty = mask.any(axis=1)
+        assert (new_mask[non_empty].sum(axis=1) >= 1).all()
+        # (3) all surviving items existed in the original row
+        for row in range(items.shape[0]):
+            original = set(items[row][mask[row]].tolist())
+            survivors = set(new_items[row][new_mask[row]].tolist())
+            assert survivors <= original
+        # (4) padded positions carry PAD_ITEM
+        assert (new_items[~new_mask] == PAD_ITEM).all()
+
+    def test_views_differ_usually(self, rng):
+        items, mask = random_batch(rng, batch=16, max_len=12)
+        view_a, _ = augment_sequences(items, mask, rng)
+        view_b, _ = augment_sequences(items, mask, rng)
+        assert not np.array_equal(view_a, view_b)

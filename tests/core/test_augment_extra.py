@@ -1,0 +1,90 @@
+"""Tests for the extension augmentation operators (substitute, insert)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (augment_sequences, build_substitution_table, insert_items,
+                        substitute_items)
+from repro.data import PAD_ITEM, pad_sequences
+
+
+class TestSubstitute:
+    def test_replaces_with_table_entries(self, rng):
+        items, mask = pad_sequences([[1, 2, 3]], 4)
+        similar = np.array([0, 10, 20, 30])
+        new_items, new_mask = substitute_items(items, mask, prob=1.0, rng=rng,
+                                               similar=similar)
+        assert new_items[0, -3:].tolist() == [10, 20, 30]
+        assert np.array_equal(mask, new_mask)
+
+    def test_unknown_substitutes_left_alone(self, rng):
+        items, mask = pad_sequences([[1, 2]], 3)
+        similar = np.array([0, 0, 9])  # item 1 has no known substitute
+        new_items, _ = substitute_items(items, mask, prob=1.0, rng=rng,
+                                        similar=similar)
+        assert new_items[0, -2:].tolist() == [1, 9]
+
+    def test_prob_zero_identity(self, rng):
+        items, mask = pad_sequences([[1, 2, 3]], 4)
+        similar = np.array([0, 10, 20, 30])
+        new_items, _ = substitute_items(items, mask, prob=0.0, rng=rng,
+                                        similar=similar)
+        assert np.array_equal(new_items, items)
+
+    def test_padding_untouched(self, rng):
+        items, mask = pad_sequences([[5]], 3)
+        similar = np.zeros(10, dtype=np.int64)
+        new_items, _ = substitute_items(items, mask, prob=1.0, rng=rng,
+                                        similar=similar)
+        assert (new_items[0, :2] == PAD_ITEM).all()
+
+
+class TestInsert:
+    def test_duplicates_increase_length(self, rng):
+        items, mask = pad_sequences([[1, 2]], 6)
+        new_items, new_mask = insert_items(items, mask, prob=1.0, rng=rng)
+        assert new_mask[0].sum() == 4
+        assert new_items[0][new_mask[0]].tolist() == [1, 1, 2, 2]
+
+    def test_overflow_drops_oldest(self, rng):
+        items, mask = pad_sequences([[1, 2, 3]], 3)
+        new_items, new_mask = insert_items(items, mask, prob=1.0, rng=rng)
+        # Doubled sequence [1,1,2,2,3,3] truncated to the 3 most recent.
+        assert new_items[0].tolist() == [2, 3, 3]
+        assert new_mask[0].all()
+
+    def test_multiset_is_superset(self, rng):
+        items, mask = pad_sequences([[4, 5, 6, 7]], 10)
+        new_items, new_mask = insert_items(items, mask, prob=0.5, rng=rng)
+        survivors = set(new_items[0][new_mask[0]].tolist())
+        assert survivors <= {4, 5, 6, 7}
+
+    def test_empty_rows_untouched(self, rng):
+        items, mask = pad_sequences([[]], 3)
+        new_items, new_mask = insert_items(items, mask, prob=1.0, rng=rng)
+        assert not new_mask.any()
+
+
+class TestSubstitutionTable:
+    def test_most_cooccurring_selected(self, toy_dataset):
+        table = build_substitution_table(toy_dataset)
+        assert table.shape == (toy_dataset.num_items + 1,)
+        assert table[0] == 0
+        # Items 1 and 2 are both touched by users 0 and 2 → mutual top partners.
+        assert table[1] in (2, 3)
+        assert table[table > 0].min() >= 1
+
+    def test_no_self_substitution(self, toy_dataset):
+        table = build_substitution_table(toy_dataset)
+        for item, substitute in enumerate(table):
+            assert substitute != item or substitute == 0
+
+
+class TestExtendedPool:
+    def test_similar_table_extends_operator_pool(self, rng):
+        items, mask = pad_sequences([[1, 2, 3]] * 32, 6)
+        similar = np.arange(10) % 3 + 1
+        new_items, new_mask = augment_sequences(items, mask, rng, similar=similar)
+        assert new_items.shape == items.shape
+        non_empty = mask.any(axis=1)
+        assert (new_mask[non_empty].sum(axis=1) >= 1).all()

@@ -1,0 +1,43 @@
+"""Tests for MISSLConfig validation and ablation."""
+
+import pytest
+
+from repro.core import MISSLConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = MISSLConfig()
+        assert config.num_interests >= 1
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MISSLConfig(dim=30, num_heads=4)
+
+    def test_positive_temperature(self):
+        with pytest.raises(ValueError):
+            MISSLConfig(temperature=0.0)
+
+    def test_nonnegative_lambdas(self):
+        with pytest.raises(ValueError):
+            MISSLConfig(lambda_ssl=-0.1)
+
+    def test_at_least_one_interest(self):
+        with pytest.raises(ValueError):
+            MISSLConfig(num_interests=0)
+
+
+class TestAblate:
+    def test_ablate_returns_copy(self):
+        base = MISSLConfig()
+        variant = base.ablate(lambda_ssl=0.0)
+        assert variant.lambda_ssl == 0.0
+        assert base.lambda_ssl != 0.0
+
+    def test_ablate_validates(self):
+        with pytest.raises(ValueError):
+            MISSLConfig().ablate(num_interests=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MISSLConfig().dim = 64

@@ -1,0 +1,68 @@
+"""Tests for the behavior-aware sequence embedding."""
+
+import numpy as np
+import pytest
+
+from repro.core import SequenceEmbedding
+from repro.data import TAOBAO_SCHEMA
+from repro.nn.layers import Embedding
+from repro.nn.tensor import Tensor, no_grad
+
+
+@pytest.fixture
+def embedding(rng):
+    return SequenceEmbedding(dim=8, max_len=10, schema=TAOBAO_SCHEMA, rng=rng,
+                             dropout=0.0)
+
+
+@pytest.fixture
+def table(rng):
+    return Tensor(rng.normal(size=(20, 8)))
+
+
+class TestSequenceEmbedding:
+    def test_output_shape(self, embedding, table):
+        out = embedding(table, np.array([[1, 2, 3], [4, 5, 6]]), "view")
+        assert out.shape == (2, 3, 8)
+
+    def test_right_aligned_positions(self, embedding, table):
+        """The most recent event gets the same position id regardless of the
+        batch's padded length — scores must not depend on batch composition."""
+        embedding.eval()
+        with no_grad():
+            short = embedding(table, np.array([[3, 7]]), "buy").numpy()
+            padded = embedding(table, np.array([[0, 0, 3, 7]]), "buy").numpy()
+        assert np.allclose(short[0, -1], padded[0, -1], atol=1e-5)
+        assert np.allclose(short[0, -2], padded[0, -2], atol=1e-5)
+
+    def test_behavior_name_vs_id_matrix(self, embedding, table):
+        embedding.eval()
+        items = np.array([[1, 2]])
+        with no_grad():
+            by_name = embedding(table, items, "cart").numpy()
+            ids = np.full((1, 2), TAOBAO_SCHEMA.behavior_id("cart"))
+            by_ids = embedding(table, items, ids).numpy()
+        assert np.allclose(by_name, by_ids)
+
+    def test_behaviors_change_representation(self, embedding, table):
+        embedding.eval()
+        items = np.array([[1, 2]])
+        with no_grad():
+            view = embedding(table, items, "view").numpy()
+            buy = embedding(table, items, "buy").numpy()
+        assert not np.allclose(view, buy, atol=1e-3)
+
+    def test_too_long_sequence_rejected(self, embedding, table):
+        with pytest.raises(ValueError):
+            embedding(table, np.zeros((1, 11), dtype=int), "view")
+
+    def test_gradient_reaches_table(self, embedding, rng):
+        table = Tensor(rng.normal(size=(20, 8)), requires_grad=True)
+        out = embedding(table, np.array([[1, 2, 3]]), "view")
+        # A plain .sum() of LayerNorm output has ~zero input gradient (the
+        # mean direction is annihilated), so probe with random weights.
+        weights = Tensor(rng.normal(size=(1, 3, 8)))
+        (out * weights).sum().backward()
+        assert table.grad is not None
+        assert np.abs(table.grad[1:4]).sum() > 0.01
+        assert np.allclose(table.grad[5:], 0.0)  # untouched rows get nothing

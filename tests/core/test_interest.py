@@ -1,0 +1,67 @@
+"""Tests for the multi-interest extractor."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiInterestExtractor
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestExtractor:
+    def test_output_shape(self, rng):
+        extractor = MultiInterestExtractor(8, 4, rng)
+        states = Tensor(rng.normal(size=(3, 6, 8)))
+        mask = np.ones((3, 6), dtype=bool)
+        assert extractor(states, mask).shape == (3, 4, 8)
+
+    def test_masked_positions_ignored(self, rng):
+        extractor = MultiInterestExtractor(8, 3, rng)
+        states = rng.normal(size=(1, 5, 8))
+        mask = np.array([[False, False, True, True, True]])
+        out1 = extractor(Tensor(states), mask).numpy()
+        perturbed = states.copy()
+        perturbed[0, 0] += 100.0
+        out2 = extractor(Tensor(perturbed), mask).numpy()
+        assert np.allclose(out1, out2, atol=1e-4)
+
+    def test_empty_rows_finite(self, rng):
+        extractor = MultiInterestExtractor(8, 3, rng)
+        states = Tensor(rng.normal(size=(2, 4, 8)))
+        mask = np.array([[False] * 4, [True] * 4])
+        out = extractor(states, mask).numpy()
+        assert np.all(np.isfinite(out))
+
+    def test_attention_sums_to_one(self, rng):
+        extractor = MultiInterestExtractor(8, 4, rng)
+        states = Tensor(rng.normal(size=(2, 5, 8)))
+        mask = np.ones((2, 5), dtype=bool)
+        attn = extractor.attention_weights(states, mask)
+        assert attn.shape == (2, 5, 4)
+        assert np.allclose(attn.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_masked_attention_zero(self, rng):
+        extractor = MultiInterestExtractor(8, 2, rng)
+        states = Tensor(rng.normal(size=(1, 4, 8)))
+        mask = np.array([[False, True, True, True]])
+        attn = extractor.attention_weights(states, mask)
+        assert np.allclose(attn[0, 0], 0.0, atol=1e-6)
+
+    def test_interests_differ_across_slots(self, rng):
+        """Random prototypes should induce distinct attention patterns."""
+        extractor = MultiInterestExtractor(16, 4, rng)
+        states = Tensor(rng.normal(size=(1, 10, 16)))
+        mask = np.ones((1, 10), dtype=bool)
+        out = extractor(states, mask).numpy()[0]
+        gram = out @ out.T
+        norms = np.sqrt(np.diag(gram))
+        cosine = gram / np.outer(norms, norms)
+        off_diag = cosine[~np.eye(4, dtype=bool)]
+        assert (np.abs(off_diag) < 0.999).any()
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        extractor = MultiInterestExtractor(6, 2, rng)
+        states = Tensor(rng.normal(size=(2, 4, 6)), requires_grad=True)
+        mask = np.array([[1, 1, 1, 0], [1, 1, 1, 1]], dtype=bool)
+        gradcheck(lambda s: extractor(s, mask), [states], atol=5e-4)

@@ -1,0 +1,203 @@
+"""Tests for the assembled MISSL model."""
+
+import numpy as np
+import pytest
+
+from repro.core import MISSL, MISSLConfig
+from repro.data import BatchLoader, NegativeSampler, collate
+from repro.nn import Adam
+from repro.nn.tensor import no_grad
+
+CONFIG = MISSLConfig(dim=16, num_interests=3, max_len=20, num_train_negatives=10)
+
+
+@pytest.fixture
+def model(tiny_dataset, tiny_graph):
+    return MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph, CONFIG, seed=0)
+
+
+@pytest.fixture
+def batch(tiny_dataset, tiny_split):
+    return collate(tiny_split.test[:8], tiny_dataset.schema)
+
+
+class TestForward:
+    def test_user_representation_shape(self, model, batch):
+        users = model.user_representation(batch)
+        assert users.shape == (8, CONFIG.num_interests, CONFIG.dim)
+
+    def test_score_candidates_shape(self, model, batch, rng):
+        candidates = rng.integers(1, model.num_items + 1, size=(8, 12))
+        scores = model.score_candidates(batch, candidates)
+        assert scores.shape == (8, 12)
+        assert np.isfinite(scores.numpy()).all()
+
+    def test_behavior_interests_keys(self, model, batch, tiny_dataset):
+        interests = model.behavior_interests(batch)
+        for behavior in tiny_dataset.schema.behaviors:
+            assert behavior in interests
+        assert MISSL.FUSED_KEY in interests
+
+    def test_item_table_enhanced_by_hypergraph(self, model):
+        raw = model.item_embedding.weight.numpy()
+        enhanced = model.item_representations().numpy()
+        assert enhanced.shape == raw.shape
+        assert not np.allclose(enhanced[1:], raw[1:], atol=1e-4)
+
+    def test_eval_table_cache_and_invalidation(self, model):
+        model.eval()
+        with no_grad():
+            first = model.item_representations()
+            second = model.item_representations()
+        assert first is second  # cached
+        model.train()
+        assert model._table_cache is None
+
+    def test_requires_graph_when_enabled(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            MISSL(tiny_dataset.num_items, tiny_dataset.schema, None, CONFIG, seed=0)
+
+
+class TestAblationVariants:
+    @pytest.mark.parametrize("overrides", [
+        {"use_hypergraph": False},
+        {"num_interests": 1},
+        {"lambda_ssl": 0.0},
+        {"lambda_aug": 0.0},
+        {"lambda_disent": 0.0},
+        {"use_auxiliary": False, "lambda_ssl": 0.0},
+        {"use_shared_fusion": False},
+    ])
+    def test_variant_trains_one_step(self, tiny_dataset, tiny_graph, tiny_split, rng,
+                                     overrides):
+        config = CONFIG.ablate(**overrides)
+        graph = tiny_graph if config.use_hypergraph else None
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, graph, config, seed=0)
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        loss = model.training_loss(batch, sampler)
+        loss.backward()
+        assert np.isfinite(loss.item())
+
+    def test_no_auxiliary_ignores_aux_streams(self, tiny_dataset, tiny_graph, tiny_split):
+        """With use_auxiliary=False, perturbing the view sequence must not
+        change scores."""
+        config = CONFIG.ablate(use_auxiliary=False, lambda_ssl=0.0)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph, config,
+                      seed=0)
+        model.eval()
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        candidates = np.tile(np.arange(1, 11), (4, 1))
+        with no_grad():
+            scores1 = model.score_candidates(batch, candidates).numpy()
+            batch.items["view"][:] = 1
+            scores2 = model.score_candidates(batch, candidates).numpy()
+        assert np.allclose(scores1, scores2, atol=1e-5)
+
+
+class TestTraining:
+    def test_loss_breakdown_components(self, model, tiny_dataset, tiny_split, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        loss, breakdown = model.training_loss(batch, sampler, return_breakdown=True)
+        assert {"main", "ssl", "aug", "disent", "total"} <= set(breakdown)
+        assert breakdown["total"] == pytest.approx(loss.item(), rel=1e-4)
+        parts = breakdown["main"] + breakdown["ssl"] + breakdown["aug"] \
+            + breakdown["disent"]
+        assert parts == pytest.approx(breakdown["total"], rel=1e-3)
+
+    def test_loss_decreases_over_steps(self, model, tiny_dataset, tiny_split, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        loader = BatchLoader(tiny_split.train, tiny_dataset.schema, 32, rng=rng)
+        opt = Adam(model.parameters(), lr=3e-3)
+        losses = []
+        for _ in range(6):
+            for batch in loader:
+                opt.zero_grad()
+                loss = model.training_loss(batch, sampler)
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_gradients_reach_all_parameters(self, model, tiny_dataset, tiny_split, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        loss = model.training_loss(batch, sampler)
+        loss.backward()
+        missing = [name for name, p in model.named_parameters() if p.grad is None]
+        # Every parameter except (possibly) unused behavior-type rows gets grad.
+        assert missing == []
+
+    def test_seed_reproducibility(self, tiny_dataset, tiny_graph, tiny_split, rng):
+        outs = []
+        for _ in range(2):
+            model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                          CONFIG, seed=11)
+            model.eval()
+            batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+            candidates = np.tile(np.arange(1, 11), (4, 1))
+            with no_grad():
+                outs.append(model.score_candidates(batch, candidates).numpy())
+        assert np.allclose(outs[0], outs[1])
+
+    def test_state_dict_roundtrip_preserves_scores(self, model, batch, rng):
+        candidates = rng.integers(1, model.num_items + 1, size=(8, 5))
+        model.eval()
+        with no_grad():
+            before = model.score_candidates(batch, candidates).numpy()
+        state = model.state_dict()
+        for p in model.parameters():
+            p.data += 1.0
+        model.load_state_dict(state)
+        model.train()
+        model.eval()
+        with no_grad():
+            after = model.score_candidates(batch, candidates).numpy()
+        assert np.allclose(before, after, atol=1e-5)
+
+
+class TestDedicatedPrototypes:
+    def test_variant_trains(self, tiny_dataset, tiny_graph, tiny_split, rng):
+        config = CONFIG.ablate(shared_prototypes=False)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        loss = model.training_loss(batch, sampler)
+        loss.backward()
+        assert np.isfinite(loss.item())
+        # Dedicated extractors exist, one per active behavior.
+        assert len(model.behavior_extractors) == len(model.active_behaviors)
+
+    def test_dedicated_prototypes_differ_per_behavior(self, tiny_dataset, tiny_graph):
+        config = CONFIG.ablate(shared_prototypes=False)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        first = model.behavior_extractors[0].prototypes.numpy()
+        second = model.behavior_extractors[1].prototypes.numpy()
+        assert not np.allclose(first, second)
+
+    def test_default_path_unchanged_by_feature(self, tiny_dataset, tiny_graph,
+                                               tiny_split):
+        """Adding the option must not shift the default model's RNG stream."""
+        from repro.nn.tensor import no_grad
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      CONFIG, seed=11)
+        assert not hasattr(model, "behavior_extractors")
+        model.eval()
+        batch = collate(tiny_split.test[:3], tiny_dataset.schema)
+        with no_grad():
+            scores = model.score_candidates(batch, np.tile(np.arange(1, 6), (3, 1)))
+        assert np.isfinite(scores.numpy()).all()
+
+    def test_mean_pooled_contrast_used(self, tiny_dataset, tiny_graph, tiny_split, rng):
+        from repro.core.ssl import cross_behavior_interest_contrast
+        from repro.nn.tensor import Tensor
+        target = Tensor(rng.normal(size=(6, 3, 4)))
+        aux = Tensor(rng.normal(size=(6, 3, 4)))
+        aligned = cross_behavior_interest_contrast(target, [aux], 0.3,
+                                                   slot_aligned=True).item()
+        pooled = cross_behavior_interest_contrast(target, [aux], 0.3,
+                                                  slot_aligned=False).item()
+        assert aligned != pytest.approx(pooled)

@@ -1,0 +1,81 @@
+"""Tests for the dynamic-routing interest extractor."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicRoutingExtractor, MISSL, MISSLConfig
+from repro.data import NegativeSampler, collate
+from repro.nn.tensor import Tensor
+
+
+class TestDynamicRouting:
+    def test_output_shape(self, rng):
+        extractor = DynamicRoutingExtractor(8, 4, rng)
+        states = Tensor(rng.normal(size=(3, 6, 8)))
+        mask = np.ones((3, 6), dtype=bool)
+        out = extractor(states, mask)
+        assert out.shape == (3, 4, 8)
+
+    def test_capsule_norm_below_one(self, rng):
+        """Squash keeps every capsule's norm strictly below 1."""
+        extractor = DynamicRoutingExtractor(8, 3, rng)
+        states = Tensor(rng.normal(size=(2, 5, 8)) * 10)
+        mask = np.ones((2, 5), dtype=bool)
+        out = extractor(states, mask).numpy()
+        norms = np.linalg.norm(out, axis=-1)
+        assert (norms < 1.0).all()
+
+    def test_masked_positions_ignored(self, rng):
+        extractor = DynamicRoutingExtractor(8, 3, rng)
+        states = rng.normal(size=(1, 5, 8))
+        mask = np.array([[False, True, True, True, True]])
+        out1 = extractor(Tensor(states), mask).numpy()
+        perturbed = states.copy()
+        perturbed[0, 0] += 100.0
+        out2 = extractor(Tensor(perturbed), mask).numpy()
+        assert np.allclose(out1, out2, atol=1e-4)
+
+    def test_empty_rows_finite(self, rng):
+        extractor = DynamicRoutingExtractor(8, 3, rng)
+        states = Tensor(rng.normal(size=(2, 4, 8)))
+        mask = np.array([[False] * 4, [True] * 4])
+        out = extractor(states, mask).numpy()
+        assert np.all(np.isfinite(out))
+
+    def test_routing_weights_sum_to_one(self, rng):
+        extractor = DynamicRoutingExtractor(8, 4, rng, iterations=2)
+        states = Tensor(rng.normal(size=(2, 6, 8)))
+        mask = np.ones((2, 6), dtype=bool)
+        weights = extractor.attention_weights(states, mask)
+        assert weights.shape == (2, 6, 4)
+        assert np.allclose(weights.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_gradients_flow(self, rng):
+        extractor = DynamicRoutingExtractor(6, 2, rng)
+        states = Tensor(rng.normal(size=(2, 4, 6)), requires_grad=True)
+        mask = np.ones((2, 4), dtype=bool)
+        extractor(states, mask).sum().backward()
+        assert states.grad is not None
+        assert np.isfinite(states.grad).all()
+        assert extractor.bilinear.weight.grad is not None
+
+    def test_invalid_iterations(self, rng):
+        with pytest.raises(ValueError):
+            DynamicRoutingExtractor(8, 2, rng, iterations=0)
+
+
+class TestRoutingInsideMISSL:
+    def test_missl_routing_mode_trains(self, tiny_dataset, tiny_graph, tiny_split, rng):
+        config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                             interest_mode="routing", num_train_negatives=8)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        loss = model.training_loss(batch, sampler)
+        loss.backward()
+        assert np.isfinite(loss.item())
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MISSLConfig(interest_mode="kmeans")

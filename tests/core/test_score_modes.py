@@ -1,0 +1,71 @@
+"""Tests for the interest read-out modes (max vs label-aware softmax)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MISSL, MISSLConfig
+from repro.core.base import SequentialRecommender
+from repro.data import NegativeSampler, collate
+from repro.nn.tensor import Tensor, no_grad
+
+
+class Dummy(SequentialRecommender):
+    pass
+
+
+class TestInterestReadout:
+    def test_max_mode(self, rng):
+        model = Dummy()
+        per_interest = Tensor(rng.normal(size=(4, 3, 7)))
+        out = model.interest_readout(per_interest)
+        assert np.allclose(out.numpy(), per_interest.numpy().max(axis=1), atol=1e-6)
+
+    def test_softmax_mode_bounds(self, rng):
+        model = Dummy()
+        model.score_mode = "softmax"
+        model.score_pow = 2.0
+        per_interest = Tensor(rng.normal(size=(4, 3, 7)))
+        out = model.interest_readout(per_interest).numpy()
+        raw = per_interest.numpy()
+        # Attention read-out lies between the min and max over interests.
+        assert (out <= raw.max(axis=1) + 1e-5).all()
+        assert (out >= raw.min(axis=1) - 1e-5).all()
+
+    def test_softmax_sharpens_toward_max(self, rng):
+        raw = rng.normal(size=(4, 3, 7))
+        sharp, soft = Dummy(), Dummy()
+        sharp.score_mode = soft.score_mode = "softmax"
+        sharp.score_pow, soft.score_pow = 50.0, 0.01
+        sharp_out = sharp.interest_readout(Tensor(raw)).numpy()
+        soft_out = soft.interest_readout(Tensor(raw)).numpy()
+        gap_sharp = np.abs(sharp_out - raw.max(axis=1)).mean()
+        gap_soft = np.abs(soft_out - raw.max(axis=1)).mean()
+        assert gap_sharp < gap_soft
+
+    def test_unknown_mode_rejected(self, rng):
+        model = Dummy()
+        model.score_mode = "mean"
+        with pytest.raises(ValueError):
+            model.interest_readout(Tensor(rng.normal(size=(2, 2, 3))))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MISSLConfig(score_mode="mean")
+
+
+class TestMISSLWithSoftmaxReadout:
+    def test_trains_and_scores(self, tiny_dataset, tiny_graph, tiny_split, rng):
+        config = MISSLConfig(dim=16, num_interests=3, max_len=20,
+                             score_mode="softmax", score_pow=3.0,
+                             num_train_negatives=8)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        sampler = NegativeSampler(tiny_dataset, rng)
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        loss = model.training_loss(batch, sampler)
+        loss.backward()
+        assert np.isfinite(loss.item())
+        model.eval()
+        with no_grad():
+            scores = model.score_candidates(batch, np.tile(np.arange(1, 9), (16, 1)))
+        assert np.isfinite(scores.numpy()).all()

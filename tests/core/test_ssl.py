@@ -1,0 +1,105 @@
+"""Tests for the self-supervised objectives and disentanglement."""
+
+import numpy as np
+import pytest
+
+from repro.core import (augmentation_contrast, cross_behavior_interest_contrast,
+                        interest_disentanglement, prototype_orthogonality)
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+class TestCrossBehaviorContrast:
+    def test_aligned_beats_random(self, rng):
+        target = Tensor(rng.normal(size=(8, 3, 6)))
+        aligned = cross_behavior_interest_contrast(target, [target], 0.3).item()
+        random_aux = Tensor(rng.normal(size=(8, 3, 6)))
+        shuffled = cross_behavior_interest_contrast(target, [random_aux], 0.3).item()
+        assert aligned < shuffled
+
+    def test_shape_mismatch_raises(self, rng):
+        target = Tensor(rng.normal(size=(4, 2, 6)))
+        bad = Tensor(rng.normal(size=(4, 3, 6)))
+        with pytest.raises(ValueError):
+            cross_behavior_interest_contrast(target, [bad], 0.3)
+
+    def test_invalid_users_filtered(self, rng):
+        target = Tensor(rng.normal(size=(6, 2, 4)))
+        aux = Tensor(rng.normal(size=(6, 2, 4)))
+        valid = np.array([True, True, True, False, False, False])
+        loss = cross_behavior_interest_contrast(target, [aux], 0.3, valid_users=valid)
+        assert np.isfinite(loss.item())
+
+    def test_too_few_valid_rows_zero(self, rng):
+        target = Tensor(rng.normal(size=(4, 2, 4)))
+        aux = Tensor(rng.normal(size=(4, 2, 4)))
+        valid = np.array([True, False, False, False])
+        loss = cross_behavior_interest_contrast(target, [aux], 0.3, valid_users=valid)
+        assert loss.item() == 0.0
+
+    def test_multiple_aux_views_averaged(self, rng):
+        target = Tensor(rng.normal(size=(5, 2, 4)))
+        a = Tensor(rng.normal(size=(5, 2, 4)))
+        b = Tensor(rng.normal(size=(5, 2, 4)))
+        la = cross_behavior_interest_contrast(target, [a], 0.3).item()
+        lb = cross_behavior_interest_contrast(target, [b], 0.3).item()
+        lab = cross_behavior_interest_contrast(target, [a, b], 0.3).item()
+        assert lab == pytest.approx((la + lb) / 2, rel=1e-4)
+
+    def test_gradient_flows(self, rng):
+        target = Tensor(rng.normal(size=(4, 2, 4)), requires_grad=True)
+        aux = Tensor(rng.normal(size=(4, 2, 4)), requires_grad=True)
+        loss = cross_behavior_interest_contrast(target, [aux], 0.3)
+        loss.backward()
+        assert target.grad is not None and np.isfinite(target.grad).all()
+
+
+class TestAugmentationContrast:
+    def test_accepts_2d_and_3d(self, rng):
+        a3 = Tensor(rng.normal(size=(6, 2, 4)))
+        b3 = Tensor(rng.normal(size=(6, 2, 4)))
+        assert np.isfinite(augmentation_contrast(a3, b3, 0.3).item())
+        a2 = Tensor(rng.normal(size=(6, 4)))
+        b2 = Tensor(rng.normal(size=(6, 4)))
+        assert np.isfinite(augmentation_contrast(a2, b2, 0.3).item())
+
+    def test_identical_views_low_loss(self, rng):
+        a = Tensor(rng.normal(size=(6, 4)))
+        same = augmentation_contrast(a, a, 0.1).item()
+        different = augmentation_contrast(a, Tensor(rng.normal(size=(6, 4))), 0.1).item()
+        assert same < different
+
+
+class TestDisentanglement:
+    def test_orthogonal_interests_zero(self):
+        interests = Tensor(np.stack([np.eye(4)[None, :3, :][0]] * 2))  # (2, 3, 4)
+        assert interest_disentanglement(interests).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_collinear_interests_one(self):
+        vec = np.ones((1, 1, 4))
+        interests = Tensor(np.concatenate([vec, vec], axis=1))  # (1, 2, 4) same dir
+        assert interest_disentanglement(interests).item() == pytest.approx(1.0, rel=1e-4)
+
+    def test_single_interest_zero(self, rng):
+        interests = Tensor(rng.normal(size=(3, 1, 4)))
+        assert interest_disentanglement(interests).item() == 0.0
+
+    def test_penalty_decreases_under_optimization(self, rng):
+        from repro.nn import Adam
+        interests = Parameter(rng.normal(size=(4, 3, 6)))
+        opt = Adam([interests], lr=0.05)
+        first = None
+        for _ in range(50):
+            opt.zero_grad()
+            loss = interest_disentanglement(interests)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first
+
+    def test_prototype_orthogonality(self, rng):
+        protos = Tensor(np.eye(4)[:3])
+        assert prototype_orthogonality(protos).item() == pytest.approx(0.0, abs=1e-6)
+        single = Tensor(rng.normal(size=(1, 4)))
+        assert prototype_orthogonality(single).item() == 0.0

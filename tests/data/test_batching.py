@@ -1,0 +1,101 @@
+"""Tests for padding and batch assembly (with hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BatchLoader, PAD_ITEM, collate, leave_one_out_split, pad_sequences
+
+
+class TestPadSequences:
+    def test_left_padding(self):
+        matrix, mask = pad_sequences([[1, 2], [3]], max_len=3)
+        assert matrix.tolist() == [[0, 1, 2], [0, 0, 3]]
+        assert mask.tolist() == [[False, True, True], [False, False, True]]
+
+    def test_truncation_keeps_recent(self):
+        matrix, _ = pad_sequences([[1, 2, 3, 4]], max_len=2)
+        assert matrix.tolist() == [[3, 4]]
+
+    def test_empty_rows(self):
+        matrix, mask = pad_sequences([[], [1]], max_len=2)
+        assert matrix[0].tolist() == [PAD_ITEM, PAD_ITEM]
+        assert not mask[0].any()
+
+    def test_all_empty_min_width(self):
+        matrix, mask = pad_sequences([[], []])
+        assert matrix.shape == (2, 1)
+
+    @given(st.lists(st.lists(st.integers(1, 100), max_size=8), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_mask_matches_content(self, sequences):
+        matrix, mask = pad_sequences(sequences)
+        # Mask is True exactly where a real (non-pad) token was placed.
+        assert ((matrix != PAD_ITEM) == mask).all() or any(
+            PAD_ITEM in s for s in sequences)
+        # Row-wise: number of valid entries equals (possibly truncated) length.
+        for row, seq in zip(mask, sequences):
+            assert row.sum() == min(len(seq), matrix.shape[1])
+        # Valid region is a contiguous suffix.
+        for row in mask:
+            idx = np.flatnonzero(row)
+            if idx.size:
+                assert idx[-1] == len(row) - 1
+                assert (np.diff(idx) == 1).all()
+
+
+class TestCollate:
+    def test_batch_fields(self, tiny_dataset, tiny_split):
+        batch = collate(tiny_split.test[:8], tiny_dataset.schema)
+        assert batch.size == 8
+        assert set(batch.items) == set(tiny_dataset.schema.behaviors)
+        assert batch.merged_items.shape == batch.merged_behaviors.shape
+        assert (batch.targets > 0).all()
+
+    def test_empty_collate_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            collate([], tiny_dataset.schema)
+
+    def test_behavior_ids_match_schema(self, tiny_dataset, tiny_split):
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema)
+        valid_ids = set(range(tiny_dataset.schema.num_behaviors))
+        assert set(np.unique(batch.merged_behaviors[batch.merged_mask])) <= valid_ids
+
+
+class TestBatchLoader:
+    def test_covers_all_examples(self, tiny_dataset, tiny_split, rng):
+        loader = BatchLoader(tiny_split.train, tiny_dataset.schema, 16, rng=rng)
+        seen = sum(batch.size for batch in loader)
+        assert seen == len(tiny_split.train)
+
+    def test_len(self, tiny_dataset, tiny_split, rng):
+        loader = BatchLoader(tiny_split.train, tiny_dataset.schema, 16, rng=rng)
+        assert len(loader) == (len(tiny_split.train) + 15) // 16
+
+    def test_drop_last(self, tiny_dataset, tiny_split, rng):
+        loader = BatchLoader(tiny_split.train, tiny_dataset.schema, 16, rng=rng,
+                             drop_last=True)
+        assert all(batch.size == 16 for batch in loader)
+
+    def test_shuffle_requires_rng(self, tiny_dataset, tiny_split):
+        with pytest.raises(ValueError):
+            BatchLoader(tiny_split.train, tiny_dataset.schema, 16)
+
+    def test_no_shuffle_preserves_order(self, tiny_dataset, tiny_split):
+        loader = BatchLoader(tiny_split.test, tiny_dataset.schema, 4, shuffle=False)
+        first = next(iter(loader))
+        expected = [e.user for e in tiny_split.test[:4]]
+        assert first.users.tolist() == expected
+
+    def test_invalid_batch_size(self, tiny_dataset, tiny_split, rng):
+        with pytest.raises(ValueError):
+            BatchLoader(tiny_split.train, tiny_dataset.schema, 0, rng=rng)
+
+    def test_shuffle_reproducible(self, tiny_dataset, tiny_split):
+        orders = []
+        for _ in range(2):
+            loader = BatchLoader(tiny_split.train, tiny_dataset.schema, 8,
+                                 rng=np.random.default_rng(42))
+            orders.append([tuple(b.users.tolist()) for b in loader])
+        assert orders[0] == orders[1]

@@ -1,0 +1,74 @@
+"""Tests for MultiBehaviorDataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import BehaviorSchema, Interaction, MultiBehaviorDataset
+
+
+class TestConstruction:
+    def test_sequences_chronological(self, toy_dataset):
+        assert toy_dataset.sequence(0, "view") == [1, 2, 3]
+        assert toy_dataset.sequence(0, "buy") == [1, 3, 2]
+
+    def test_unknown_behavior_rejected(self):
+        schema = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+        with pytest.raises(ValueError):
+            MultiBehaviorDataset([Interaction(0, 1, "cart", 1)], schema, 5)
+
+    def test_item_out_of_range_rejected(self):
+        schema = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+        with pytest.raises(ValueError):
+            MultiBehaviorDataset([Interaction(0, 9, "view", 1)], schema, 5)
+
+    def test_counts(self, toy_dataset):
+        assert toy_dataset.num_users == 3
+        assert toy_dataset.num_interactions == 16
+
+
+class TestViews:
+    def test_merged_sequence_ordered_by_time(self, toy_dataset):
+        merged = toy_dataset.merged_sequence(0)
+        times = [ts for _, _, ts in merged]
+        assert times == sorted(times)
+
+    def test_merged_tie_break_follows_schema_order(self):
+        schema = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+        events = [Interaction(0, 1, "buy", 5), Interaction(0, 2, "view", 5)]
+        ds = MultiBehaviorDataset(events, schema, 5)
+        behaviors = [b for _, b, _ in ds.merged_sequence(0)]
+        assert behaviors == ["view", "buy"]
+
+    def test_items_of_user(self, toy_dataset):
+        assert toy_dataset.items_of_user(1) == {4, 5}
+
+    def test_target_lengths(self, toy_dataset):
+        assert toy_dataset.target_lengths() == {0: 3, 1: 3, 2: 3}
+
+    def test_item_popularity_pads_zero(self, toy_dataset):
+        pop = toy_dataset.item_popularity()
+        assert pop[0] == 0
+        assert pop.sum() == toy_dataset.num_interactions
+
+
+class TestStats:
+    def test_stats_totals(self, toy_dataset):
+        stats = toy_dataset.stats()
+        assert stats.num_users == 3
+        assert sum(stats.interactions_per_behavior.values()) == stats.num_interactions
+        assert 0 < stats.density <= 1.0
+
+    def test_stats_row_render(self, toy_dataset):
+        row = toy_dataset.stats().as_row()
+        assert row[0] == "toy"
+
+
+class TestRestrictBehaviors:
+    def test_restrict_drops_events(self, toy_dataset):
+        only_buy = toy_dataset.restrict_behaviors(["buy"])
+        assert only_buy.schema.behaviors == ("buy",)
+        assert all(e.behavior == "buy" for e in only_buy.interactions())
+
+    def test_restrict_keeps_target_sequences(self, toy_dataset):
+        only_buy = toy_dataset.restrict_behaviors(["buy"])
+        assert only_buy.sequence(0, "buy") == toy_dataset.sequence(0, "buy")

@@ -1,0 +1,70 @@
+"""Property-based tests of the dataset container (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BehaviorSchema, Interaction, MultiBehaviorDataset
+
+SCHEMA = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+
+interactions_strategy = st.lists(
+    st.builds(
+        Interaction,
+        user=st.integers(0, 5),
+        item=st.integers(1, 15),
+        behavior=st.sampled_from(["view", "buy"]),
+        timestamp=st.integers(0, 100),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+@given(events=interactions_strategy)
+@settings(max_examples=50, deadline=None)
+def test_dataset_invariants(events):
+    dataset = MultiBehaviorDataset(events, SCHEMA, num_items=15)
+
+    # (1) Interaction count preserved.
+    assert dataset.num_interactions == len(events)
+
+    # (2) Per-behavior sequences are chronologically sorted.
+    for user in dataset.users:
+        for behavior in SCHEMA.behaviors:
+            times = [ts for _, ts in dataset.sequence_with_times(user, behavior)]
+            assert times == sorted(times)
+
+    # (3) The merged timeline is sorted and contains every event of the user.
+    for user in dataset.users:
+        merged = dataset.merged_sequence(user)
+        times = [ts for _, _, ts in merged]
+        assert times == sorted(times)
+        per_behavior_total = sum(len(dataset.sequence(user, b))
+                                 for b in SCHEMA.behaviors)
+        assert len(merged) == per_behavior_total
+
+    # (4) items_of_user covers exactly the user's items.
+    for user in dataset.users:
+        expected = {e.item for e in events if e.user == user}
+        assert dataset.items_of_user(user) == expected
+
+    # (5) Popularity sums to the interaction count; padding stays zero.
+    popularity = dataset.item_popularity()
+    assert popularity.sum() == len(events)
+    assert popularity[0] == 0
+
+    # (6) Stats are internally consistent.
+    stats = dataset.stats()
+    assert sum(stats.interactions_per_behavior.values()) == len(events)
+    assert 0.0 <= stats.density <= 1.0
+
+
+@given(events=interactions_strategy, keep=st.sampled_from([("buy",), ("view", "buy")]))
+@settings(max_examples=30, deadline=None)
+def test_restrict_behaviors_property(events, keep):
+    dataset = MultiBehaviorDataset(events, SCHEMA, num_items=15)
+    restricted = dataset.restrict_behaviors(keep)
+    assert set(restricted.schema.behaviors) == set(keep)
+    expected = sum(1 for e in events if e.behavior in keep)
+    assert restricted.num_interactions == expected

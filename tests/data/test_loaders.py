@@ -1,0 +1,109 @@
+"""Tests for the CSV/TSV interaction loaders."""
+
+import pytest
+
+from repro.data import (BehaviorSchema, TAOBAO_SCHEMA, load_interaction_csv,
+                        load_user_behavior_csv)
+
+SCHEMA = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+
+
+class TestInteractionCSV:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(
+            "user,item,behavior,timestamp\n"
+            "u1,i1,view,100\n"
+            "u1,i1,buy,101\n"
+            "u2,i2,view,50\n"
+        )
+        ds = load_interaction_csv(path, SCHEMA)
+        assert ds.num_users == 2
+        assert ds.num_items == 2
+        assert ds.num_interactions == 3
+        # u1's buy follows the view chronologically.
+        user0_merged = ds.merged_sequence(0)
+        assert [b for _, b, _ in user0_merged] == ["view", "buy"]
+
+    def test_column_mapping_and_delimiter(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        path.write_text(
+            "uid\tiid\taction\tts\n"
+            "a\tx\tview\t1\n"
+            "a\tx\tbuy\t2\n"
+        )
+        ds = load_interaction_csv(
+            path, SCHEMA, delimiter="\t",
+            columns={"user": "uid", "item": "iid", "behavior": "action",
+                     "timestamp": "ts"},
+        )
+        assert ds.num_interactions == 2
+
+    def test_behavior_map(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("user,item,behavior,timestamp\nu,i,pv,1\n")
+        ds = load_interaction_csv(path, SCHEMA, behavior_map={"pv": "view"})
+        assert ds.interactions()[0].behavior == "view"
+
+    def test_strict_unknown_behavior_raises(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("user,item,behavior,timestamp\nu,i,wish,1\n")
+        with pytest.raises(ValueError):
+            load_interaction_csv(path, SCHEMA, strict=True)
+
+    def test_lenient_skips_and_counts(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(
+            "user,item,behavior,timestamp\n"
+            "u,i,wish,1\n"
+            "u,i,buy,2\n"
+        )
+        ds = load_interaction_csv(path, SCHEMA, strict=False)
+        assert ds.num_interactions == 1
+
+    def test_missing_columns_reported(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("user,item\nu,i\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_interaction_csv(path, SCHEMA)
+
+    def test_ids_remapped_densely(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(
+            "user,item,behavior,timestamp\n"
+            "u9,i77,buy,1\n"
+            "u9,i99,buy,2\n"
+        )
+        ds = load_interaction_csv(path, SCHEMA)
+        assert ds.users == [0]
+        assert sorted({e.item for e in ds.interactions()}) == [1, 2]
+
+
+class TestUserBehaviorCSV:
+    def test_taobao_format(self, tmp_path):
+        path = tmp_path / "ub.csv"
+        path.write_text(
+            "1,100,5000,pv,1511544070\n"
+            "1,100,5000,cart,1511544090\n"
+            "1,100,5000,buy,1511544100\n"
+            "2,200,5001,fav,1511544050\n"
+        )
+        ds = load_user_behavior_csv(path, TAOBAO_SCHEMA)
+        assert ds.num_users == 2
+        stats = ds.stats().interactions_per_behavior
+        assert stats == {"view": 1, "cart": 1, "fav": 1, "buy": 1}
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,100,pv\n")
+        with pytest.raises(ValueError):
+            load_user_behavior_csv(path, TAOBAO_SCHEMA)
+
+    def test_unknown_codes_skipped(self, tmp_path):
+        path = tmp_path / "ub.csv"
+        path.write_text(
+            "1,100,5000,pv,10\n"
+            "1,100,5000,unknown_code,11\n"
+        )
+        ds = load_user_behavior_csv(path, TAOBAO_SCHEMA)
+        assert ds.num_interactions == 1

@@ -1,0 +1,100 @@
+"""Tests for k-core filtering, truncation, id remapping and holdout dropping."""
+
+import pytest
+
+from repro.data import (BehaviorSchema, Interaction, MultiBehaviorDataset,
+                        drop_holdout_targets, k_core_filter, remap_ids, truncate_history)
+
+SCHEMA = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+
+
+def make_dataset(events, num_items=20):
+    return MultiBehaviorDataset(events, SCHEMA, num_items)
+
+
+class TestKCore:
+    def test_drops_sparse_users(self):
+        events = [Interaction(0, i, "buy", i) for i in range(1, 6)]       # rich user
+        events += [Interaction(0, i, "view", i + 10) for i in range(1, 6)]
+        events += [Interaction(1, 1, "buy", 1)]                            # 1 buy only
+        ds = k_core_filter(make_dataset(events), min_user_targets=3,
+                           min_item_interactions=1)
+        assert ds.num_users == 1
+
+    def test_drops_rare_items(self):
+        events = []
+        for u in range(3):
+            events += [Interaction(u, 1, "buy", 1 + u), Interaction(u, 2, "buy", 10 + u),
+                       Interaction(u, 3, "buy", 20 + u)]
+        events += [Interaction(0, 9, "view", 100)]  # item 9 appears once
+        ds = k_core_filter(make_dataset(events), min_user_targets=3,
+                           min_item_interactions=2)
+        items = {e.item for e in ds.interactions()}
+        assert len(items) == 3  # item 9 dropped, survivors remapped densely
+
+    def test_reaches_fixed_point(self):
+        # Dropping an item may push a user below threshold; iteration handles it.
+        events = [Interaction(0, 1, "buy", 1), Interaction(0, 2, "buy", 2),
+                  Interaction(0, 3, "buy", 3),
+                  Interaction(1, 1, "buy", 1), Interaction(1, 2, "buy", 2),
+                  Interaction(1, 4, "buy", 3)]
+        ds = k_core_filter(make_dataset(events), min_user_targets=3,
+                           min_item_interactions=2)
+        for user in ds.users:
+            assert len(ds.sequence(user, "buy")) >= 3
+
+    def test_ids_remapped_densely(self):
+        events = [Interaction(5, 10, "buy", t) for t in range(1, 4)]
+        ds = k_core_filter(make_dataset(events), min_user_targets=3,
+                           min_item_interactions=1)
+        assert ds.users == [0]
+        assert ds.num_items == 1
+
+
+class TestTruncate:
+    def test_keeps_most_recent(self):
+        events = [Interaction(0, i % 5 + 1, "view", i) for i in range(20)]
+        ds = truncate_history(make_dataset(events, 10), max_events_per_user=5)
+        assert ds.num_interactions == 5
+        times = [e.timestamp for e in ds.interactions()]
+        assert min(times) == 15
+
+
+class TestRemap:
+    def test_preserves_structure(self, toy_dataset):
+        remapped = remap_ids(toy_dataset)
+        assert remapped.num_users == toy_dataset.num_users
+        assert remapped.num_interactions == toy_dataset.num_interactions
+
+    def test_cluster_attribute_follows(self):
+        import numpy as np
+        events = [Interaction(0, 3, "buy", t) for t in range(3)] \
+            + [Interaction(0, 7, "view", 10)]
+        ds = make_dataset(events, num_items=10)
+        ds.item_clusters = np.arange(10)
+        remapped = remap_ids(ds)
+        # Items 3 and 7 survive as ids 1 and 2; clusters follow.
+        assert list(remapped.item_clusters) == [2, 6]
+
+
+class TestDropHoldout:
+    def test_holdout_events_removed(self, toy_dataset):
+        train = drop_holdout_targets(toy_dataset, 2)
+        for user in toy_dataset.users:
+            full = toy_dataset.sequence(user, "buy")
+            kept = train.sequence(user, "buy")
+            assert kept == full[:-2]
+
+    def test_later_auxiliary_events_removed_too(self):
+        events = [Interaction(0, 1, "buy", 1), Interaction(0, 2, "buy", 2),
+                  Interaction(0, 3, "buy", 3), Interaction(0, 4, "view", 10)]
+        ds = make_dataset(events)
+        train = drop_holdout_targets(ds, 2)
+        assert all(e.timestamp < 2 for e in train.interactions())
+
+    def test_zero_holdout_identity(self, toy_dataset):
+        assert drop_holdout_targets(toy_dataset, 0) is toy_dataset
+
+    def test_negative_holdout_rejected(self, toy_dataset):
+        with pytest.raises(ValueError):
+            drop_holdout_targets(toy_dataset, -1)

@@ -1,0 +1,58 @@
+"""Tests for negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import NegativeSampler, leave_one_out_split
+
+
+class TestNegativeSampler:
+    def test_negatives_never_interacted(self, tiny_dataset, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        for user in tiny_dataset.users[:10]:
+            negatives = sampler.sample(user, 20)
+            assert len(negatives) == 20
+            assert len(set(negatives.tolist())) == 20
+            assert not (set(negatives.tolist()) & tiny_dataset.items_of_user(user))
+
+    def test_explicit_exclusion(self, tiny_dataset, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        user = tiny_dataset.users[0]
+        forbidden = set(range(1, 50))
+        negatives = sampler.sample(user, 10, exclude=forbidden)
+        assert not (set(negatives.tolist()) & forbidden)
+
+    def test_too_many_negatives_raises(self, toy_dataset, rng):
+        sampler = NegativeSampler(toy_dataset, rng)
+        with pytest.raises(ValueError):
+            sampler.sample(0, 100)
+
+    def test_popularity_mode_prefers_popular(self, tiny_dataset, rng):
+        sampler = NegativeSampler(tiny_dataset, rng, mode="popularity")
+        popularity = tiny_dataset.item_popularity()
+        draws = np.concatenate([
+            sampler.sample(tiny_dataset.users[0], 20) for _ in range(20)
+        ])
+        drawn_pop = popularity[draws].mean()
+        uniform = NegativeSampler(tiny_dataset, np.random.default_rng(0))
+        uniform_draws = np.concatenate([
+            uniform.sample(tiny_dataset.users[0], 20) for _ in range(20)
+        ])
+        assert drawn_pop > popularity[uniform_draws].mean()
+
+    def test_unknown_mode_rejected(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            NegativeSampler(tiny_dataset, rng, mode="hard")
+
+    def test_candidates_for_puts_positive_first(self, tiny_dataset, rng):
+        split = leave_one_out_split(tiny_dataset)
+        sampler = NegativeSampler(tiny_dataset, rng)
+        example = split.test[0]
+        candidates = sampler.candidates_for(example, num_negatives=50)
+        assert candidates[0] == example.target
+        assert len(candidates) == 51
+        assert example.target not in candidates[1:]
+
+    def test_unseen_user_has_empty_exclusion(self, tiny_dataset, rng):
+        sampler = NegativeSampler(tiny_dataset, rng)
+        assert sampler.user_items(10_000) == set()

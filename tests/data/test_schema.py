@@ -1,0 +1,59 @@
+"""Tests for the behavior schema and interaction types."""
+
+import pytest
+
+from repro.data import BehaviorSchema, Interaction, PAD_ITEM, TAOBAO_SCHEMA, YELP_SCHEMA
+
+
+class TestInteraction:
+    def test_valid_event(self):
+        event = Interaction(0, 5, "view", 10)
+        assert event.item == 5
+
+    def test_padding_item_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction(0, PAD_ITEM, "view", 1)
+
+    def test_negative_user_rejected(self):
+        with pytest.raises(ValueError):
+            Interaction(-1, 1, "view", 1)
+
+    def test_frozen(self):
+        event = Interaction(0, 1, "view", 1)
+        with pytest.raises(AttributeError):
+            event.item = 2
+
+
+class TestBehaviorSchema:
+    def test_auxiliary_excludes_target(self):
+        assert TAOBAO_SCHEMA.auxiliary == ("view", "cart", "fav")
+        assert TAOBAO_SCHEMA.target == "buy"
+
+    def test_behavior_ids_stable(self):
+        assert TAOBAO_SCHEMA.behavior_id("view") == 0
+        assert TAOBAO_SCHEMA.behavior_id("buy") == 3
+
+    def test_unknown_behavior(self):
+        with pytest.raises(KeyError):
+            TAOBAO_SCHEMA.behavior_id("wishlist")
+
+    def test_target_must_be_member(self):
+        with pytest.raises(ValueError):
+            BehaviorSchema(behaviors=("a", "b"), target="c")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            BehaviorSchema(behaviors=("a", "a"), target="a")
+
+    def test_subset_keeps_order(self):
+        sub = TAOBAO_SCHEMA.subset(("buy", "view"))
+        assert sub.behaviors == ("view", "buy")
+        assert sub.target == "buy"
+
+    def test_subset_must_keep_target(self):
+        with pytest.raises(ValueError):
+            TAOBAO_SCHEMA.subset(("view", "cart"))
+
+    def test_num_behaviors(self):
+        assert TAOBAO_SCHEMA.num_behaviors == 4
+        assert YELP_SCHEMA.num_behaviors == 3

@@ -1,0 +1,69 @@
+"""Tests for leave-one-out splitting — especially the no-leakage invariant."""
+
+import pytest
+
+from repro.data import leave_one_out_split
+
+
+class TestLeaveOneOut:
+    def test_one_test_and_valid_per_user(self, toy_dataset):
+        split = leave_one_out_split(toy_dataset)
+        assert len(split.test) == 3
+        assert len(split.valid) == 3
+
+    def test_test_targets_are_last_buys(self, toy_dataset):
+        split = leave_one_out_split(toy_dataset)
+        targets = {e.user: e.target for e in split.test}
+        assert targets == {0: 2, 1: 4, 2: 5}
+
+    def test_valid_targets_are_second_to_last(self, toy_dataset):
+        split = leave_one_out_split(toy_dataset)
+        targets = {e.user: e.target for e in split.valid}
+        assert targets == {0: 3, 1: 5, 2: 1}
+
+    def test_inputs_strictly_before_target(self, toy_dataset):
+        """No event at or after the predicted buy may appear in the inputs."""
+        split = leave_one_out_split(toy_dataset)
+        for example in split.test:
+            # user 0 test: buy item 2 at ts 6; view seq before is [1,2,3].
+            if example.user == 0:
+                assert list(example.inputs["view"]) == [1, 2, 3]
+                assert list(example.inputs["buy"]) == [1, 3]
+
+    def test_merged_inputs_aligned(self, toy_dataset):
+        split = leave_one_out_split(toy_dataset)
+        for example in split.test + split.valid + split.train:
+            assert len(example.merged_items) == len(example.merged_behavior_ids)
+            assert len(example.merged_items) > 0
+
+    def test_train_examples_exclude_holdout(self, toy_dataset):
+        split = leave_one_out_split(toy_dataset)
+        for example in split.train:
+            test_target_ts = {0: 6, 1: 5, 2: 5}[example.user]
+            # train targets come from positions before the last two buys
+            assert example.target in toy_dataset.sequence(example.user, "buy")[:-2]
+
+    def test_max_len_truncation(self, toy_dataset):
+        split = leave_one_out_split(toy_dataset, max_len=1)
+        for example in split.test:
+            for behavior, seq in example.inputs.items():
+                assert len(seq) <= 1
+            assert len(example.merged_items) <= 1
+
+    def test_max_train_per_user(self, tiny_dataset):
+        capped = leave_one_out_split(tiny_dataset, max_train_per_user=1)
+        per_user = {}
+        for example in capped.train:
+            per_user[example.user] = per_user.get(example.user, 0) + 1
+        assert all(count <= 1 for count in per_user.values())
+
+    def test_users_with_few_targets_skipped(self, toy_dataset):
+        restricted = toy_dataset.restrict_behaviors(["buy"])
+        split = leave_one_out_split(restricted)
+        # All three toy users have exactly 3 buys; predicting the first buy has
+        # no history so it yields no train example, but valid/test survive.
+        assert len(split.test) == 3
+
+    def test_summary(self, toy_dataset):
+        summary = leave_one_out_split(toy_dataset).summary()
+        assert set(summary) == {"train", "valid", "test"}

@@ -1,0 +1,112 @@
+"""Tests for the synthetic multi-behavior generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (SyntheticConfig, TAOBAO_SCHEMA, generate, taobao_like, tmall_like,
+                        yelp_like)
+
+SMALL = SyntheticConfig(num_users=40, num_items=100, num_interests=4,
+                        interests_per_user=2, min_target_events=3, name="small")
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        a = generate(SMALL, seed=3)
+        b = generate(SMALL, seed=3)
+        assert [e for e in a.interactions()] == [e for e in b.interactions()]
+
+    def test_different_seeds_differ(self):
+        a = generate(SMALL, seed=3)
+        b = generate(SMALL, seed=4)
+        assert a.interactions() != b.interactions()
+
+    def test_every_user_has_min_target_events(self):
+        ds = generate(SMALL, seed=0)
+        target = ds.schema.target
+        for user in ds.users:
+            assert len(ds.sequence(user, target)) >= SMALL.min_target_events
+
+    def test_all_users_present(self):
+        ds = generate(SMALL, seed=0)
+        assert ds.num_users == SMALL.num_users
+
+    def test_item_ids_in_range(self):
+        ds = generate(SMALL, seed=1)
+        for event in ds.interactions():
+            assert 1 <= event.item <= SMALL.num_items
+
+    def test_cluster_ground_truth_attached(self):
+        ds = generate(SMALL, seed=1)
+        clusters = ds.item_clusters
+        assert clusters.shape == (SMALL.num_items,)
+        assert set(np.unique(clusters)) <= set(range(SMALL.num_interests))
+
+
+class TestFunnelStructure:
+    def test_views_dominate(self):
+        ds = generate(SMALL, seed=2)
+        stats = ds.stats().interactions_per_behavior
+        assert stats["view"] > stats["cart"] > stats["fav"]
+
+    def test_funnel_events_follow_views(self):
+        """Every cart event's item was viewed at the immediately preceding tick."""
+        ds = generate(SMALL, seed=2)
+        for user in ds.users[:10]:
+            views = dict()
+            for item, ts in ds.sequence_with_times(user, "view"):
+                views[ts] = item
+            for item, ts in ds.sequence_with_times(user, "cart"):
+                assert views.get(ts - 1) == item
+
+    def test_most_buys_previously_viewed(self):
+        """The funnel implies a large share of purchases were seen before."""
+        ds = generate(SMALL, seed=2)
+        seen_before = 0
+        total = 0
+        for user in ds.users:
+            viewed = set()
+            merged = ds.merged_sequence(user)
+            for item, behavior, ts in merged:
+                if behavior == "buy":
+                    total += 1
+                    seen_before += item in viewed
+                elif behavior == "view":
+                    viewed.add(item)
+        assert seen_before / total > 0.4
+
+
+class TestConfigValidation:
+    def test_bad_interests(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_interests=0)
+
+    def test_interests_per_user_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_interests=3, interests_per_user=5)
+
+    def test_noise_rate_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(noise_rate=1.5)
+
+    def test_funnel_stage_must_exist(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(funnel={"wishlist": 0.5})
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [taobao_like, tmall_like, yelp_like])
+    def test_presets_scale(self, factory):
+        small = factory(0.5)
+        big = factory(1.0)
+        assert small.num_users < big.num_users
+        assert small.num_items < big.num_items
+
+    def test_preset_schemas(self):
+        assert taobao_like().schema.target == "buy"
+        assert yelp_like().schema.target == "tip"
+
+    @pytest.mark.parametrize("factory", [taobao_like, tmall_like, yelp_like])
+    def test_presets_generate(self, factory):
+        ds = generate(factory(0.1), seed=0)
+        assert ds.num_interactions > 0

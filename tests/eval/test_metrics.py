@@ -1,0 +1,89 @@
+"""Tests for ranking metrics (with hypothesis properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval import MetricReport, hit_rate, mrr, ndcg, ranks_from_scores, recall
+
+
+class TestRanksFromScores:
+    def test_basic(self):
+        scores = np.array([
+            [3.0, 1.0, 2.0],   # positive (col 0) best → rank 0
+            [1.0, 2.0, 3.0],   # positive worst → rank 2
+        ])
+        assert ranks_from_scores(scores).tolist() == [0, 2]
+
+    def test_custom_positive_column(self):
+        scores = np.array([[1.0, 5.0, 2.0]])
+        assert ranks_from_scores(scores, positive_column=1).tolist() == [0]
+
+    def test_ties_are_pessimistic(self):
+        scores = np.array([[1.0, 1.0, 1.0]])
+        # Both non-positive candidates tie the positive → rank 2 (worst case).
+        assert ranks_from_scores(scores).tolist() == [2]
+
+    def test_constant_scorer_gets_no_credit(self):
+        scores = np.zeros((5, 100))
+        ranks = ranks_from_scores(scores)
+        assert hit_rate(ranks, 10) == 0.0
+
+
+class TestMetricValues:
+    def test_hr_exact(self):
+        ranks = np.array([0, 4, 9, 10, 50])
+        assert hit_rate(ranks, 10) == pytest.approx(3 / 5)
+        assert hit_rate(ranks, 5) == pytest.approx(2 / 5)
+
+    def test_ndcg_exact(self):
+        # rank 0 → 1.0; rank 1 → 1/log2(3); rank >= k → 0
+        ranks = np.array([0, 1, 10])
+        expected = (1.0 + 1.0 / np.log2(3) + 0.0) / 3
+        assert ndcg(ranks, 10) == pytest.approx(expected)
+
+    def test_mrr_exact(self):
+        assert mrr(np.array([0, 1, 4])) == pytest.approx((1 + 0.5 + 0.2) / 3)
+
+    def test_empty_inputs(self):
+        assert hit_rate(np.array([]), 10) == 0.0
+        assert ndcg(np.array([]), 10) == 0.0
+        assert mrr(np.array([])) == 0.0
+
+    def test_recall_equals_hr(self):
+        ranks = np.array([0, 3, 20])
+        assert recall(ranks, 10) == hit_rate(ranks, 10)
+
+
+class TestMetricProperties:
+    @given(hnp.arrays(np.int64, st.integers(1, 40),
+                      elements=st.integers(0, 99)))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_and_monotonicity(self, ranks):
+        for k in (1, 5, 10):
+            assert 0.0 <= hit_rate(ranks, k) <= 1.0
+            assert 0.0 <= ndcg(ranks, k) <= 1.0
+            assert ndcg(ranks, k) <= hit_rate(ranks, k) + 1e-9
+        assert hit_rate(ranks, 5) <= hit_rate(ranks, 10)
+        assert ndcg(ranks, 5) <= ndcg(ranks, 10) + 1e-9
+        assert 0.0 < mrr(ranks) <= 1.0
+
+    @given(st.integers(0, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_perfect_rank_gives_one(self, k_minus_one):
+        ranks = np.zeros(4, dtype=int)
+        assert hit_rate(ranks, k_minus_one + 1) == 1.0
+        assert ndcg(ranks, k_minus_one + 1) == 1.0
+        assert mrr(ranks) == 1.0
+
+
+class TestMetricReport:
+    def test_from_ranks_keys(self):
+        report = MetricReport.from_ranks(np.array([0, 5, 15]), ks=(5, 10))
+        assert set(report) == {"HR@5", "NDCG@5", "HR@10", "NDCG@10", "MRR"}
+
+    def test_str_renders_all(self):
+        report = MetricReport.from_ranks(np.array([0]), ks=(5,))
+        assert "HR@5=1.0000" in str(report)

@@ -1,0 +1,84 @@
+"""Tests for the paired bootstrap significance test."""
+
+import numpy as np
+import pytest
+
+from repro.eval import mrr, paired_bootstrap
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_significant(self, rng):
+        better = rng.integers(0, 3, size=200)     # ranks mostly near the top
+        worse = rng.integers(5, 50, size=200)
+        result = paired_bootstrap(better, worse, seed=0)
+        assert result.delta > 0
+        assert result.significant
+        assert result.ci_low > 0
+
+    def test_identical_systems_not_significant(self, rng):
+        ranks = rng.integers(0, 20, size=100)
+        result = paired_bootstrap(ranks, ranks.copy(), seed=0)
+        assert result.delta == pytest.approx(0.0)
+        assert not result.significant
+
+    def test_noisy_tie_not_significant(self, rng):
+        a = rng.integers(0, 30, size=80)
+        b = a.copy()
+        flip = rng.random(80) < 0.2
+        b[flip] = rng.integers(0, 30, size=int(flip.sum()))
+        result = paired_bootstrap(a, b, seed=1)
+        assert result.ci_low <= result.delta <= result.ci_high
+
+    def test_custom_metric(self, rng):
+        a = rng.integers(0, 5, size=60)
+        b = rng.integers(5, 40, size=60)
+        result = paired_bootstrap(a, b, metric=mrr, seed=0)
+        assert result.metric_a == pytest.approx(mrr(a))
+        assert result.metric_b == pytest.approx(mrr(b))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.zeros(0), np.zeros(0))
+
+    def test_deterministic_under_seed(self, rng):
+        a = rng.integers(0, 10, size=50)
+        b = rng.integers(0, 10, size=50)
+        r1 = paired_bootstrap(a, b, seed=3, num_resamples=200)
+        r2 = paired_bootstrap(a, b, seed=3, num_resamples=200)
+        assert r1 == r2
+
+    def test_str_marks_significance(self, rng):
+        better = np.zeros(100, dtype=int)
+        worse = np.full(100, 50)
+        assert "*" in str(paired_bootstrap(better, worse, seed=0))
+
+
+class TestCoverageMetrics:
+    def test_top_k_items(self):
+        from repro.eval import top_k_items
+        scores = np.array([[0.1, 0.9, 0.5]])
+        candidates = np.array([[10, 20, 30]])
+        assert top_k_items(scores, candidates, 2).tolist() == [[20, 30]]
+
+    def test_top_k_shape_mismatch(self):
+        from repro.eval import top_k_items
+        with pytest.raises(ValueError):
+            top_k_items(np.zeros((2, 3)), np.zeros((2, 4)), 2)
+
+    def test_item_coverage(self):
+        from repro.eval import item_coverage
+        recommended = np.array([[1, 2], [2, 3]])
+        assert item_coverage(recommended, 10) == pytest.approx(0.3)
+
+    def test_item_coverage_ignores_padding(self):
+        from repro.eval import item_coverage
+        assert item_coverage(np.array([[0, 1]]), 10) == pytest.approx(0.1)
+
+    def test_item_coverage_invalid_vocab(self):
+        from repro.eval import item_coverage
+        with pytest.raises(ValueError):
+            item_coverage(np.array([1]), 0)

@@ -1,0 +1,86 @@
+"""Tests for the experiment framework (context, zoo, registry, results)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig
+from repro.experiments import (EXPERIMENTS, ExperimentContext, ExperimentResult,
+                               MODEL_FAMILIES, build_model, model_names, run_experiment)
+
+TINY = SyntheticConfig(num_users=40, num_items=90, num_interests=3,
+                       interests_per_user=2, min_target_events=3, name="ctx-test")
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.build(config=TINY, seed=4, max_len=15, num_negatives=30)
+
+
+class TestContext:
+    def test_artifacts_consistent(self, context):
+        assert context.split.dataset is context.dataset
+        assert len(context.test_candidates) == len(context.split.test)
+        assert context.graph.num_nodes == context.dataset.num_items + 1
+
+    def test_train_view_has_no_holdout(self, context):
+        target = context.dataset.schema.target
+        for user in context.dataset.users[:10]:
+            full = context.dataset.sequence(user, target)
+            train = context.train_view.sequence(user, target)
+            assert train == full[:-2]
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentContext.build(preset="netflix")
+
+    def test_restrict_behaviors(self, context):
+        target = context.dataset.schema.target
+        sub = context.restrict_behaviors((target,))
+        assert sub.dataset.schema.behaviors == (target,)
+        assert len(sub.split.test) > 0
+
+
+class TestZoo:
+    def test_all_models_build(self, context):
+        for name in model_names():
+            model = build_model(name, context, dim=8, seed=0)
+            assert model is not None
+
+    def test_unknown_model_rejected(self, context):
+        with pytest.raises(KeyError):
+            build_model("DeepFM", context)
+
+    def test_families_cover_all(self):
+        assert set(MODEL_FAMILIES) == set(model_names())
+        assert MODEL_FAMILIES["MISSL"] == "ours"
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {"T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4",
+                                    "F5", "F6", "F7", "A1", "A2", "A3"}
+
+    def test_bench_targets_exist(self):
+        from pathlib import Path
+        repo_root = Path(__file__).resolve().parents[2]
+        for exp in EXPERIMENTS.values():
+            assert (repo_root / exp.bench_target).exists(), exp.bench_target
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("T99")
+
+
+class TestRunnersSmoke:
+    def test_t1_runs(self):
+        result = run_experiment("T1", scale=0.15)
+        assert result.experiment_id == "T1"
+        assert len(result.rows) == 3
+
+    def test_result_render_and_save(self, tmp_path):
+        result = ExperimentResult("TX", "Demo", ["a", "b"], [[1, 0.5]])
+        assert "TX" in result.render()
+        path = result.save(tmp_path)
+        assert path.exists()
+        assert (tmp_path / "TX.csv").exists()
+        assert result.column("b") == [0.5]

@@ -1,0 +1,45 @@
+"""Tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.experiments.multiseed import aggregate_results, run_multi_seed
+from repro.experiments.results import ExperimentResult
+
+
+def make_result(values):
+    return ExperimentResult("TX", "Demo", ["model", "NDCG@10"],
+                            [["A", values[0]], ["B", values[1]]])
+
+
+class TestAggregate:
+    def test_mean_std_format(self):
+        merged = aggregate_results([make_result([0.2, 0.4]), make_result([0.4, 0.6])])
+        assert merged.rows[0][1] == "0.3000±0.1000"
+        assert merged.rows[1][1] == "0.5000±0.1000"
+        assert "2 seeds" in merged.title
+
+    def test_key_columns_untouched(self):
+        merged = aggregate_results([make_result([0.2, 0.4]), make_result([0.3, 0.5])])
+        assert merged.rows[0][0] == "A"
+        assert merged.rows[1][0] == "B"
+
+    def test_shape_mismatch_rejected(self):
+        a = make_result([0.1, 0.2])
+        b = ExperimentResult("TX", "Demo", ["model"], [["A"]])
+        with pytest.raises(ValueError):
+            aggregate_results([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_results([])
+
+    def test_single_result_zero_std(self):
+        merged = aggregate_results([make_result([0.25, 0.5])])
+        assert merged.rows[0][1] == "0.2500±0.0000"
+
+
+class TestRunMultiSeed:
+    def test_t1_across_seeds(self):
+        merged = run_multi_seed("T1", seeds=(1, 2), scale=0.15)
+        assert "±" in str(merged.rows[0][1])
+        assert len(merged.rows) == 3

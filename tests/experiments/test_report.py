@@ -1,0 +1,43 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.experiments.report import CLAIMS, generate_experiments_md, load_result_csv
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestReport:
+    def test_claims_cover_every_experiment(self):
+        assert set(CLAIMS) == set(EXPERIMENTS)
+
+    def test_load_result_csv(self, tmp_path):
+        path = tmp_path / "T9.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        headers, rows = load_result_csv(path)
+        assert headers == ["a", "b"]
+        assert rows == [["1", "2"], ["3", "4"]]
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_result_csv(path)
+
+    def test_generate_with_partial_results(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "T1.csv").write_text("dataset,users\ntaobao-like,100\n")
+        output = generate_experiments_md(results, tmp_path / "EXPERIMENTS.md")
+        text = output.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "taobao-like" in text                       # committed result shown
+        assert "no committed result" in text               # missing ones flagged
+        for experiment_id in EXPERIMENTS:
+            assert f"## {experiment_id}" in text
+
+    def test_generated_claims_present(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        output = generate_experiments_md(results, tmp_path / "out.md")
+        text = output.read_text()
+        assert "headline claim" in text

@@ -1,0 +1,82 @@
+"""Smoke tests of every experiment runner at minimal scale.
+
+The benchmarks run the real configurations; these tests only verify that
+each runner executes end to end, produces the advertised table shape, and
+populates ``raw`` with what its benchmark asserts on.  Budget: 1-2 epochs at
+scale 0.15, so the whole module stays fast.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SCALE = 0.15
+EPOCHS = 2
+
+
+class TestRunnerSmoke:
+    def test_t2_minimal(self):
+        result = run_experiment("T2", presets=("taobao",), scale=SCALE,
+                                epochs=EPOCHS, models=("POP", "SASRec", "MISSL"))
+        assert len(result.rows) == 3
+        assert ("taobao", "MISSL") in result.raw
+
+    def test_t3_minimal(self):
+        result = run_experiment("T3", scale=SCALE, epochs=EPOCHS,
+                                variants=("full", "w/o auxiliary"))
+        assert [row[0] for row in result.rows] == ["full", "w/o auxiliary"]
+
+    def test_f1_minimal(self):
+        result = run_experiment("F1", scale=SCALE, epochs=EPOCHS, ks=(1, 2))
+        assert result.column("K") == [1, 2]
+
+    def test_f2_minimal(self):
+        result = run_experiment("F2", scale=SCALE, epochs=1,
+                                lambdas=(0.0, 0.1), temperatures=(0.3,))
+        assert len(result.rows) == 2
+
+    def test_f3_minimal(self):
+        result = run_experiment("F3", scale=SCALE, epochs=1, depths=(0, 1),
+                                dims=(16,))
+        axes = {row[0] for row in result.rows}
+        assert axes == {"hg_layers", "dim"}
+
+    def test_f4_minimal(self):
+        result = run_experiment("F4", scale=SCALE, epochs=EPOCHS,
+                                models=("POP", "MISSL"))
+        assert {row[0] for row in result.rows} <= {"POP", "MISSL"}
+        assert len(result.rows) >= 2
+
+    def test_f5_minimal(self):
+        result = run_experiment("F5", scale=SCALE, epochs=1)
+        # One row per behavior subset: target alone + one per auxiliary added.
+        assert len(result.rows) == 4  # taobao has 3 auxiliary behaviors
+
+    def test_f6_minimal(self):
+        result = run_experiment("F6", scale=SCALE, epochs=1)
+        assert ("proto_cosine", "with disent") in result.raw
+        assert "separation_enhanced" in result.raw
+
+    def test_f7_minimal(self):
+        result = run_experiment("F7", scale=SCALE, epochs=2,
+                                models=("SASRec", "MISSL"))
+        assert set(result.raw) == {"SASRec", "MISSL"}
+        assert len(result.raw["MISSL"]["curve"]) == 2
+
+    def test_t4_minimal(self):
+        result = run_experiment("T4", scale=SCALE, models=("SASRec", "MISSL"))
+        assert result.raw["MISSL"]["params"] > result.raw["SASRec"]["params"]
+
+    def test_a1_minimal(self):
+        result = run_experiment("A1", scale=SCALE, epochs=1)
+        assert {row[0] for row in result.rows} == {"attention", "routing"}
+
+    def test_a2_minimal(self):
+        result = run_experiment("A2", scale=SCALE, epochs=1, windows=(10,))
+        labels = {row[0] for row in result.rows}
+        assert "window=10" in labels and "no cross-behavior edges" in labels
+
+    def test_a3_minimal(self):
+        result = run_experiment("A3", scale=SCALE, epochs=1)
+        assert {row[0] for row in result.rows} == {"POP", "ItemKNN", "BPRMF",
+                                                   "LightGCN", "MISSL"}

@@ -1,0 +1,47 @@
+"""Tests for the grid-search driver."""
+
+import pytest
+
+from repro.core import MISSLConfig
+from repro.data import SyntheticConfig
+from repro.experiments import ExperimentContext, grid_search
+
+TINY = SyntheticConfig(num_users=35, num_items=80, num_interests=3,
+                       interests_per_user=2, min_target_events=3, name="search-test")
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.build(config=TINY, seed=5, max_len=15, num_negatives=30)
+
+
+class TestGridSearch:
+    def test_selects_by_validation(self, context):
+        base = MISSLConfig(dim=16, max_len=15, num_train_negatives=8, lambda_aug=0.0)
+        result = grid_search(context, {"num_interests": [1, 2]}, base=base,
+                             epochs=2, seed=0)
+        assert len(result.trials) == 2
+        assert result.best_valid_metric == max(t["valid_metric"] for t in result.trials)
+        assert result.best_config.num_interests in (1, 2)
+        assert "NDCG@10" in result.test_report
+
+    def test_multi_axis_product(self, context):
+        base = MISSLConfig(dim=16, max_len=15, num_train_negatives=8,
+                           lambda_aug=0.0, lambda_ssl=0.0)
+        result = grid_search(context, {"num_interests": [1, 2],
+                                       "lambda_disent": [0.0, 0.1]},
+                             base=base, epochs=1, seed=0)
+        assert len(result.trials) == 4
+        combos = {(t["overrides"]["num_interests"], t["overrides"]["lambda_disent"])
+                  for t in result.trials}
+        assert len(combos) == 4
+
+    def test_empty_grid_rejected(self, context):
+        with pytest.raises(ValueError):
+            grid_search(context, {})
+
+    def test_summary_renders(self, context):
+        base = MISSLConfig(dim=16, max_len=15, num_train_negatives=8, lambda_aug=0.0)
+        result = grid_search(context, {"num_interests": [1]}, base=base,
+                             epochs=1, seed=0)
+        assert "trials" in result.summary()

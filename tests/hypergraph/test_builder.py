@@ -1,0 +1,86 @@
+"""Tests for hypergraph construction from interaction data."""
+
+import numpy as np
+import pytest
+
+from repro.data import BehaviorSchema, Interaction, MultiBehaviorDataset
+from repro.hypergraph import CROSS_BEHAVIOR_EDGE, BuilderConfig, build_hypergraph
+
+SCHEMA = BehaviorSchema(behaviors=("view", "buy"), target="buy")
+
+
+def make_ds(events, num_items=20):
+    return MultiBehaviorDataset(events, SCHEMA, num_items)
+
+
+class TestBuilder:
+    def test_nodes_include_padding(self, tiny_dataset):
+        graph = build_hypergraph(tiny_dataset)
+        assert graph.num_nodes == tiny_dataset.num_items + 1
+        assert graph.node_degrees()[0] == 0  # padding item isolated
+
+    def test_behavior_edges_have_behavior_ids(self, tiny_dataset):
+        graph = build_hypergraph(tiny_dataset)
+        schema = tiny_dataset.schema
+        valid = set(range(schema.num_behaviors)) | {CROSS_BEHAVIOR_EDGE}
+        assert set(np.unique(graph.edge_behavior)) <= valid
+
+    def test_cross_behavior_edges_exist(self, tiny_dataset):
+        graph = build_hypergraph(tiny_dataset)
+        assert (graph.edge_behavior == CROSS_BEHAVIOR_EDGE).any()
+
+    def test_no_cross_edges_when_disabled(self, tiny_dataset):
+        graph = build_hypergraph(tiny_dataset,
+                                 BuilderConfig(include_cross_behavior=False))
+        assert not (graph.edge_behavior == CROSS_BEHAVIOR_EDGE).any()
+
+    def test_window_splits_edges(self):
+        events = [Interaction(0, i, "view", i) for i in range(1, 13)]
+        events += [Interaction(0, 1, "buy", 20 + t) for t in range(3)]
+        ds = make_ds(events)
+        narrow = build_hypergraph(ds, BuilderConfig(window=4, holdout_targets=0,
+                                                    include_cross_behavior=False))
+        wide = build_hypergraph(ds, BuilderConfig(window=None, holdout_targets=0,
+                                                  include_cross_behavior=False))
+        assert narrow.num_edges > wide.num_edges
+
+    def test_min_edge_size_drops_singletons(self):
+        events = [Interaction(0, 1, "view", 1),
+                  Interaction(0, 2, "buy", 2), Interaction(0, 2, "buy", 3),
+                  Interaction(0, 2, "buy", 4)]
+        ds = make_ds(events)
+        graph = build_hypergraph(ds, BuilderConfig(holdout_targets=0))
+        # The only multi-item set is the cross edge {1, 2}.
+        assert graph.num_edges == 1
+        assert graph.edge_behavior[0] == CROSS_BEHAVIOR_EDGE
+
+    def test_holdout_excludes_test_items(self):
+        """Items appearing ONLY in the held-out tail must stay isolated."""
+        events = [Interaction(0, 1, "view", 1), Interaction(0, 2, "view", 2),
+                  Interaction(0, 3, "buy", 3), Interaction(0, 4, "buy", 4),
+                  Interaction(0, 5, "buy", 5),   # holdout: valid
+                  Interaction(0, 6, "buy", 6)]   # holdout: test
+        ds = make_ds(events)
+        graph = build_hypergraph(ds, BuilderConfig(holdout_targets=2))
+        degrees = graph.node_degrees()
+        assert degrees[5] == 0
+        assert degrees[6] == 0
+        assert degrees[1] > 0
+
+    def test_empty_dataset_yields_placeholder_edge(self):
+        ds = make_ds([Interaction(0, 1, "buy", 1)])
+        graph = build_hypergraph(ds, BuilderConfig(holdout_targets=2))
+        assert graph.num_edges == 1  # placeholder, no memberships
+        assert graph.incidence.nnz == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BuilderConfig(window=1)
+        with pytest.raises(ValueError):
+            BuilderConfig(min_edge_size=1)
+
+    def test_edge_users_recorded(self, tiny_dataset):
+        graph = build_hypergraph(tiny_dataset)
+        real_edges = graph.edge_user >= 0
+        assert real_edges.all()
+        assert set(np.unique(graph.edge_user)) <= set(tiny_dataset.users)

@@ -1,0 +1,100 @@
+"""Tests for HGNN convolution and the hypergraph transformer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hypergraph import (HGNNConv, HGNNEncoder, Hypergraph, HypergraphTransformer,
+                              HypergraphTransformerLayer)
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+def tiny_graph():
+    incidence = sp.csr_matrix(np.array([
+        [0, 0], [1, 0], [1, 1], [0, 1], [1, 1],
+    ], dtype=float))
+    return Hypergraph(incidence, np.array([0, 1]), np.array([0, 0]))
+
+
+class TestHGNN:
+    def test_shape_preserved(self, rng):
+        conv = HGNNConv(8, tiny_graph(), rng)
+        x = Tensor(rng.normal(size=(5, 8)))
+        assert conv(x).shape == (5, 8)
+
+    def test_encoder_stacks(self, rng):
+        enc = HGNNEncoder(8, tiny_graph(), 3, rng)
+        x = Tensor(rng.normal(size=(5, 8)))
+        assert enc(x).shape == (5, 8)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        conv = HGNNConv(4, tiny_graph(), rng)
+        conv.eval()
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        gradcheck(lambda a: conv(a), [x], atol=1e-3, rtol=5e-3)
+
+
+class TestHypergraphTransformer:
+    def test_shape_preserved(self, rng):
+        layer = HypergraphTransformerLayer(8, tiny_graph(), 3, rng)
+        x = Tensor(rng.normal(size=(5, 8)))
+        assert layer(x).shape == (5, 8)
+
+    def test_information_flows_within_edge(self, rng):
+        """Perturbing one member of an edge must affect its co-members."""
+        layer = HypergraphTransformerLayer(8, tiny_graph(), 3, rng)
+        layer.eval()
+        x = rng.normal(size=(5, 8))
+        out1 = layer(Tensor(x)).numpy()
+        x2 = x.copy()
+        x2[1, 0] += 5.0  # node 1 shares edge 0 with nodes 2 and 4
+        out2 = layer(Tensor(x2)).numpy()
+        assert not np.allclose(out1[2], out2[2], atol=1e-5)
+        assert not np.allclose(out1[4], out2[4], atol=1e-5)
+
+    def test_isolated_node_unaffected_by_others(self, rng):
+        """Node 0 (padding, no edges) must not read other nodes' features."""
+        layer = HypergraphTransformerLayer(8, tiny_graph(), 3, rng)
+        layer.eval()
+        x = rng.normal(size=(5, 8))
+        out1 = layer(Tensor(x)).numpy()
+        x2 = x.copy()
+        x2[3, 0] += 50.0
+        out2 = layer(Tensor(x2)).numpy()
+        assert np.allclose(out1[0], out2[0], atol=1e-5)
+
+    def test_cross_behavior_sentinel_mapped(self, rng):
+        graph = tiny_graph()
+        graph.edge_behavior[:] = [-1, 1]
+        layer = HypergraphTransformerLayer(8, graph, 3, rng)
+        assert layer.edge_type.tolist() == [2, 1]
+
+    def test_stack_forward(self, rng):
+        model = HypergraphTransformer(8, tiny_graph(), 3, 2, rng)
+        x = Tensor(rng.normal(size=(5, 8)))
+        assert model(x).shape == (5, 8)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        layer = HypergraphTransformerLayer(4, tiny_graph(), 3, rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        gradcheck(lambda a: layer(a), [x], atol=1e-3, rtol=5e-3)
+
+    def test_training_reduces_reconstruction_loss(self, rng):
+        """The layer must be trainable end-to-end."""
+        from repro.nn import Adam
+        layer = HypergraphTransformerLayer(6, tiny_graph(), 3, rng)
+        x = Tensor(rng.normal(size=(5, 6)))
+        target = Tensor(rng.normal(size=(5, 6)))
+        opt = Adam(layer.parameters(), lr=0.01)
+        losses = []
+        for _ in range(30):
+            opt.zero_grad()
+            loss = ((layer(x) - target) ** 2).mean()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

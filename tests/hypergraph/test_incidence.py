@@ -1,0 +1,93 @@
+"""Tests for the hypergraph incidence structure."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hypergraph import Hypergraph, hgnn_propagation_matrix
+
+
+def tiny_graph():
+    # 5 nodes, 2 edges: e0 = {1, 2, 4}, e1 = {2, 3, 4}
+    incidence = sp.csr_matrix(np.array([
+        [0, 0], [1, 0], [1, 1], [0, 1], [1, 1],
+    ], dtype=float))
+    return Hypergraph(incidence, np.array([0, 1]), np.array([0, 0]))
+
+
+class TestHypergraph:
+    def test_degrees(self):
+        graph = tiny_graph()
+        assert graph.node_degrees().tolist() == [0, 1, 2, 1, 2]
+        assert graph.edge_sizes().tolist() == [3, 3]
+
+    def test_coo_pairs_consistent(self):
+        graph = tiny_graph()
+        nodes, edges = graph.coo_pairs()
+        assert len(nodes) == graph.incidence.nnz
+        for v, e in zip(nodes, edges):
+            assert graph.incidence[v, e] == 1
+
+    def test_metadata_length_checked(self):
+        incidence = sp.csr_matrix(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            Hypergraph(incidence, np.array([0]), np.array([0, 0]))
+
+    def test_restrict_edges_bool_and_index(self):
+        graph = tiny_graph()
+        sub = graph.restrict_edges(np.array([True, False]))
+        assert sub.num_edges == 1
+        sub2 = graph.restrict_edges(np.array([1]))
+        assert sub2.edge_behavior.tolist() == [1]
+
+
+class TestPropagationMatrix:
+    def test_shape_and_symmetry(self):
+        graph = tiny_graph()
+        prop = hgnn_propagation_matrix(graph)
+        assert prop.shape == (5, 5)
+        dense = prop.toarray()
+        assert np.allclose(dense, dense.T, atol=1e-10)
+
+    def test_isolated_node_row_zero(self):
+        prop = hgnn_propagation_matrix(tiny_graph()).toarray()
+        assert np.allclose(prop[0], 0.0)
+
+    def test_edge_weights_scale(self):
+        graph = tiny_graph()
+        base = hgnn_propagation_matrix(graph).toarray()
+        doubled = hgnn_propagation_matrix(graph, np.array([2.0, 2.0])).toarray()
+        assert np.allclose(doubled, 2 * base, atol=1e-10)
+
+    def test_spectral_radius_bounded(self):
+        """The normalized operator's eigenvalues are bounded by 1."""
+        prop = hgnn_propagation_matrix(tiny_graph()).toarray()
+        eigenvalues = np.linalg.eigvalsh(prop)
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+
+class TestNetworkXBridge:
+    def test_bipartite_expansion(self):
+        graph = tiny_graph().to_networkx()
+        item_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "item"]
+        edge_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "hyperedge"]
+        assert len(item_nodes) == 5
+        assert len(edge_nodes) == 2
+        assert graph.number_of_edges() == tiny_graph().incidence.nnz
+        assert graph.nodes["e1"]["behavior"] == 1
+
+    def test_connected_fraction(self):
+        hg = tiny_graph()
+        # Nodes 1-4 are all connected through the two overlapping edges;
+        # node 0 (padding) is isolated and excluded from the denominator.
+        assert hg.connected_item_fraction() == pytest.approx(1.0)
+
+    def test_fragmented_graph_detected(self):
+        import scipy.sparse as sp
+        incidence = sp.csr_matrix(np.array([
+            [0, 0], [1, 0], [1, 0], [0, 1], [0, 1], [0, 0],
+        ], dtype=float))
+        hg = Hypergraph(incidence, np.array([0, 0]), np.array([0, 1]))
+        # Two disjoint 2-item edges over 5 real nodes: largest component
+        # covers 2 of 5.
+        assert hg.connected_item_fraction() == pytest.approx(2 / 5)

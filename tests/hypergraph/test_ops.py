@@ -1,0 +1,103 @@
+"""Tests for the sparse/segment autodiff primitives."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import segment_max, segment_softmax, segment_sum, sparse_mm
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestSparseMM:
+    def test_matches_dense(self, rng):
+        matrix = sp.random(6, 5, density=0.4, random_state=0).tocsr()
+        x = rng.normal(size=(5, 3))
+        out = sparse_mm(matrix, Tensor(x))
+        assert np.allclose(out.numpy(), matrix.toarray() @ x, atol=1e-5)
+
+    def test_shape_mismatch(self, rng):
+        matrix = sp.eye(4).tocsr()
+        with pytest.raises(ValueError):
+            sparse_mm(matrix, Tensor(rng.normal(size=(5, 2))))
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        matrix = sp.random(6, 5, density=0.5, random_state=1).tocsr()
+        x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        gradcheck(lambda a: sparse_mm(matrix, a), [x])
+
+
+class TestSegmentSum:
+    def test_values(self):
+        values = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = segment_sum(values, np.array([0, 0, 1, 1]), 2)
+        assert np.allclose(out.numpy(), [[3.0], [7.0]])
+
+    def test_empty_segment_is_zero(self):
+        values = Tensor(np.ones((2, 3)))
+        out = segment_sum(values, np.array([0, 2]), 4)
+        assert np.allclose(out.numpy()[1], 0.0)
+        assert np.allclose(out.numpy()[3], 0.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            segment_sum(Tensor(np.ones((2, 1))), np.array([0, 5]), 2)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        values = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        seg = np.array([0, 1, 1, 2, 2, 2])
+        gradcheck(lambda v: segment_sum(v, seg, 3), [values])
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self, rng):
+        scores = Tensor(rng.normal(size=(7,)))
+        seg = np.array([0, 0, 1, 1, 1, 2, 2])
+        out = segment_softmax(scores, seg, 3).numpy()
+        for s in range(3):
+            assert out[seg == s].sum() == pytest.approx(1.0, rel=1e-5)
+
+    def test_singleton_segment_is_one(self):
+        out = segment_softmax(Tensor(np.array([5.0])), np.array([0]), 1).numpy()
+        assert out[0] == pytest.approx(1.0)
+
+    def test_numerically_stable(self):
+        scores = Tensor(np.array([1e4, 1e4 + 1.0, -1e4]))
+        out = segment_softmax(scores, np.array([0, 0, 0]), 1).numpy()
+        assert np.all(np.isfinite(out))
+        assert out.sum() == pytest.approx(1.0, rel=1e-5)
+
+    def test_requires_1d(self, rng):
+        with pytest.raises(ValueError):
+            segment_softmax(Tensor(rng.normal(size=(3, 2))), np.array([0, 0, 1]), 2)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        scores = Tensor(rng.normal(size=(7,)), requires_grad=True)
+        seg = np.array([0, 0, 1, 1, 1, 2, 2])
+        weights = Tensor(rng.normal(size=(7,)))
+        gradcheck(lambda s: segment_softmax(s, seg, 3) * weights, [scores])
+
+    @given(st.integers(1, 5), st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sum_per_segment(self, num_segments, n):
+        rng = np.random.default_rng(n * 31 + num_segments)
+        seg = rng.integers(0, num_segments, size=n)
+        out = segment_softmax(Tensor(rng.normal(size=n)), seg, num_segments).numpy()
+        for s in np.unique(seg):
+            assert out[seg == s].sum() == pytest.approx(1.0, rel=1e-4)
+
+
+class TestSegmentMax:
+    def test_values(self):
+        values = np.array([1.0, 5.0, 2.0, -1.0])
+        out = segment_max(values, np.array([0, 0, 1, 1]), 2)
+        assert out.tolist() == [5.0, 2.0]
+
+    def test_empty_segment_minus_inf(self):
+        out = segment_max(np.array([1.0]), np.array([0]), 2)
+        assert out[1] == -np.inf

@@ -1,0 +1,98 @@
+"""Tests for scaled dot-product attention, MHA and attention pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (AdditiveAttentionPool, MultiHeadAttention, make_causal_mask,
+                      make_padding_mask, scaled_dot_product_attention)
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestSDPA:
+    def test_weights_sum_to_one(self, rng):
+        q = Tensor(rng.normal(size=(2, 4, 8)))
+        out, weights = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 4, 8)
+        assert np.allclose(weights.numpy().sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_mask_blocks_positions(self, rng):
+        q = Tensor(rng.normal(size=(1, 3, 4)))
+        mask = np.zeros((1, 3, 3), dtype=bool)
+        mask[:, :, 2] = True  # nobody may attend to position 2
+        _, weights = scaled_dot_product_attention(q, q, q, mask=mask)
+        assert np.allclose(weights.numpy()[:, :, 2], 0.0, atol=1e-6)
+
+    def test_uniform_attention_for_identical_keys(self):
+        q = Tensor(np.ones((1, 2, 4)))
+        _, weights = scaled_dot_product_attention(q, q, q)
+        assert np.allclose(weights.numpy(), 0.5, atol=1e-6)
+
+
+class TestMasks:
+    def test_causal_mask_shape_and_content(self):
+        mask = make_causal_mask(4)
+        assert mask.shape == (1, 1, 4, 4)
+        assert not mask[0, 0, 3].any()          # last position sees everything
+        assert mask[0, 0, 0, 1:].all()          # first position sees only itself
+
+    def test_padding_mask(self):
+        valid = np.array([[True, True, False]])
+        mask = make_padding_mask(valid)
+        assert mask.shape == (1, 1, 1, 3)
+        assert mask[0, 0, 0].tolist() == [False, False, True]
+
+
+class TestMultiHeadAttention:
+    def test_shapes(self, rng):
+        mha = MultiHeadAttention(16, 4, rng)
+        x = Tensor(rng.normal(size=(3, 5, 16)))
+        assert mha(x).shape == (3, 5, 16)
+
+    def test_cross_attention_shapes(self, rng):
+        mha = MultiHeadAttention(16, 4, rng)
+        q = Tensor(rng.normal(size=(3, 2, 16)))
+        kv = Tensor(rng.normal(size=(3, 7, 16)))
+        assert mha(q, kv).shape == (3, 2, 16)
+
+    def test_indivisible_heads_raise(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, rng)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        mha = MultiHeadAttention(8, 2, rng)
+        mha.eval()
+        x = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        gradcheck(lambda a: mha(a), [x], atol=5e-4)
+
+    def test_causal_mask_respected(self, rng):
+        """Changing a future position must not change earlier outputs."""
+        mha = MultiHeadAttention(8, 2, rng)
+        mha.eval()
+        x = rng.normal(size=(1, 5, 8))
+        mask = make_causal_mask(5)
+        out1 = mha(Tensor(x), mask=mask).numpy()
+        x2 = x.copy()
+        x2[0, 4] += 10.0  # perturb the last position
+        out2 = mha(Tensor(x2), mask=mask).numpy()
+        assert np.allclose(out1[0, :4], out2[0, :4], atol=1e-5)
+        assert not np.allclose(out1[0, 4], out2[0, 4], atol=1e-3)
+
+
+class TestAdditiveAttentionPool:
+    def test_shape_and_mask(self, rng):
+        pool = AdditiveAttentionPool(8, 16, rng)
+        x = Tensor(rng.normal(size=(3, 6, 8)))
+        out = pool(x)
+        assert out.shape == (3, 8)
+
+    def test_masked_positions_ignored(self, rng):
+        pool = AdditiveAttentionPool(4, 8, rng)
+        x = rng.normal(size=(1, 3, 4))
+        valid = np.array([[True, True, False]])
+        out1 = pool(Tensor(x), valid).numpy()
+        x2 = x.copy()
+        x2[0, 2] += 100.0  # perturb an invalid position
+        out2 = pool(Tensor(x2), valid).numpy()
+        assert np.allclose(out1, out2, atol=1e-5)

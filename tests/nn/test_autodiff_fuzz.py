@@ -1,0 +1,103 @@
+"""Property-based fuzzing of the autodiff engine.
+
+Hypothesis builds random expression trees from a pool of differentiable ops
+and checks the analytic gradient against central differences.  This is the
+broadest safety net for the engine: any op whose backward drifts from its
+forward breaks here, including through compositions unit tests don't cover.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.functional as F
+from repro.nn.tensor import Tensor, get_default_dtype, maximum, set_default_dtype
+from repro.utils import gradcheck
+
+# Unary ops safe on arbitrary finite inputs (scaled to avoid overflow).
+UNARY_OPS = [
+    ("tanh", lambda t: t.tanh()),
+    ("sigmoid", lambda t: t.sigmoid()),
+    ("exp", lambda t: (t * 0.3).exp()),
+    ("softmax", lambda t: F.softmax(t, axis=-1)),
+    ("log_softmax", lambda t: F.log_softmax(t, axis=-1)),
+    ("gelu", lambda t: F.gelu(t)),
+    ("square", lambda t: t * t),
+    ("neg", lambda t: -t),
+    ("scale", lambda t: t * 1.7 + 0.3),
+    ("mean_keep", lambda t: t.mean(axis=-1, keepdims=True) + t),
+    ("normalize", lambda t: F.l2_normalize(t, axis=-1)),
+    ("transpose2", lambda t: t.transpose(1, 0).transpose(1, 0)),
+]
+
+# Binary ops combining two same-shape tensors.
+BINARY_OPS = [
+    ("add", lambda a, b: a + b),
+    ("sub", lambda a, b: a - b),
+    ("mul", lambda a, b: a * b),
+    ("div", lambda a, b: a / (b * b + 1.0)),
+    ("matmul", lambda a, b: a @ b.transpose(1, 0)),
+    ("max", lambda a, b: maximum(a, b + 0.001)),
+]
+
+
+@pytest.fixture(autouse=True)
+def _float64():
+    previous = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    unary_indices=st.lists(st.integers(0, len(UNARY_OPS) - 1), min_size=1, max_size=4),
+    binary_index=st.integers(0, len(BINARY_OPS) - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_expression_gradients(seed, unary_indices, binary_index):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+    b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+
+    def expression(x, y):
+        _, combine = BINARY_OPS[binary_index]
+        out = combine(x, y)
+        for index in unary_indices:
+            _, op = UNARY_OPS[index]
+            out = op(out)
+        return out.sum() if out.ndim else out
+
+    gradcheck(expression, [a, b], atol=5e-4, rtol=5e-3)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_shared_subexpression_gradients(seed):
+    """Diamond-shaped graphs: one tensor feeding several consumers."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+
+    def expression(t):
+        shared = t.tanh()
+        left = shared * shared
+        right = F.softmax(shared, axis=1)
+        return (left + right).sum() + shared.mean()
+
+    gradcheck(expression, [x], atol=5e-4)
+
+
+@given(seed=st.integers(0, 10_000), length=st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_indexing_chain_gradients(seed, length):
+    """Gather → compute → reduce pipelines (the embedding-style pattern)."""
+    rng = np.random.default_rng(seed)
+    table = Tensor(rng.normal(size=(8, 4)), requires_grad=True)
+    indices = rng.integers(0, 8, size=(length,))
+
+    def expression(t):
+        rows = t.take(indices, axis=0)
+        return (rows * rows).sum(axis=1).tanh()
+
+    gradcheck(expression, [table], atol=5e-4)

@@ -1,0 +1,102 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro.nn.functional as F
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 7)))).numpy()
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+        assert (out >= 0).all()
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).numpy()
+        b = F.softmax(Tensor(x + 100.0)).numpy()
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_extreme_values_finite(self):
+        out = F.softmax(Tensor([[1e4, -1e4, 0.0]])).numpy()
+        assert np.all(np.isfinite(out))
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        assert np.allclose(F.log_softmax(x).numpy(),
+                           np.log(F.softmax(x).numpy()), atol=1e-5)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads_along_each_axis(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        g = Tensor(rng.normal(size=(3, 4)))
+        gradcheck(lambda a: F.softmax(a, axis=0) * g, [x])
+        gradcheck(lambda a: F.softmax(a, axis=1) * g, [x])
+        gradcheck(lambda a: F.log_softmax(a, axis=1) * g, [x])
+
+
+class TestActivations:
+    def test_gelu_known_points(self):
+        # GELU(0) = 0; GELU is ~x for large positive x, ~0 for large negative.
+        out = F.gelu(Tensor([0.0, 10.0, -10.0])).numpy()
+        assert out[0] == pytest.approx(0.0, abs=1e-6)
+        assert out[1] == pytest.approx(10.0, rel=1e-3)
+        assert out[2] == pytest.approx(0.0, abs=1e-3)
+
+    @pytest.mark.usefixtures("float64")
+    def test_gelu_grad(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda a: F.gelu(a), [x])
+
+    def test_relu_tanh_sigmoid_delegate(self, rng):
+        x = Tensor(rng.normal(size=(5,)))
+        assert np.allclose(F.relu(x).numpy(), np.maximum(x.numpy(), 0))
+        assert np.allclose(F.tanh(x).numpy(), np.tanh(x.numpy()), atol=1e-6)
+        assert np.allclose(F.sigmoid(x).numpy(), 1 / (1 + np.exp(-x.numpy())), atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_p_zero_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        assert F.dropout(x, 0.0, training=True, rng=rng) is x
+
+    def test_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=rng).numpy()
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+        # Surviving entries are scaled by 1/(1-p).
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 1.0 / 0.7, atol=1e-5)
+
+    def test_invalid_p_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True, rng=rng)
+
+
+class TestNormalize:
+    @given(hnp.arrays(np.float64, (4, 6), elements=st.floats(-5, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_l2_normalize_unit_norm(self, data):
+        out = F.l2_normalize(Tensor(data)).numpy()
+        norms = np.linalg.norm(out, axis=-1)
+        nonzero = np.linalg.norm(data, axis=-1) > 1e-5
+        assert np.allclose(norms[nonzero], 1.0, atol=1e-4)
+
+    def test_cosine_similarity_bounds(self, rng):
+        a = Tensor(rng.normal(size=(8, 5)))
+        b = Tensor(rng.normal(size=(8, 5)))
+        sim = F.cosine_similarity(a, b).numpy()
+        assert (np.abs(sim) <= 1.0 + 1e-5).all()
+        self_sim = F.cosine_similarity(a, a).numpy()
+        assert np.allclose(self_sim, 1.0, atol=1e-5)

@@ -1,0 +1,120 @@
+"""Tests for Linear, Embedding, LayerNorm, Dropout, FeedForward."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, FeedForward, LayerNorm, Linear
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestLinear:
+    def test_output_shape_and_value(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 3)
+        expected = x @ layer.weight.numpy().T + layer.bias.numpy()
+        assert np.allclose(out.numpy(), expected, atol=1e-5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_batched_input(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(rng.normal(size=(2, 7, 4))))
+        assert out.shape == (2, 7, 3)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        layer = Linear(4, 3, rng)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        gradcheck(lambda a, *ps: layer(a), [x] + layer.parameters())
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 6, rng)
+        out = emb(np.array([[1, 2], [3, 4], [5, 5]]))
+        assert out.shape == (3, 2, 6)
+
+    def test_padding_row_zero_and_frozen(self, rng):
+        emb = Embedding(10, 6, rng, padding_idx=0)
+        assert np.allclose(emb.weight.numpy()[0], 0.0)
+        assert np.array_equal(emb.weight.frozen_rows, [0])
+
+    def test_gradient_scatter(self, rng):
+        emb = Embedding(5, 3, rng)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[1], 2.0)
+        assert np.allclose(grad[2], 1.0)
+        assert np.allclose(grad[0], 0.0)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 3, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        norm = LayerNorm(16)
+        out = norm(Tensor(rng.normal(loc=3.0, scale=2.0, size=(8, 16)))).numpy()
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_learned_affine(self, rng):
+        norm = LayerNorm(4)
+        norm.gamma.data[...] = 2.0
+        norm.beta.data[...] = 1.0
+        out = norm(Tensor(rng.normal(size=(3, 4)))).numpy()
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-4)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        norm = LayerNorm(5)
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        gradcheck(lambda a, *ps: norm(a), [x] + norm.parameters())
+
+
+class TestDropoutLayer:
+    def test_respects_training_mode(self, rng):
+        layer = Dropout(0.5, rng)
+        x = Tensor(np.ones((50, 50)))
+        train_out = layer(x).numpy()
+        assert (train_out == 0).any()
+        layer.eval()
+        assert layer(x) is x
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.5, rng)
+
+
+class TestFeedForward:
+    def test_shape_preserved(self, rng):
+        ffn = FeedForward(8, 16, rng)
+        out = ffn(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_relu_variant(self, rng):
+        ffn = FeedForward(8, 16, rng, activation="relu")
+        out = ffn(Tensor(rng.normal(size=(3, 8))))
+        assert out.shape == (3, 8)
+
+    def test_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            FeedForward(8, 16, rng, activation="swish")
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        ffn = FeedForward(4, 8, rng)
+        ffn.eval()
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a: ffn(a), [x], atol=5e-4)

@@ -1,0 +1,124 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (bpr_loss, cross_entropy, cross_entropy_with_candidates, info_nce,
+                      info_nce_from_logits)
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([0, 2, 4, 1])
+        loss = cross_entropy(Tensor(logits), targets).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        manual = -log_probs[np.arange(4), targets].mean()
+        assert loss == pytest.approx(manual, rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2])).item()
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_ignore_index(self, rng):
+        logits = rng.normal(size=(3, 4))
+        full = cross_entropy(Tensor(logits[:2]), np.array([1, 2])).item()
+        with_ignored = cross_entropy(Tensor(logits), np.array([1, 2, -1]),
+                                     ignore_index=-1).item()
+        assert full == pytest.approx(with_ignored, rel=1e-5)
+
+    def test_all_ignored_raises(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.array([-1, -1]),
+                          ignore_index=-1)
+
+    def test_label_smoothing_increases_confident_loss(self, rng):
+        logits = np.zeros((2, 4))
+        logits[:, 0] = 10.0
+        targets = np.array([0, 0])
+        plain = cross_entropy(Tensor(logits), targets).item()
+        smoothed = cross_entropy(Tensor(logits), targets, label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_rejects_3d_logits(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3, 4))), np.array([0, 1]))
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        targets = np.array([1, 0, 3, 2])
+        gradcheck(lambda a: cross_entropy(a, targets), [logits])
+        gradcheck(lambda a: cross_entropy(a, targets, label_smoothing=0.2), [logits])
+
+
+class TestCandidatesCE:
+    def test_positive_column_convention(self, rng):
+        scores = np.zeros((3, 5))
+        scores[:, 0] = 10.0
+        loss = cross_entropy_with_candidates(Tensor(scores)).item()
+        assert loss < 0.01
+
+    def test_custom_positive_column(self, rng):
+        scores = np.zeros((3, 5))
+        scores[:, 2] = 10.0
+        loss = cross_entropy_with_candidates(Tensor(scores), positive_column=2).item()
+        assert loss < 0.01
+
+
+class TestBPR:
+    def test_ordering(self):
+        good = bpr_loss(Tensor([5.0]), Tensor([0.0])).item()
+        bad = bpr_loss(Tensor([0.0]), Tensor([5.0])).item()
+        assert good < bad
+
+    def test_equal_scores_log2(self):
+        loss = bpr_loss(Tensor([1.0]), Tensor([1.0])).item()
+        assert loss == pytest.approx(np.log(2.0), rel=1e-5)
+
+    def test_stable_for_large_gaps(self):
+        loss = bpr_loss(Tensor([1e4]), Tensor([-1e4])).item()
+        assert np.isfinite(loss) and loss >= 0.0
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        p = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        n = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        gradcheck(lambda a, b: bpr_loss(a, b), [p, n])
+
+
+class TestInfoNCE:
+    def test_aligned_views_beat_shuffled(self, rng):
+        a = Tensor(rng.normal(size=(8, 6)))
+        aligned = info_nce(a, a, temperature=0.5).item()
+        shuffled = info_nce(a, Tensor(rng.normal(size=(8, 6))), temperature=0.5).item()
+        assert aligned < shuffled
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            info_nce(Tensor(rng.normal(size=(4, 3))), Tensor(rng.normal(size=(5, 3))))
+
+    def test_temperature_sharpens(self, rng):
+        a = Tensor(rng.normal(size=(6, 4)))
+        b = Tensor(a.numpy() + 0.01 * rng.normal(size=(6, 4)))
+        sharp = info_nce(a, b, temperature=0.05).item()
+        soft = info_nce(a, b, temperature=5.0).item()
+        assert sharp < soft  # near-identical views are separated better when sharp
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        gradcheck(lambda x, y: info_nce(x, y, temperature=0.5), [a, b], atol=5e-4)
+
+    def test_from_logits(self, rng):
+        logits = np.zeros((3, 4))
+        logits[0, 1] = logits[1, 0] = logits[2, 3] = 10.0
+        loss = info_nce_from_logits(Tensor(logits), np.array([1, 0, 3])).item()
+        assert loss < 0.01

@@ -1,0 +1,110 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Module, ModuleList, Sequential
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor, no_grad
+
+
+class Net(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng)
+        self.fc2 = Linear(8, 2, rng)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self, rng):
+        net = Net(rng)
+        names = dict(net.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias", "scale"}
+
+    def test_num_parameters(self, rng):
+        net = Net(rng)
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_parameter_requires_grad_inside_no_grad(self):
+        with no_grad():
+            p = Parameter(np.ones(3))
+        assert p.requires_grad
+
+    def test_modules_traversal(self, rng):
+        net = Net(rng)
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert kinds.count("Linear") == 2
+
+    def test_register_parameter(self, rng):
+        net = Net(rng)
+        net.register_parameter("extra", Parameter(np.zeros(2)))
+        assert "extra" in dict(net.named_parameters())
+
+
+class TestModes:
+    def test_train_eval_propagate(self, rng):
+        net = Sequential(Linear(4, 4, rng), Dropout(0.5, rng))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self, rng):
+        net = Net(rng)
+        out = net(Tensor(rng.normal(size=(3, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        net1, net2 = Net(rng), Net(rng)
+        assert not np.allclose(net1.fc1.weight.numpy(), net2.fc1.weight.numpy())
+        net2.load_state_dict(net1.state_dict())
+        assert np.allclose(net1.fc1.weight.numpy(), net2.fc1.weight.numpy())
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        state["scale"][...] = 99.0
+        assert net.scale.numpy()[0] == pytest.approx(1.0)
+
+    def test_missing_key_raises(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestContainers:
+    def test_module_list(self, rng):
+        layers = ModuleList([Linear(2, 2, rng) for _ in range(3)])
+        assert len(layers) == 3
+        assert layers[1] is list(layers)[1]
+        # Parameters of all children are registered.
+        parent = Module()
+        parent.layers = layers
+        assert len(parent.parameters()) == 6
+
+    def test_sequential_chains(self, rng):
+        net = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+        out = net(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

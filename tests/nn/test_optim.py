@@ -1,0 +1,118 @@
+"""Tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, AdamW, Linear, clip_grad_norm
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+def quadratic_steps(optimizer_factory, steps=200):
+    """Minimize ||x - 3||^2 and return the final parameter."""
+    p = Parameter(np.array([0.0, 0.0]))
+    opt = optimizer_factory([p])
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = ((p - Tensor([3.0, 3.0])) ** 2).sum()
+        loss.backward()
+        opt.step()
+    return p.numpy()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final = quadratic_steps(lambda ps: SGD(ps, lr=0.1))
+        assert np.allclose(final, 3.0, atol=1e-3)
+
+    def test_momentum_converges(self):
+        final = quadratic_steps(lambda ps: SGD(ps, lr=0.05, momentum=0.9))
+        assert np.allclose(final, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.numpy()[0] < 10.0
+
+    def test_none_grads_skipped(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()  # no grad set; must not crash
+        assert p.numpy()[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = quadratic_steps(lambda ps: Adam(ps, lr=0.1))
+        assert np.allclose(final, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        """First Adam step should be ~lr in the gradient direction."""
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.numpy()[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_frozen_rows_stay_zero(self, rng):
+        emb_weight = Parameter(rng.normal(size=(4, 3)))
+        emb_weight.data[0] = 0.0
+        emb_weight.frozen_rows = np.array([0])
+        opt = Adam([emb_weight], lr=0.5)
+        emb_weight.grad = np.ones((4, 3))
+        opt.step()
+        assert np.allclose(emb_weight.numpy()[0], 0.0)
+        assert not np.allclose(emb_weight.numpy()[1], 0.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_empty_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestAdamW:
+    def test_converges(self):
+        final = quadratic_steps(lambda ps: AdamW(ps, lr=0.1, weight_decay=0.001))
+        assert np.allclose(final, 3.0, atol=0.05)
+
+    def test_decay_decoupled_from_moments(self):
+        """AdamW decay must shrink weights even when gradients are zero."""
+        p = Parameter(np.array([10.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.numpy()[0] == pytest.approx(10.0 * (1 - 0.1 * 0.5), rel=1e-5)
+        assert opt.weight_decay == 0.5  # restored after the step
+
+
+class TestClipGradNorm:
+    def test_scales_down_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=5.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_training_a_layer_end_to_end(self, rng):
+        layer = Linear(3, 1, rng)
+        w_true = np.array([[1.0, -2.0, 0.5]])
+        x = rng.normal(size=(64, 3))
+        y = x @ w_true.T
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ((layer(Tensor(x)) - Tensor(y)) ** 2).mean()
+            loss.backward()
+            clip_grad_norm(layer.parameters(), 10.0)
+            opt.step()
+        assert loss.item() < 1e-3

@@ -1,0 +1,77 @@
+"""Tests for Adagrad and RMSprop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adagrad, RMSprop
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+
+def minimize(optimizer_factory, steps=300):
+    p = Parameter(np.array([0.0, 0.0]))
+    opt = optimizer_factory([p])
+    for _ in range(steps):
+        opt.zero_grad()
+        ((p - Tensor([2.0, -1.0])) ** 2).sum().backward()
+        opt.step()
+    return p.numpy()
+
+
+class TestAdagrad:
+    def test_converges(self):
+        final = minimize(lambda ps: Adagrad(ps, lr=0.5))
+        assert np.allclose(final, [2.0, -1.0], atol=1e-2)
+
+    def test_effective_lr_decays(self):
+        """Repeated identical gradients produce shrinking step sizes."""
+        p = Parameter(np.array([0.0]))
+        opt = Adagrad([p], lr=1.0)
+        steps = []
+        for _ in range(4):
+            before = p.numpy().copy()
+            p.grad = np.array([1.0])
+            opt.step()
+            steps.append(abs(float((p.numpy() - before)[0])))
+        assert steps[0] > steps[1] > steps[2] > steps[3]
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adagrad([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.numpy()[0] < 5.0
+
+    def test_frozen_rows(self, rng):
+        p = Parameter(rng.normal(size=(3, 2)))
+        p.data[0] = 0.0
+        p.frozen_rows = np.array([0])
+        opt = Adagrad([p], lr=0.5)
+        p.grad = np.ones((3, 2))
+        opt.step()
+        assert np.allclose(p.numpy()[0], 0.0)
+
+
+class TestRMSprop:
+    def test_converges(self):
+        final = minimize(lambda ps: RMSprop(ps, lr=0.02))
+        assert np.allclose(final, [2.0, -1.0], atol=5e-2)
+
+    def test_with_momentum_converges(self):
+        final = minimize(lambda ps: RMSprop(ps, lr=0.01, momentum=0.9))
+        assert np.allclose(final, [2.0, -1.0], atol=5e-2)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RMSprop([Parameter(np.zeros(1))], alpha=1.5)
+
+    def test_normalizes_gradient_scale(self):
+        """First steps are ~lr-sized regardless of raw gradient magnitude."""
+        steps = []
+        for scale in (1.0, 1000.0):
+            p = Parameter(np.array([0.0]))
+            opt = RMSprop([p], lr=0.1, alpha=0.9)
+            p.grad = np.array([scale])
+            opt.step()
+            steps.append(abs(float(p.numpy()[0])))
+        assert steps[0] == pytest.approx(steps[1], rel=1e-3)

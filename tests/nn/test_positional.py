@@ -1,0 +1,46 @@
+"""Tests for the sinusoidal positional encoding."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SinusoidalPositionalEncoding
+
+
+class TestSinusoidal:
+    def test_shape_and_determinism(self):
+        enc = SinusoidalPositionalEncoding(50, 16)
+        out = enc(np.array([[0, 1, 2], [3, 4, 5]]))
+        assert out.shape == (2, 3, 16)
+        assert np.allclose(out.numpy(), enc(np.array([[0, 1, 2], [3, 4, 5]])).numpy())
+
+    def test_position_zero_pattern(self):
+        enc = SinusoidalPositionalEncoding(10, 8)
+        row = enc(np.array([0])).numpy()[0]
+        assert np.allclose(row[0::2], 0.0, atol=1e-6)   # sin(0)
+        assert np.allclose(row[1::2], 1.0, atol=1e-6)   # cos(0)
+
+    def test_values_bounded(self):
+        enc = SinusoidalPositionalEncoding(100, 32)
+        table = enc(np.arange(100)).numpy()
+        assert (np.abs(table) <= 1.0 + 1e-6).all()
+
+    def test_distinct_positions_distinct_codes(self):
+        enc = SinusoidalPositionalEncoding(64, 16)
+        table = enc(np.arange(64)).numpy()
+        gram = table @ table.T
+        # No two positions share an identical encoding.
+        for i in range(63):
+            assert not np.allclose(table[i], table[i + 1], atol=1e-5)
+
+    def test_no_parameters(self):
+        enc = SinusoidalPositionalEncoding(10, 8)
+        assert enc.parameters() == []
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            SinusoidalPositionalEncoding(10, 7)
+
+    def test_out_of_range_rejected(self):
+        enc = SinusoidalPositionalEncoding(10, 8)
+        with pytest.raises(IndexError):
+            enc(np.array([10]))

@@ -1,0 +1,70 @@
+"""Tests for the GRU layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestGRUCell:
+    def test_shapes(self, rng):
+        cell = GRUCell(6, 4, rng)
+        x = Tensor(rng.normal(size=(3, 6)))
+        h = Tensor(np.zeros((3, 4)))
+        assert cell(x, h).shape == (3, 4)
+
+    def test_gate_interpolation_bounds(self, rng):
+        """New state is a convex combination of candidate and previous state,
+        so with h=0 the output is bounded by tanh's range."""
+        cell = GRUCell(4, 4, rng)
+        x = Tensor(rng.normal(size=(8, 4)) * 10)
+        h = Tensor(np.zeros((8, 4)))
+        out = cell(x, h).numpy()
+        assert (np.abs(out) <= 1.0 + 1e-5).all()
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        cell = GRUCell(4, 3, rng)
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        h = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        gradcheck(lambda a, b: cell(a, b), [x, h], atol=5e-4)
+
+
+class TestGRU:
+    def test_output_shape(self, rng):
+        gru = GRU(6, 4, rng)
+        out = gru(Tensor(rng.normal(size=(2, 5, 6))))
+        assert out.shape == (2, 5, 4)
+
+    def test_padded_steps_carry_state(self, rng):
+        """Hidden state must pass through padded positions unchanged."""
+        gru = GRU(4, 3, rng)
+        x = rng.normal(size=(1, 4, 4))
+        mask = np.array([[True, True, False, False]])
+        out = gru(Tensor(x), mask).numpy()
+        assert np.allclose(out[0, 1], out[0, 2], atol=1e-6)
+        assert np.allclose(out[0, 2], out[0, 3], atol=1e-6)
+
+    def test_left_padding_matches_unpadded(self, rng):
+        """A left-padded sequence must end in the same state as the unpadded one."""
+        gru = GRU(4, 3, rng)
+        seq = rng.normal(size=(1, 3, 4))
+        plain = gru(Tensor(seq)).numpy()[0, -1]
+        padded = np.concatenate([np.zeros((1, 2, 4)), seq], axis=1)
+        mask = np.array([[False, False, True, True, True]])
+        with_pad = gru(Tensor(padded), mask).numpy()[0, -1]
+        assert np.allclose(plain, with_pad, atol=1e-5)
+
+    def test_last_state_helper(self, rng):
+        gru = GRU(4, 3, rng)
+        x = Tensor(rng.normal(size=(2, 5, 4)))
+        assert np.allclose(gru.last_state(x).numpy(), gru(x).numpy()[:, -1], atol=1e-6)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads_through_time(self, rng):
+        gru = GRU(3, 3, rng)
+        x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        mask = np.array([[1, 1, 1, 0], [1, 1, 1, 1]], dtype=bool)
+        gradcheck(lambda a: gru(a, mask), [x], atol=5e-4)

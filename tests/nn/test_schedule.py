@@ -1,0 +1,61 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, ConstantLR, StepDecay, WarmupCosine
+from repro.nn.module import Parameter
+
+
+def make_opt(lr=1.0):
+    return Adam([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestConstant:
+    def test_never_changes(self):
+        opt = make_opt(0.5)
+        schedule = ConstantLR(opt)
+        for _ in range(5):
+            assert schedule.step() == pytest.approx(0.5)
+
+
+class TestWarmupCosine:
+    def test_linear_warmup(self):
+        opt = make_opt(1.0)
+        schedule = WarmupCosine(opt, warmup_steps=10, total_steps=100)
+        lrs = [schedule.step() for _ in range(10)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[4] == pytest.approx(0.5)
+        assert all(b > a for a, b in zip(lrs, lrs[1:]))
+
+    def test_decays_to_min(self):
+        opt = make_opt(1.0)
+        schedule = WarmupCosine(opt, warmup_steps=2, total_steps=20, min_lr=0.05)
+        lrs = [schedule.step() for _ in range(25)]
+        assert lrs[-1] == pytest.approx(0.05, abs=1e-6)
+
+    def test_peak_at_warmup_end(self):
+        opt = make_opt(1.0)
+        schedule = WarmupCosine(opt, warmup_steps=5, total_steps=50)
+        lrs = [schedule.step() for _ in range(6)]
+        assert max(lrs) == pytest.approx(1.0)
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            WarmupCosine(make_opt(), warmup_steps=10, total_steps=5)
+
+    def test_updates_optimizer(self):
+        opt = make_opt(1.0)
+        schedule = WarmupCosine(opt, warmup_steps=2, total_steps=10)
+        schedule.step()
+        assert opt.lr == pytest.approx(0.5)
+
+
+class TestStepDecay:
+    def test_halving(self):
+        opt = make_opt(1.0)
+        schedule = StepDecay(opt, step_size=3, gamma=0.5)
+        lrs = [schedule.step() for _ in range(7)]
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[2] == pytest.approx(0.5)   # step 3
+        assert lrs[5] == pytest.approx(0.25)  # step 6

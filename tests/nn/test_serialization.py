@@ -1,0 +1,44 @@
+"""Tests for npz checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Sequential, load_checkpoint, save_checkpoint
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, rng, tmp_path):
+        model = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+        path = save_checkpoint(model, tmp_path / "model.npz", extra={"epoch": 7})
+        clone = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+        extra = load_checkpoint(clone, path)
+        assert extra == {"epoch": 7}
+        for (name_a, p_a), (name_b, p_b) in zip(model.named_parameters(),
+                                                clone.named_parameters()):
+            assert name_a == name_b
+            assert np.allclose(p_a.numpy(), p_b.numpy())
+
+    def test_suffix_enforced(self, rng, tmp_path):
+        model = Sequential(Linear(2, 2, rng))
+        path = save_checkpoint(model, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_architecture_mismatch_rejected(self, rng, tmp_path):
+        model = Sequential(Linear(4, 8, rng))
+        path = save_checkpoint(model, tmp_path / "a.npz")
+        other = Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+        with pytest.raises(KeyError):
+            load_checkpoint(other, path)
+
+    def test_non_checkpoint_rejected(self, rng, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, foo=np.zeros(3))
+        model = Sequential(Linear(2, 2, rng))
+        with pytest.raises(ValueError):
+            load_checkpoint(model, path)
+
+    def test_directories_created(self, rng, tmp_path):
+        model = Sequential(Linear(2, 2, rng))
+        path = save_checkpoint(model, tmp_path / "deep" / "nested" / "m.npz")
+        assert path.exists()

@@ -1,0 +1,124 @@
+"""Graph-mechanics tests: accumulation, no_grad, detach, diamond graphs."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad, set_default_dtype
+
+
+class TestGraphMechanics:
+    def test_diamond_graph_accumulates_both_paths(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = y + y  # two paths through y
+        z.backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_shared_leaf_in_two_branches(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = (x * x).sum() + x.sum()
+        out.backward()
+        assert np.allclose(x.grad, 2 * x.numpy() + 1)
+
+    def test_backward_twice_accumulates(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * 2.0
+        y.backward()
+        first = x.grad.copy()
+        y2 = x * 2.0
+        y2.backward()
+        assert np.allclose(x.grad, 2 * first)
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_shape_mismatch(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_explicit_upstream_gradient(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 10.0]))
+        assert np.allclose(x.grad, [3.0, 30.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.0
+        y.backward()  # iterative topo sort must not hit recursion limits
+        assert np.allclose(x.grad, [1.0])
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._prev == ()
+
+    def test_no_grad_nesting_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+        z = y * 3.0
+        assert not z.requires_grad
+        # detach shares storage
+        assert y.numpy() is not None
+
+    def test_comparisons_return_plain_arrays(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([2.0, 1.0])
+        assert isinstance(a > b, np.ndarray)
+        assert (a < b).tolist() == [True, False]
+        assert (a >= Tensor([1.0, 3.0])).tolist() == [True, False]
+        assert (a <= 1.5).tolist() == [True, False]
+
+
+class TestDtypes:
+    def test_default_dtype_is_float32(self):
+        assert Tensor([1.0]).dtype == np.float32
+
+    def test_set_default_dtype_rejects_ints(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_integer_data_preserved(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "i"
+
+    def test_item_and_len_and_repr(self):
+        t = Tensor([[1.0, 2.0]])
+        assert len(t) == 1
+        assert Tensor([5.0]).item() == pytest.approx(5.0)
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_copy_and_astype(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.numpy()[0] == pytest.approx(1.0)
+        assert t.astype(np.float64).dtype == np.float64

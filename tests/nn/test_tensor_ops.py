@@ -1,0 +1,194 @@
+"""Unit + gradient tests for the primitive tensor operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.tensor as rt
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+def make(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add_values(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + Tensor(b)).numpy(), a + b)
+
+    def test_scalar_promotes(self):
+        out = Tensor([1.0, 2.0]) * 3 + 1
+        assert np.allclose(out.numpy(), [4.0, 7.0])
+
+    def test_radd_rmul_rsub_rdiv(self):
+        t = Tensor([2.0, 4.0])
+        assert np.allclose((1 + t).numpy(), [3, 5])
+        assert np.allclose((2 * t).numpy(), [4, 8])
+        assert np.allclose((10 - t).numpy(), [8, 6])
+        assert np.allclose((8 / t).numpy(), [4, 2])
+
+    @pytest.mark.usefixtures("float64")
+    def test_arithmetic_grads(self, rng):
+        a, b = make(rng, 3, 4), make(rng, 3, 4)
+        gradcheck(lambda x, y: x * y + x / (y.abs() + 1.0) - y, [a, b])
+
+    @pytest.mark.usefixtures("float64")
+    def test_broadcast_grads(self, rng):
+        a, b = make(rng, 3, 4), make(rng, 4)
+        gradcheck(lambda x, y: x * y + y, [a, b])
+        c = make(rng, 3, 1)
+        gradcheck(lambda x, y: x + y, [a, c])
+
+    @pytest.mark.usefixtures("float64")
+    def test_pow_grad(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(3,))) + 0.5, requires_grad=True)
+        gradcheck(lambda x: x ** 3, [a])
+        gradcheck(lambda x: x ** 0.5, [a], atol=5e-4)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestMatmul:
+    @pytest.mark.usefixtures("float64")
+    @pytest.mark.parametrize("sa,sb", [
+        ((3, 4), (4, 5)),
+        ((2, 3, 4), (2, 4, 5)),
+        ((2, 3, 4), (4, 5)),       # broadcast b
+        ((4,), (4, 5)),            # vector @ matrix
+        ((3, 4), (4,)),            # matrix @ vector
+        ((4,), (4,)),              # dot product
+    ])
+    def test_matmul_grads(self, rng, sa, sb):
+        a, b = make(rng, *sa), make(rng, *sb)
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_values(self, rng):
+        a, b = rng.normal(size=(2, 3, 4)), rng.normal(size=(4, 5))
+        assert np.allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b, atol=1e-5)
+
+
+class TestElementwise:
+    @pytest.mark.usefixtures("float64")
+    def test_unary_grads(self, rng):
+        a = make(rng, 3, 4)
+        gradcheck(lambda x: (x * 0.3).exp(), [a])
+        gradcheck(lambda x: x.tanh(), [a])
+        gradcheck(lambda x: x.sigmoid(), [a])
+        gradcheck(lambda x: x.relu() + 0.1 * x, [a], atol=5e-3)
+        b = Tensor(np.abs(rng.normal(size=(3,))) + 0.5, requires_grad=True)
+        gradcheck(lambda x: x.log(), [b])
+        gradcheck(lambda x: x.sqrt(), [b])
+
+    def test_sigmoid_stable_at_extremes(self):
+        out = Tensor([-1000.0, 1000.0]).sigmoid().numpy()
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.usefixtures("float64")
+    def test_clip_grad_zero_outside(self, rng):
+        a = Tensor(np.array([-2.0, 0.0, 2.0]), requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    @pytest.mark.usefixtures("float64")
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False), (1, True),
+                                               ((0, 2), False)])
+    def test_sum_mean_grads(self, rng, axis, keepdims):
+        a = make(rng, 2, 3, 4)
+        gradcheck(lambda x: x.sum(axis=axis, keepdims=keepdims), [a])
+        gradcheck(lambda x: x.mean(axis=axis, keepdims=keepdims), [a])
+
+    @pytest.mark.usefixtures("float64")
+    def test_max_grad_no_ties(self, rng):
+        a = make(rng, 3, 5)
+        gradcheck(lambda x: x.max(axis=1), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_min_matches_numpy(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose(Tensor(a).min(axis=1).numpy(), a.min(axis=1), atol=1e-6)
+
+    def test_var(self, rng):
+        a = rng.normal(size=(5, 7))
+        assert np.allclose(Tensor(a).var(axis=1).numpy(), a.var(axis=1), atol=1e-5)
+
+    def test_argmax_passthrough(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.array_equal(Tensor(a).argmax(axis=1), a.argmax(axis=1))
+
+
+class TestShapes:
+    @pytest.mark.usefixtures("float64")
+    def test_reshape_transpose_grads(self, rng):
+        a = make(rng, 2, 3, 4)
+        gradcheck(lambda x: x.reshape(6, 4), [a])
+        gradcheck(lambda x: x.transpose(2, 0, 1), [a])
+        gradcheck(lambda x: x.swapaxes(1, 2), [a])
+        gradcheck(lambda x: x.expand_dims(1).squeeze(1), [a])
+
+    @pytest.mark.usefixtures("float64")
+    def test_getitem_take_grads(self, rng):
+        a = make(rng, 5, 3)
+        gradcheck(lambda x: x[np.array([0, 2, 2, 4])], [a])
+        gradcheck(lambda x: x.take(np.array([[0, 1], [1, 4]]), axis=0), [a])
+        gradcheck(lambda x: x[:, 1], [a])
+
+    def test_getitem_repeated_indices_accumulate(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        a[np.array([1, 1, 1])].sum().backward()
+        assert np.allclose(a.grad, [[0, 0], [3, 3], [0, 0]])
+
+    @pytest.mark.usefixtures("float64")
+    def test_concatenate_stack_grads(self, rng):
+        a, b = make(rng, 2, 3), make(rng, 2, 3)
+        gradcheck(lambda x, y: rt.concatenate([x, y], axis=0), [a, b])
+        gradcheck(lambda x, y: rt.concatenate([x, y], axis=1), [a, b])
+        gradcheck(lambda x, y: rt.stack([x, y], axis=1), [a, b])
+
+    @pytest.mark.usefixtures("float64")
+    def test_where_maximum_minimum_grads(self, rng):
+        a, b = make(rng, 3, 4), make(rng, 3, 4)
+        cond = rng.random((3, 4)) > 0.5
+        gradcheck(lambda x, y: rt.where(cond, x, y), [a, b])
+        gradcheck(lambda x, y: rt.maximum(x, y), [a, b])
+        gradcheck(lambda x, y: rt.minimum(x, y), [a, b])
+
+    @pytest.mark.usefixtures("float64")
+    def test_masked_fill_grad(self, rng):
+        a = make(rng, 3, 4)
+        mask = rng.random((3, 4)) > 0.5
+        gradcheck(lambda x: x.masked_fill(mask, -3.0), [a])
+        out = a.masked_fill(mask, 7.0)
+        assert np.allclose(out.numpy()[mask], 7.0)
+
+
+class TestUnbroadcast:
+    @given(st.sampled_from([(3, 4), (1, 4), (3, 1), (1, 1), (4,), (1,)]))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_restores_shape(self, shape):
+        grad = np.ones((3, 4))
+        reduced = rt.unbroadcast(grad, shape)
+        assert reduced.shape == shape
+        # Total mass is preserved by summation.
+        assert reduced.sum() == pytest.approx(grad.sum())
+
+    def test_factories(self):
+        assert rt.zeros(2, 3).shape == (2, 3)
+        assert rt.ones((2, 3)).shape == (2, 3)
+        assert np.array_equal(rt.arange(5).numpy(), np.arange(5))
+        t = Tensor(np.ones((2, 2)))
+        assert rt.zeros_like(t).shape == (2, 2)
+        assert rt.ones_like(t).numpy().sum() == 4

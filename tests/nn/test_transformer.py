@@ -1,0 +1,77 @@
+"""Tests for the transformer encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn import TransformerEncoder, TransformerEncoderLayer
+from repro.nn.tensor import Tensor
+from repro.utils import gradcheck
+
+
+class TestEncoderLayer:
+    def test_shape_preserved(self, rng):
+        layer = TransformerEncoderLayer(16, 2, 32, rng)
+        x = Tensor(rng.normal(size=(3, 5, 16)))
+        assert layer(x).shape == (3, 5, 16)
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads(self, rng):
+        layer = TransformerEncoderLayer(8, 2, 16, rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        gradcheck(lambda a: layer(a), [x], atol=1e-3, rtol=5e-3)
+
+
+class TestEncoder:
+    def test_causality(self, rng):
+        """Perturbing position t must leave outputs at positions < t unchanged."""
+        encoder = TransformerEncoder(8, 2, 16, 2, rng, causal=True)
+        encoder.eval()
+        x = rng.normal(size=(1, 6, 8))
+        out1 = encoder(Tensor(x)).numpy()
+        x2 = x.copy()
+        # Perturb a single feature: a uniform shift would be LayerNorm-invariant.
+        x2[0, 3, 0] += 5.0
+        out2 = encoder(Tensor(x2)).numpy()
+        assert np.allclose(out1[0, :3], out2[0, :3], atol=1e-5)
+        assert not np.allclose(out1[0, 3:], out2[0, 3:], atol=1e-3)
+
+    def test_bidirectional_sees_future(self, rng):
+        encoder = TransformerEncoder(8, 2, 16, 1, rng, causal=False)
+        encoder.eval()
+        x = rng.normal(size=(1, 4, 8))
+        out1 = encoder(Tensor(x)).numpy()
+        x2 = x.copy()
+        x2[0, 3, 0] += 5.0
+        out2 = encoder(Tensor(x2)).numpy()
+        assert not np.allclose(out1[0, 0], out2[0, 0], atol=1e-4)
+
+    def test_padding_mask_isolates_rows(self, rng):
+        """A padded position's content must not affect valid positions."""
+        encoder = TransformerEncoder(8, 2, 16, 1, rng, causal=False)
+        encoder.eval()
+        x = rng.normal(size=(1, 4, 8))
+        valid = np.array([[False, True, True, True]])
+        out1 = encoder(Tensor(x), valid).numpy()
+        x2 = x.copy()
+        x2[0, 0] += 100.0
+        out2 = encoder(Tensor(x2), valid).numpy()
+        assert np.allclose(out1[0, 1:], out2[0, 1:], atol=1e-4)
+
+    def test_build_mask_combinations(self, rng):
+        encoder = TransformerEncoder(8, 2, 16, 1, rng, causal=True)
+        valid = np.array([[True, False]])
+        mask = encoder.build_mask(valid, 2)
+        assert mask.shape == (1, 1, 2, 2)
+        no_pad = encoder.build_mask(None, 3)
+        assert no_pad.shape == (1, 1, 3, 3)
+        encoder_bi = TransformerEncoder(8, 2, 16, 1, rng, causal=False)
+        assert encoder_bi.build_mask(None, 3) is None
+
+    @pytest.mark.usefixtures("float64")
+    def test_grads_with_mask(self, rng):
+        encoder = TransformerEncoder(8, 2, 16, 1, rng, causal=True)
+        encoder.eval()
+        valid = np.array([[True, True, False], [True, True, True]])
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        gradcheck(lambda a: encoder(a, valid), [x], atol=1e-3, rtol=5e-3)

@@ -1,0 +1,65 @@
+"""API hygiene: every public module exports a coherent, documented surface.
+
+These tests keep the library honest as it grows: ``__all__`` entries must
+exist, public callables must carry docstrings, and the package façade
+(``repro.<pkg>`` re-exports) must stay importable.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro.nn", "repro.data", "repro.hypergraph", "repro.core",
+            "repro.baselines", "repro.train", "repro.eval", "repro.experiments",
+            "repro.utils", "repro.analysis"]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+class TestModuleSurface:
+    def test_has_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+    def test_all_entries_exist(self, module):
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists {name}"
+
+    def test_public_callables_documented(self, module):
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if callable(obj) and getattr(obj, "__module__", "").startswith("repro"):
+                assert inspect.getdoc(obj), f"{module.__name__}.{name} lacks a docstring"
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_packages_importable(self):
+        for package_name in PACKAGES:
+            importlib.import_module(package_name)
+
+    def test_cli_module_importable(self):
+        from repro import cli
+        assert callable(cli.main)
+
+    def test_recommend_module_surface(self):
+        from repro import recommend
+        assert recommend.__doc__
+        for name in recommend.__all__:
+            obj = getattr(recommend, name)
+            assert inspect.getdoc(obj), name

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (["stats"], ["train"], ["experiment", "T1"], ["list"],
+                     ["compare", "SASRec", "MISSL"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "MISSL" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--scale", "0.15", "--preset", "yelp"]) == 0
+        out = capsys.readouterr().out
+        assert "users" in out and "view" in out
+
+    def test_experiment_t1(self, capsys, tmp_path):
+        assert main(["experiment", "T1", "--scale", "0.15",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "T1.csv").exists()
+        assert "T1" in capsys.readouterr().out
+
+    def test_train_unknown_model(self, capsys):
+        assert main(["train", "--model", "DeepFM"]) == 2
+
+    def test_train_pop_small(self, capsys, tmp_path):
+        # POP is non-parametric: no training loop, runs in milliseconds.
+        assert main(["train", "--model", "POP", "--scale", "0.15"]) == 0
+        assert "POP" in capsys.readouterr().out
+
+    def test_compare_nonparametric(self, capsys):
+        # POP vs ItemKNN: both non-parametric, so no training loop runs.
+        assert main(["compare", "POP", "ItemKNN", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "paired bootstrap" in out
+        assert "p=" in out

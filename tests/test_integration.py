@@ -1,0 +1,131 @@
+"""End-to-end integration tests across module boundaries.
+
+These run a real (tiny) pipeline: generate → preprocess → split → hypergraph
+→ train → evaluate, asserting cross-cutting invariants that unit tests
+cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MISSL, MISSLConfig
+from repro.data import SyntheticConfig, collate
+from repro.eval import evaluate_ranking, paired_bootstrap, rank_all
+from repro.experiments import ExperimentContext, build_model
+from repro.nn import load_checkpoint, save_checkpoint
+from repro.train import TrainConfig, Trainer
+
+CORPUS = SyntheticConfig(num_users=70, num_items=150, num_interests=4,
+                         interests_per_user=2, sessions_per_user=6.0,
+                         target_per_session=0.7, min_target_events=3,
+                         name="integration")
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.build(config=CORPUS, seed=9, max_len=20,
+                                   num_negatives=50)
+
+
+@pytest.fixture(scope="module")
+def trained_missl(context):
+    config = MISSLConfig(dim=16, num_interests=3, max_len=20, num_train_negatives=16)
+    model = MISSL(context.dataset.num_items, context.dataset.schema, context.graph,
+                  config, seed=0)
+    Trainer(model, context.split,
+            TrainConfig(epochs=6, patience=3, batch_size=64, seed=0)).fit()
+    return model
+
+
+class TestEndToEnd:
+    def test_training_beats_untrained(self, context, trained_missl):
+        config = MISSLConfig(dim=16, num_interests=3, max_len=20)
+        untrained = MISSL(context.dataset.num_items, context.dataset.schema,
+                          context.graph, config, seed=0)
+        trained_report = evaluate_ranking(trained_missl, context.split.test,
+                                          context.test_candidates,
+                                          context.dataset.schema)
+        untrained_report = evaluate_ranking(untrained, context.split.test,
+                                            context.test_candidates,
+                                            context.dataset.schema)
+        assert trained_report["NDCG@10"] > untrained_report["NDCG@10"]
+
+    def test_trained_model_beats_random_ranking(self, context, trained_missl):
+        report = evaluate_ranking(trained_missl, context.split.test,
+                                  context.test_candidates, context.dataset.schema)
+        # A random ranker scores HR@10 ≈ 10/51 ≈ 0.196 on 50 negatives.
+        assert report["HR@10"] > 0.25
+
+    def test_checkpoint_roundtrip_preserves_metrics(self, context, trained_missl,
+                                                    tmp_path):
+        before = evaluate_ranking(trained_missl, context.split.test,
+                                  context.test_candidates, context.dataset.schema)
+        path = save_checkpoint(trained_missl, tmp_path / "missl.npz")
+        config = MISSLConfig(dim=16, num_interests=3, max_len=20,
+                             num_train_negatives=16)
+        clone = MISSL(context.dataset.num_items, context.dataset.schema,
+                      context.graph, config, seed=123)
+        load_checkpoint(clone, path)
+        clone.eval()
+        after = evaluate_ranking(clone, context.split.test, context.test_candidates,
+                                 context.dataset.schema)
+        assert before == after
+
+    def test_full_reproducibility(self, context):
+        """Same seeds end to end → bit-identical metric reports."""
+        reports = []
+        for _ in range(2):
+            config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                                 num_train_negatives=8, lambda_aug=0.0)
+            model = MISSL(context.dataset.num_items, context.dataset.schema,
+                          context.graph, config, seed=21)
+            Trainer(model, context.split,
+                    TrainConfig(epochs=2, patience=2, seed=5)).fit()
+            reports.append(evaluate_ranking(model, context.split.test,
+                                            context.test_candidates,
+                                            context.dataset.schema))
+        assert reports[0] == reports[1]
+
+    def test_bootstrap_compare_pipeline(self, context, trained_missl):
+        pop = build_model("POP", context)
+        missl_ranks = rank_all(trained_missl, context.split.test,
+                               context.test_candidates, context.dataset.schema)
+        pop_ranks = rank_all(pop, context.split.test, context.test_candidates,
+                             context.dataset.schema)
+        result = paired_bootstrap(missl_ranks, pop_ranks, seed=0)
+        # Point estimates must match the evaluator's report.
+        report = evaluate_ranking(trained_missl, context.split.test,
+                                  context.test_candidates, context.dataset.schema)
+        assert result.metric_a == pytest.approx(report["NDCG@10"], abs=1e-9)
+
+    def test_no_test_leakage_in_hypergraph(self, context):
+        """Items that only ever occur as a user's held-out targets must be
+        isolated in the training hypergraph."""
+        dataset = context.dataset
+        degrees = context.graph.node_degrees()
+        train_items = set()
+        for user in dataset.users:
+            cutoff = dataset.sequence_with_times(user, dataset.schema.target)[-2][1]
+            for item, behavior, ts in dataset.merged_sequence(user):
+                if ts < cutoff:
+                    train_items.add(item)
+        holdout_only = set(range(1, dataset.num_items + 1)) - train_items
+        for item in holdout_only:
+            assert degrees[item] == 0
+
+    def test_scores_do_not_depend_on_batch_composition(self, context, trained_missl):
+        """Scoring a user alone or inside a batch must give identical scores."""
+        from repro.nn.tensor import no_grad
+        examples = context.split.test[:5]
+        candidates = context.test_candidates.slice(np.arange(5))
+        trained_missl.eval()
+        with no_grad():
+            batch_scores = trained_missl.score_candidates(
+                collate(examples, context.dataset.schema), candidates).numpy()
+            solo_scores = np.stack([
+                trained_missl.score_candidates(
+                    collate([example], context.dataset.schema),
+                    candidates[i:i + 1]).numpy()[0]
+                for i, example in enumerate(examples)
+            ])
+        assert np.allclose(batch_scores, solo_scores, atol=1e-4)

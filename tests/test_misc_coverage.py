@@ -1,0 +1,106 @@
+"""Miscellaneous coverage: small behaviors not owned by another test module."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GRU4Rec, Popularity, SASRec
+from repro.data import collate, pad_sequences
+from repro.experiments.results import ExperimentResult
+from repro.hypergraph import BuilderConfig, build_hypergraph
+
+
+class TestCollateMaxLen:
+    def test_explicit_max_len_trims(self, tiny_dataset, tiny_split):
+        batch = collate(tiny_split.test[:4], tiny_dataset.schema, max_len=3)
+        for behavior, matrix in batch.items.items():
+            assert matrix.shape[1] <= 3
+        assert batch.merged_items.shape[1] <= 3
+
+    def test_pad_value_custom(self):
+        matrix, _ = pad_sequences([[1]], max_len=3, pad_value=-1)
+        assert matrix[0].tolist() == [-1, -1, 1]
+
+
+class TestResultColumn:
+    def test_unknown_column(self):
+        result = ExperimentResult("TX", "t", ["a"], [[1]])
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+
+class TestPopularityScopes:
+    def test_target_only_differs_from_all(self, toy_dataset):
+        target_only = Popularity(toy_dataset.num_items).fit(toy_dataset,
+                                                            target_only=True)
+        everything = Popularity(toy_dataset.num_items).fit(toy_dataset,
+                                                           target_only=False)
+        assert not np.array_equal(target_only._counts, everything._counts)
+        assert everything._counts.sum() == toy_dataset.num_interactions
+
+
+class TestModelScopes:
+    def test_scope_attributes(self, tiny_dataset):
+        assert GRU4Rec(tiny_dataset.num_items, tiny_dataset.schema,
+                       dim=8, seed=0).behavior_scope == "target"
+        assert SASRec(tiny_dataset.num_items, tiny_dataset.schema, dim=8,
+                      seed=0, behavior_scope="merged",
+                      use_behavior_embedding=True).behavior_scope == "merged"
+
+
+class TestHypergraphWholeSequence:
+    def test_window_none_one_edge_per_behavior_sequence(self, toy_dataset):
+        graph = build_hypergraph(toy_dataset, BuilderConfig(
+            window=None, holdout_targets=0, include_cross_behavior=False))
+        # toy: 3 users × up to 2 behaviors with >= 2 distinct items each.
+        from repro.hypergraph import CROSS_BEHAVIOR_EDGE
+        assert graph.num_edges >= 3
+        assert not (graph.edge_behavior == CROSS_BEHAVIOR_EDGE).any()
+
+
+class TestZooConsistency:
+    def test_nonparametric_models_have_no_parameters(self, tiny_dataset):
+        from repro.data import SyntheticConfig
+        from repro.experiments import ExperimentContext, NONPARAMETRIC, build_model
+        context = ExperimentContext.build(
+            config=SyntheticConfig(num_users=30, num_items=70, num_interests=3,
+                                   interests_per_user=2, name="zoo-check"),
+            seed=2, num_negatives=20)
+        for name in NONPARAMETRIC:
+            model = build_model(name, context, dim=8, seed=0)
+            assert model.parameters() == [], name
+
+    def test_t2_models_subset_of_zoo(self):
+        from repro.experiments import model_names
+        from repro.experiments.runners import T2_MODELS
+        assert set(T2_MODELS) <= set(model_names())
+        assert "LightGCN" not in T2_MODELS and "BPRMF" not in T2_MODELS
+
+
+class TestLossOptions:
+    def test_info_nce_unnormalized(self, rng):
+        from repro.nn import info_nce
+        from repro.nn.tensor import Tensor
+        a = Tensor(rng.normal(size=(6, 4)))
+        normalized = info_nce(a, a, temperature=0.5, normalize=True).item()
+        raw = info_nce(a, a, temperature=0.5, normalize=False).item()
+        assert np.isfinite(raw)
+        assert normalized != pytest.approx(raw)
+
+    def test_bpr_broadcasts(self, rng):
+        from repro.nn import bpr_loss
+        from repro.nn.tensor import Tensor
+        pos = Tensor(rng.normal(size=(5, 1)))
+        neg = Tensor(rng.normal(size=(5, 7)))  # several negatives per positive
+        loss = bpr_loss(pos, neg)
+        assert loss.numpy().shape == ()
+
+
+class TestAttentionPoolGrad:
+    def test_gradcheck(self, rng, float64):
+        from repro.nn import AdditiveAttentionPool
+        from repro.nn.tensor import Tensor
+        from repro.utils import gradcheck
+        pool = AdditiveAttentionPool(4, 6, rng)
+        x = Tensor(rng.normal(size=(2, 5, 4)), requires_grad=True)
+        mask = np.array([[1, 1, 1, 0, 0], [1, 1, 1, 1, 1]], dtype=bool)
+        gradcheck(lambda a: pool(a, mask), [x], atol=5e-4)

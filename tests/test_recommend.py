@@ -1,0 +1,79 @@
+"""Tests for the serving-style recommend API."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Popularity
+from repro.recommend import Recommendation, build_inference_example, recommend, \
+    recommend_batch
+
+
+@pytest.fixture
+def pop_model(tiny_dataset):
+    return Popularity(tiny_dataset.num_items).fit(tiny_dataset, target_only=False)
+
+
+class TestInferenceExample:
+    def test_consumes_full_history(self, tiny_dataset):
+        user = tiny_dataset.users[0]
+        example = build_inference_example(tiny_dataset, user, max_len=100)
+        for behavior in tiny_dataset.schema.behaviors:
+            assert list(example.inputs[behavior]) == \
+                tiny_dataset.sequence(user, behavior)[-100:]
+
+    def test_max_len_truncates(self, tiny_dataset):
+        user = tiny_dataset.users[0]
+        example = build_inference_example(tiny_dataset, user, max_len=2)
+        assert len(example.merged_items) <= 2
+
+    def test_unknown_user_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            build_inference_example(tiny_dataset, 99_999)
+
+
+class TestRecommend:
+    def test_top_k_shape_and_order(self, tiny_dataset, pop_model):
+        user = tiny_dataset.users[0]
+        recs = recommend(pop_model, tiny_dataset, user, k=5)
+        assert len(recs) == 5
+        assert all(isinstance(r, Recommendation) for r in recs)
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+        assert [r.rank for r in recs] == list(range(5))
+
+    def test_seen_items_excluded(self, tiny_dataset, pop_model):
+        user = tiny_dataset.users[0]
+        seen = tiny_dataset.items_of_user(user)
+        recs = recommend(pop_model, tiny_dataset, user, k=10)
+        assert not ({r.item for r in recs} & seen)
+
+    def test_seen_items_allowed_when_disabled(self, tiny_dataset, pop_model):
+        """With exclusion off, popularity recommends globally popular items,
+        seen or not."""
+        popularity = tiny_dataset.item_popularity()
+        top_item = int(popularity.argmax())
+        user = next(u for u in tiny_dataset.users
+                    if top_item in tiny_dataset.items_of_user(u))
+        recs = recommend(pop_model, tiny_dataset, user, k=3, exclude_seen=False)
+        assert recs[0].item == top_item
+
+    def test_batch_matches_single(self, tiny_dataset, pop_model):
+        users = tiny_dataset.users[:3]
+        batched = recommend_batch(pop_model, tiny_dataset, users, k=4)
+        for user in users:
+            single = recommend(pop_model, tiny_dataset, user, k=4)
+            assert [r.item for r in single] == [r.item for r in batched[user]]
+
+    def test_invalid_k(self, tiny_dataset, pop_model):
+        with pytest.raises(ValueError):
+            recommend(pop_model, tiny_dataset, tiny_dataset.users[0], k=0)
+
+    def test_works_with_trained_missl(self, tiny_dataset, tiny_graph):
+        from repro.core import MISSL, MISSLConfig
+        config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                             num_train_negatives=8, lambda_aug=0.0)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        recs = recommend(model, tiny_dataset, tiny_dataset.users[0], k=5, max_len=20)
+        assert len(recs) == 5
+        assert all(1 <= r.item <= tiny_dataset.num_items for r in recs)

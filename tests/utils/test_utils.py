@@ -1,0 +1,74 @@
+"""Tests for seeding, tables and the gradcheck helper itself."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.utils import (format_table, gradcheck, numerical_gradient, seeded_rng,
+                         spawn_rngs, write_csv, write_markdown)
+
+
+class TestSeeding:
+    def test_seeded_rng_reproducible(self):
+        assert seeded_rng(5).random() == seeded_rng(5).random()
+
+    def test_spawn_rngs_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        first = [g.random() for g in spawn_rngs(3, 3)]
+        second = [g.random() for g in spawn_rngs(3, 3)]
+        assert first == second
+
+
+class TestGradcheck:
+    @pytest.mark.usefixtures("float64")
+    def test_detects_wrong_gradient(self, rng):
+        """A deliberately broken backward must be caught."""
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+
+        def broken(t):
+            out = t * 2.0
+            original = out._backward
+
+            def corrupted():
+                t._accumulate(np.ones(3) * 99.0)
+            out._backward = corrupted
+            return out
+
+        with pytest.raises(AssertionError):
+            gradcheck(broken, [x])
+
+    @pytest.mark.usefixtures("float64")
+    def test_numerical_gradient_of_square(self):
+        x = Tensor(np.array([1.0, -2.0]), requires_grad=True)
+        numeric = numerical_gradient(lambda t: t * t, [x], 0)
+        assert np.allclose(numeric, 2 * x.numpy(), atol=1e-4)
+
+    @pytest.mark.usefixtures("float64")
+    def test_missing_grad_detected(self, rng):
+        x = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        unused = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        with pytest.raises(AssertionError, match="received no gradient"):
+            gradcheck(lambda a, b: a * 2.0, [x, unused])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.2346" in text  # floats rendered at 4 decimals
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[2] == "3,4"
+
+    def test_write_markdown(self, tmp_path):
+        path = write_markdown(tmp_path / "out.md", ["a"], [[1]], title="Table X")
+        text = path.read_text()
+        assert text.startswith("## Table X")
+        assert "| a |" in text
