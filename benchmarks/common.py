@@ -10,6 +10,15 @@ claims the paper's narrative depends on.
 Environment knobs (for quick smoke runs):
     REPRO_BENCH_SCALE   dataset scale factor (default 0.5)
     REPRO_BENCH_EPOCHS  training epochs (default 15)
+
+The perf benchmark ``bench_p1_hotpaths.py`` (marker ``perf``; excluded from
+tier-1 runs) has its own knobs so it can smoke-test independently of the
+experiment benches:
+    REPRO_PERF_SCALE        dataset scale factor (default 0.4)
+    REPRO_PERF_STEPS        timed training steps per mode (default 5)
+    REPRO_PERF_MIN_SPEEDUP  fail below this training-step speedup
+                            (default 2.0; ``run_perf_smoke.sh`` sets 0
+                            because tiny corpora are overhead-dominated)
 """
 
 from __future__ import annotations

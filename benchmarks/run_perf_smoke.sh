@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Smoke-run the P1 hot-path benchmark at tiny scale.
+#
+# Verifies the benchmark machinery end to end — both code paths execute and
+# BENCH_P1.json is produced — without asserting the 2x speedup, which is only
+# meaningful at the default scale (tiny corpora are dominated by fixed
+# overheads).  Intended for CI; finishes in well under a minute.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export REPRO_PERF_SCALE="${REPRO_PERF_SCALE:-0.15}"
+export REPRO_PERF_STEPS="${REPRO_PERF_STEPS:-2}"
+export REPRO_PERF_MIN_SPEEDUP="${REPRO_PERF_MIN_SPEEDUP:-0}"
+
+rm -f benchmarks/results/BENCH_P1.json
+
+PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py
+
+if [[ ! -f benchmarks/results/BENCH_P1.json ]]; then
+    echo "FAIL: benchmarks/results/BENCH_P1.json was not produced" >&2
+    exit 1
+fi
+echo "perf smoke OK"

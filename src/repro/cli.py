@@ -5,6 +5,7 @@ Commands:
     train        train a model (MISSL or any zoo baseline) and report test metrics
     experiment   run one registered experiment (T1..T4, F1..F6)
     list         list registered experiments and zoo models
+    profile      per-op profile of training steps (fast vs reference path)
     compare      significance-test two models on one dataset
 
 All commands are seeded and run on synthetic presets; see ``--help`` of each
@@ -46,6 +47,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--out", default=None, help="directory for CSV/markdown")
 
     sub.add_parser("list", help="list experiments and models")
+
+    profile = sub.add_parser("profile", help="per-op profile of training steps")
+    profile.add_argument("--model", default="MISSL")
+    profile.add_argument("--preset", default="taobao", choices=["taobao", "tmall", "yelp"])
+    profile.add_argument("--scale", type=float, default=0.4)
+    profile.add_argument("--dim", type=int, default=32)
+    profile.add_argument("--steps", type=int, default=5)
+    profile.add_argument("--batch-size", type=int, default=128)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--limit", type=int, default=25,
+                         help="show at most this many ops in the table")
+    profile.add_argument("--reference", action="store_true",
+                         help="profile the retained seed kernels instead of "
+                              "the fast paths")
 
     compare = sub.add_parser("compare", help="paired-bootstrap two models")
     compare.add_argument("model_a")
@@ -117,6 +132,61 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import contextlib
+    import time
+
+    import numpy as np
+
+    from repro.data.batching import BatchLoader
+    from repro.data.sampling import NegativeSampler
+    from repro.experiments import ExperimentContext, build_model, model_names
+    from repro.nn.optim import Adam, clip_grad_norm
+    from repro.perf import profiled, reference_mode
+
+    if args.model not in model_names():
+        print(f"unknown model {args.model!r}; choose from {model_names()}",
+              file=sys.stderr)
+        return 2
+    if args.steps < 1:
+        print("--steps must be at least 1", file=sys.stderr)
+        return 2
+    mode = reference_mode() if args.reference else contextlib.nullcontext()
+    with mode:
+        context = ExperimentContext.build(args.preset, scale=args.scale, seed=args.seed)
+        model = build_model(args.model, context, dim=args.dim, seed=args.seed)
+        if not model.parameters():
+            print(f"{args.model} has no trainable parameters; nothing to profile",
+                  file=sys.stderr)
+            return 2
+        loader = BatchLoader(context.split.train, context.dataset.schema,
+                             args.batch_size, rng=np.random.default_rng(args.seed))
+        sampler = NegativeSampler(context.dataset,
+                                  np.random.default_rng(args.seed + 1))
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        batches = list(loader)
+
+        def step(batch) -> None:
+            optimizer.zero_grad()
+            loss = model.training_loss(batch, sampler)
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+
+        step(batches[0])  # warm up caches (hypergraph plans, transposes)
+        started = time.perf_counter()
+        with profiled() as profiler:
+            for index in range(args.steps):
+                step(batches[index % len(batches)])
+        elapsed = time.perf_counter() - started
+        label = "reference" if args.reference else "fast"
+        print(f"{args.model} on {args.preset} (scale {args.scale}, dim {args.dim}, "
+              f"{label} path): {args.steps} steps in {elapsed:.3f}s "
+              f"({elapsed / args.steps:.3f}s/step)")
+        print(profiler.report(limit=args.limit))
+    return 0
+
+
 def _cmd_compare(args) -> int:
     from repro.eval import rank_all
     from repro.eval.significance import paired_bootstrap
@@ -144,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "experiment": _cmd_experiment,
         "list": _cmd_list,
+        "profile": _cmd_profile,
         "compare": _cmd_compare,
     }
     return handlers[args.command](args)

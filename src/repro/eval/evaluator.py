@@ -17,33 +17,59 @@ from repro.nn.tensor import no_grad
 from .metrics import MetricReport, ranks_from_scores
 from .protocol import CandidateSets
 
-__all__ = ["evaluate_ranking", "rank_all"]
+__all__ = ["evaluate_ranking", "rank_all", "precollate"]
 
 
-def rank_all(model, examples: list[SequenceExample], candidate_sets: CandidateSets,
-             schema: BehaviorSchema, batch_size: int = 128) -> np.ndarray:
-    """Compute the positive item's rank for every example.
+def precollate(examples: list[SequenceExample], candidate_sets: CandidateSets,
+               schema: BehaviorSchema, batch_size: int = 128) -> list[tuple]:
+    """Pre-collate evaluation batches for repeated ranking passes.
 
-    Returns an ``(N,)`` int array of 0-based ranks; input ordering preserved.
+    Returns ``[(batch, candidates), ...]`` chunks ready for
+    ``model.score_candidates``.  Evaluation examples and candidate sets are
+    fixed for the lifetime of a split, so a trainer that evaluates every
+    epoch can collate once and pass the result to :func:`rank_all` via
+    ``precollated=`` instead of re-building identical batches each time.
     """
     if len(examples) != len(candidate_sets):
         raise ValueError("examples and candidate sets are misaligned")
+    batches = []
+    for start in range(0, len(examples), batch_size):
+        chunk_idx = np.arange(start, min(start + batch_size, len(examples)))
+        batch = collate([examples[i] for i in chunk_idx], schema)
+        batches.append((batch, candidate_sets.slice(chunk_idx)))
+    return batches
+
+
+def rank_all(model, examples: list[SequenceExample], candidate_sets: CandidateSets,
+             schema: BehaviorSchema, batch_size: int = 128,
+             precollated: list[tuple] | None = None) -> np.ndarray:
+    """Compute the positive item's rank for every example.
+
+    Returns an ``(N,)`` int array of 0-based ranks; input ordering preserved.
+    ``precollated`` (from :func:`precollate`) skips per-call batch collation.
+    The model's train/eval mode is restored on exit rather than forced to
+    train mode: evaluating an already-eval model must not flip it back to
+    training (which would, e.g., invalidate cached inference tables).
+    """
+    if precollated is None:
+        precollated = precollate(examples, candidate_sets, schema, batch_size=batch_size)
+    was_training = bool(getattr(model, "training", False))
     model.eval()
     ranks: list[np.ndarray] = []
     with no_grad():
-        for start in range(0, len(examples), batch_size):
-            chunk_idx = np.arange(start, min(start + batch_size, len(examples)))
-            batch = collate([examples[i] for i in chunk_idx], schema)
-            candidates = candidate_sets.slice(chunk_idx)
+        for batch, candidates in precollated:
             scores = model.score_candidates(batch, candidates)
             ranks.append(ranks_from_scores(scores.numpy()))
-    model.train()
+    if was_training:
+        model.train()
     return np.concatenate(ranks) if ranks else np.zeros(0, dtype=np.int64)
 
 
 def evaluate_ranking(model, examples: list[SequenceExample], candidate_sets: CandidateSets,
                      schema: BehaviorSchema, ks: tuple[int, ...] = (5, 10, 20),
-                     batch_size: int = 128) -> MetricReport:
+                     batch_size: int = 128,
+                     precollated: list[tuple] | None = None) -> MetricReport:
     """Full sampled-ranking evaluation → HR@K / NDCG@K / MRR report."""
-    ranks = rank_all(model, examples, candidate_sets, schema, batch_size=batch_size)
+    ranks = rank_all(model, examples, candidate_sets, schema, batch_size=batch_size,
+                     precollated=precollated)
     return MetricReport.from_ranks(ranks, ks=ks)

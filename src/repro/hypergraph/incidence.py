@@ -13,7 +13,25 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["Hypergraph", "hgnn_propagation_matrix"]
+__all__ = ["Hypergraph", "hgnn_propagation_matrix", "set_reference_dtype",
+           "reference_dtype_enabled"]
+
+# When True, hgnn_propagation_matrix returns its float64 assembly unchanged,
+# reproducing the seed implementation (whose float64 CSR silently promoted the
+# whole downstream forward).  Flipped by repro.perf.reference_mode so the
+# benchmark baseline measures the true seed path; never enable in training.
+_REFERENCE_DTYPE = False
+
+
+def set_reference_dtype(enabled: bool) -> None:
+    """Toggle the seed's float64 propagation-operator behavior (perf baseline)."""
+    global _REFERENCE_DTYPE
+    _REFERENCE_DTYPE = bool(enabled)
+
+
+def reference_dtype_enabled() -> bool:
+    """Return True when the seed float64 operator behavior is active."""
+    return _REFERENCE_DTYPE
 
 
 @dataclass
@@ -115,6 +133,12 @@ def hgnn_propagation_matrix(graph: Hypergraph, edge_weights: np.ndarray | None =
 
     Isolated nodes (degree 0, e.g. the padding row) receive zero rows, which
     leaves their embeddings untouched when the layer adds a residual.
+
+    The operator is assembled in float64 for accuracy but returned in the
+    active :func:`repro.nn.tensor.get_default_dtype` — a float64 CSR here
+    would silently promote every downstream ``sparse_mm`` (and the entire
+    model forward fed by the enhanced item table) to float64.  Gradcheck
+    mode sets the default dtype to float64 and keeps full precision.
     """
     h = graph.incidence.astype(np.float64)
     num_edges = graph.num_edges
@@ -126,4 +150,8 @@ def hgnn_propagation_matrix(graph: Hypergraph, edge_weights: np.ndarray | None =
     inv_ed = np.where(edge_deg > 0, 1.0 / np.maximum(edge_deg, 1e-12), 0.0)
     dv = sp.diags(inv_sqrt_nd)
     de = sp.diags(inv_ed * edge_weights)
-    return (dv @ h @ de @ h.T @ dv).tocsr()
+    operator = (dv @ h @ de @ h.T @ dv).tocsr()
+    if _REFERENCE_DTYPE:
+        return operator
+    from repro.nn.tensor import get_default_dtype
+    return operator.astype(get_default_dtype())

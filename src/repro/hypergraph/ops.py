@@ -8,6 +8,12 @@ Three custom autodiff ops bridge scipy-sparse structures into the
 * :func:`segment_sum` — scatter-add rows into groups (backward: gather).
 * :func:`segment_softmax` — softmax over variable-size groups, the core of
   attention on incidence structures (backward: per-group softmax Jacobian).
+
+All segment kernels are scatter-free on the fast backend (sort +
+``reduceat`` / ``bincount``; see :mod:`repro.nn.scatter`) and accept an
+optional precomputed :class:`~repro.nn.scatter.SegmentPlan` so static index
+structures (the incidence COO pairs, identical every step) pay for their
+sort exactly once.
 """
 
 from __future__ import annotations
@@ -15,9 +21,12 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.nn.scatter import (SegmentPlan, scatter_add_1d, scatter_add_rows,
+                              segment_max_1d)
 from repro.nn.tensor import Tensor
 
-__all__ = ["sparse_mm", "segment_sum", "segment_softmax", "segment_max"]
+__all__ = ["sparse_mm", "segment_sum", "segment_softmax", "segment_max",
+           "SegmentPlan"]
 
 
 def sparse_mm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
@@ -43,7 +52,12 @@ def sparse_mm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
     return out
 
 
-def _check_segments(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+def _check_segments(segment_ids: np.ndarray, num_segments: int,
+                    plan: SegmentPlan | None) -> np.ndarray:
+    if plan is not None:
+        if plan.num_segments != num_segments or plan.segment_ids.size != np.asarray(segment_ids).size:
+            raise ValueError("segment plan does not match segment_ids")
+        return plan.segment_ids
     segment_ids = np.asarray(segment_ids)
     if segment_ids.ndim != 1:
         raise ValueError("segment_ids must be 1-D")
@@ -52,11 +66,11 @@ def _check_segments(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
     return segment_ids
 
 
-def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int,
+                plan: SegmentPlan | None = None) -> Tensor:
     """Sum rows of ``values`` ``(N, ...)`` into ``num_segments`` groups."""
-    segment_ids = _check_segments(segment_ids, num_segments)
-    out_data = np.zeros((num_segments,) + values.shape[1:], dtype=values.data.dtype)
-    np.add.at(out_data, segment_ids, values.data)
+    segment_ids = _check_segments(segment_ids, num_segments, plan)
+    out_data = scatter_add_rows(segment_ids, values.data, num_segments, plan=plan)
     out = Tensor._make(out_data, (values,), "segment_sum")
     if out.requires_grad:
         def _backward() -> None:
@@ -65,35 +79,33 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     return out
 
 
-def segment_max(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+def segment_max(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+                plan: SegmentPlan | None = None) -> np.ndarray:
     """Per-segment maximum of a raw 1-D array (non-differentiable helper)."""
-    result = np.full(num_segments, -np.inf, dtype=values.dtype)
-    np.maximum.at(result, segment_ids, values)
-    return result
+    return segment_max_1d(values, segment_ids, num_segments, plan=plan)
 
 
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int,
+                    plan: SegmentPlan | None = None) -> Tensor:
     """Softmax of 1-D ``scores`` within each segment.
 
     Entries sharing a segment id compete in one softmax; the output sums to 1
     within every non-empty segment.  Numerically stabilized with a per-segment
     max shift.
     """
-    segment_ids = _check_segments(segment_ids, num_segments)
+    segment_ids = _check_segments(segment_ids, num_segments, plan)
     if scores.ndim != 1:
         raise ValueError("segment_softmax expects 1-D scores")
-    shift = segment_max(scores.data, segment_ids, num_segments)
+    shift = segment_max_1d(scores.data, segment_ids, num_segments, plan=plan)
     exp = np.exp(scores.data - shift[segment_ids])
-    denom = np.zeros(num_segments, dtype=exp.dtype)
-    np.add.at(denom, segment_ids, exp)
+    denom = scatter_add_1d(segment_ids, exp, num_segments)
     value = exp / denom[segment_ids]
     out = Tensor._make(value, (scores,), "segment_softmax")
     if out.requires_grad:
         def _backward() -> None:
             g = out.grad
             s = out.data
-            weighted = np.zeros(num_segments, dtype=s.dtype)
-            np.add.at(weighted, segment_ids, g * s)
+            weighted = scatter_add_1d(segment_ids, g * s, num_segments)
             scores._accumulate(s * (g - weighted[segment_ids]))
         out._backward = _backward
     return out

@@ -26,6 +26,9 @@ from repro.nn.layers import Embedding
 from repro.nn.module import Module, ModuleList
 from repro.nn.tensor import Tensor
 
+from repro.nn.scatter import SegmentPlan
+from repro.nn.tensor import get_default_dtype
+
 from .builder import CROSS_BEHAVIOR_EDGE
 from .incidence import Hypergraph, hgnn_propagation_matrix
 from .ops import segment_softmax, segment_sum, sparse_mm
@@ -34,11 +37,15 @@ __all__ = ["HypergraphTransformerLayer", "HypergraphTransformer"]
 
 
 def _edge_mean_matrix(graph: Hypergraph) -> sp.csr_matrix:
-    """``De^-1 H^T``: averages member-node features into each edge."""
+    """``De^-1 H^T``: averages member-node features into each edge.
+
+    Computed in float64 for accuracy, then cast to the active default dtype so
+    ``sparse_mm`` does not silently promote the whole encoder to float64.
+    """
     h = graph.incidence.astype(np.float64)
     sizes = np.asarray(h.sum(axis=0)).ravel()
     inv = np.where(sizes > 0, 1.0 / np.maximum(sizes, 1e-12), 0.0)
-    return (sp.diags(inv) @ h.T).tocsr()
+    return (sp.diags(inv) @ h.T).tocsr().astype(get_default_dtype())
 
 
 class HypergraphTransformerLayer(Module):
@@ -51,6 +58,10 @@ class HypergraphTransformerLayer(Module):
         self.node_index, self.edge_index = graph.coo_pairs()
         self.num_nodes = graph.num_nodes
         self.num_edges = graph.num_edges
+        # The COO index arrays are static, so the segment kernels' sort is
+        # precomputed once per layer instead of once per call.
+        self._node_plan = SegmentPlan(self.node_index, self.num_nodes)
+        self._edge_plan = SegmentPlan(self.edge_index, self.num_edges)
         self.edge_mean = _edge_mean_matrix(graph)
         # Behavior-type id per edge; the cross-behavior sentinel maps to the
         # last row of the type embedding table.
@@ -99,9 +110,9 @@ class HypergraphTransformerLayer(Module):
         keys = self.n2e_key(x)                       # (V, D)
         values = self.n2e_value(x)                   # (V, D)
         scores = (queries[edge_idx] * keys[node_idx]).sum(axis=-1) * self._scale
-        alpha = segment_softmax(scores, edge_idx, self.num_edges)
+        alpha = segment_softmax(scores, edge_idx, self.num_edges, plan=self._edge_plan)
         edge_repr = segment_sum(values[node_idx] * alpha.expand_dims(-1),
-                                edge_idx, self.num_edges)
+                                edge_idx, self.num_edges, plan=self._edge_plan)
         edge_repr = edge_repr + edge_seed            # residual keeps empty edges sane
 
         # Phase 2: nodes attend over incident edges.
@@ -109,9 +120,9 @@ class HypergraphTransformerLayer(Module):
         edge_keys = self.e2n_key(edge_repr)          # (E, D)
         edge_values = self.e2n_value(edge_repr)      # (E, D)
         scores = (node_queries[node_idx] * edge_keys[edge_idx]).sum(axis=-1) * self._scale
-        beta = segment_softmax(scores, node_idx, self.num_nodes)
+        beta = segment_softmax(scores, node_idx, self.num_nodes, plan=self._node_plan)
         node_update = segment_sum(edge_values[edge_idx] * beta.expand_dims(-1),
-                                  node_idx, self.num_nodes)
+                                  node_idx, self.num_nodes, plan=self._node_plan)
 
         x = x + self.prop_gate * sparse_mm(self.propagation, x)
         x = x + self.attn_gate * self.dropout(node_update)

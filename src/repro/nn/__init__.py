@@ -17,6 +17,8 @@ from .losses import (bpr_loss, cross_entropy, cross_entropy_with_candidates, inf
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adagrad, Adam, AdamW, Optimizer, RMSprop, clip_grad_norm
 from .rnn import GRU, GRUCell
+from .scatter import (SegmentPlan, get_scatter_backend, scatter_backend,
+                      set_scatter_backend)
 from .schedule import ConstantLR, LRSchedule, StepDecay, WarmupCosine
 from .serialization import load_checkpoint, save_checkpoint
 # NOTE: the `tensor(...)` factory function is deliberately NOT re-exported:
@@ -44,4 +46,5 @@ __all__ = [
     "Optimizer", "SGD", "Adam", "AdamW", "Adagrad", "RMSprop", "clip_grad_norm",
     "LRSchedule", "ConstantLR", "WarmupCosine", "StepDecay",
     "save_checkpoint", "load_checkpoint",
+    "SegmentPlan", "scatter_backend", "set_scatter_backend", "get_scatter_backend",
 ]

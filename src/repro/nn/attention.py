@@ -35,9 +35,7 @@ def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor,
     """
     d = query.shape[-1]
     scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
-    if mask is not None:
-        scores = scores.masked_fill(mask, _NEG_INF)
-    weights = F.softmax(scores, axis=-1)
+    weights = F.masked_softmax(scores, mask, axis=-1, neg=_NEG_INF)
     return weights @ value, weights
 
 
@@ -107,7 +105,6 @@ class AdditiveAttentionPool(Module):
 
     def forward(self, x: Tensor, valid_mask: np.ndarray | None = None) -> Tensor:
         scores = self.score(self.proj(x).tanh()).squeeze(-1)  # (B, L)
-        if valid_mask is not None:
-            scores = scores.masked_fill(~valid_mask.astype(bool), _NEG_INF)
-        weights = F.softmax(scores, axis=-1)  # (B, L)
+        block = None if valid_mask is None else ~valid_mask.astype(bool)
+        weights = F.masked_softmax(scores, block, axis=-1, neg=_NEG_INF)  # (B, L)
         return (x * weights.expand_dims(-1)).sum(axis=1)

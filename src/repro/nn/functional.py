@@ -1,19 +1,31 @@
 """Functional neural-network operations on :class:`~repro.nn.tensor.Tensor`.
 
-Stateless counterparts of the layers in :mod:`repro.nn.layers`.  The softmax
-family is implemented as fused primitives (single graph node) because they sit
-on the hot path of every attention layer.
+Stateless counterparts of the layers in :mod:`repro.nn.layers`.  The hot-path
+primitives — softmax, masked softmax, layer norm, GELU and softmax
+cross-entropy — are implemented as **fused** single-node autodiff ops: one
+graph node with a hand-derived backward instead of a chain of elementwise
+nodes.  This cuts graph-node count, closure overhead and temporary
+allocations on every attention layer, feed-forward block and loss call.
+
+The original composed implementations are retained and selectable with
+:func:`set_fused_ops` (used by ``repro.perf.reference_mode`` and the
+equivalence tests).
 """
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, unbroadcast
 
 __all__ = [
     "softmax",
     "log_softmax",
+    "masked_softmax",
+    "layer_norm",
+    "softmax_cross_entropy",
     "relu",
     "gelu",
     "sigmoid",
@@ -21,7 +33,36 @@ __all__ = [
     "dropout",
     "l2_normalize",
     "cosine_similarity",
+    "set_fused_ops",
+    "fused_ops_enabled",
+    "fused_ops",
 ]
+
+_NEG_INF = -1e9
+
+_FUSED = True
+
+
+def set_fused_ops(enabled: bool) -> None:
+    """Toggle fused kernels globally; False falls back to composed ops."""
+    global _FUSED
+    _FUSED = bool(enabled)
+
+
+def fused_ops_enabled() -> bool:
+    """Return True when the fused single-node kernels are active."""
+    return _FUSED
+
+
+@contextlib.contextmanager
+def fused_ops(enabled: bool):
+    """Temporarily enable/disable fused kernels (tests and benchmarks)."""
+    previous = _FUSED
+    set_fused_ops(enabled)
+    try:
+        yield
+    finally:
+        set_fused_ops(previous)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -55,16 +96,158 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return out
 
 
+def masked_softmax(x: Tensor, mask: np.ndarray | None, axis: int = -1,
+                   neg: float = _NEG_INF) -> Tensor:
+    """Softmax over ``x`` with ``mask`` positions (True = block) zeroed out.
+
+    Equivalent to ``softmax(x.masked_fill(mask, neg), axis)`` but fused into
+    one graph node: the fill, the softmax and the mask's gradient gate share
+    a single backward.  ``mask`` is boolean, broadcastable to ``x``.
+    """
+    if mask is None:
+        return softmax(x, axis=axis)
+    mask = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+    mask = mask.astype(bool)
+    if not _FUSED:
+        return softmax(x.masked_fill(mask, neg), axis=axis)
+    filled = np.where(mask, np.asarray(neg, dtype=x.data.dtype), x.data)
+    shifted = filled - filled.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    value = exp / exp.sum(axis=axis, keepdims=True)
+    out = Tensor._make(value, (x,), "masked_softmax")
+    if out.requires_grad:
+        def _backward() -> None:
+            g = out.grad
+            s = out.data
+            inner = (g * s).sum(axis=axis, keepdims=True)
+            grad = s * (g - inner)
+            grad = grad * ~mask  # no gradient flows into blocked positions
+            x._accumulate(unbroadcast(grad, x.shape))
+        out._backward = _backward
+    return out
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis: ``(x - μ)/σ · γ + β``.
+
+    Fused single-node forward/backward; the composed fallback reproduces the
+    seed's 10-node chain (mean, center, var, sqrt, div, scale, shift).
+    """
+    if not _FUSED:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + eps).sqrt()
+        return normalized * gamma + beta
+    data = x.data
+    mean = data.mean(axis=-1, keepdims=True)
+    centered = data - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    normalized = centered * inv_std
+    value = normalized * gamma.data + beta.data
+    out = Tensor._make(value, (x, gamma, beta), "layer_norm")
+    if out.requires_grad:
+        def _backward() -> None:
+            g = out.grad
+            if gamma.requires_grad:
+                gamma._accumulate(unbroadcast(g * normalized, gamma.shape))
+            if beta.requires_grad:
+                beta._accumulate(unbroadcast(g, beta.shape))
+            if x.requires_grad:
+                g_norm = g * gamma.data
+                mean_g = g_norm.mean(axis=-1, keepdims=True)
+                mean_gx = (g_norm * normalized).mean(axis=-1, keepdims=True)
+                x._accumulate(inv_std * (g_norm - mean_g - normalized * mean_gx))
+        out._backward = _backward
+    return out
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
+                          ignore_index: int | None = None,
+                          label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy of ``logits`` ``(N, C)`` against integer targets.
+
+    Fused softmax + negative log-likelihood: one graph node whose backward
+    is the classic ``(p - q) / count`` rule (``q`` mixes the one-hot target
+    with the uniform distribution under label smoothing).  Rows whose target
+    equals ``ignore_index`` contribute nothing.
+    """
+    targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    n, c = logits.shape
+    keep = np.ones(n, dtype=bool) if ignore_index is None else targets != ignore_index
+    count = int(keep.sum())
+    if count == 0:
+        raise ValueError("all targets are ignored; cannot compute a loss")
+    safe_targets = np.where(keep, targets, 0)
+
+    if not _FUSED:
+        log_probs = log_softmax(logits, axis=-1)
+        weights = keep.astype(log_probs.data.dtype) / count
+        picked = log_probs[np.arange(n), safe_targets]
+        nll = -(picked * Tensor(weights)).sum()
+        if label_smoothing <= 0.0:
+            return nll
+        uniform = -(log_probs * Tensor(weights[:, None] / c)).sum()
+        return nll * (1.0 - label_smoothing) + uniform * label_smoothing
+
+    data = logits.data
+    shifted = data - data.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    sum_exp = exp.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(sum_exp)
+    rows = np.arange(n)
+    weights = keep.astype(data.dtype) / count
+    loss = -float(log_probs[rows, safe_targets] @ weights)
+    if label_smoothing > 0.0:
+        uniform = -float((log_probs * weights[:, None]).sum()) / c
+        loss = loss * (1.0 - label_smoothing) + uniform * label_smoothing
+    out = Tensor._make(np.asarray(loss, dtype=data.dtype), (logits,), "softmax_xent")
+    if out.requires_grad:
+        def _backward() -> None:
+            probs = exp / sum_exp
+            if label_smoothing > 0.0:
+                grad = probs - (label_smoothing / c)
+                grad[rows, safe_targets] -= 1.0 - label_smoothing
+            else:
+                grad = probs
+                grad[rows, safe_targets] -= 1.0
+            grad *= (float(out.grad) * weights)[:, None]
+            logits._accumulate(grad)
+        out._backward = _backward
+    return out
+
+
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit: max(x, 0)."""
     return x.relu()
 
 
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+_GELU_A = 0.044715
+
+
 def gelu(x: Tensor) -> Tensor:
-    """Gaussian Error Linear Unit (tanh approximation, as in BERT/GPT)."""
-    c = np.sqrt(2.0 / np.pi).astype(np.float64)
-    inner = (x + x * x * x * 0.044715) * float(c)
-    return x * 0.5 * (inner.tanh() + 1.0)
+    """Gaussian Error Linear Unit (tanh approximation, as in BERT/GPT).
+
+    Fused into one node; the composed fallback is the seed's 8-op chain.
+    """
+    if not _FUSED:
+        inner = (x + x * x * x * _GELU_A) * _GELU_C
+        return x * 0.5 * (inner.tanh() + 1.0)
+    u = x.data
+    t = np.tanh(_GELU_C * (u + _GELU_A * u * u * u))
+    value = 0.5 * u * (1.0 + t)
+    out = Tensor._make(value, (x,), "gelu")
+    if out.requires_grad:
+        def _backward() -> None:
+            d_inner = _GELU_C * (1.0 + 3.0 * _GELU_A * u * u)
+            local = 0.5 * (1.0 + t) + 0.5 * u * (1.0 - t * t) * d_inner
+            x._accumulate(out.grad * local)
+        out._backward = _backward
+    return out
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -78,18 +261,46 @@ def tanh(x: Tensor) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
-    """Inverted dropout: zero with probability ``p`` and rescale by 1/(1-p)."""
+    """Inverted dropout: zero with probability ``p`` and rescale by 1/(1-p).
+
+    Fused into one node holding a boolean keep-mask; the composed fallback is
+    the seed's float-mask multiply.  Both paths draw the same float64
+    uniforms, so a given generator state produces the identical mask (and
+    identical training trajectory) on either path.
+    """
     if not training or p <= 0.0:
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
-    return x * Tensor(mask)
+    if not _FUSED:
+        mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+        return x * Tensor(mask)
+    keep = rng.random(x.shape) >= p
+    scale = 1.0 / (1.0 - p)
+    value = x.data * keep
+    value *= scale
+    out = Tensor._make(value, (x,), "dropout")
+    if out.requires_grad:
+        def _backward() -> None:
+            grad = out.grad * keep
+            grad *= scale
+            x._accumulate(grad)
+        out._backward = _backward
+    return out
 
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
-    """Normalize ``x`` to unit L2 norm along ``axis``."""
-    norm = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    """Normalize ``x`` to unit L2 norm along ``axis``.
+
+    The squared norm is clamped from below by ``eps`` rather than shifted by
+    it: adding ``eps`` inside the square root biases small-magnitude rows (a
+    float32 row of 1e-5s has squared norm ~1e-10, comparable to the shift),
+    while clamping leaves every row with squared norm above ``eps`` exactly
+    unit and keeps the zero-row gradient finite.
+    """
+    from .tensor import maximum
+    squared = (x * x).sum(axis=axis, keepdims=True)
+    norm = maximum(squared, Tensor(np.asarray(eps, dtype=x.data.dtype))).sqrt()
     return x / norm
 
 

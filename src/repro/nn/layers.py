@@ -92,11 +92,7 @@ class LayerNorm(Module):
         self.beta = Parameter(np.zeros(dim))
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        variance = (centered * centered).mean(axis=-1, keepdims=True)
-        normalized = centered / (variance + self.eps).sqrt()
-        return normalized * self.gamma + self.beta
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
 
     def __repr__(self) -> str:
         return f"LayerNorm({self.dim}, eps={self.eps})"

@@ -23,25 +23,8 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int | None 
     Rows whose target equals ``ignore_index`` contribute nothing to the mean.
     ``label_smoothing`` mixes the one-hot target with the uniform distribution.
     """
-    targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
-    if logits.ndim != 2:
-        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
-    n, c = logits.shape
-    log_probs = F.log_softmax(logits, axis=-1)
-
-    keep = np.ones(n, dtype=bool) if ignore_index is None else targets != ignore_index
-    count = int(keep.sum())
-    if count == 0:
-        raise ValueError("all targets are ignored; cannot compute a loss")
-    safe_targets = np.where(keep, targets, 0)
-
-    picked = log_probs[np.arange(n), safe_targets]  # (N,)
-    weights = keep.astype(log_probs.data.dtype) / count
-    nll = -(picked * Tensor(weights)).sum()
-    if label_smoothing <= 0.0:
-        return nll
-    uniform = -(log_probs * Tensor(weights[:, None] / c)).sum()
-    return nll * (1.0 - label_smoothing) + uniform * label_smoothing
+    return F.softmax_cross_entropy(logits, targets, ignore_index=ignore_index,
+                                   label_smoothing=label_smoothing)
 
 
 def cross_entropy_with_candidates(scores: Tensor, positive_column: int = 0) -> Tensor:
@@ -50,8 +33,8 @@ def cross_entropy_with_candidates(scores: Tensor, positive_column: int = 0) -> T
     The standard sampled-softmax objective for next-item prediction: column
     ``positive_column`` holds the positive item's score.
     """
-    log_probs = F.log_softmax(scores, axis=-1)
-    return -(log_probs[:, positive_column]).mean()
+    targets = np.full(scores.shape[0], positive_column, dtype=np.int64)
+    return F.softmax_cross_entropy(scores, targets)
 
 
 def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:

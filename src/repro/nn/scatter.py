@@ -1,0 +1,172 @@
+"""Scatter/segment kernels with selectable fast and reference backends.
+
+``np.ufunc.at`` is the canonical NumPy idiom for scatter-add but it is also
+the slowest (unbuffered, element-at-a-time on NumPy builds without indexed
+loops).  This module provides the scatter-free equivalents used by the hot
+backward paths — embedding/``take`` gradients and the hypergraph segment ops:
+
+* 1-D scatter-add via :func:`numpy.bincount`.
+* Row scatter-add (2-D+) via sort + :func:`numpy.add.reduceat`.
+* Segment max via sort + :func:`numpy.maximum.reduceat`.
+
+The original ``np.add.at`` / ``np.maximum.at`` kernels are retained as the
+**reference** backend, selectable globally with :func:`set_scatter_backend`
+or temporarily with the :func:`scatter_backend` context manager; the test
+suite uses them to verify exact equivalence of the fast paths.
+
+For static index structures (hypergraph incidence COO pairs are identical
+every step) a :class:`SegmentPlan` precomputes the sort once so the per-step
+cost is a gather plus one ``reduceat``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = [
+    "SegmentPlan",
+    "scatter_add_rows",
+    "scatter_add_1d",
+    "segment_max_1d",
+    "set_scatter_backend",
+    "get_scatter_backend",
+    "scatter_backend",
+]
+
+_BACKENDS = ("fast", "reference")
+_BACKEND = "fast"
+
+
+def set_scatter_backend(name: str) -> None:
+    """Select the scatter implementation: ``"fast"`` or ``"reference"``."""
+    global _BACKEND
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown scatter backend {name!r}; choose from {_BACKENDS}")
+    _BACKEND = name
+
+
+def get_scatter_backend() -> str:
+    """Return the active scatter backend name."""
+    return _BACKEND
+
+
+@contextlib.contextmanager
+def scatter_backend(name: str):
+    """Temporarily switch the scatter backend (used by tests/benchmarks)."""
+    previous = _BACKEND
+    set_scatter_backend(name)
+    try:
+        yield
+    finally:
+        set_scatter_backend(previous)
+
+
+def _normalize_indices(indices: np.ndarray, size: int) -> np.ndarray:
+    """Flatten to 1-D intp and resolve negative indices (bincount rejects them)."""
+    indices = np.asarray(indices).reshape(-1).astype(np.intp, copy=False)
+    if indices.size and indices.min() < 0:
+        indices = np.where(indices < 0, indices + size, indices)
+    return indices
+
+
+class SegmentPlan:
+    """Precomputed sort of a static segment-id array.
+
+    Hypergraph layers call the segment ops with the same COO index arrays on
+    every forward/backward pass; building the plan once at layer-construction
+    time amortizes the ``argsort`` away entirely.  ``order is None`` marks an
+    already-sorted id array (CSR→COO row indices), where even the per-call
+    gather is skipped.
+    """
+
+    __slots__ = ("segment_ids", "num_segments", "order", "sorted_ids", "starts",
+                 "present")
+
+    def __init__(self, segment_ids: np.ndarray, num_segments: int):
+        segment_ids = np.asarray(segment_ids).astype(np.intp, copy=False)
+        if segment_ids.ndim != 1:
+            raise ValueError("segment_ids must be 1-D")
+        if segment_ids.size and (segment_ids.min() < 0
+                                 or segment_ids.max() >= num_segments):
+            raise ValueError("segment id out of range")
+        self.segment_ids = segment_ids
+        self.num_segments = num_segments
+        if segment_ids.size == 0:
+            self.order = None
+            self.sorted_ids = segment_ids
+            self.starts = np.zeros(0, dtype=np.intp)
+            self.present = np.zeros(0, dtype=np.intp)
+            return
+        if np.all(segment_ids[1:] >= segment_ids[:-1]):
+            self.order = None
+            self.sorted_ids = segment_ids
+        else:
+            self.order = np.argsort(segment_ids, kind="stable")
+            self.sorted_ids = segment_ids[self.order]
+        boundaries = np.flatnonzero(np.diff(self.sorted_ids)) + 1
+        self.starts = np.concatenate((np.zeros(1, dtype=np.intp), boundaries))
+        self.present = self.sorted_ids[self.starts]
+
+
+def _reduceat_rows(indices: np.ndarray, updates: np.ndarray, num_rows: int,
+                   plan: SegmentPlan | None, ufunc: np.ufunc,
+                   fill: float) -> np.ndarray:
+    """Sorted ``ufunc.reduceat`` over rows of ``updates`` grouped by index."""
+    out = np.full((num_rows,) + updates.shape[1:], fill, dtype=updates.dtype)
+    if indices.size == 0:
+        return out
+    if plan is None:
+        plan = SegmentPlan(indices, num_rows)
+    sorted_updates = updates if plan.order is None else updates[plan.order]
+    out[plan.present] = ufunc.reduceat(sorted_updates, plan.starts, axis=0)
+    return out
+
+
+def scatter_add_rows(indices: np.ndarray, updates: np.ndarray, num_rows: int,
+                     plan: SegmentPlan | None = None) -> np.ndarray:
+    """``out[indices[j]] += updates[j]`` into a fresh ``(num_rows, ...)`` array.
+
+    ``indices`` is any integer array with ``indices.size == len(updates)``
+    after flattening (negative values wrap, as with fancy indexing).  The
+    fast backend sorts indices and reduces contiguous runs with
+    ``np.add.reduceat`` (1-D updates go through ``np.bincount`` instead);
+    the reference backend is the seed's ``np.add.at``.
+    """
+    indices = _normalize_indices(indices, num_rows)
+    updates = np.ascontiguousarray(updates)
+    if _BACKEND == "reference":
+        out = np.zeros((num_rows,) + updates.shape[1:], dtype=updates.dtype)
+        np.add.at(out, indices, updates)
+        return out
+    if updates.ndim == 1:
+        return scatter_add_1d(indices, updates, num_rows)
+    return _reduceat_rows(indices, updates, num_rows, plan, np.add, 0.0)
+
+
+def scatter_add_1d(indices: np.ndarray, values: np.ndarray, size: int) -> np.ndarray:
+    """1-D scatter-add via ``np.bincount`` (reference: ``np.add.at``)."""
+    indices = _normalize_indices(indices, size)
+    values = np.asarray(values)
+    if _BACKEND == "reference":
+        out = np.zeros(size, dtype=values.dtype)
+        np.add.at(out, indices, values)
+        return out
+    # bincount always computes in float64; cast back to the input dtype.
+    return np.bincount(indices, weights=values, minlength=size).astype(
+        values.dtype, copy=False)
+
+
+def segment_max_1d(values: np.ndarray, segment_ids: np.ndarray, num_segments: int,
+                   plan: SegmentPlan | None = None,
+                   fill: float = -np.inf) -> np.ndarray:
+    """Per-segment maximum of a 1-D array; empty segments get ``fill``."""
+    values = np.asarray(values)
+    segment_ids = _normalize_indices(segment_ids, num_segments)
+    if _BACKEND == "reference":
+        out = np.full(num_segments, fill, dtype=values.dtype)
+        np.maximum.at(out, segment_ids, values)
+        return out
+    return _reduceat_rows(segment_ids, values, num_segments, plan,
+                          np.maximum, fill)

@@ -24,9 +24,12 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from .scatter import scatter_add_rows
 
 __all__ = [
     "Tensor",
@@ -52,6 +55,31 @@ __all__ = [
 DEFAULT_DTYPE = np.float32
 
 _GRAD_ENABLED = True
+
+# Opt-in per-op instrumentation (see repro.perf).  ``None`` keeps the hot
+# path to a single global check per node.
+_PROFILE_HOOK = None
+
+# Alias-aware gradient accumulation: interior nodes store the first incoming
+# gradient by reference instead of copying (the seed copied on every hop).
+# Disabled by repro.perf.reference_mode() to reproduce seed behavior.
+_FAST_ACCUMULATE = True
+
+
+def _install_profile_hook(hook) -> None:
+    """Install (or clear, with None) the per-op profiling hook."""
+    global _PROFILE_HOOK
+    _PROFILE_HOOK = hook
+
+
+def set_fast_accumulate(enabled: bool) -> None:
+    """Toggle the copy-free gradient accumulation fast path."""
+    global _FAST_ACCUMULATE
+    _FAST_ACCUMULATE = bool(enabled)
+
+
+def fast_accumulate_enabled() -> bool:
+    return _FAST_ACCUMULATE
 
 
 def set_default_dtype(dtype) -> None:
@@ -124,7 +152,7 @@ class Tensor:
     """A NumPy-backed tensor that records operations for reverse-mode AD."""
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op",
-                 "__weakref__")
+                 "_grad_owned", "__weakref__")
     __array_priority__ = 100  # make NumPy defer to our __r*__ operators
 
     def __init__(self, data, requires_grad: bool = False, _prev: tuple = (), _op: str = ""):
@@ -133,6 +161,7 @@ class Tensor:
         self.data = _as_array(data)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
+        self._grad_owned = True
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = _prev if self.requires_grad or _prev else ()
         self._op = _op
@@ -186,6 +215,7 @@ class Tensor:
         out.data = self.data.astype(dtype)
         out.requires_grad = False
         out.grad = None
+        out._grad_owned = True
         out._backward = None
         out._prev = ()
         out._op = "astype"
@@ -201,16 +231,38 @@ class Tensor:
         out.data = data
         out.requires_grad = requires
         out.grad = None
+        out._grad_owned = True
         out._backward = None
         out._prev = tuple(parents) if requires else ()
         out._op = op
+        if _PROFILE_HOOK is not None:
+            _PROFILE_HOOK.on_node(op, data)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
-        else:
+            if (_FAST_ACCUMULATE and self._backward is not None
+                    and grad.dtype == self.data.dtype):
+                # Interior node, first contribution: store by reference.  The
+                # array may alias another node's gradient (e.g. ``add``
+                # passes ``out.grad`` to both parents), so it is never
+                # mutated in place while unowned; a second contribution
+                # reallocates below.  Leaves always own their grad because
+                # optimizers mutate it (clip_grad_norm) and it outlives the
+                # sweep.
+                self.grad = grad
+                self._grad_owned = False
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
+                self._grad_owned = True
+        elif self._grad_owned:
             self.grad += grad
+        else:
+            total = self.grad + grad
+            if total.dtype != self.data.dtype:
+                total = total.astype(self.data.dtype)
+            self.grad = total
+            self._grad_owned = True
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor.
@@ -251,10 +303,16 @@ class Tensor:
         # than the whole graph, and breaks the tensor↔closure reference
         # cycles without waiting for the garbage collector.  Leaves (nodes
         # with no ``_backward``) keep their accumulated ``grad``.
+        hook = _PROFILE_HOOK
         for node in reversed(topo):
             if node._backward is not None:
                 if node.grad is not None:
-                    node._backward()
+                    if hook is None:
+                        node._backward()
+                    else:
+                        started = perf_counter()
+                        node._backward()
+                        hook.on_backward(node._op, perf_counter() - started)
                 node._backward = None
                 node._prev = ()
                 node.grad = None
@@ -574,10 +632,17 @@ class Tensor:
         index = index.data if isinstance(index, Tensor) else index
         out = Tensor._make(self.data[index], (self,), "getitem")
         if out.requires_grad:
-            def _backward() -> None:
-                grad = np.zeros_like(self.data)
-                np.add.at(grad, index, out.grad)
-                self._accumulate(grad)
+            if isinstance(index, np.ndarray) and index.dtype.kind in "iu":
+                # Integer-array gather along axis 0 (the embedding-lookup
+                # idiom): scatter-free backward via repro.nn.scatter.
+                def _backward() -> None:
+                    updates = out.grad.reshape(-1, *self.shape[1:])
+                    self._accumulate(scatter_add_rows(index, updates, self.shape[0]))
+            else:
+                def _backward() -> None:
+                    grad = np.zeros_like(self.data)
+                    np.add.at(grad, index, out.grad)
+                    self._accumulate(grad)
             out._backward = _backward
         return out
 
@@ -587,15 +652,18 @@ class Tensor:
         out = Tensor._make(np.take(self.data, indices, axis=axis), (self,), "take")
         if out.requires_grad:
             def _backward() -> None:
-                grad = np.zeros_like(self.data)
                 if axis == 0:
-                    np.add.at(grad, indices.reshape(-1),
-                              out.grad.reshape(-1, *self.shape[1:]))
+                    grad = scatter_add_rows(indices,
+                                            out.grad.reshape(-1, *self.shape[1:]),
+                                            self.shape[0])
                 else:  # pragma: no cover - axis 0 is the only one used internally
-                    moved = np.moveaxis(grad, axis, 0)
-                    np.add.at(moved, indices.reshape(-1),
-                              np.moveaxis(out.grad, axis, 0).reshape(-1, *moved.shape[1:]))
-                self._accumulate(grad)
+                    moved_shape = np.moveaxis(self.data, axis, 0).shape
+                    moved = scatter_add_rows(
+                        indices,
+                        np.moveaxis(out.grad, axis, 0).reshape(-1, *moved_shape[1:]),
+                        moved_shape[0])
+                    grad = np.moveaxis(moved, 0, axis)
+                self._accumulate(np.ascontiguousarray(grad))
             out._backward = _backward
         return out
 

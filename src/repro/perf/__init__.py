@@ -1,0 +1,17 @@
+"""``repro.perf`` — opt-in op-level profiling and the seed reference mode.
+
+See :mod:`repro.perf.profiler` for the instrumentation design and
+:mod:`repro.perf.reference` for the knobs reference mode flips.  The CLI
+front-end is ``python -m repro profile``; the end-to-end numbers live in
+``benchmarks/bench_p1_hotpaths.py``.
+"""
+
+from .profiler import (OpStats, Profiler, disable_profiling, enable_profiling,
+                       get_profiler, profile_report, profiled, reset_profile)
+from .reference import reference_mode
+
+__all__ = [
+    "OpStats", "Profiler", "enable_profiling", "disable_profiling",
+    "reset_profile", "profiled", "profile_report", "get_profiler",
+    "reference_mode",
+]

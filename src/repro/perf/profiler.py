@@ -1,0 +1,154 @@
+"""Opt-in per-op profiler for the autodiff engine.
+
+The profiler is a tiny hook object installed into :mod:`repro.nn.tensor`:
+
+* ``on_node(op, data)`` fires from ``Tensor._make`` for every graph node
+  created while enabled — counting nodes and output bytes per op.
+* ``on_backward(op, seconds)`` fires from the backward sweep with the
+  wall-clock time of each node's backward closure.
+
+When no profiler is installed the engine pays a single ``is None`` check per
+node, so instrumentation is free in normal runs.  Typical use::
+
+    from repro.perf import profiled, profile_report
+
+    with profiled():
+        loss = model.training_loss(batch, sampler)
+        loss.backward()
+    print(profile_report())
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.nn.tensor import _install_profile_hook
+
+__all__ = [
+    "OpStats",
+    "Profiler",
+    "enable_profiling",
+    "disable_profiling",
+    "reset_profile",
+    "profiled",
+    "profile_report",
+    "get_profiler",
+]
+
+
+@dataclass
+class OpStats:
+    """Aggregate counters for one op name."""
+
+    nodes: int = 0
+    output_bytes: int = 0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+
+
+@dataclass
+class Profiler:
+    """Accumulates per-op node counts and backward wall-clock time."""
+
+    stats: dict[str, OpStats] = field(default_factory=dict)
+
+    # Hook protocol (called from repro.nn.tensor) -------------------------
+    def on_node(self, op: str, data) -> None:
+        stat = self.stats.get(op)
+        if stat is None:
+            stat = self.stats[op] = OpStats()
+        stat.nodes += 1
+        stat.output_bytes += data.nbytes
+
+    def on_backward(self, op: str, seconds: float) -> None:
+        stat = self.stats.get(op)
+        if stat is None:
+            stat = self.stats[op] = OpStats()
+        stat.backward_calls += 1
+        stat.backward_seconds += seconds
+
+    # Reporting -----------------------------------------------------------
+    def reset(self) -> None:
+        self.stats.clear()
+
+    def total_backward_seconds(self) -> float:
+        return sum(s.backward_seconds for s in self.stats.values())
+
+    def report(self, limit: int | None = 25) -> str:
+        """Render a table of ops sorted by total backward time."""
+        from repro.utils import format_table
+
+        ordered = sorted(self.stats.items(),
+                         key=lambda kv: kv[1].backward_seconds, reverse=True)
+        if limit is not None:
+            ordered = ordered[:limit]
+        total = self.total_backward_seconds()
+        rows = []
+        for op, stat in ordered:
+            share = 100.0 * stat.backward_seconds / total if total > 0 else 0.0
+            rows.append([
+                op,
+                stat.nodes,
+                f"{stat.output_bytes / 1e6:.2f}",
+                stat.backward_calls,
+                f"{stat.backward_seconds * 1e3:.2f}",
+                f"{share:.1f}%",
+            ])
+        header = ["op", "nodes", "out MB", "bwd calls", "bwd ms", "bwd %"]
+        table = format_table(header, rows)
+        return f"{table}\ntotal backward: {total * 1e3:.2f} ms"
+
+
+_PROFILER: Profiler | None = None
+
+
+def get_profiler() -> Profiler | None:
+    """The currently installed profiler, or None when disabled."""
+    return _PROFILER
+
+
+def enable_profiling() -> Profiler:
+    """Install the global profiler (reusing it, and its stats, if one exists)."""
+    global _PROFILER
+    if _PROFILER is None:
+        _PROFILER = Profiler()
+    _install_profile_hook(_PROFILER)
+    return _PROFILER
+
+
+def disable_profiling() -> None:
+    """Uninstall the profiling hook; the profiler's stats remain readable
+    via :func:`get_profiler` / :func:`profile_report` until the next
+    :func:`enable_profiling` (which resumes accumulating into them)."""
+    _install_profile_hook(None)
+
+
+def reset_profile() -> None:
+    """Clear accumulated stats on the installed profiler, if any."""
+    if _PROFILER is not None:
+        _PROFILER.reset()
+
+
+@contextlib.contextmanager
+def profiled():
+    """Context manager: profile the enclosed block, yield the Profiler.
+
+    Starts from a clean slate — each ``profiled()`` block measures exactly
+    the work it encloses.  Use :func:`enable_profiling` /
+    :func:`disable_profiling` directly to accumulate across blocks.
+    """
+    profiler = enable_profiling()
+    profiler.reset()
+    try:
+        yield profiler
+    finally:
+        disable_profiling()
+
+
+def profile_report(limit: int | None = 25) -> str:
+    """Format the most recent profiler's stats (raises if never enabled)."""
+    if _PROFILER is None:
+        raise RuntimeError("profiling is not enabled; use profiled() or "
+                           "enable_profiling() first")
+    return _PROFILER.report(limit=limit)

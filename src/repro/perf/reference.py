@@ -1,0 +1,48 @@
+"""Reference mode: run the engine on the retained seed implementations.
+
+The hot-path overhaul keeps every original kernel selectable so that the new
+fast paths can be validated (equivalence tests) and measured (benchmarks)
+against them.  :func:`reference_mode` flips all four knobs at once:
+
+* scatter/segment kernels → ``np.add.at`` / ``np.maximum.at`` loops
+  (:func:`repro.nn.scatter.scatter_backend`),
+* fused ops → the composed multi-node chains
+  (:func:`repro.nn.functional.set_fused_ops`),
+* gradient accumulation → copy-per-hop
+  (:func:`repro.nn.tensor.set_fast_accumulate`),
+* hypergraph propagation operator → the seed's float64 CSR, which silently
+  promoted the whole downstream forward to float64
+  (:func:`repro.hypergraph.incidence.set_reference_dtype`).
+
+Models must be *constructed* inside the context for the dtype knob to take
+effect (the propagation operator is built at model construction).
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+__all__ = ["reference_mode"]
+
+
+@contextlib.contextmanager
+def reference_mode():
+    """Temporarily run on the seed implementations (see module docstring)."""
+    from repro.hypergraph.incidence import reference_dtype_enabled, set_reference_dtype
+    from repro.nn import functional as F
+    from repro.nn.scatter import get_scatter_backend, set_scatter_backend
+    from repro.nn.tensor import fast_accumulate_enabled, set_fast_accumulate
+
+    previous = (get_scatter_backend(), F.fused_ops_enabled(),
+                fast_accumulate_enabled(), reference_dtype_enabled())
+    set_scatter_backend("reference")
+    F.set_fused_ops(False)
+    set_fast_accumulate(False)
+    set_reference_dtype(True)
+    try:
+        yield
+    finally:
+        set_scatter_backend(previous[0])
+        F.set_fused_ops(previous[1])
+        set_fast_accumulate(previous[2])
+        set_reference_dtype(previous[3])

@@ -15,7 +15,7 @@ import numpy as np
 from repro.data.batching import BatchLoader
 from repro.data.sampling import NegativeSampler
 from repro.data.splits import DataSplit
-from repro.eval.evaluator import evaluate_ranking
+from repro.eval.evaluator import evaluate_ranking, precollate
 from repro.eval.protocol import CandidateSets
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.schedule import ConstantLR, StepDecay, WarmupCosine
@@ -78,6 +78,16 @@ class Trainer:
         self.valid_candidates = CandidateSets(
             self.dataset, split.valid, num_negatives, seed=self.config.seed + 2,
         )
+        # Validation examples and candidates never change between epochs, so
+        # the collated evaluation batches are built once (lazily) and reused
+        # by every per-epoch ranking pass.
+        self._valid_batches: list[tuple] | None = None
+
+    def _validation_batches(self) -> list[tuple]:
+        if self._valid_batches is None:
+            self._valid_batches = precollate(self.split.valid, self.valid_candidates,
+                                             self.dataset.schema)
+        return self._valid_batches
 
     def fit(self, verbose: bool = False) -> History:
         """Train with early stopping; the model ends at its best checkpoint."""
@@ -110,7 +120,8 @@ class Trainer:
                 optimizer.step()
                 losses.append(float(loss.data))
             metrics = evaluate_ranking(self.model, self.split.valid, self.valid_candidates,
-                                       self.dataset.schema)
+                                       self.dataset.schema,
+                                       precollated=self._validation_batches())
             record = EpochRecord(
                 epoch=epoch,
                 train_loss=float(np.mean(losses)) if losses else float("nan"),

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.base import SequentialRecommender
-from repro.eval import CandidateSets, evaluate_ranking, rank_all
+from repro.eval import CandidateSets, evaluate_ranking, precollate, rank_all
 from repro.nn.tensor import Tensor
 
 
@@ -89,3 +89,30 @@ class TestEvaluator:
         sets = CandidateSets(tiny_dataset, tiny_split.test, 10, seed=0)
         evaluate_ranking(model, tiny_split.test, sets, tiny_dataset.schema)
         assert model.training
+
+    def test_eval_mode_model_stays_in_eval_mode(self, tiny_dataset, tiny_split):
+        # Evaluating a model that is already in eval mode must not flip it
+        # back to training (which would invalidate inference caches).
+        targets = {e.user: e.target for e in tiny_split.test}
+        model = OracleModel(targets)
+        model.eval()
+        sets = CandidateSets(tiny_dataset, tiny_split.test, 10, seed=0)
+        rank_all(model, tiny_split.test, sets, tiny_dataset.schema)
+        assert not model.training
+
+    def test_precollated_batches_match_direct(self, tiny_dataset, tiny_split):
+        targets = {e.user: e.target for e in tiny_split.test}
+        model = OracleModel(targets)
+        sets = CandidateSets(tiny_dataset, tiny_split.test, 10, seed=0)
+        batches = precollate(tiny_split.test, sets, tiny_dataset.schema,
+                             batch_size=7)
+        direct = rank_all(model, tiny_split.test, sets, tiny_dataset.schema,
+                          batch_size=7)
+        cached = rank_all(model, tiny_split.test, sets, tiny_dataset.schema,
+                          precollated=batches)
+        assert np.array_equal(direct, cached)
+
+    def test_precollate_misaligned_rejected(self, tiny_dataset, tiny_split):
+        sets = CandidateSets(tiny_dataset, tiny_split.test[:2], 10, seed=0)
+        with pytest.raises(ValueError):
+            precollate(tiny_split.test, sets, tiny_dataset.schema)

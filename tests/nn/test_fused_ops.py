@@ -1,0 +1,227 @@
+"""Fused single-node ops: fp64 gradchecks and fused-vs-composed equivalence.
+
+Every fused kernel (masked softmax, layer norm, softmax cross-entropy, GELU,
+dropout) must produce the same forward values and the same gradients as the
+composed multi-node chain it replaced, and its hand-derived backward must
+match central finite differences in float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.utils.gradcheck import gradcheck
+
+
+class _FixedRng:
+    """Stands in for a Generator; returns one fixed uniform draw repeatedly.
+
+    Lets the stochastic dropout kernels be compared across paths (same mask)
+    and finite-difference checked (same mask on every re-evaluation).
+    """
+
+    def __init__(self, values: np.ndarray):
+        self._values = np.asarray(values, dtype=np.float64)
+
+    def random(self, shape, dtype=np.float64):
+        assert tuple(shape) == self._values.shape
+        return self._values.astype(dtype)
+
+
+def _fused_and_composed(run):
+    with F.fused_ops(True):
+        fused = run()
+    with F.fused_ops(False):
+        composed = run()
+    return fused, composed
+
+
+class TestMaskedSoftmax:
+    def test_matches_composed(self, rng):
+        data = rng.standard_normal((4, 3, 6)).astype(np.float32)
+        mask = rng.random((4, 1, 6)) < 0.3
+        mask[0, 0, :] = True  # one fully-masked attention row
+
+        def run():
+            x = Tensor(data.copy(), requires_grad=True)
+            out = F.masked_softmax(x, mask, axis=-1)
+            (out * out).sum().backward()
+            return out.data.copy(), x.grad.copy()
+
+        (f_out, f_grad), (c_out, c_grad) = _fused_and_composed(run)
+        np.testing.assert_allclose(f_out, c_out, atol=1e-6)
+        np.testing.assert_allclose(f_grad, c_grad, atol=1e-6)
+
+    def test_none_mask_is_plain_softmax(self, rng):
+        x = Tensor(rng.standard_normal((2, 5)))
+        out = F.masked_softmax(x, None)
+        np.testing.assert_allclose(out.data, F.softmax(x).data)
+
+    def test_blocked_positions_get_no_weight(self, rng):
+        mask = np.array([[False, True, False, True]])
+        out = F.masked_softmax(Tensor(rng.standard_normal((3, 4))), mask)
+        assert np.all(out.data[:, 1] < 1e-6)
+        assert np.all(out.data[:, 3] < 1e-6)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradcheck(self, float64, rng):
+        mask = np.array([[False, True, False, False],
+                         [False, False, False, True]])
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        weights = Tensor(rng.standard_normal((2, 4)))
+        assert gradcheck(lambda t: F.masked_softmax(t, mask) * weights, [x])
+
+
+class TestLayerNorm:
+    def test_matches_composed(self, rng):
+        data = rng.standard_normal((5, 7, 8)).astype(np.float32)
+        gamma_data = rng.standard_normal(8).astype(np.float32)
+        beta_data = rng.standard_normal(8).astype(np.float32)
+
+        def run():
+            x = Tensor(data.copy(), requires_grad=True)
+            gamma = Tensor(gamma_data.copy(), requires_grad=True)
+            beta = Tensor(beta_data.copy(), requires_grad=True)
+            out = F.layer_norm(x, gamma, beta)
+            (out * out).sum().backward()
+            return (out.data.copy(), x.grad.copy(), gamma.grad.copy(),
+                    beta.grad.copy())
+
+        fused, composed = _fused_and_composed(run)
+        for f, c in zip(fused, composed):
+            np.testing.assert_allclose(f, c, atol=2e-5)
+
+    def test_gradcheck_all_inputs(self, float64, rng):
+        x = Tensor(rng.standard_normal((3, 6)), requires_grad=True)
+        gamma = Tensor(rng.standard_normal(6), requires_grad=True)
+        beta = Tensor(rng.standard_normal(6), requires_grad=True)
+        weights = Tensor(rng.standard_normal((3, 6)))
+        assert gradcheck(lambda a, g, b: F.layer_norm(a, g, b) * weights,
+                         [x, gamma, beta])
+
+    def test_normalizes_last_axis(self, rng):
+        x = Tensor(rng.standard_normal((10, 16)) * 3.0 + 2.0)
+        out = F.layer_norm(x, Tensor(np.ones(16)), Tensor(np.zeros(16)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestSoftmaxCrossEntropy:
+    @pytest.mark.parametrize("ignore_index,label_smoothing", [
+        (None, 0.0), (-1, 0.0), (None, 0.1), (-1, 0.2),
+    ])
+    def test_matches_composed(self, rng, ignore_index, label_smoothing):
+        data = rng.standard_normal((6, 5)).astype(np.float32)
+        targets = rng.integers(0, 5, size=6)
+        if ignore_index is not None:
+            targets[1] = ignore_index
+            targets[4] = ignore_index
+
+        def run():
+            logits = Tensor(data.copy(), requires_grad=True)
+            loss = F.softmax_cross_entropy(logits, targets,
+                                           ignore_index=ignore_index,
+                                           label_smoothing=label_smoothing)
+            loss.backward()
+            return float(loss.data), logits.grad.copy()
+
+        (f_loss, f_grad), (c_loss, c_grad) = _fused_and_composed(run)
+        assert abs(f_loss - c_loss) < 1e-6
+        np.testing.assert_allclose(f_grad, c_grad, atol=1e-6)
+
+    @pytest.mark.parametrize("ignore_index,label_smoothing", [
+        (None, 0.0), (-1, 0.0), (None, 0.1), (-1, 0.2),
+    ])
+    def test_gradcheck(self, float64, rng, ignore_index, label_smoothing):
+        logits = Tensor(rng.standard_normal((5, 4)), requires_grad=True)
+        targets = rng.integers(0, 4, size=5)
+        if ignore_index is not None:
+            targets[2] = ignore_index
+        assert gradcheck(
+            lambda t: F.softmax_cross_entropy(t, targets,
+                                              ignore_index=ignore_index,
+                                              label_smoothing=label_smoothing),
+            [logits])
+
+    def test_all_ignored_raises(self, rng):
+        logits = Tensor(rng.standard_normal((3, 4)))
+        with pytest.raises(ValueError, match="ignored"):
+            F.softmax_cross_entropy(logits, np.full(3, -1), ignore_index=-1)
+
+    def test_known_value(self):
+        # Uniform logits over C classes → loss = log C, independent of path.
+        logits = Tensor(np.zeros((2, 4)))
+        loss = F.softmax_cross_entropy(logits, np.array([0, 3]))
+        np.testing.assert_allclose(float(loss.data), np.log(4.0), atol=1e-6)
+
+
+class TestGelu:
+    def test_matches_composed(self, rng):
+        data = (rng.standard_normal((4, 9)) * 2.0).astype(np.float32)
+
+        def run():
+            x = Tensor(data.copy(), requires_grad=True)
+            out = F.gelu(x)
+            (out * out).sum().backward()
+            return out.data.copy(), x.grad.copy()
+
+        (f_out, f_grad), (c_out, c_grad) = _fused_and_composed(run)
+        np.testing.assert_allclose(f_out, c_out, atol=1e-6)
+        np.testing.assert_allclose(f_grad, c_grad, atol=1e-5)
+
+    def test_gradcheck(self, float64, rng):
+        x = Tensor(rng.standard_normal((3, 5)) * 2.0, requires_grad=True)
+        assert gradcheck(F.gelu, [x])
+
+
+class TestDropout:
+    def test_identity_when_not_training(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        out = F.dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_identity_when_p_zero(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        assert F.dropout(x, 0.0, training=True, rng=rng) is x
+
+    def test_matches_composed_with_same_mask(self, rng):
+        data = rng.standard_normal((6, 5)).astype(np.float32)
+        uniforms = rng.random((6, 5))
+
+        def run():
+            x = Tensor(data.copy(), requires_grad=True)
+            out = F.dropout(x, 0.4, training=True, rng=_FixedRng(uniforms))
+            (out * out).sum().backward()
+            return out.data.copy(), x.grad.copy()
+
+        (f_out, f_grad), (c_out, c_grad) = _fused_and_composed(run)
+        np.testing.assert_allclose(f_out, c_out, atol=1e-6)
+        np.testing.assert_allclose(f_grad, c_grad, atol=1e-6)
+
+    def test_gradcheck(self, float64, rng):
+        uniforms = rng.random((4, 3))
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        assert gradcheck(
+            lambda t: F.dropout(t, 0.3, training=True, rng=_FixedRng(uniforms)),
+            [x])
+
+    def test_kept_positions_scaled(self, rng):
+        p = 0.25
+        x = Tensor(np.ones((8, 8), dtype=np.float32), requires_grad=True)
+        out = F.dropout(x, p, training=True, rng=rng)
+        out.sum().backward()
+        kept = out.data != 0
+        np.testing.assert_allclose(out.data[kept], 1.0 / (1.0 - p), atol=1e-6)
+        np.testing.assert_allclose(x.grad[kept], 1.0 / (1.0 - p), atol=1e-6)
+        np.testing.assert_allclose(x.grad[~kept], 0.0, atol=1e-6)
+
+
+class TestToggles:
+    def test_fused_ops_context_restores(self):
+        before = F.fused_ops_enabled()
+        with F.fused_ops(False):
+            assert not F.fused_ops_enabled()
+        assert F.fused_ops_enabled() == before

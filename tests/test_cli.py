@@ -13,7 +13,8 @@ class TestParser:
     def test_known_commands_parse(self):
         parser = build_parser()
         for argv in (["stats"], ["train"], ["experiment", "T1"], ["list"],
-                     ["compare", "SASRec", "MISSL"]):
+                     ["compare", "SASRec", "MISSL"], ["profile"],
+                     ["profile", "--reference", "--steps", "2"]):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
 
@@ -42,6 +43,20 @@ class TestCommands:
         # POP is non-parametric: no training loop, runs in milliseconds.
         assert main(["train", "--model", "POP", "--scale", "0.15"]) == 0
         assert "POP" in capsys.readouterr().out
+
+    def test_profile_unknown_model(self, capsys):
+        assert main(["profile", "--model", "DeepFM"]) == 2
+
+    def test_profile_parameter_free_model(self, capsys):
+        assert main(["profile", "--model", "POP", "--scale", "0.15"]) == 2
+        assert "nothing to profile" in capsys.readouterr().err
+
+    def test_profile_small(self, capsys):
+        assert main(["profile", "--model", "MBGRU", "--scale", "0.15",
+                     "--steps", "1", "--dim", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "s/step" in out
+        assert "bwd ms" in out
 
     def test_compare_nonparametric(self, capsys):
         # POP vs ItemKNN: both non-parametric, so no training loop runs.

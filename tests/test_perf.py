@@ -1,0 +1,106 @@
+"""Tests for the opt-in profiler and the seed reference mode."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.incidence import reference_dtype_enabled
+from repro.nn import functional as F
+from repro.nn.scatter import get_scatter_backend
+from repro.nn.tensor import Tensor, fast_accumulate_enabled
+from repro.perf import (disable_profiling, enable_profiling, get_profiler,
+                        profile_report, profiled, reference_mode, reset_profile)
+
+
+class TestProfiler:
+    def test_counts_nodes_and_backward(self, rng):
+        with profiled() as profiler:
+            x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+            y = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+            (x @ y).sum().backward()
+        assert profiler.stats["matmul"].nodes == 1
+        assert profiler.stats["matmul"].backward_calls == 1
+        assert profiler.stats["matmul"].backward_seconds >= 0.0
+        assert profiler.stats["sum"].nodes == 1
+        assert profiler.stats["matmul"].output_bytes == 4 * 2 * x.data.itemsize
+
+    def test_disabled_outside_context(self, rng):
+        with profiled() as profiler:
+            pass
+        reset_profile()
+        x = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        (x * x).sum().backward()
+        assert not profiler.stats  # nothing recorded while disabled
+
+    def test_report_renders_table(self, rng):
+        with profiled():
+            x = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+            (x * x).sum().backward()
+        report = profile_report()
+        assert "op" in report and "bwd ms" in report
+        assert "mul" in report
+        assert "total backward" in report
+
+    def test_enable_disable_idempotent(self):
+        first = enable_profiling()
+        second = enable_profiling()
+        assert first is second
+        disable_profiling()
+        assert get_profiler() is first  # stats stay readable after disable
+
+
+class TestReferenceMode:
+    def test_flips_all_knobs_and_restores(self):
+        assert get_scatter_backend() == "fast"
+        assert F.fused_ops_enabled()
+        assert fast_accumulate_enabled()
+        assert not reference_dtype_enabled()
+        with reference_mode():
+            assert get_scatter_backend() == "reference"
+            assert not F.fused_ops_enabled()
+            assert not fast_accumulate_enabled()
+            assert reference_dtype_enabled()
+        assert get_scatter_backend() == "fast"
+        assert F.fused_ops_enabled()
+        assert fast_accumulate_enabled()
+        assert not reference_dtype_enabled()
+
+    def test_restores_on_exception(self):
+        try:
+            with reference_mode():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_scatter_backend() == "fast"
+        assert F.fused_ops_enabled()
+
+    def test_training_losses_agree_across_modes(self, rng):
+        # A small end-to-end forward/backward must produce the same loss and
+        # the same leaf gradients on both paths (float32 tolerance).
+        data = rng.standard_normal((8, 6)).astype(np.float32)
+        gamma = rng.standard_normal(6).astype(np.float32)
+        targets = rng.integers(0, 6, size=8)
+
+        def run():
+            x = Tensor(data.copy(), requires_grad=True)
+            g = Tensor(gamma.copy(), requires_grad=True)
+            normed = F.layer_norm(x, g, Tensor(np.zeros(6, dtype=np.float32)))
+            loss = F.softmax_cross_entropy(F.gelu(normed), targets)
+            loss.backward()
+            return float(loss.data), x.grad.copy(), g.grad.copy()
+
+        fast = run()
+        with reference_mode():
+            reference = run()
+        assert abs(fast[0] - reference[0]) < 1e-6
+        np.testing.assert_allclose(fast[1], reference[1], atol=1e-6)
+        np.testing.assert_allclose(fast[2], reference[2], atol=1e-6)
+
+    def test_propagation_matrix_keeps_seed_dtype(self, tiny_graph):
+        from repro.hypergraph.incidence import hgnn_propagation_matrix
+        fast = hgnn_propagation_matrix(tiny_graph)
+        assert fast.dtype == np.float32
+        with reference_mode():
+            seed = hgnn_propagation_matrix(tiny_graph)
+        assert seed.dtype == np.float64
+        np.testing.assert_allclose(fast.toarray(), seed.toarray(), atol=1e-6)
