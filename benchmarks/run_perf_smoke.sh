@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Smoke-run the P1 hot-path benchmark at tiny scale.
+# Smoke-run the perf benchmarks (P1 hot paths, P2 serving) at tiny scale.
 #
-# Verifies the benchmark machinery end to end — both code paths execute and
-# BENCH_P1.json is produced — without asserting the 2x speedup, which is only
-# meaningful at the default scale (tiny corpora are dominated by fixed
-# overheads).  Intended for CI; finishes in well under a minute.
+# Verifies the benchmark machinery end to end — all code paths execute and
+# BENCH_P1.json / BENCH_P2.json are produced — without asserting the
+# speedup floors, which are only meaningful at the default scale (tiny
+# corpora are dominated by fixed overheads).  Intended for CI; finishes in
+# well under a minute.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,13 +13,19 @@ cd "$(dirname "$0")/.."
 export REPRO_PERF_SCALE="${REPRO_PERF_SCALE:-0.15}"
 export REPRO_PERF_STEPS="${REPRO_PERF_STEPS:-2}"
 export REPRO_PERF_MIN_SPEEDUP="${REPRO_PERF_MIN_SPEEDUP:-0}"
+export REPRO_PERF_SERVE_REQUESTS="${REPRO_PERF_SERVE_REQUESTS:-48}"
+export REPRO_PERF_SERVE_CLIENTS="${REPRO_PERF_SERVE_CLIENTS:-8}"
+export REPRO_PERF_SERVE_MIN_SPEEDUP="${REPRO_PERF_SERVE_MIN_SPEEDUP:-0}"
 
-rm -f benchmarks/results/BENCH_P1.json
+rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json
 
 PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py
+PYTHONPATH=src python benchmarks/bench_p2_serving.py
 
-if [[ ! -f benchmarks/results/BENCH_P1.json ]]; then
-    echo "FAIL: benchmarks/results/BENCH_P1.json was not produced" >&2
-    exit 1
-fi
+for result in BENCH_P1.json BENCH_P2.json; do
+    if [[ ! -f "benchmarks/results/$result" ]]; then
+        echo "FAIL: benchmarks/results/$result was not produced" >&2
+        exit 1
+    fi
+done
 echo "perf smoke OK"

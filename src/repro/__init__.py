@@ -12,6 +12,8 @@ Top-level subpackages:
 - :mod:`repro.baselines` — reimplemented comparison methods.
 - :mod:`repro.train` / :mod:`repro.eval` — training and evaluation harness.
 - :mod:`repro.experiments` — the registry that regenerates every table/figure.
+- :mod:`repro.serve` — online serving: frozen inference artifacts,
+  multi-interest retrieval index, micro-batching engine and serving metrics.
 """
 
 __version__ = "1.0.0"

@@ -7,6 +7,8 @@ Commands:
     list         list registered experiments and zoo models
     profile      per-op profile of training steps (fast vs reference path)
     compare      significance-test two models on one dataset
+    export       train MISSL and freeze it into a serving artifact (.npz)
+    serve        answer JSON-lines requests over an exported artifact
 
 All commands are seeded and run on synthetic presets; see ``--help`` of each
 subcommand for knobs.
@@ -62,6 +64,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="profile the retained seed kernels instead of "
                               "the fast paths")
 
+    export = sub.add_parser("export", help="train MISSL and freeze a serving artifact")
+    export.add_argument("out", help="path for the artifact (.npz)")
+    export.add_argument("--preset", default="taobao", choices=["taobao", "tmall", "yelp"])
+    export.add_argument("--scale", type=float, default=0.4)
+    export.add_argument("--dim", type=int, default=32)
+    export.add_argument("--epochs", type=int, default=12)
+    export.add_argument("--seed", type=int, default=1)
+
+    serve = sub.add_parser("serve", help="serve an exported artifact "
+                                         "(JSON-lines on stdin/stdout)")
+    serve.add_argument("artifact", help="path to an exported .npz artifact")
+    serve.add_argument("--preset", default=None, choices=["taobao", "tmall", "yelp"],
+                       help="corpus preset for user histories (defaults to the "
+                            "provenance recorded in the artifact)")
+    serve.add_argument("--scale", type=float, default=None)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--backend", default="exact", choices=["exact", "ivf"])
+    serve.add_argument("--k", type=int, default=10, help="default top-k per request")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--max-wait-ms", type=float, default=5.0)
+    serve.add_argument("--probe-every", type=int, default=0,
+                       help="with --backend ivf, shadow-score every N-th "
+                            "request on an exact index and record recall")
+
     compare = sub.add_parser("compare", help="paired-bootstrap two models")
     compare.add_argument("model_a")
     compare.add_argument("model_b")
@@ -102,7 +128,9 @@ def _cmd_train(args) -> int:
     if args.checkpoint and model.parameters():
         from repro.nn.serialization import save_checkpoint
         path = save_checkpoint(model, args.checkpoint,
-                               extra={"model": args.model, "preset": args.preset})
+                               extra={"model": args.model, "preset": args.preset,
+                                      "dim": args.dim, "scale": args.scale,
+                                      "seed": args.seed})
         print(f"checkpoint written to {path}")
     return 0
 
@@ -187,6 +215,87 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_export(args) -> int:
+    from repro.experiments import ExperimentContext, build_model, train_and_evaluate
+    from repro.serve import export_artifact
+    context = ExperimentContext.build(args.preset, scale=args.scale, seed=args.seed)
+    model = build_model("MISSL", context, dim=args.dim, seed=args.seed)
+    report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
+                                         seed=args.seed)
+    print(f"MISSL on {args.preset} (scale {args.scale}): {report} [{seconds:.1f}s]")
+    path = export_artifact(model, args.out,
+                           extra={"preset": args.preset, "scale": args.scale,
+                                  "seed": args.seed})
+    print(f"serving artifact written to {path}")
+    return 0
+
+
+def _serve_request(service, request: dict, default_k: int) -> dict:
+    """Dispatch one decoded JSON-lines request against the service."""
+    op = request.get("op", "recommend")
+    if op == "recommend":
+        recs = service.recommend(int(request["user"]),
+                                 k=int(request.get("k", default_k)))
+        return {"ok": True, "user": int(request["user"]),
+                "items": [r.item for r in recs],
+                "scores": [r.score for r in recs]}
+    if op == "append":
+        version = service.append_event(
+            int(request["user"]), int(request["item"]), request["behavior"],
+            timestamp=request.get("timestamp"))
+        return {"ok": True, "user": int(request["user"]), "version": version}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "report":
+        return {"ok": True, "report": service.report()}
+    raise ValueError(f"unknown op {op!r} (expected recommend/append/stats/report)")
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.data import DATASET_PRESETS, generate, k_core_filter
+    from repro.serve import HistoryStore, RecommenderService, load_artifact
+
+    artifact = load_artifact(args.artifact)
+    preset = args.preset or artifact.extra.get("preset")
+    scale = args.scale if args.scale is not None else artifact.extra.get("scale")
+    seed = args.seed if args.seed is not None else artifact.extra.get("seed", 1)
+    if preset is None or scale is None:
+        print("artifact records no corpus provenance; pass --preset/--scale",
+              file=sys.stderr)
+        return 2
+    dataset = k_core_filter(generate(DATASET_PRESETS[preset](scale), seed=seed))
+    if dataset.num_items != artifact.num_items:
+        print(f"corpus mismatch: rebuilt {dataset.num_items} items but the "
+              f"artifact was exported with {artifact.num_items}", file=sys.stderr)
+        return 2
+    history = HistoryStore.from_dataset(dataset)
+    probe = args.probe_every if args.backend != "exact" else 0
+    with RecommenderService(artifact, history, index_backend=args.backend,
+                            max_batch=args.max_batch,
+                            max_wait_ms=args.max_wait_ms,
+                            recall_probe_every=probe) as service:
+        print(json.dumps({"ok": True, "ready": True,
+                          "users": len(history.users),
+                          "num_items": artifact.num_items,
+                          "backend": args.backend}), flush=True)
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if request.get("op") == "quit":
+                    break
+                response = _serve_request(service, request, args.k)
+            except (KeyError, ValueError, TypeError) as error:
+                response = {"ok": False, "error": str(error)}
+            print(json.dumps(response), flush=True)
+        print(service.report(), file=sys.stderr)
+    return 0
+
+
 def _cmd_compare(args) -> int:
     from repro.eval import rank_all
     from repro.eval.significance import paired_bootstrap
@@ -216,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "profile": _cmd_profile,
         "compare": _cmd_compare,
+        "export": _cmd_export,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

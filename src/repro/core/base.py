@@ -75,6 +75,43 @@ class SequentialRecommender(Module):
             raise ValueError(f"unexpected user representation shape {users.shape}")
         return scores
 
+    def _supports_factored_scoring(self) -> bool:
+        """True when scoring decomposes into user/item representations.
+
+        Models that override ``score_candidates`` directly (popularity,
+        neighborhood methods, …) keep their custom semantics; the factored
+        full-catalog path below is only valid when the base implementation
+        is the one in effect and both representation hooks are provided.
+        """
+        cls = type(self)
+        return (cls.score_candidates is SequentialRecommender.score_candidates
+                and cls.user_representation is not SequentialRecommender.user_representation
+                and cls.item_representations is not SequentialRecommender.item_representations)
+
+    def score_all_items(self, batch: Batch, num_items: int) -> Tensor:
+        """Scores ``(B, num_items)`` over the whole catalog (column ``i`` is
+        item ``i + 1``) without materializing a per-user candidate matrix.
+
+        The factored path shares one ``(num_items, D)`` item block across the
+        batch — ``O(items)`` memory instead of the ``O(batch × items)`` tile
+        (and ``O(batch × items × D)`` gather) that per-row candidate scoring
+        costs.  Models with custom ``score_candidates`` fall back to that
+        method on a broadcast (read-only, zero-copy) candidate view.
+        """
+        all_items = np.arange(1, num_items + 1)
+        if not self._supports_factored_scoring():
+            candidates = np.broadcast_to(all_items, (batch.size, num_items))
+            return self.score_candidates(batch, candidates)
+        users = self.user_representation(batch)
+        table = self.item_representations()
+        item_vectors = table.take(all_items, axis=0)              # (N, D)
+        if users.ndim == 2:
+            return users @ item_vectors.swapaxes(-1, -2)          # (B, N)
+        if users.ndim == 3:
+            per_interest = users @ item_vectors.swapaxes(-1, -2)  # (B, K, N)
+            return self.interest_readout(per_interest)
+        raise ValueError(f"unexpected user representation shape {users.shape}")
+
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------

@@ -73,6 +73,9 @@ class MultiBehaviorDataset:
         for event in events:
             self._sequences[event.user][event.behavior].append((event.item, event.timestamp))
         self._users = sorted(self._sequences)
+        # O(1) membership checks for inference entry points; the user list
+        # itself stays the ordered public view.
+        self._user_set = frozenset(self._users)
 
     # ------------------------------------------------------------------
     # accessors
@@ -84,6 +87,10 @@ class MultiBehaviorDataset:
     @property
     def num_users(self) -> int:
         return len(self._users)
+
+    def has_user(self, user: int) -> bool:
+        """O(1) membership test (avoids materializing the user list)."""
+        return user in self._user_set
 
     @property
     def num_interactions(self) -> int:

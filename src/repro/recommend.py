@@ -41,7 +41,7 @@ def build_inference_example(dataset: MultiBehaviorDataset, user: int,
     everything the corpus knows about the user.  The ``target`` field is a
     placeholder (0 is never a real item) and must not be read.
     """
-    if user not in set(dataset.users):
+    if not dataset.has_user(user):
         raise KeyError(f"user {user} not in the corpus")
     schema = dataset.schema
     inputs = {
@@ -64,18 +64,22 @@ def recommend_batch(model, dataset: MultiBehaviorDataset, users: list[int],
                     exclude_seen: bool = True) -> dict[int, list[Recommendation]]:
     """Top-``k`` recommendations for several users at once.
 
-    Scores the full catalog per user; items the user already interacted with
-    (under any behavior) are excluded when ``exclude_seen`` is True.
+    Scores the full catalog per user via :meth:`score_all_items` (one shared
+    item block, no per-user candidate tile); items the user already
+    interacted with (under any behavior) are excluded when ``exclude_seen``
+    is True.  The model's train/eval mode is restored on exit.
     """
     if k < 1:
         raise ValueError("k must be positive")
     examples = [build_inference_example(dataset, user, max_len) for user in users]
     batch = collate(examples, dataset.schema)
     all_items = np.arange(1, dataset.num_items + 1)
-    candidates = np.tile(all_items, (len(users), 1))
+    was_training = bool(getattr(model, "training", False))
     model.eval()
     with no_grad():
-        scores = model.score_candidates(batch, candidates).numpy()
+        scores = model.score_all_items(batch, dataset.num_items).numpy()
+    if was_training:
+        model.train()
     results: dict[int, list[Recommendation]] = {}
     for row, user in enumerate(users):
         row_scores = scores[row].astype(np.float64, copy=True)

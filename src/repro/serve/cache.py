@@ -1,0 +1,78 @@
+"""TTL + LRU cache of per-user interest vectors.
+
+Encoding a user (sequence embedding → transformers → interest extraction) is
+the expensive stage of a request; interest vectors are small ``(K, D)``
+arrays.  The cache keys on ``(user, history_version)`` so a history append —
+which bumps the version — makes the stale entry unreachable immediately;
+:meth:`invalidate` additionally drops it eagerly.  Entries expire after
+``ttl_seconds`` (bounding staleness of the *item table* view) and the least
+recently used entry is evicted beyond ``capacity``.
+
+The clock is injectable so tests drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+__all__ = ["InterestCache"]
+
+
+class InterestCache:
+    """Bounded TTL + LRU map from ``(user, version)`` to interest vectors."""
+
+    def __init__(self, capacity: int = 4096, ttl_seconds: float = 300.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, tuple[float, object]]" = OrderedDict()
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(user: int, version: int) -> tuple[int, int]:
+        return (user, version)
+
+    def get(self, user: int, version: int):
+        """The cached value, or None on miss/expiry (expired entries are
+        dropped; hits refresh LRU recency)."""
+        key = self._key(user, version)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        expires, value = entry
+        if self._clock() >= expires:
+            del self._entries[key]
+            self.expirations += 1
+            return None
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, user: int, version: int, value) -> None:
+        """Insert (or refresh) an entry, evicting LRU beyond capacity."""
+        key = self._key(user, version)
+        self._entries[key] = (self._clock() + self.ttl_seconds, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, user: int) -> int:
+        """Eagerly drop every cached version for ``user``; returns the count."""
+        stale = [key for key in self._entries if key[0] == user]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

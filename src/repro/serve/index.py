@@ -1,0 +1,216 @@
+"""Multi-interest item retrieval indexes.
+
+A retrieval index answers "given a user's K interest vectors, which items
+score highest?" without the caller touching the full catalog.  Two backends:
+
+* :class:`ExactIndex` — brute-force matmul over the whole item block.  Its
+  results are *identical* to offline full-catalog scoring (same readout, same
+  float64 ordering as :func:`repro.recommend.recommend`), which makes it both
+  the correctness baseline and the recall reference for approximate backends.
+* :class:`IVFIndex` — an inverted-file (coarse-quantized) index: items are
+  partitioned by a seeded NumPy k-means; each interest vector probes its
+  ``nprobe`` closest partitions and the per-interest candidate sets are
+  merged before exact re-scoring.  Classic ComiRec-style serving: K queries
+  against an ANN structure, merge, rank.
+
+Scores use the same multi-interest readout as the model (``max`` or
+label-aware ``softmax``), so a candidate's index score equals its model
+score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ops import interest_readout
+
+__all__ = ["ExactIndex", "IVFIndex", "build_index", "SearchResult",
+           "topk_overlap"]
+
+
+class SearchResult:
+    """Top-k result of one index query: parallel ``items`` / ``scores``
+    arrays (best first) plus the number of candidates actually scored."""
+
+    __slots__ = ("items", "scores", "candidates_scored")
+
+    def __init__(self, items: np.ndarray, scores: np.ndarray,
+                 candidates_scored: int):
+        self.items = items
+        self.scores = scores
+        self.candidates_scored = candidates_scored
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _as_queries(interests: np.ndarray) -> np.ndarray:
+    queries = np.asarray(interests)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if queries.ndim != 2:
+        raise ValueError(f"expected (K, D) interest queries, got shape "
+                         f"{queries.shape}")
+    return queries
+
+
+def _apply_exclusions(scores: np.ndarray, exclude) -> np.ndarray:
+    if exclude:
+        scores[np.fromiter(exclude, dtype=np.int64) - 1] = -np.inf
+    return scores
+
+
+def _finite_topk(items: np.ndarray, scores: np.ndarray, order: np.ndarray,
+                 candidates_scored: int) -> SearchResult:
+    keep = np.isfinite(scores[order])
+    order = order[keep]
+    return SearchResult(items[order], scores[order], candidates_scored)
+
+
+class ExactIndex:
+    """Brute-force index over the ``(N, D)`` item block (row ``i`` = item
+    ``i + 1``).
+
+    The full sort mirrors the offline path exactly — scores are promoted to
+    float64 and ordered with ``argsort(-scores)``, byte for byte the
+    selection :func:`repro.recommend.recommend_batch` performs — so served
+    exact-backend top-k lists are interchangeable with offline ones.
+    """
+
+    backend = "exact"
+
+    def __init__(self, item_vectors: np.ndarray, score_mode: str = "max",
+                 score_pow: float = 1.0):
+        self.vectors = np.ascontiguousarray(item_vectors)
+        self.num_items = int(self.vectors.shape[0])
+        self.score_mode = score_mode
+        self.score_pow = score_pow
+        self.items = np.arange(1, self.num_items + 1)
+
+    def combined_scores(self, interests: np.ndarray) -> np.ndarray:
+        """Readout scores ``(N,)`` of one user's interests over the catalog."""
+        queries = _as_queries(interests)
+        per_interest = queries @ self.vectors.T            # (K, N)
+        return interest_readout(per_interest, self.score_mode, self.score_pow)
+
+    def search(self, interests: np.ndarray, k: int,
+               exclude=None) -> SearchResult:
+        """Exact top-``k``; ``exclude`` item ids are masked to ``-inf``."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        scores = self.combined_scores(interests).astype(np.float64, copy=True)
+        scores = _apply_exclusions(scores, exclude)
+        order = np.argsort(-scores)[:k]
+        return _finite_topk(self.items, scores, order, self.num_items)
+
+
+def _kmeans(vectors: np.ndarray, num_clusters: int, iterations: int,
+            rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded Lloyd's k-means; empty clusters are reseeded from random rows."""
+    n = vectors.shape[0]
+    centroids = vectors[rng.choice(n, size=num_clusters, replace=False)].copy()
+    assignment = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        distances = ((vectors[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=-1) \
+            if n * num_clusters * vectors.shape[1] < 2_000_000 else None
+        if distances is None:
+            # Large case: ||x - c||^2 = ||x||^2 - 2 x·c + ||c||^2 without the
+            # (N, C, D) broadcast temporary.
+            cross = vectors @ centroids.T
+            distances = (vectors ** 2).sum(axis=1, keepdims=True) - 2.0 * cross \
+                + (centroids ** 2).sum(axis=1)[None, :]
+        assignment = distances.argmin(axis=1)
+        for cluster in range(num_clusters):
+            members = assignment == cluster
+            if members.any():
+                centroids[cluster] = vectors[members].mean(axis=0)
+            else:
+                centroids[cluster] = vectors[rng.integers(n)]
+    return centroids, assignment
+
+
+class IVFIndex:
+    """Inverted-file index: coarse k-means partitions + per-interest probing.
+
+    Args:
+        item_vectors: ``(N, D)`` catalog block, row ``i`` = item ``i + 1``.
+        nlist: number of partitions (default ``round(sqrt(N))``).
+        nprobe: partitions each interest vector probes (default
+            ``max(1, nlist // 4)``); higher = better recall, slower.
+        score_mode / score_pow: multi-interest readout, as in the model.
+        seed: k-means initialization seed.
+    """
+
+    backend = "ivf"
+
+    def __init__(self, item_vectors: np.ndarray, nlist: int | None = None,
+                 nprobe: int | None = None, score_mode: str = "max",
+                 score_pow: float = 1.0, seed: int = 0,
+                 kmeans_iterations: int = 8):
+        self.vectors = np.ascontiguousarray(item_vectors)
+        self.num_items = int(self.vectors.shape[0])
+        self.score_mode = score_mode
+        self.score_pow = score_pow
+        if nlist is None:
+            nlist = max(1, int(round(np.sqrt(self.num_items))))
+        nlist = min(nlist, self.num_items)
+        self.nlist = nlist
+        self.nprobe = max(1, nlist // 4) if nprobe is None else min(nprobe, nlist)
+        rng = np.random.default_rng(seed)
+        self.centroids, assignment = _kmeans(self.vectors, nlist,
+                                             kmeans_iterations, rng)
+        self.lists = [np.flatnonzero(assignment == c) for c in range(nlist)]
+
+    def _candidate_rows(self, queries: np.ndarray) -> np.ndarray:
+        """Union of the item rows in every probed partition."""
+        affinity = queries @ self.centroids.T                    # (K, C)
+        probe_count = min(self.nprobe, self.nlist)
+        probed = np.argpartition(-affinity, probe_count - 1,
+                                 axis=1)[:, :probe_count]
+        clusters = np.unique(probed)
+        return np.concatenate([self.lists[c] for c in clusters]) \
+            if len(clusters) else np.arange(self.num_items)
+
+    def search(self, interests: np.ndarray, k: int,
+               exclude=None) -> SearchResult:
+        """Approximate top-``k``: probe, merge per-interest candidates,
+        re-score exactly, rank."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        queries = _as_queries(interests)
+        rows = self._candidate_rows(queries)
+        per_interest = queries @ self.vectors[rows].T            # (K, M)
+        combined = interest_readout(per_interest, self.score_mode,
+                                    self.score_pow)
+        scores = np.full(self.num_items, -np.inf, dtype=np.float64)
+        scores[rows] = combined
+        scores = _apply_exclusions(scores, exclude)
+        take = min(k, self.num_items)
+        if take < self.num_items:
+            shortlist = np.argpartition(-scores, take - 1)[:take]
+            order = shortlist[np.argsort(-scores[shortlist])]
+        else:
+            order = np.argsort(-scores)
+        items = np.arange(1, self.num_items + 1)
+        return _finite_topk(items, scores, order, len(rows))
+
+
+def topk_overlap(approx_items: np.ndarray, exact_items: np.ndarray) -> float:
+    """Recall@k of an approximate result against the exact reference:
+    ``|approx ∩ exact| / |exact|`` (1.0 when the reference is empty)."""
+    if len(exact_items) == 0:
+        return 1.0
+    return len(np.intersect1d(approx_items, exact_items)) / len(exact_items)
+
+
+def build_index(item_vectors: np.ndarray, backend: str = "exact",
+                score_mode: str = "max", score_pow: float = 1.0, **kwargs):
+    """Construct a retrieval index: ``backend`` is ``"exact"`` or ``"ivf"``."""
+    if backend == "exact":
+        return ExactIndex(item_vectors, score_mode=score_mode,
+                          score_pow=score_pow)
+    if backend == "ivf":
+        return IVFIndex(item_vectors, score_mode=score_mode,
+                        score_pow=score_pow, **kwargs)
+    raise ValueError(f"unknown index backend {backend!r}; "
+                     f"choose 'exact' or 'ivf'")

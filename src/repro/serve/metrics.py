@@ -1,0 +1,196 @@
+"""Serving observability: latency histograms, throughput and cache counters.
+
+Mirrors the spirit of :mod:`repro.perf` — cheap enough to stay always-on,
+with a ``report()`` table in the profiler's style — but aimed at the request
+path: per-stage latency histograms (queue / encode / retrieve / rank and
+end-to-end), QPS since start, micro-batch occupancy, cache hit rate, and the
+approximate index's measured recall against the exact backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "ServingMetrics", "STAGES"]
+
+STAGES = ("queue", "encode", "retrieve", "rank", "total")
+
+
+class LatencyHistogram:
+    """Log-bucketed latency accumulator with percentile estimates.
+
+    Buckets are geometric (factor 2) from 1 µs to ~64 s; a recorded value
+    lands in the first bucket whose upper bound contains it.  Percentiles
+    interpolate within the winning bucket, so they are estimates with
+    bounded relative error (a factor-2 bucket bounds the error at 2×),
+    while ``count`` / ``mean`` / ``max`` are exact.
+    """
+
+    _BOUNDS = 1e-6 * np.power(2.0, np.arange(27))  # 1 µs .. ~67 s
+
+    def __init__(self):
+        self._counts = np.zeros(len(self._BOUNDS) + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (in seconds)."""
+        bucket = int(np.searchsorted(self._BOUNDS, seconds, side="left"))
+        self._counts[bucket] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile in seconds (0 when empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = np.cumsum(self._counts)
+        bucket = int(np.searchsorted(cumulative, rank, side="left"))
+        upper = self._BOUNDS[bucket] if bucket < len(self._BOUNDS) else self.max
+        lower = self._BOUNDS[bucket - 1] if bucket > 0 else 0.0
+        previous = cumulative[bucket - 1] if bucket > 0 else 0
+        in_bucket = self._counts[bucket]
+        fraction = (rank - previous) / in_bucket if in_bucket else 1.0
+        return min(lower + fraction * (upper - lower), self.max or upper)
+
+    def snapshot(self) -> dict:
+        """Summary dict (milliseconds for human-facing fields)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50.0) * 1e3,
+            "p99_ms": self.percentile(99.0) * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+
+class ServingMetrics:
+    """Aggregated counters for one :class:`~repro.serve.service.RecommenderService`."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        self.stages = {stage: LatencyHistogram() for stage in STAGES}
+        self.requests = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.recall_sum = 0.0
+        self.recall_count = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Add one latency observation to a stage histogram."""
+        self.stages[stage].record(seconds)
+
+    def record_request(self, total_seconds: float) -> None:
+        """Count one completed request with its end-to-end latency."""
+        self.requests += 1
+        self.stages["total"].record(total_seconds)
+
+    def record_error(self) -> None:
+        self.errors += 1
+
+    def record_batch(self, size: int, queue_delays: list[float]) -> None:
+        """Count one micro-batch flush and its per-request queue delays."""
+        self.batches += 1
+        self.batched_requests += size
+        if size > self.max_batch_size:
+            self.max_batch_size = size
+        for delay in queue_delays:
+            self.stages["queue"].record(delay)
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def record_recall(self, recall: float) -> None:
+        """Add one recall@k sample of the approximate index vs exact."""
+        self.recall_sum += recall
+        self.recall_count += 1
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        return max(self._clock() - self.started_at, 1e-9)
+
+    def qps(self) -> float:
+        """Completed requests per second since construction."""
+        return self.requests / self.elapsed()
+
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def mean_recall(self) -> float:
+        return self.recall_sum / self.recall_count if self.recall_count else float("nan")
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable view of every counter and histogram."""
+        return {
+            "uptime_seconds": self.elapsed(),
+            "requests": self.requests,
+            "errors": self.errors,
+            "qps": self.qps(),
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size(),
+            "max_batch_size": self.max_batch_size,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate(),
+            },
+            "recall": {
+                "samples": self.recall_count,
+                "mean": self.mean_recall() if self.recall_count else None,
+            },
+            "stages": {stage: hist.snapshot()
+                       for stage, hist in self.stages.items()},
+        }
+
+    def report(self) -> str:
+        """Human-readable table in the :mod:`repro.perf` profiler style."""
+        from repro.utils import format_table
+
+        rows = []
+        for stage in STAGES:
+            hist = self.stages[stage]
+            rows.append([
+                stage, hist.count, f"{hist.mean * 1e3:.3f}",
+                f"{hist.percentile(50.0) * 1e3:.3f}",
+                f"{hist.percentile(99.0) * 1e3:.3f}",
+                f"{hist.max * 1e3:.3f}",
+            ])
+        table = format_table(["stage", "count", "mean ms", "p50 ms",
+                              "p99 ms", "max ms"], rows)
+        recall = (f", recall@k {self.mean_recall():.3f} "
+                  f"({self.recall_count} probes)") if self.recall_count else ""
+        return (f"{table}\n"
+                f"qps {self.qps():.1f} over {self.elapsed():.1f}s, "
+                f"{self.requests} requests, {self.batches} batches "
+                f"(mean size {self.mean_batch_size():.1f}), "
+                f"cache hit-rate {self.cache_hit_rate():.2f}{recall}")

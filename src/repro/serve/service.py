@@ -1,0 +1,223 @@
+"""The synchronous in-process serving facade.
+
+:class:`RecommenderService` wires the serving subsystem together: a frozen
+:class:`~repro.serve.artifact.InferenceArtifact`, its NumPy encoder, a
+retrieval index (exact or IVF), a versioned
+:class:`~repro.serve.history.HistoryStore`, the TTL + LRU interest cache,
+the micro-batching engine and always-on serving metrics.
+
+Request path: ``recommend(user, k)`` enqueues into the micro-batcher; the
+worker encodes all queued users as one batch (cache misses only), queries
+the index with each user's K interest vectors (seen items excluded), and
+returns ranked :class:`~repro.recommend.Recommendation` lists.  Per-stage
+latencies, QPS, cache hit rate and (for approximate backends) sampled
+recall-vs-exact land in :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.batching import collate
+from repro.recommend import Recommendation
+
+from .artifact import InferenceArtifact
+from .batcher import MicroBatcher
+from .cache import InterestCache
+from .encoder import build_encoder
+from .history import HistoryStore
+from .index import ExactIndex, build_index, topk_overlap
+from .metrics import ServingMetrics
+
+__all__ = ["RecommenderService"]
+
+
+class RecommenderService:
+    """Online multi-interest recommender over a frozen artifact.
+
+    Args:
+        artifact: the exported model snapshot.
+        history: user histories (seed with ``HistoryStore.from_dataset``).
+        index_backend: ``"exact"`` (parity with offline scoring) or ``"ivf"``
+            (approximate, faster on large catalogs).
+        index_options: extra kwargs for the index constructor (e.g. ``nlist``,
+            ``nprobe``, ``seed`` for IVF).
+        max_batch / max_wait_ms: micro-batching triggers.
+        cache_capacity / cache_ttl_seconds: interest-cache bounds.
+        max_len: history truncation at encode time (matches the offline
+            ``recommend`` default).
+        exclude_seen: mask items the user already interacted with.
+        recall_probe_every: with an approximate backend, every N-th request
+            is shadow-scored on an exact index and the top-k overlap recorded
+            as recall (0 disables probing).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, artifact: InferenceArtifact, history: HistoryStore,
+                 index_backend: str = "exact",
+                 index_options: dict | None = None,
+                 max_batch: int = 32, max_wait_ms: float = 5.0,
+                 cache_capacity: int = 4096, cache_ttl_seconds: float = 300.0,
+                 max_len: int = 50, exclude_seen: bool = True,
+                 recall_probe_every: int = 0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.artifact = artifact
+        self.history = history
+        if tuple(history.schema.behaviors) != tuple(artifact.behaviors):
+            raise ValueError(
+                f"history schema {history.schema.behaviors} does not match "
+                f"artifact schema {artifact.behaviors}")
+        self.encoder = build_encoder(artifact)
+        self.max_len = max_len
+        self.exclude_seen = exclude_seen
+        self._clock = clock
+        self.metrics = ServingMetrics(clock)
+        self.cache = InterestCache(capacity=cache_capacity,
+                                   ttl_seconds=cache_ttl_seconds, clock=clock)
+        self.index = build_index(artifact.item_vectors(), index_backend,
+                                 score_mode=self.encoder.score_mode,
+                                 score_pow=self.encoder.score_pow,
+                                 **(index_options or {}))
+        self.recall_probe_every = int(recall_probe_every)
+        self._reference_index: ExactIndex | None = None
+        if self.index.backend != "exact" and self.recall_probe_every > 0:
+            self._reference_index = ExactIndex(
+                artifact.item_vectors(), score_mode=self.encoder.score_mode,
+                score_pow=self.encoder.score_pow)
+        self._served = 0
+        self._batcher = MicroBatcher(self._process_batch, max_batch=max_batch,
+                                     max_wait_ms=max_wait_ms, clock=clock,
+                                     on_flush=self.metrics.record_batch)
+
+    # ------------------------------------------------------------------
+    # request surface
+    # ------------------------------------------------------------------
+    def recommend(self, user: int, k: int = 10) -> list[Recommendation]:
+        """Top-``k`` novel items for one user (micro-batched under load)."""
+        if k < 1:
+            self.metrics.record_error()
+            raise ValueError("k must be positive")
+        if not self.history.has_user(user):
+            self.metrics.record_error()
+            raise KeyError(f"user {user} not in the history store")
+        started = self._clock()
+        try:
+            result = self._batcher.submit((user, k))
+        except BaseException:
+            self.metrics.record_error()
+            raise
+        self.metrics.record_request(self._clock() - started)
+        return result
+
+    def recommend_many(self, users: Sequence[int], k: int = 10
+                       ) -> dict[int, list[Recommendation]]:
+        """One explicit batch (bypasses the queue; shares all other stages)."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        for user in users:
+            if not self.history.has_user(user):
+                raise KeyError(f"user {user} not in the history store")
+        started = self._clock()
+        results = self._process_batch([(user, k) for user in users])
+        elapsed = self._clock() - started
+        self.metrics.record_batch(len(users), [0.0] * len(users))
+        for _ in users:
+            self.metrics.record_request(elapsed)
+        return dict(zip(users, results))
+
+    def append_event(self, user: int, item: int, behavior: str,
+                     timestamp: int | None = None) -> int:
+        """Record a new interaction and invalidate the user's cached
+        interests; returns the new history version."""
+        version = self.history.append(user, item, behavior, timestamp)
+        self.cache.invalidate(user)
+        return version
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+    def _interests_for(self, users: Sequence[int]) -> dict[int, np.ndarray]:
+        """Per-user ``(K, D)`` interest vectors, cache-first; all cache
+        misses are encoded as one collated batch."""
+        unique = list(dict.fromkeys(users))
+        versions = {user: self.history.version(user) for user in unique}
+        interests: dict[int, np.ndarray] = {}
+        misses: list[int] = []
+        for user in unique:
+            cached = self.cache.get(user, versions[user])
+            self.metrics.record_cache(cached is not None)
+            if cached is None:
+                misses.append(user)
+            else:
+                interests[user] = cached
+        if misses:
+            examples = [self.history.example(user, self.max_len)
+                        for user in misses]
+            batch = collate(examples, self.history.schema)
+            encoded = self.encoder.interests(batch)
+            for row, user in enumerate(misses):
+                vectors = encoded[row]
+                self.cache.put(user, versions[user], vectors)
+                interests[user] = vectors
+        return interests
+
+    def _process_batch(self, payloads: Sequence[tuple[int, int]]
+                       ) -> list[list[Recommendation]]:
+        started = self._clock()
+        interests = self._interests_for([user for user, _ in payloads])
+        self.metrics.record_stage("encode", self._clock() - started)
+        results: list[list[Recommendation]] = []
+        for user, k in payloads:
+            exclude = self.history.seen(user) if self.exclude_seen else None
+            retrieve_start = self._clock()
+            found = self.index.search(interests[user], k, exclude=exclude)
+            rank_start = self._clock()
+            self.metrics.record_stage("retrieve", rank_start - retrieve_start)
+            results.append([
+                Recommendation(item=int(item), score=float(score), rank=rank)
+                for rank, (item, score) in enumerate(zip(found.items,
+                                                         found.scores))
+            ])
+            self._served += 1
+            if (self._reference_index is not None
+                    and self._served % self.recall_probe_every == 0):
+                reference = self._reference_index.search(interests[user], k,
+                                                         exclude=exclude)
+                self.metrics.record_recall(
+                    topk_overlap(found.items, reference.items))
+            self.metrics.record_stage("rank", self._clock() - rank_start)
+        return results
+
+    # ------------------------------------------------------------------
+    # observability & lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-serializable snapshot of every serving counter."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"]["size"] = len(self.cache)
+        snapshot["cache"]["evictions"] = self.cache.evictions
+        snapshot["cache"]["expirations"] = self.cache.expirations
+        index_info = {"backend": self.index.backend,
+                      "num_items": self.index.num_items}
+        if self.index.backend == "ivf":
+            index_info["nlist"] = self.index.nlist
+            index_info["nprobe"] = self.index.nprobe
+        snapshot["index"] = index_info
+        return snapshot
+
+    def report(self) -> str:
+        """Human-readable metrics table (profiler style)."""
+        return self.metrics.report()
+
+    def close(self) -> None:
+        """Stop the micro-batching worker (idempotent)."""
+        self._batcher.close()
+
+    def __enter__(self) -> "RecommenderService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,31 @@
+"""Shared serving fixtures: a trained-shape model, its exported artifact,
+and a history store seeded from the tiny corpus."""
+
+import pytest
+
+from repro.core import MISSL, MISSLConfig
+from repro.serve import HistoryStore, export_artifact, load_artifact
+
+SERVE_CONFIG = MISSLConfig(dim=16, num_interests=3, max_len=20)
+
+
+@pytest.fixture(scope="session")
+def serving_model(tiny_dataset, tiny_graph):
+    return MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                 SERVE_CONFIG, seed=0)
+
+
+@pytest.fixture(scope="session")
+def artifact_path(serving_model, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "model.npz"
+    return export_artifact(serving_model, path, extra={"origin": "tests"})
+
+
+@pytest.fixture(scope="session")
+def artifact(artifact_path):
+    return load_artifact(artifact_path)
+
+
+@pytest.fixture
+def history(tiny_dataset):
+    return HistoryStore.from_dataset(tiny_dataset)

@@ -1,0 +1,90 @@
+"""Micro-batcher tests: size and timeout flush triggers, error paths."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+def echo(payloads):
+    return [payload * 2 for payload in payloads]
+
+
+class TestTriggers:
+    def test_size_trigger_flushes_full_batch(self):
+        flushes = []
+        # A generous wait so only the size trigger can fire first.
+        with MicroBatcher(echo, max_batch=4, max_wait_ms=5_000.0,
+                          on_flush=lambda size, delays: flushes.append(size)) as batcher:
+            results = [None] * 4
+
+            def call(slot):
+                results[slot] = batcher.submit(slot)
+
+            threads = [threading.Thread(target=call, args=(slot,))
+                       for slot in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert sorted(results) == [0, 2, 4, 6]
+        assert flushes == [4]
+
+    def test_timeout_trigger_flushes_partial_batch(self):
+        flushes = []
+        with MicroBatcher(echo, max_batch=100, max_wait_ms=20.0,
+                          on_flush=lambda size, delays: flushes.append(size)) as batcher:
+            started = time.monotonic()
+            assert batcher.submit(21) == 42
+            elapsed = time.monotonic() - started
+        assert flushes == [1]
+        assert elapsed >= 0.015  # waited for the age trigger, not forever
+
+    def test_queue_delays_reported(self):
+        seen = {}
+
+        def observe(size, delays):
+            seen["size"] = size
+            seen["delays"] = delays
+
+        with MicroBatcher(echo, max_batch=1, max_wait_ms=1.0,
+                          on_flush=observe) as batcher:
+            batcher.submit(1)
+        assert seen["size"] == 1
+        assert len(seen["delays"]) == 1
+        assert seen["delays"][0] >= 0.0
+
+
+class TestErrors:
+    def test_processing_error_propagates_to_caller(self):
+        def broken(payloads):
+            raise RuntimeError("encoder on fire")
+
+        with MicroBatcher(broken, max_batch=2, max_wait_ms=1.0) as batcher:
+            with pytest.raises(RuntimeError, match="encoder on fire"):
+                batcher.submit(1)
+
+    def test_result_count_mismatch_detected(self):
+        with MicroBatcher(lambda payloads: [], max_batch=1,
+                          max_wait_ms=1.0) as batcher:
+            with pytest.raises(RuntimeError, match="results"):
+                batcher.submit(1)
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(echo, max_batch=2, max_wait_ms=1.0)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(1)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(echo, max_batch=2, max_wait_ms=1.0)
+        batcher.close()
+        batcher.close()
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(echo, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(echo, max_wait_ms=-1.0).close()

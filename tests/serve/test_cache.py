@@ -1,0 +1,73 @@
+"""Interest-cache tests: TTL expiry, LRU eviction, invalidation."""
+
+import pytest
+
+from repro.serve import InterestCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestLookup:
+    def test_miss_then_hit(self, clock):
+        cache = InterestCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        assert cache.get(1, 0) is None
+        cache.put(1, 0, "vectors")
+        assert cache.get(1, 0) == "vectors"
+
+    def test_version_is_part_of_the_key(self, clock):
+        cache = InterestCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 0, "stale")
+        assert cache.get(1, 1) is None
+
+    def test_ttl_expiry(self, clock):
+        cache = InterestCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 0, "vectors")
+        clock.now = 9.999
+        assert cache.get(1, 0) == "vectors"
+        clock.now = 10.0
+        assert cache.get(1, 0) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction_order(self, clock):
+        cache = InterestCache(capacity=2, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 0, "a")
+        cache.put(2, 0, "b")
+        cache.get(1, 0)            # refresh 1 → 2 becomes LRU
+        cache.put(3, 0, "c")
+        assert cache.get(2, 0) is None
+        assert cache.get(1, 0) == "a"
+        assert cache.get(3, 0) == "c"
+        assert cache.evictions == 1
+
+    def test_invalidate_drops_all_versions(self, clock):
+        cache = InterestCache(capacity=8, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 0, "a")
+        cache.put(1, 1, "b")
+        cache.put(2, 0, "c")
+        assert cache.invalidate(1) == 2
+        assert len(cache) == 1
+        assert cache.get(2, 0) == "c"
+
+    def test_clear(self, clock):
+        cache = InterestCache(capacity=8, ttl_seconds=10.0, clock=clock)
+        cache.put(1, 0, "a")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_bad_bounds(self, clock):
+        with pytest.raises(ValueError):
+            InterestCache(capacity=0)
+        with pytest.raises(ValueError):
+            InterestCache(ttl_seconds=0.0)

@@ -1,0 +1,84 @@
+"""History-store tests: example parity, versioning, append validation."""
+
+import pytest
+
+from repro.recommend import build_inference_example
+from repro.serve import HistoryStore
+
+
+class TestSeeding:
+    def test_examples_match_offline_builder(self, tiny_dataset, history):
+        for user in tiny_dataset.users:
+            assert history.example(user, max_len=50) == \
+                build_inference_example(tiny_dataset, user, max_len=50)
+
+    def test_short_max_len_matches_offline_builder(self, tiny_dataset, history):
+        for user in tiny_dataset.users[:10]:
+            assert history.example(user, max_len=3) == \
+                build_inference_example(tiny_dataset, user, max_len=3)
+
+    def test_users_and_seen(self, tiny_dataset, history):
+        assert history.users == tiny_dataset.users
+        user = tiny_dataset.users[0]
+        assert history.has_user(user)
+        assert history.seen(user) == tiny_dataset.items_of_user(user)
+
+    def test_versions_start_at_zero(self, tiny_dataset, history):
+        assert history.version(tiny_dataset.users[0]) == 0
+
+
+class TestAppend:
+    def test_bumps_version_and_seen(self, tiny_dataset, history):
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        assert history.append(user, 1, behavior) == 1
+        assert history.append(user, 2, behavior) == 2
+        assert {1, 2} <= history.seen(user)
+
+    def test_appended_event_reaches_example(self, tiny_dataset, history):
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        history.append(user, 3, behavior)
+        example = history.example(user)
+        assert example.inputs[behavior][-1] == 3
+        assert example.merged_items[-1] == 3
+
+    def test_default_timestamp_is_monotonic(self, tiny_dataset, history):
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        history.append(user, 1, behavior)
+        history.append(user, 2, behavior)
+        example = history.example(user)
+        assert example.merged_items[-2:] == (1, 2)
+
+    def test_rejects_time_travel(self, tiny_dataset, history):
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        history.append(user, 1, behavior, timestamp=1_000)
+        with pytest.raises(ValueError, match="precedes"):
+            history.append(user, 2, behavior, timestamp=10)
+
+    def test_rejects_unknown_behavior(self, tiny_dataset, history):
+        with pytest.raises(KeyError, match="unknown behavior"):
+            history.append(tiny_dataset.users[0], 1, "teleport")
+
+    def test_rejects_out_of_range_item(self, tiny_dataset, history):
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        with pytest.raises(ValueError, match="outside"):
+            history.append(user, 0, behavior)
+        with pytest.raises(ValueError, match="outside"):
+            history.append(user, tiny_dataset.num_items + 1, behavior)
+
+    def test_cold_start_creates_user(self, tiny_dataset, history):
+        newcomer = max(tiny_dataset.users) + 1
+        assert not history.has_user(newcomer)
+        version = history.append(newcomer, 1, tiny_dataset.schema.behaviors[0])
+        assert version == 1
+        assert history.has_user(newcomer)
+        example = history.example(newcomer)
+        assert example.merged_items == (1,)
+
+    def test_unknown_user_example_raises(self, history):
+        with pytest.raises(KeyError, match="not in the history store"):
+            history.example(10_000_000)

@@ -1,0 +1,104 @@
+"""Retrieval-index tests: exact baseline, IVF recall, exclusions."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ExactIndex, IVFIndex, build_index, topk_overlap
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return np.random.default_rng(11).normal(size=(200, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.random.default_rng(12).normal(size=(3, 16)).astype(np.float32)
+
+
+class TestExactIndex:
+    def test_matches_manual_topk(self, vectors, queries):
+        index = ExactIndex(vectors)
+        result = index.search(queries, k=10)
+        manual = (queries @ vectors.T).max(axis=0).astype(np.float64)
+        expected = np.argsort(-manual)[:10]
+        np.testing.assert_array_equal(result.items, expected + 1)
+        np.testing.assert_allclose(result.scores, manual[expected])
+        assert result.candidates_scored == 200
+
+    def test_scores_descending(self, vectors, queries):
+        result = ExactIndex(vectors).search(queries, k=25)
+        assert (np.diff(result.scores) <= 0).all()
+
+    def test_exclusions_absent(self, vectors, queries):
+        index = ExactIndex(vectors)
+        exclude = set(index.search(queries, k=5).items.tolist())
+        result = index.search(queries, k=10, exclude=exclude)
+        assert not exclude & set(result.items.tolist())
+
+    def test_single_vector_query(self, vectors, queries):
+        index = ExactIndex(vectors)
+        single = index.search(queries[0], k=5)
+        assert len(single) == 5
+
+    def test_k_beyond_catalog(self, vectors, queries):
+        result = ExactIndex(vectors).search(queries, k=10_000)
+        assert len(result) == 200
+
+    def test_rejects_bad_inputs(self, vectors, queries):
+        index = ExactIndex(vectors)
+        with pytest.raises(ValueError, match="k must be positive"):
+            index.search(queries, k=0)
+        with pytest.raises(ValueError, match="interest queries"):
+            index.search(queries[None], k=5)
+
+
+class TestIVFIndex:
+    def test_full_probe_matches_exact(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=20)
+        ivf = IVFIndex(vectors, nlist=8, nprobe=8, seed=0)
+        approx = ivf.search(queries, k=20)
+        assert topk_overlap(approx.items, exact.items) == 1.0
+        np.testing.assert_allclose(np.sort(approx.scores),
+                                   np.sort(exact.scores))
+
+    def test_partial_probe_prunes_candidates(self, vectors, queries):
+        ivf = IVFIndex(vectors, nlist=16, nprobe=2, seed=0)
+        result = ivf.search(queries, k=10)
+        assert result.candidates_scored < 200
+        assert len(result) <= 10
+
+    def test_partial_probe_recall_reasonable(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=10)
+        ivf = IVFIndex(vectors, nlist=16, nprobe=8, seed=0)
+        recall = topk_overlap(ivf.search(queries, k=10).items, exact.items)
+        assert 0.5 <= recall <= 1.0
+
+    def test_deterministic_given_seed(self, vectors, queries):
+        first = IVFIndex(vectors, nlist=8, seed=3).search(queries, k=10)
+        second = IVFIndex(vectors, nlist=8, seed=3).search(queries, k=10)
+        np.testing.assert_array_equal(first.items, second.items)
+
+    def test_defaults(self, vectors):
+        ivf = IVFIndex(vectors)
+        assert ivf.nlist == round(np.sqrt(200))
+        assert ivf.nprobe == max(1, ivf.nlist // 4)
+        assert sum(len(rows) for rows in ivf.lists) == 200
+
+    def test_exclusions_absent(self, vectors, queries):
+        ivf = IVFIndex(vectors, nlist=8, nprobe=8, seed=0)
+        exclude = set(ivf.search(queries, k=5).items.tolist())
+        result = ivf.search(queries, k=10, exclude=exclude)
+        assert not exclude & set(result.items.tolist())
+
+
+class TestHelpers:
+    def test_topk_overlap(self):
+        assert topk_overlap(np.array([1, 2, 3]), np.array([2, 3, 4])) == pytest.approx(2 / 3)
+        assert topk_overlap(np.array([]), np.array([])) == 1.0
+
+    def test_build_index_dispatch(self, vectors):
+        assert build_index(vectors, "exact").backend == "exact"
+        assert build_index(vectors, "ivf", nlist=4).backend == "ivf"
+        with pytest.raises(ValueError, match="unknown index backend"):
+            build_index(vectors, "faiss")

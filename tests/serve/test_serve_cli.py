@@ -1,0 +1,112 @@
+"""CLI tests for the ``export`` and ``serve`` subcommands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import _serve_request, build_parser, main
+from repro.serve import RecommenderService, load_artifact
+
+
+class TestParser:
+    def test_export_parses(self):
+        args = build_parser().parse_args(["export", "out.npz", "--scale", "0.1"])
+        assert args.command == "export" and args.out == "out.npz"
+
+    def test_serve_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "art.npz", "--backend", "ivf", "--probe-every", "5"])
+        assert args.command == "serve"
+        assert args.backend == "ivf" and args.probe_every == 5
+
+
+class TestServeRequest:
+    @pytest.fixture
+    def service(self, artifact, history):
+        with RecommenderService(artifact, history, max_wait_ms=1.0) as svc:
+            yield svc
+
+    def test_recommend_op(self, service, tiny_dataset):
+        user = tiny_dataset.users[0]
+        response = _serve_request(service, {"op": "recommend", "user": user,
+                                            "k": 3}, default_k=10)
+        assert response["ok"] and len(response["items"]) == 3
+        assert len(response["scores"]) == 3
+
+    def test_recommend_is_the_default_op(self, service, tiny_dataset):
+        response = _serve_request(service, {"user": tiny_dataset.users[0]},
+                                  default_k=4)
+        assert response["ok"] and len(response["items"]) == 4
+
+    def test_append_and_stats_ops(self, service, tiny_dataset):
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        appended = _serve_request(service, {"op": "append", "user": user,
+                                            "item": 1, "behavior": behavior},
+                                  default_k=10)
+        assert appended == {"ok": True, "user": user, "version": 1}
+        stats = _serve_request(service, {"op": "stats"}, default_k=10)
+        assert stats["ok"] and "qps" in stats["stats"]
+        report = _serve_request(service, {"op": "report"}, default_k=10)
+        assert "stage" in report["report"]
+
+    def test_unknown_op_raises(self, service):
+        with pytest.raises(ValueError, match="unknown op"):
+            _serve_request(service, {"op": "fly"}, default_k=10)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "artifact.npz"
+        assert main(["export", str(path), "--preset", "taobao",
+                     "--scale", "0.1", "--dim", "16", "--epochs", "1",
+                     "--seed", "3"]) == 0
+        return path
+
+    def test_export_records_provenance(self, exported):
+        artifact = load_artifact(exported)
+        assert artifact.extra == {"preset": "taobao", "scale": 0.1, "seed": 3}
+
+    def test_serve_loop(self, exported, monkeypatch, capsys):
+        artifact = load_artifact(exported)
+        requests = "\n".join([
+            json.dumps({"op": "stats"}),
+            "",  # blank lines are skipped
+            "not json",
+            json.dumps({"op": "quit"}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        assert main(["serve", str(exported)]) == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.strip().splitlines()]
+        ready, stats, error = lines
+        assert ready["ready"] and ready["num_items"] == artifact.num_items
+        assert stats["ok"] and stats["stats"]["requests"] == 0
+        assert not error["ok"]
+
+    def test_serve_recommend_matches_direct_service(self, exported,
+                                                    monkeypatch, capsys):
+        from repro.data import DATASET_PRESETS, generate, k_core_filter
+        from repro.serve import HistoryStore
+        artifact = load_artifact(exported)
+        dataset = k_core_filter(generate(DATASET_PRESETS["taobao"](0.1), seed=3))
+        user = dataset.users[0]
+        with RecommenderService(artifact, HistoryStore.from_dataset(dataset),
+                                max_wait_ms=1.0) as svc:
+            expected = [r.item for r in svc.recommend(user, k=5)]
+        requests = "\n".join([
+            json.dumps({"op": "recommend", "user": user, "k": 5}),
+            json.dumps({"op": "quit"}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        assert main(["serve", str(exported)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert json.loads(lines[1])["items"] == expected
+
+    def test_serve_corpus_mismatch_detected(self, exported, monkeypatch,
+                                            capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", str(exported), "--scale", "0.3"]) == 2
+        assert "mismatch" in capsys.readouterr().err

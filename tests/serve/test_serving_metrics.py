@@ -1,0 +1,82 @@
+"""Serving-metrics tests: histogram estimates and counter aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import LatencyHistogram, ServingMetrics
+from repro.serve.metrics import STAGES
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLatencyHistogram:
+    def test_exact_aggregates(self):
+        hist = LatencyHistogram()
+        for value in (0.001, 0.002, 0.004):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(0.007 / 3)
+        assert hist.max == 0.004
+
+    def test_percentiles_bracket_the_data(self):
+        hist = LatencyHistogram()
+        values = np.random.default_rng(0).uniform(1e-4, 1e-1, size=500)
+        for value in values:
+            hist.record(float(value))
+        p50 = hist.percentile(50.0)
+        true_p50 = float(np.percentile(values, 50.0))
+        # Factor-2 buckets bound the relative error at 2x.
+        assert true_p50 / 2 <= p50 <= true_p50 * 2
+        assert hist.percentile(99.0) <= hist.max
+        assert hist.percentile(100.0) <= hist.max
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50.0) == 0.0
+        assert hist.mean == 0.0
+        assert hist.snapshot()["count"] == 0
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101.0)
+
+
+class TestServingMetrics:
+    def test_counters_aggregate(self):
+        clock = FakeClock()
+        metrics = ServingMetrics(clock)
+        clock.now = 2.0
+        metrics.record_request(0.010)
+        metrics.record_request(0.020)
+        metrics.record_error()
+        metrics.record_batch(2, [0.001, 0.002])
+        metrics.record_cache(True)
+        metrics.record_cache(False)
+        metrics.record_recall(0.8)
+        assert metrics.qps() == pytest.approx(1.0)
+        assert metrics.cache_hit_rate() == pytest.approx(0.5)
+        assert metrics.mean_batch_size() == pytest.approx(2.0)
+        assert metrics.mean_recall() == pytest.approx(0.8)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["errors"] == 1
+        assert snapshot["stages"]["queue"]["count"] == 2
+        assert snapshot["stages"]["total"]["count"] == 2
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+        json.dumps(ServingMetrics(FakeClock()).snapshot())
+
+    def test_report_lists_every_stage(self):
+        metrics = ServingMetrics(FakeClock())
+        metrics.record_stage("encode", 0.001)
+        report = metrics.report()
+        for stage in STAGES:
+            assert stage in report
+        assert "qps" in report

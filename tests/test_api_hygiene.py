@@ -15,7 +15,7 @@ import repro
 
 PACKAGES = ["repro.nn", "repro.data", "repro.hypergraph", "repro.core",
             "repro.baselines", "repro.train", "repro.eval", "repro.experiments",
-            "repro.utils", "repro.analysis"]
+            "repro.utils", "repro.analysis", "repro.serve"]
 
 
 def iter_modules():
