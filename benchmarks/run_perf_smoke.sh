@@ -28,4 +28,19 @@ for result in BENCH_P1.json BENCH_P2.json; do
         exit 1
     fi
 done
+
+# Observability smoke: a telemetry-instrumented training run must produce a
+# JSON-lines event log that `python -m repro obs` renders.
+OBS_EVENTS="$(mktemp -t repro_obs_smoke.XXXXXX.jsonl)"
+OBS_RENDER="$(mktemp -t repro_obs_smoke.XXXXXX.txt)"
+trap 'rm -f "$OBS_EVENTS" "$OBS_RENDER"' EXIT
+PYTHONPATH=src python -m repro train --preset taobao \
+    --scale "$REPRO_PERF_SCALE" --dim 16 --epochs 1 \
+    --events-out "$OBS_EVENTS" >/dev/null
+PYTHONPATH=src python -m repro obs "$OBS_EVENTS" >"$OBS_RENDER"
+grep -q "train.fit" "$OBS_RENDER" || {
+    echo "FAIL: obs render missing train.fit span" >&2
+    exit 1
+}
+
 echo "perf smoke OK"

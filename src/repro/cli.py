@@ -9,17 +9,28 @@ Commands:
     compare      significance-test two models on one dataset
     export       train MISSL and freeze it into a serving artifact (.npz)
     serve        answer JSON-lines requests over an exported artifact
+    obs          render a telemetry event log (trace tree + metric summary)
 
 All commands are seeded and run on synthetic presets; see ``--help`` of each
-subcommand for knobs.
+subcommand for knobs.  ``train`` and ``serve`` accept ``--events-out FILE``
+to capture a JSON-lines telemetry log for ``python -m repro obs``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _telemetry(events_out: str | None):
+    """A telemetry session writing to ``events_out``, or a no-op context."""
+    if events_out is None:
+        return contextlib.nullcontext()
+    from repro.obs import telemetry_session
+    return telemetry_session(events_out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=1)
     train.add_argument("--checkpoint", default=None,
                        help="save the trained model's parameters to this .npz path")
+    train.add_argument("--events-out", default=None, metavar="FILE",
+                       help="write a JSON-lines telemetry event log "
+                            "(render it with `python -m repro obs FILE`)")
 
     experiment = sub.add_parser("experiment", help="run a registered experiment")
     experiment.add_argument("id", help="experiment id, e.g. T2 or F1")
@@ -87,6 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--probe-every", type=int, default=0,
                        help="with --backend ivf, shadow-score every N-th "
                             "request on an exact index and record recall")
+    serve.add_argument("--events-out", default=None, metavar="FILE",
+                       help="write a JSON-lines telemetry event log "
+                            "(render it with `python -m repro obs FILE`)")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="dump the final serving-metrics snapshot as "
+                            "JSON on shutdown")
+
+    obs = sub.add_parser("obs", help="render a telemetry event log "
+                                     "(trace tree + metric summary)")
+    obs.add_argument("events", help="path to a JSON-lines event log "
+                                    "(from --events-out)")
+    obs.add_argument("--collapse-after", type=int, default=5,
+                     help="collapse sibling-span runs longer than this "
+                          "into one aggregate line")
 
     compare = sub.add_parser("compare", help="paired-bootstrap two models")
     compare.add_argument("model_a")
@@ -115,23 +143,48 @@ def _cmd_stats(args) -> int:
 def _cmd_train(args) -> int:
     from repro.experiments import ExperimentContext, build_model, model_names, \
         train_and_evaluate
+    from repro.obs import get_logger
     if args.model not in model_names():
         print(f"unknown model {args.model!r}; choose from {model_names()}",
               file=sys.stderr)
         return 2
-    context = ExperimentContext.build(args.preset, scale=args.scale, seed=args.seed)
-    model = build_model(args.model, context, dim=args.dim, seed=args.seed)
-    report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
-                                         seed=args.seed)
-    print(f"{args.model} on {args.preset} (scale {args.scale}): {report} "
-          f"[{seconds:.1f}s]")
-    if args.checkpoint and model.parameters():
-        from repro.nn.serialization import save_checkpoint
-        path = save_checkpoint(model, args.checkpoint,
-                               extra={"model": args.model, "preset": args.preset,
-                                      "dim": args.dim, "scale": args.scale,
-                                      "seed": args.seed})
-        print(f"checkpoint written to {path}")
+    logger = get_logger("repro.cli")
+    with _telemetry(args.events_out) as telemetry:
+        callbacks: tuple = ()
+        if telemetry is not None:
+            from repro.obs import GradientMonitor, LossComponentTracker, NaNWatchdog
+            callbacks = (NaNWatchdog(),
+                         LossComponentTracker(registry=telemetry.registry),
+                         GradientMonitor(registry=telemetry.registry))
+        context = ExperimentContext.build(args.preset, scale=args.scale,
+                                          seed=args.seed)
+        model = build_model(args.model, context, dim=args.dim, seed=args.seed)
+        report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
+                                             seed=args.seed, callbacks=callbacks)
+        print(f"{args.model} on {args.preset} (scale {args.scale}): {report} "
+              f"[{seconds:.1f}s]")
+        if args.checkpoint and model.parameters():
+            from pathlib import Path
+
+            from repro.nn.serialization import save_checkpoint
+            from repro.obs import write_run_manifest
+            path = save_checkpoint(model, args.checkpoint,
+                                   extra={"model": args.model, "preset": args.preset,
+                                          "dim": args.dim, "scale": args.scale,
+                                          "seed": args.seed})
+            logger.info("checkpoint written to %s", path)
+            checkpoint = Path(path)
+            write_run_manifest(
+                checkpoint.with_name(checkpoint.name + ".manifest.json"),
+                config={"model": args.model, "preset": args.preset,
+                        "dim": args.dim, "scale": args.scale,
+                        "epochs": args.epochs},
+                seed=args.seed,
+                metrics=dict(report),
+                extra={"seconds": seconds})
+    if args.events_out:
+        logger.info("telemetry written to %s (render with "
+                    "`python -m repro obs %s`)", args.events_out, args.events_out)
     return 0
 
 
@@ -217,12 +270,14 @@ def _cmd_profile(args) -> int:
 
 def _cmd_export(args) -> int:
     from repro.experiments import ExperimentContext, build_model, train_and_evaluate
+    from repro.obs import get_logger
     from repro.serve import export_artifact
     context = ExperimentContext.build(args.preset, scale=args.scale, seed=args.seed)
     model = build_model("MISSL", context, dim=args.dim, seed=args.seed)
     report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
                                          seed=args.seed)
-    print(f"MISSL on {args.preset} (scale {args.scale}): {report} [{seconds:.1f}s]")
+    get_logger("repro.cli").info("MISSL on %s (scale %s): %s [%.1fs]",
+                                 args.preset, args.scale, report, seconds)
     path = export_artifact(model, args.out,
                            extra={"preset": args.preset, "scale": args.scale,
                                   "seed": args.seed})
@@ -272,27 +327,47 @@ def _cmd_serve(args) -> int:
         return 2
     history = HistoryStore.from_dataset(dataset)
     probe = args.probe_every if args.backend != "exact" else 0
-    with RecommenderService(artifact, history, index_backend=args.backend,
-                            max_batch=args.max_batch,
-                            max_wait_ms=args.max_wait_ms,
-                            recall_probe_every=probe) as service:
-        print(json.dumps({"ok": True, "ready": True,
-                          "users": len(history.users),
-                          "num_items": artifact.num_items,
-                          "backend": args.backend}), flush=True)
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                request = json.loads(line)
-                if request.get("op") == "quit":
-                    break
-                response = _serve_request(service, request, args.k)
-            except (KeyError, ValueError, TypeError) as error:
-                response = {"ok": False, "error": str(error)}
-            print(json.dumps(response), flush=True)
-        print(service.report(), file=sys.stderr)
+    with _telemetry(args.events_out) as telemetry:
+        registry = telemetry.registry if telemetry is not None else None
+        with RecommenderService(artifact, history, index_backend=args.backend,
+                                max_batch=args.max_batch,
+                                max_wait_ms=args.max_wait_ms,
+                                recall_probe_every=probe,
+                                registry=registry) as service:
+            print(json.dumps({"ok": True, "ready": True,
+                              "users": len(history.users),
+                              "num_items": artifact.num_items,
+                              "backend": args.backend}), flush=True)
+            for line in sys.stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if request.get("op") == "quit":
+                        break
+                    response = _serve_request(service, request, args.k)
+                except (KeyError, ValueError, TypeError) as error:
+                    response = {"ok": False, "error": str(error)}
+                print(json.dumps(response), flush=True)
+            print(service.report(), file=sys.stderr)
+            if args.metrics_out:
+                from pathlib import Path
+                snapshot = json.dumps(service.stats(), indent=2) + "\n"
+                Path(args.metrics_out).write_text(snapshot, encoding="utf-8")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import render_events
+    try:
+        print(render_events(args.events, collapse_after=args.collapse_after))
+    except FileNotFoundError:
+        print(f"no such event log: {args.events}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -317,6 +392,8 @@ def _cmd_compare(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import setup_logging
+    setup_logging()
     args = build_parser().parse_args(argv)
     handlers = {
         "stats": _cmd_stats,
@@ -327,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "export": _cmd_export,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

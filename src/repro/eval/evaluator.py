@@ -13,6 +13,7 @@ from repro.data.batching import collate
 from repro.data.schema import BehaviorSchema
 from repro.data.splits import SequenceExample
 from repro.nn.tensor import no_grad
+from repro.obs import span
 
 from .metrics import MetricReport, ranks_from_scores
 from .protocol import CandidateSets
@@ -51,18 +52,20 @@ def rank_all(model, examples: list[SequenceExample], candidate_sets: CandidateSe
     train mode: evaluating an already-eval model must not flip it back to
     training (which would, e.g., invalidate cached inference tables).
     """
-    if precollated is None:
-        precollated = precollate(examples, candidate_sets, schema, batch_size=batch_size)
-    was_training = bool(getattr(model, "training", False))
-    model.eval()
-    ranks: list[np.ndarray] = []
-    with no_grad():
-        for batch, candidates in precollated:
-            scores = model.score_candidates(batch, candidates)
-            ranks.append(ranks_from_scores(scores.numpy()))
-    if was_training:
-        model.train()
-    return np.concatenate(ranks) if ranks else np.zeros(0, dtype=np.int64)
+    with span("eval.rank_all", examples=len(examples),
+              model=type(model).__name__):
+        if precollated is None:
+            precollated = precollate(examples, candidate_sets, schema, batch_size=batch_size)
+        was_training = bool(getattr(model, "training", False))
+        model.eval()
+        ranks: list[np.ndarray] = []
+        with no_grad():
+            for batch, candidates in precollated:
+                scores = model.score_candidates(batch, candidates)
+                ranks.append(ranks_from_scores(scores.numpy()))
+        if was_training:
+            model.train()
+        return np.concatenate(ranks) if ranks else np.zeros(0, dtype=np.int64)
 
 
 def evaluate_ranking(model, examples: list[SequenceExample], candidate_sets: CandidateSets,

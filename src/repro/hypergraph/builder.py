@@ -21,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.data.dataset import MultiBehaviorDataset
+from repro.obs import span
 
 from .incidence import Hypergraph
 
@@ -58,6 +59,15 @@ class BuilderConfig:
 def build_hypergraph(dataset: MultiBehaviorDataset, config: BuilderConfig | None = None
                      ) -> Hypergraph:
     """Build the training hypergraph over items ``0..num_items`` (0 isolated)."""
+    with span("hypergraph.build", users=len(dataset.users),
+              items=dataset.num_items) as build_span:
+        graph = _build_hypergraph(dataset, config)
+        build_span.set(edges=graph.num_edges)
+        return graph
+
+
+def _build_hypergraph(dataset: MultiBehaviorDataset,
+                      config: BuilderConfig | None) -> Hypergraph:
     config = config or BuilderConfig()
     schema = dataset.schema
     rows: list[int] = []

@@ -1,0 +1,63 @@
+"""``repro.obs`` — the unified telemetry backbone.
+
+One shared event model covers every stage of the pipeline (data prep,
+training, evaluation, serving):
+
+- :mod:`repro.obs.events` — the telemetry hub, JSON-lines event sinks and
+  the ``telemetry_session`` entry point.
+- :mod:`repro.obs.trace` — nested wall-clock :func:`span` tracing with
+  thread-local context and attribute tagging.
+- :mod:`repro.obs.metrics` — process-wide counters / gauges / log-bucketed
+  histograms in a named :class:`MetricsRegistry` (the substrate under
+  :class:`repro.serve.metrics.ServingMetrics`).
+- :mod:`repro.obs.health` — training-health monitors (per-component loss
+  tracking, gradient-norm and update-ratio monitors, NaN/Inf watchdog)
+  attached to the trainer via :class:`TrainerCallback`.
+- :mod:`repro.obs.logs` — stdlib ``logging`` routed into the event layer.
+- :mod:`repro.obs.exporters` — Prometheus text exposition and per-run
+  manifests written next to checkpoints.
+- :mod:`repro.obs.cli` — the ``python -m repro obs`` trace/metrics renderer.
+
+All instrumentation is zero-cost when disabled: call sites pay one
+``is None`` check, matching the :mod:`repro.perf` discipline.
+"""
+
+from .cli import render_events, render_span_tree
+from .events import (EventSink, Telemetry, disable_telemetry, enable_telemetry,
+                     get_telemetry, read_events, telemetry_session)
+from .exporters import git_revision, prometheus_text, write_run_manifest
+from .health import (GradientMonitor, LossComponentTracker, NaNWatchdog,
+                     NonFiniteGradientError, TrainerCallback)
+from .logs import get_logger, setup_logging
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .trace import Span, current_span, span
+
+__all__ = [
+    "EventSink",
+    "Telemetry",
+    "enable_telemetry",
+    "disable_telemetry",
+    "get_telemetry",
+    "telemetry_session",
+    "read_events",
+    "Span",
+    "span",
+    "current_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "TrainerCallback",
+    "LossComponentTracker",
+    "GradientMonitor",
+    "NaNWatchdog",
+    "NonFiniteGradientError",
+    "get_logger",
+    "setup_logging",
+    "prometheus_text",
+    "write_run_manifest",
+    "git_revision",
+    "render_events",
+    "render_span_tree",
+]

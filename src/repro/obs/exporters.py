@@ -1,0 +1,118 @@
+"""Exporters: Prometheus text exposition and per-run manifests.
+
+Three machine-readable outputs leave the telemetry layer:
+
+* **JSON-lines event logs** — produced by the sink itself
+  (:mod:`repro.obs.events`), rendered by ``python -m repro obs``.
+* **Prometheus exposition** — :func:`prometheus_text` renders any
+  :class:`~repro.obs.metrics.MetricsRegistry` in the text format scrapers
+  expect (counters, gauges, cumulative histogram buckets).
+* **Run manifests** — :func:`write_run_manifest` captures what produced a
+  checkpoint (config, seed, git SHA, final metrics, environment) as a JSON
+  file next to the checkpoint, so every ``.npz`` on disk stays attributable
+  months later.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from .metrics import Counter, Gauge, MetricsRegistry
+
+__all__ = ["prometheus_text", "write_run_manifest", "git_revision"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(round(float(value), 9))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms expand into
+    cumulative ``_bucket{le="..."}`` samples plus ``_sum`` and ``_count``,
+    matching what a scraper expects from a native client.
+    """
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        prom = _prom_name(name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_fmt(metric.value)}")
+        else:
+            lines.append(f"# TYPE {prom} histogram")
+            for bound, count in metric.bucket_counts():
+                lines.append(f'{prom}_bucket{{le="{_fmt(bound)}"}} {count}')
+            lines.append(f"{prom}_sum {_fmt(metric.total)}")
+            lines.append(f"{prom}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def git_revision() -> str | None:
+    """The current repository's HEAD SHA, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True, timeout=5.0)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def write_run_manifest(path: str | Path, *, config: dict | None = None,
+                       seed: int | None = None, metrics: dict | None = None,
+                       extra: dict | None = None) -> Path:
+    """Write one run's provenance manifest as pretty-printed JSON.
+
+    Args:
+        path: manifest destination (conventionally
+            ``<checkpoint>.manifest.json`` next to the checkpoint).
+        config: the run's configuration (e.g. ``dataclasses.asdict`` of a
+            :class:`~repro.train.trainer.TrainConfig`).
+        seed: the run's master seed.
+        metrics: final metric values (best validation / test report).
+        extra: any further JSON-serializable context.
+
+    The manifest additionally records the git SHA (when available), the
+    Python/NumPy versions, the platform and a wall-clock timestamp.
+    """
+    import numpy as np
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_revision(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "seed": seed,
+        "config": config or {},
+        "metrics": metrics or {},
+        "extra": extra or {},
+    }
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True,
+                               default=str) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,93 @@
+"""Stdlib ``logging`` routed through the telemetry event layer.
+
+:func:`get_logger` hands out ordinary ``logging.Logger`` objects under the
+``repro`` namespace, configured once with two handlers:
+
+* a stderr handler (human-readable one-liners) — tables and command results
+  stay on stdout, diagnostics never pollute machine-parsed output;
+* an event handler that forwards every record as a ``log`` event to the
+  installed :class:`~repro.obs.events.Telemetry` hub (an ``is None`` check
+  when telemetry is off).
+
+The library never calls ``logging.basicConfig`` and never touches the root
+logger — applications embedding ``repro`` keep full control (call
+:func:`setup_logging` with ``propagate=True`` to defer to their own config).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from .events import get_telemetry
+
+__all__ = ["get_logger", "setup_logging"]
+
+
+class _TelemetryLogHandler(logging.Handler):
+    """Forwards log records to the telemetry sink as ``log`` events."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        telemetry = get_telemetry()
+        if telemetry is None:
+            return
+        try:
+            telemetry.emit("log", level=record.levelname, logger=record.name,
+                           message=record.getMessage())
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+class _LiveStderrHandler(logging.Handler):
+    """Stderr handler resolving ``sys.stderr`` at emit time.
+
+    A plain ``StreamHandler`` captures the stream object at construction,
+    which defeats tools that swap ``sys.stderr`` later (pytest's capsys,
+    CLI redirection).  Looking the stream up per record keeps the handler
+    honest under capture.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+_FORMAT = "%(levelname).1s %(name)s: %(message)s"
+_configured = False
+
+
+def setup_logging(level: int | str = logging.INFO,
+                  propagate: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger tree (idempotent).
+
+    Attaches the stderr handler and the telemetry event handler to the
+    ``repro`` logger and sets its level.  With ``propagate=True`` records
+    additionally flow to the root logger for host applications that manage
+    their own handlers.  Returns the ``repro`` logger.
+    """
+    global _configured
+    logger = logging.getLogger("repro")
+    if not _configured:
+        stderr_handler = _LiveStderrHandler()
+        stderr_handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(stderr_handler)
+        logger.addHandler(_TelemetryLogHandler())
+        _configured = True
+    logger.setLevel(level)
+    logger.propagate = propagate
+    return logger
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger under the ``repro`` namespace, auto-configuring on first use.
+
+    ``name`` is namespaced under ``repro`` unless it already starts with it,
+    so ``get_logger(__name__)`` works from inside and outside the package.
+    """
+    if not _configured:
+        setup_logging()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

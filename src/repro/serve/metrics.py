@@ -1,10 +1,14 @@
 """Serving observability: latency histograms, throughput and cache counters.
 
-Mirrors the spirit of :mod:`repro.perf` — cheap enough to stay always-on,
-with a ``report()`` table in the profiler's style — but aimed at the request
-path: per-stage latency histograms (queue / encode / retrieve / rank and
-end-to-end), QPS since start, micro-batch occupancy, cache hit rate, and the
-approximate index's measured recall against the exact backend.
+Built on the shared :mod:`repro.obs.metrics` substrate — the per-stage
+latency histograms are :class:`repro.obs.metrics.Histogram` instances and
+every counter lives in a :class:`repro.obs.metrics.MetricsRegistry`, so a
+serving process exposes one coherent namespace (``serve.*``) to the
+telemetry exporters.  The surface stays the same as ever: cheap enough to
+be always-on, with a ``report()`` table in the profiler's style covering
+per-stage latency (queue / encode / retrieve / rank and end-to-end), QPS
+since start, micro-batch occupancy, cache hit rate, and the approximate
+index's measured recall against the exact backend.
 """
 
 from __future__ import annotations
@@ -12,59 +16,21 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-import numpy as np
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["LatencyHistogram", "ServingMetrics", "STAGES"]
 
 STAGES = ("queue", "encode", "retrieve", "rank", "total")
 
 
-class LatencyHistogram:
-    """Log-bucketed latency accumulator with percentile estimates.
+class LatencyHistogram(Histogram):
+    """Log-bucketed latency accumulator with millisecond-facing snapshots.
 
-    Buckets are geometric (factor 2) from 1 µs to ~64 s; a recorded value
-    lands in the first bucket whose upper bound contains it.  Percentiles
-    interpolate within the winning bucket, so they are estimates with
-    bounded relative error (a factor-2 bucket bounds the error at 2×),
-    while ``count`` / ``mean`` / ``max`` are exact.
+    The bucketing, exact aggregates and percentile estimation come from
+    :class:`repro.obs.metrics.Histogram` (geometric factor-2 buckets from
+    1 µs to ~67 s); this subclass only fixes the human-facing unit to
+    milliseconds.
     """
-
-    _BOUNDS = 1e-6 * np.power(2.0, np.arange(27))  # 1 µs .. ~67 s
-
-    def __init__(self):
-        self._counts = np.zeros(len(self._BOUNDS) + 1, dtype=np.int64)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Add one observation (in seconds)."""
-        bucket = int(np.searchsorted(self._BOUNDS, seconds, side="left"))
-        self._counts[bucket] += 1
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Estimated ``p``-th percentile in seconds (0 when empty)."""
-        if not 0.0 <= p <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if self.count == 0:
-            return 0.0
-        rank = p / 100.0 * self.count
-        cumulative = np.cumsum(self._counts)
-        bucket = int(np.searchsorted(cumulative, rank, side="left"))
-        upper = self._BOUNDS[bucket] if bucket < len(self._BOUNDS) else self.max
-        lower = self._BOUNDS[bucket - 1] if bucket > 0 else 0.0
-        previous = cumulative[bucket - 1] if bucket > 0 else 0
-        in_bucket = self._counts[bucket]
-        fraction = (rank - previous) / in_bucket if in_bucket else 1.0
-        return min(lower + fraction * (upper - lower), self.max or upper)
 
     def snapshot(self) -> dict:
         """Summary dict (milliseconds for human-facing fields)."""
@@ -78,21 +44,83 @@ class LatencyHistogram:
 
 
 class ServingMetrics:
-    """Aggregated counters for one :class:`~repro.serve.service.RecommenderService`."""
+    """Aggregated counters for one :class:`~repro.serve.service.RecommenderService`.
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic):
+    Args:
+        clock: monotonic time source (injectable for tests).
+        registry: metrics registry to register into.  Defaults to a private
+            registry so concurrent services never share counters; pass
+            :func:`repro.obs.get_registry` to publish into the process-wide
+            namespace (the serving CLI does this when telemetry is on).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 registry: MetricsRegistry | None = None):
         self._clock = clock
         self.started_at = clock()
-        self.stages = {stage: LatencyHistogram() for stage in STAGES}
-        self.requests = 0
-        self.errors = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self.max_batch_size = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.recall_sum = 0.0
-        self.recall_count = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stages = {
+            stage: self.registry.histogram(f"serve.latency.{stage}",
+                                           cls=LatencyHistogram)
+            for stage in STAGES
+        }
+        self._requests = self.registry.counter("serve.requests")
+        self._errors = self.registry.counter("serve.errors")
+        self._batches = self.registry.counter("serve.batches")
+        self._batched_requests = self.registry.counter("serve.batched_requests")
+        self._max_batch_size = self.registry.gauge("serve.max_batch_size")
+        self._cache_hits = self.registry.counter("serve.cache.hits")
+        self._cache_misses = self.registry.counter("serve.cache.misses")
+        self._recall_sum = self.registry.gauge("serve.recall.sum")
+        self._recall_count = self.registry.counter("serve.recall.samples")
+
+    # ------------------------------------------------------------------
+    # registry-backed views (kept as attributes of the historic API)
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        """Completed requests since construction."""
+        return self._requests.value
+
+    @property
+    def errors(self) -> int:
+        """Requests rejected or failed."""
+        return self._errors.value
+
+    @property
+    def batches(self) -> int:
+        """Micro-batch flushes."""
+        return self._batches.value
+
+    @property
+    def batched_requests(self) -> int:
+        """Requests that went through a micro-batch flush."""
+        return self._batched_requests.value
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest micro-batch seen."""
+        return int(self._max_batch_size.value)
+
+    @property
+    def cache_hits(self) -> int:
+        """Interest-cache hits."""
+        return self._cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        """Interest-cache misses."""
+        return self._cache_misses.value
+
+    @property
+    def recall_sum(self) -> float:
+        """Sum of sampled recall@k probes."""
+        return self._recall_sum.value
+
+    @property
+    def recall_count(self) -> int:
+        """Number of recall probes recorded."""
+        return self._recall_count.value
 
     # ------------------------------------------------------------------
     # recording
@@ -103,36 +131,39 @@ class ServingMetrics:
 
     def record_request(self, total_seconds: float) -> None:
         """Count one completed request with its end-to-end latency."""
-        self.requests += 1
+        self._requests.inc()
         self.stages["total"].record(total_seconds)
 
     def record_error(self) -> None:
-        self.errors += 1
+        """Count one failed/rejected request."""
+        self._errors.inc()
 
     def record_batch(self, size: int, queue_delays: list[float]) -> None:
         """Count one micro-batch flush and its per-request queue delays."""
-        self.batches += 1
-        self.batched_requests += size
-        if size > self.max_batch_size:
-            self.max_batch_size = size
+        self._batches.inc()
+        self._batched_requests.inc(size)
+        if size > self._max_batch_size.value:
+            self._max_batch_size.set(size)
         for delay in queue_delays:
             self.stages["queue"].record(delay)
 
     def record_cache(self, hit: bool) -> None:
+        """Count one interest-cache lookup."""
         if hit:
-            self.cache_hits += 1
+            self._cache_hits.inc()
         else:
-            self.cache_misses += 1
+            self._cache_misses.inc()
 
     def record_recall(self, recall: float) -> None:
         """Add one recall@k sample of the approximate index vs exact."""
-        self.recall_sum += recall
-        self.recall_count += 1
+        self._recall_sum.add(recall)
+        self._recall_count.inc()
 
     # ------------------------------------------------------------------
     # derived views
     # ------------------------------------------------------------------
     def elapsed(self) -> float:
+        """Seconds since construction (floored away from zero)."""
         return max(self._clock() - self.started_at, 1e-9)
 
     def qps(self) -> float:
@@ -140,13 +171,16 @@ class ServingMetrics:
         return self.requests / self.elapsed()
 
     def cache_hit_rate(self) -> float:
+        """Fraction of interest-cache lookups that hit (0 when none)."""
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
     def mean_batch_size(self) -> float:
+        """Average micro-batch occupancy (0 when no batch flushed)."""
         return self.batched_requests / self.batches if self.batches else 0.0
 
     def mean_recall(self) -> float:
+        """Mean sampled recall@k (NaN when never probed)."""
         return self.recall_sum / self.recall_count if self.recall_count else float("nan")
 
     def snapshot(self) -> dict:

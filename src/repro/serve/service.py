@@ -22,6 +22,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.batching import collate
+from repro.obs import span
+from repro.obs.metrics import MetricsRegistry
 from repro.recommend import Recommendation
 
 from .artifact import InferenceArtifact
@@ -54,6 +56,9 @@ class RecommenderService:
             is shadow-scored on an exact index and the top-k overlap recorded
             as recall (0 disables probing).
         clock: monotonic time source (injectable for tests).
+        registry: metrics registry handed to :class:`ServingMetrics`
+            (default: a private registry; pass the process-wide one to
+            publish into the shared telemetry namespace).
     """
 
     def __init__(self, artifact: InferenceArtifact, history: HistoryStore,
@@ -63,7 +68,8 @@ class RecommenderService:
                  cache_capacity: int = 4096, cache_ttl_seconds: float = 300.0,
                  max_len: int = 50, exclude_seen: bool = True,
                  recall_probe_every: int = 0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 registry: MetricsRegistry | None = None):
         self.artifact = artifact
         self.history = history
         if tuple(history.schema.behaviors) != tuple(artifact.behaviors):
@@ -74,7 +80,7 @@ class RecommenderService:
         self.max_len = max_len
         self.exclude_seen = exclude_seen
         self._clock = clock
-        self.metrics = ServingMetrics(clock)
+        self.metrics = ServingMetrics(clock, registry=registry)
         self.cache = InterestCache(capacity=cache_capacity,
                                    ttl_seconds=cache_ttl_seconds, clock=clock)
         self.index = build_index(artifact.item_vectors(), index_backend,
@@ -104,11 +110,12 @@ class RecommenderService:
             self.metrics.record_error()
             raise KeyError(f"user {user} not in the history store")
         started = self._clock()
-        try:
-            result = self._batcher.submit((user, k))
-        except BaseException:
-            self.metrics.record_error()
-            raise
+        with span("serve.request", user=user, k=k):
+            try:
+                result = self._batcher.submit((user, k))
+            except BaseException:
+                self.metrics.record_error()
+                raise
         self.metrics.record_request(self._clock() - started)
         return result
 
@@ -166,30 +173,38 @@ class RecommenderService:
 
     def _process_batch(self, payloads: Sequence[tuple[int, int]]
                        ) -> list[list[Recommendation]]:
-        started = self._clock()
-        interests = self._interests_for([user for user, _ in payloads])
-        self.metrics.record_stage("encode", self._clock() - started)
-        results: list[list[Recommendation]] = []
-        for user, k in payloads:
-            exclude = self.history.seen(user) if self.exclude_seen else None
-            retrieve_start = self._clock()
-            found = self.index.search(interests[user], k, exclude=exclude)
-            rank_start = self._clock()
-            self.metrics.record_stage("retrieve", rank_start - retrieve_start)
-            results.append([
-                Recommendation(item=int(item), score=float(score), rank=rank)
-                for rank, (item, score) in enumerate(zip(found.items,
-                                                         found.scores))
-            ])
-            self._served += 1
-            if (self._reference_index is not None
-                    and self._served % self.recall_probe_every == 0):
-                reference = self._reference_index.search(interests[user], k,
-                                                         exclude=exclude)
-                self.metrics.record_recall(
-                    topk_overlap(found.items, reference.items))
-            self.metrics.record_stage("rank", self._clock() - rank_start)
-        return results
+        with span("serve.batch", size=len(payloads)):
+            started = self._clock()
+            with span("serve.encode", users=len(set(u for u, _ in payloads))):
+                interests = self._interests_for([user for user, _ in payloads])
+            self.metrics.record_stage("encode", self._clock() - started)
+            results: list[list[Recommendation]] = []
+            with span("serve.retrieve_rank"):
+                for user, k in payloads:
+                    exclude = (self.history.seen(user)
+                               if self.exclude_seen else None)
+                    retrieve_start = self._clock()
+                    found = self.index.search(interests[user], k,
+                                              exclude=exclude)
+                    rank_start = self._clock()
+                    self.metrics.record_stage("retrieve",
+                                              rank_start - retrieve_start)
+                    results.append([
+                        Recommendation(item=int(item), score=float(score),
+                                       rank=rank)
+                        for rank, (item, score) in enumerate(zip(found.items,
+                                                                 found.scores))
+                    ])
+                    self._served += 1
+                    if (self._reference_index is not None
+                            and self._served % self.recall_probe_every == 0):
+                        reference = self._reference_index.search(
+                            interests[user], k, exclude=exclude)
+                        self.metrics.record_recall(
+                            topk_overlap(found.items, reference.items))
+                    self.metrics.record_stage("rank",
+                                              self._clock() - rank_start)
+            return results
 
     # ------------------------------------------------------------------
     # observability & lifecycle

@@ -9,13 +9,20 @@ __all__ = ["EpochRecord", "History"]
 
 @dataclass
 class EpochRecord:
-    """One epoch's summary."""
+    """One epoch's summary.
+
+    ``seconds`` is the epoch's total wall clock (optimization + validation);
+    ``train_seconds`` / ``eval_seconds`` split it so efficiency numbers
+    (e.g. the T4 benchmark's s/epoch) can exclude validation time.
+    """
 
     epoch: int
     train_loss: float
     valid_metrics: dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
     learning_rate: float = 0.0
+    train_seconds: float = 0.0
+    eval_seconds: float = 0.0
 
 
 @dataclass
@@ -42,3 +49,11 @@ class History:
 
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.records)
+
+    def total_train_seconds(self) -> float:
+        """Wall clock spent optimizing (validation passes excluded)."""
+        return sum(r.train_seconds for r in self.records)
+
+    def total_eval_seconds(self) -> float:
+        """Wall clock spent in per-epoch validation ranking passes."""
+        return sum(r.eval_seconds for r in self.records)

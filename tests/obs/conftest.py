@@ -1,0 +1,19 @@
+"""Shared isolation for the observability tests.
+
+Telemetry is a process-global hub and the default registry is process-wide
+state; every test starts and ends with both clean so suites can run in any
+order.
+"""
+
+import pytest
+
+from repro.obs import disable_telemetry, get_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    disable_telemetry(final_snapshot=False)
+    get_registry().reset()
+    yield
+    disable_telemetry(final_snapshot=False)
+    get_registry().reset()

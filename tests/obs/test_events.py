@@ -1,0 +1,102 @@
+"""Event sinks, telemetry sessions, JSON-lines files and log routing."""
+
+import json
+
+import pytest
+
+from repro.obs import (EventSink, disable_telemetry, enable_telemetry,
+                       get_logger, get_registry, get_telemetry, read_events,
+                       span, telemetry_session)
+
+
+class TestEventSink:
+    def test_memory_sink_keeps_events(self):
+        sink = EventSink()
+        sink.emit({"type": "x", "n": 1})
+        assert sink.events == [{"type": "x", "n": 1}]
+
+    def test_file_sink_writes_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = EventSink(path)
+        sink.emit({"type": "a"})
+        sink.emit({"type": "b", "value": 2})
+        sink.close()
+        assert [e["type"] for e in read_events(path)] == ["a", "b"]
+        # file sinks default to not duplicating events in memory
+        assert sink.events == []
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        sink = EventSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.emit({"type": "late"})  # must not raise
+        sink.close()  # idempotent
+
+    def test_read_events_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "ok"}\n\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=":3:"):
+            read_events(path)
+
+
+class TestTelemetryLifecycle:
+    def test_enable_disable(self):
+        telemetry = enable_telemetry()
+        assert get_telemetry() is telemetry
+        disable_telemetry(final_snapshot=False)
+        assert get_telemetry() is None
+
+    def test_emit_stamps_type_and_ts(self):
+        telemetry = enable_telemetry()
+        telemetry.emit("custom", value=3)
+        (event,) = telemetry.sink.events
+        assert event["type"] == "custom" and event["value"] == 3
+        assert event["ts"] > 0
+
+    def test_default_registry_attached(self):
+        telemetry = enable_telemetry()
+        assert telemetry.registry is get_registry()
+
+    def test_session_file_is_self_contained(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with telemetry_session(path) as telemetry:
+            telemetry.registry.counter("demo.requests").inc(3)
+            with span("demo.stage"):
+                pass
+        events = read_events(path)
+        types = [e["type"] for e in events]
+        assert "span" in types
+        assert types[-1] == "metrics"  # final snapshot closes the file
+        snapshot = events[-1]["registry"]
+        assert snapshot["counters"]["demo.requests"] == 3
+
+    def test_session_uninstalls_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with telemetry_session(tmp_path / "run.jsonl"):
+                raise RuntimeError("boom")
+        assert get_telemetry() is None
+
+
+class TestLogRouting:
+    def test_logger_records_become_events(self):
+        telemetry = enable_telemetry()
+        get_logger("repro.test").info("hello %s", "world")
+        logs = [e for e in telemetry.sink.events if e["type"] == "log"]
+        assert logs and logs[0]["message"] == "hello world"
+        assert logs[0]["level"] == "INFO"
+        assert logs[0]["logger"] == "repro.test"
+
+    def test_logging_without_telemetry_is_silent_noop(self, capsys):
+        get_logger("repro.test").info("no hub installed")
+        # record still reaches stderr for humans
+        assert "no hub installed" in capsys.readouterr().err
+
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("train").name == "repro.train"
+        assert get_logger("repro.serve").name == "repro.serve"
+
+    def test_events_are_json_serializable(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with telemetry_session(path):
+            get_logger("repro.test").warning("careful")
+        for event in read_events(path):
+            json.dumps(event)  # round-trips

@@ -1,0 +1,45 @@
+"""Run manifests and environment provenance."""
+
+import json
+
+from repro.obs import git_revision, write_run_manifest
+
+
+class TestRunManifest:
+    def test_manifest_contents(self, tmp_path):
+        path = write_run_manifest(tmp_path / "ck.npz.manifest.json",
+                                  config={"dim": 16, "epochs": 3},
+                                  seed=7,
+                                  metrics={"NDCG@10": 0.12},
+                                  extra={"model": "MISSL"})
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert manifest["config"] == {"dim": 16, "epochs": 3}
+        assert manifest["seed"] == 7
+        assert manifest["metrics"]["NDCG@10"] == 0.12
+        assert manifest["extra"]["model"] == "MISSL"
+        for key in ("created_at", "python", "numpy", "platform"):
+            assert manifest[key]
+
+    def test_defaults_are_empty_dicts(self, tmp_path):
+        path = write_run_manifest(tmp_path / "m.json")
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert manifest["config"] == {} and manifest["metrics"] == {}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_run_manifest(tmp_path / "deep" / "dir" / "m.json")
+        assert path.exists()
+
+    def test_non_serializable_values_stringified(self, tmp_path):
+        path = write_run_manifest(tmp_path / "m.json",
+                                  config={"bounds": complex(1, 2)})
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(manifest["config"]["bounds"], str)
+
+
+class TestGitRevision:
+    def test_sha_shape_in_this_checkout(self):
+        sha = git_revision()
+        # this repository is a git checkout; outside one None is acceptable
+        if sha is not None:
+            assert len(sha) == 40
+            assert all(c in "0123456789abcdef" for c in sha)

@@ -1,0 +1,180 @@
+"""Training-health monitors: NaN watchdog, loss tracker, gradient monitor."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.obs import (GradientMonitor, LossComponentTracker, MetricsRegistry,
+                       NaNWatchdog, NonFiniteGradientError, TrainerCallback,
+                       enable_telemetry)
+
+
+def fake_trainer(**grads):
+    """A stand-in trainer whose model has one parameter per kwarg."""
+    params = [(name, SimpleNamespace(data=np.ones(3), grad=grad))
+              for name, grad in grads.items()]
+    model = SimpleNamespace(named_parameters=lambda: list(params))
+    return SimpleNamespace(model=model)
+
+
+class TestNaNWatchdog:
+    def test_clean_gradients_pass(self):
+        trainer = fake_trainer(w=np.array([0.1, -0.2, 0.3]))
+        NaNWatchdog().on_batch_end(trainer, 0, 0, 1.0, {})
+
+    def test_nan_gradient_names_parameter(self):
+        trainer = fake_trainer(ok=np.zeros(3),
+                               bad=np.array([1.0, np.nan, 2.0]))
+        watchdog = NaNWatchdog()
+        with pytest.raises(NonFiniteGradientError, match="nan.*'bad'") as info:
+            watchdog.on_batch_end(trainer, 2, 5, 1.0, {})
+        assert info.value.parameter == "bad"
+        assert (info.value.epoch, info.value.step) == (2, 5)
+
+    def test_inf_gradient_distinguished(self):
+        trainer = fake_trainer(bad=np.array([np.inf, 0.0, 0.0]))
+        with pytest.raises(NonFiniteGradientError, match="inf"):
+            NaNWatchdog().on_batch_end(trainer, 0, 0, 1.0, {})
+
+    def test_non_finite_loss_caught_first(self):
+        trainer = fake_trainer(w=np.zeros(3))
+        with pytest.raises(NonFiniteGradientError, match="loss") as info:
+            NaNWatchdog().on_batch_end(trainer, 1, 3, float("nan"), {})
+        assert info.value.parameter is None
+
+    def test_every_skips_intermediate_steps(self):
+        trainer = fake_trainer(bad=np.array([np.nan]))
+        watchdog = NaNWatchdog(every=2)
+        watchdog.on_batch_end(trainer, 0, 0, 1.0, {})  # step 1: skipped
+        with pytest.raises(NonFiniteGradientError):
+            watchdog.on_batch_end(trainer, 0, 1, 1.0, {})
+
+    def test_validates_every(self):
+        with pytest.raises(ValueError):
+            NaNWatchdog(every=0)
+
+
+class TestLossComponentTracker:
+    def test_per_epoch_means_and_gauges(self):
+        registry = MetricsRegistry()
+        tracker = LossComponentTracker(registry=registry)
+        trainer = SimpleNamespace()
+        tracker.on_epoch_start(trainer, 0)
+        tracker.on_batch_end(trainer, 0, 0, 3.0, {"total": 3.0, "ssl": 1.0})
+        tracker.on_batch_end(trainer, 0, 1, 1.0, {"total": 1.0, "ssl": 0.5})
+        tracker.on_epoch_end(trainer, SimpleNamespace(epoch=0))
+        assert tracker.epochs == [{"total": 2.0, "ssl": 0.75}]
+        assert registry.gauge("train.loss.total").value == pytest.approx(2.0)
+        assert registry.gauge("train.loss.ssl").value == pytest.approx(0.75)
+
+    def test_curve_handles_missing_components(self):
+        tracker = LossComponentTracker(registry=MetricsRegistry())
+        trainer = SimpleNamespace()
+        for epoch, breakdown in enumerate([{"total": 1.0, "aug": 0.2},
+                                           {"total": 0.5}]):
+            tracker.on_epoch_start(trainer, epoch)
+            tracker.on_batch_end(trainer, epoch, 0, breakdown["total"], breakdown)
+            tracker.on_epoch_end(trainer, SimpleNamespace(epoch=epoch))
+        assert tracker.curve("total") == [1.0, 0.5]
+        curve = tracker.curve("aug")
+        assert curve[0] == 0.2 and np.isnan(curve[1])
+
+    def test_emits_event_when_telemetry_on(self):
+        telemetry = enable_telemetry()
+        tracker = LossComponentTracker(registry=MetricsRegistry())
+        trainer = SimpleNamespace()
+        tracker.on_epoch_start(trainer, 0)
+        tracker.on_batch_end(trainer, 0, 0, 1.0, {"total": 1.0})
+        tracker.on_epoch_end(trainer, SimpleNamespace(epoch=0))
+        events = [e for e in telemetry.sink.events
+                  if e["type"] == "loss_components"]
+        assert events and events[0]["means"] == {"total": 1.0}
+
+
+class TestGradientMonitor:
+    def test_norms_and_update_ratios(self):
+        registry = MetricsRegistry()
+        monitor = GradientMonitor(every=1, registry=registry)
+        param = SimpleNamespace(data=np.array([3.0, 4.0]),
+                                grad=np.array([0.6, 0.8]))
+        params = [("emb", param)]
+        model = SimpleNamespace(named_parameters=lambda: list(params))
+        trainer = SimpleNamespace(model=model)
+        monitor.on_batch_start(trainer, 0, 0)     # snapshot θ = (3, 4)
+        param.data = np.array([3.0, 4.0]) - 0.1 * param.grad  # fake sgd step
+        monitor.on_batch_end(trainer, 0, 0, 1.0, {})
+        assert monitor.grad_norms["emb"] == [pytest.approx(1.0)]
+        # ‖Δθ‖/‖θ‖ = 0.1·1.0 / 5.0 = 0.02
+        assert monitor.last_ratios()["emb"] == pytest.approx(0.02)
+        assert registry.gauge("train.grad.global_norm").value == pytest.approx(1.0)
+        assert registry.gauge("train.grad.update_ratio.max").value == pytest.approx(0.02)
+
+    def test_every_controls_sampling(self):
+        monitor = GradientMonitor(every=2, registry=MetricsRegistry())
+        param = SimpleNamespace(data=np.ones(2), grad=np.ones(2))
+        model = SimpleNamespace(named_parameters=lambda: [("w", param)])
+        trainer = SimpleNamespace(model=model)
+        for step in range(4):
+            monitor.on_batch_start(trainer, 0, step)
+            monitor.on_batch_end(trainer, 0, step, 1.0, {})
+        assert len(monitor.grad_norms["w"]) == 2  # steps 0 and 2 only
+
+
+class TestTrainerIntegration:
+    def test_callbacks_drive_on_real_fit(self, tiny_dataset, tiny_graph,
+                                         tiny_split):
+        from repro.core import MISSL, MISSLConfig
+        from repro.train import TrainConfig, Trainer
+        config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                             num_train_negatives=8, lambda_aug=0.0)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        registry = MetricsRegistry()
+        tracker = LossComponentTracker(registry=registry)
+        monitor = GradientMonitor(every=1, registry=registry)
+
+        calls = []
+
+        class Recorder(TrainerCallback):
+            def on_fit_start(self, trainer):
+                calls.append("fit_start")
+
+            def on_epoch_end(self, trainer, record):
+                calls.append(("epoch_end", record.epoch))
+
+            def on_fit_end(self, trainer, history):
+                calls.append("fit_end")
+
+        history = Trainer(model, tiny_split,
+                          TrainConfig(epochs=2, patience=2, batch_size=32,
+                                      num_eval_negatives=30),
+                          callbacks=[NaNWatchdog(), tracker, monitor,
+                                     Recorder()]).fit()
+        assert calls[0] == "fit_start" and calls[-1] == "fit_end"
+        assert ("epoch_end", 0) in calls and ("epoch_end", 1) in calls
+        # MISSL's breakdown surfaces every loss component per epoch
+        assert len(tracker.epochs) == history.num_epochs
+        assert {"total", "main", "ssl"} <= set(tracker.epochs[0])
+        assert all(np.isfinite(v) for v in tracker.epochs[0].values())
+        # gradient health numbers exist and are finite
+        ratios = monitor.last_ratios()
+        assert ratios and all(np.isfinite(r) for r in ratios.values())
+        assert registry.gauge("train.grad.global_norm").value > 0
+
+    def test_callbacks_do_not_change_losses(self, tiny_dataset, tiny_graph,
+                                            tiny_split):
+        from repro.core import MISSL, MISSLConfig
+        from repro.train import TrainConfig, Trainer
+        losses = []
+        for callbacks in ([], [LossComponentTracker(registry=MetricsRegistry())]):
+            config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                                 num_train_negatives=8, lambda_aug=0.0)
+            model = MISSL(tiny_dataset.num_items, tiny_dataset.schema,
+                          tiny_graph, config, seed=3)
+            history = Trainer(model, tiny_split,
+                              TrainConfig(epochs=2, patience=2, seed=9,
+                                          num_eval_negatives=30),
+                              callbacks=callbacks).fit()
+            losses.append(history.train_losses())
+        assert np.allclose(losses[0], losses[1], rtol=1e-6)

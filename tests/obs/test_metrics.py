@@ -1,0 +1,138 @@
+"""Metrics registry semantics: counters, gauges, histograms, exporters."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
+                       get_registry, prometheus_text)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.add(-0.5)
+        assert gauge.value == pytest.approx(2.0)
+
+
+class TestHistogram:
+    def test_exact_count_mean_max(self):
+        hist = Histogram("h")
+        for value in [0.001, 0.002, 0.009]:
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(0.004)
+        assert hist.max == pytest.approx(0.009)
+
+    def test_percentiles_bounded_error(self):
+        hist = Histogram("h")
+        values = np.linspace(0.001, 0.1, 500)
+        for value in values:
+            hist.record(float(value))
+        # factor-2 buckets bound percentile error at 2x
+        p50 = hist.percentile(50.0)
+        true_p50 = float(np.percentile(values, 50))
+        assert true_p50 / 2 <= p50 <= true_p50 * 2
+        assert hist.percentile(100.0) <= hist.max
+
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.mean == 0.0
+        assert hist.percentile(99.0) == 0.0
+        assert hist.snapshot()["count"] == 0
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101.0)
+
+    def test_custom_bounds_and_cumulative_buckets(self):
+        hist = Histogram("h", bounds=np.array([1.0, 10.0, 100.0]))
+        for value in [0.5, 5.0, 50.0, 500.0]:
+            hist.record(value)
+        pairs = hist.bucket_counts()
+        assert pairs == [(1.0, 1), (10.0, 2), (100.0, 3), (float("inf"), 4)]
+
+    def test_snapshot_keys(self):
+        hist = Histogram("h")
+        hist.record(0.004)
+        snapshot = hist.snapshot()
+        assert set(snapshot) == {"count", "mean", "p50", "p99", "max"}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+        assert registry.names() == ["a", "b", "c"]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="is a Counter"):
+            registry.gauge("x")
+
+    def test_histogram_subclass_via_cls(self):
+        from repro.serve.metrics import LatencyHistogram
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", cls=LatencyHistogram)
+        assert isinstance(hist, LatencyHistogram)
+        # base-class access still resolves (it IS a Histogram)
+        assert registry.histogram("lat") is hist
+        with pytest.raises(TypeError, match="must subclass Histogram"):
+            registry.histogram("bad", cls=dict)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(7.0)
+        registry.histogram("lat").record(0.002)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"hits": 3}
+        assert snapshot["gauges"] == {"depth": 7.0}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.get("a") is None
+
+    def test_default_registry_is_process_wide(self):
+        assert get_registry() is get_registry()
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(2)
+        registry.gauge("train.loss.main").set(1.5)
+        hist = registry.histogram("lat", bounds=np.array([0.01, 0.1]))
+        hist.record(0.005)
+        hist.record(0.05)
+        text = prometheus_text(registry)
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_requests 2" in text
+        assert "train_loss_main 1.5" in text
+        assert 'lat_bucket{le="0.01"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""

@@ -1,0 +1,114 @@
+"""The ``python -m repro obs`` renderer: span trees and full event reports."""
+
+from repro.cli import build_parser, main
+from repro.obs import (get_logger, render_events, render_span_tree, span,
+                       telemetry_session)
+
+
+def make_span(span_id, name, seconds, parent_id=None, start=0.0, attrs=None):
+    return {"type": "span", "span_id": span_id, "name": name,
+            "seconds": seconds, "parent_id": parent_id, "start": start,
+            "attrs": attrs or {}}
+
+
+class TestRenderSpanTree:
+    def test_nesting_and_order(self):
+        spans = [
+            make_span(2, "child.b", 0.2, parent_id=1, start=2.0),
+            make_span(1, "root", 1.0, start=0.0),
+            make_span(3, "child.a", 0.1, parent_id=1, start=1.0),
+        ]
+        lines = render_span_tree(spans).splitlines()
+        assert lines[0].startswith("root (1.00s)")
+        # children indented under the root, sorted by start time
+        assert lines[1] == "  child.a (100.0ms)"
+        assert lines[2] == "  child.b (200.0ms)"
+
+    def test_attrs_rendered(self):
+        (line,) = render_span_tree(
+            [make_span(1, "stage", 0.5, attrs={"epoch": 3})]).splitlines()
+        assert line == "stage (500.0ms) [epoch=3]"
+
+    def test_orphan_surfaces_at_root(self):
+        lines = render_span_tree(
+            [make_span(7, "lost", 0.1, parent_id=99)]).splitlines()
+        assert lines == ["lost (100.0ms)"]
+
+    def test_large_sibling_groups_collapse(self):
+        spans = [make_span(1, "epoch", 1.0, start=0.0)]
+        spans += [make_span(10 + i, "step", 0.1, parent_id=1, start=float(i))
+                  for i in range(8)]
+        text = render_span_tree(spans, collapse_after=5)
+        assert "step ×8 (total 800.0ms, mean 100.0ms)" in text
+        assert text.count("step") == 1  # individual steps are not listed
+
+    def test_small_groups_stay_expanded(self):
+        spans = [make_span(i, "step", 0.1, start=float(i)) for i in range(3)]
+        text = render_span_tree(spans, collapse_after=5)
+        assert text.count("step (") == 3
+
+
+class TestRenderEvents:
+    def test_round_trip_through_session(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with telemetry_session(path) as telemetry:
+            telemetry.registry.counter("demo.requests").inc(2)
+            telemetry.registry.histogram("demo.latency").record(0.004)
+            with span("outer", kind="demo"):
+                with span("inner"):
+                    pass
+            telemetry.emit("epoch", epoch=0, train_loss=1.25,
+                           train_seconds=2.0, eval_seconds=0.5, monitored=0.3)
+            get_logger("repro.demo").info("checkpoint written")
+        report = render_events(path)
+        assert "trace (2 spans" in report
+        assert "outer" in report and "  inner" in report
+        assert "epochs:" in report and "1.2500" in report
+        assert "metrics:" in report and "demo.requests" in report
+        assert "demo.latency" in report
+        assert "logs: 1 INFO" in report
+
+    def test_empty_file_reports_no_events(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert "no events" in render_events(path)
+
+
+class TestObsCommand:
+    def test_parser_accepts_obs(self):
+        args = build_parser().parse_args(["obs", "run.jsonl",
+                                          "--collapse-after", "9"])
+        assert args.command == "obs"
+        assert args.events == "run.jsonl" and args.collapse_after == 9
+
+    def test_cli_renders_event_log(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        with telemetry_session(path):
+            with span("work", n=1):
+                pass
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace (1 spans" in out and "work" in out
+
+    def test_cli_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such event log" in capsys.readouterr().err
+
+    def test_cli_malformed_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        assert main(["obs", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_train_events_out_end_to_end(self, tmp_path, capsys):
+        events = tmp_path / "train.jsonl"
+        assert main(["train", "--preset", "taobao", "--scale", "0.1",
+                     "--dim", "16", "--epochs", "1", "--seed", "3",
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["obs", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "train.fit" in out and "train.epoch" in out
+        assert "eval.rank_all" in out and "hypergraph.build" in out
+        assert "epochs:" in out
+        assert "train.loss.total" in out  # health gauges in the snapshot

@@ -1,0 +1,78 @@
+"""Guard: disabled telemetry must cost (essentially) nothing.
+
+The instrumentation contract is the same as :mod:`repro.perf`: when no hub
+is installed every ``span()`` call is one global read plus a shared no-op
+object.  This test budgets a *generous* number of span/``get_telemetry``
+touches per training step against a real measured step time and asserts the
+total stays under 2% — the acceptance bar from the telemetry design.
+"""
+
+import time
+
+from repro.obs import get_telemetry, span
+
+# One train step opens ~3 spans (step + shared fit/epoch amortized) and a
+# handful of get_telemetry checks; 50 is an order of magnitude of headroom.
+TOUCHES_PER_STEP = 50
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def _per_call_seconds(fn, iterations=20_000):
+    fn()  # warm up
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations
+
+
+class TestDisabledOverhead:
+    def test_disabled_span_under_two_percent_of_step(self, tiny_dataset,
+                                                     tiny_graph, tiny_split):
+        from repro.core import MISSL, MISSLConfig
+        from repro.train import TrainConfig, Trainer
+        assert get_telemetry() is None
+
+        def disabled_span():
+            with span("train.step", epoch=0, step=0):
+                pass
+
+        per_span = _per_call_seconds(disabled_span)
+        per_check = _per_call_seconds(get_telemetry)
+
+        config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                             num_train_negatives=8, lambda_aug=0.0)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        trainer = Trainer(model, tiny_split,
+                          TrainConfig(epochs=1, patience=1, batch_size=32,
+                                      num_eval_negatives=30))
+        start = time.perf_counter()
+        history = trainer.fit()
+        fit_seconds = time.perf_counter() - start
+        steps = max(1, history.num_epochs)  # ≥1 optimizer step per epoch
+        step_seconds = fit_seconds / steps
+
+        budget = TOUCHES_PER_STEP * max(per_span, per_check)
+        assert budget < MAX_OVERHEAD_FRACTION * step_seconds, (
+            f"disabled telemetry budget {budget * 1e6:.1f}µs exceeds 2% of a "
+            f"{step_seconds * 1e3:.1f}ms training step")
+
+    def test_disabled_span_is_sub_microsecond_scale(self):
+        assert get_telemetry() is None
+
+        def disabled_span():
+            with span("x"):
+                pass
+
+        # absolute backstop: a no-op span must stay in the ~µs range even on
+        # slow CI (the fractional guard above is the real acceptance bar)
+        assert _per_call_seconds(disabled_span) < 10e-6
+
+    def test_instrumented_paths_run_without_hub(self):
+        # the library-level instrumentation points must never require a hub
+        from repro.obs import current_span
+        with span("a"):
+            with span("b") as inner:
+                inner.set(k=1)
+        assert current_span() is None
+

@@ -20,6 +20,18 @@ class TestParser:
         assert args.command == "serve"
         assert args.backend == "ivf" and args.probe_every == 5
 
+    def test_serve_telemetry_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "art.npz", "--events-out", "ev.jsonl",
+             "--metrics-out", "metrics.json"])
+        assert args.events_out == "ev.jsonl"
+        assert args.metrics_out == "metrics.json"
+
+    def test_train_events_out_parses(self):
+        args = build_parser().parse_args(
+            ["train", "--events-out", "ev.jsonl"])
+        assert args.events_out == "ev.jsonl"
+
 
 class TestServeRequest:
     @pytest.fixture
@@ -110,3 +122,41 @@ class TestEndToEnd:
         monkeypatch.setattr("sys.stdin", io.StringIO(""))
         assert main(["serve", str(exported), "--scale", "0.3"]) == 2
         assert "mismatch" in capsys.readouterr().err
+
+    def test_serve_metrics_out_dumps_final_snapshot(self, exported, tmp_path,
+                                                    monkeypatch, capsys):
+        from repro.data import DATASET_PRESETS, generate, k_core_filter
+        dataset = k_core_filter(generate(DATASET_PRESETS["taobao"](0.1), seed=3))
+        metrics_path = tmp_path / "metrics.json"
+        requests = "\n".join([
+            json.dumps({"op": "recommend", "user": dataset.users[0], "k": 3}),
+            json.dumps({"op": "quit"}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        assert main(["serve", str(exported),
+                     "--metrics-out", str(metrics_path)]) == 0
+        capsys.readouterr()
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert snapshot["requests"] == 1
+        assert snapshot["errors"] == 0
+        assert "stages" in snapshot and "total" in snapshot["stages"]
+
+    def test_serve_events_out_renders_request_spans(self, exported, tmp_path,
+                                                    monkeypatch, capsys):
+        from repro.data import DATASET_PRESETS, generate, k_core_filter
+        dataset = k_core_filter(generate(DATASET_PRESETS["taobao"](0.1), seed=3))
+        events_path = tmp_path / "serve.jsonl"
+        requests = "\n".join([
+            json.dumps({"op": "recommend", "user": dataset.users[0], "k": 3}),
+            json.dumps({"op": "quit"}),
+        ])
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+        assert main(["serve", str(exported),
+                     "--events-out", str(events_path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out and "serve.batch" in out
+        assert "serve.encode" in out
+        assert "serve.requests" in out  # counters from the final snapshot
+        assert "serve.latency.total" in out

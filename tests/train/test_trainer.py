@@ -55,6 +55,20 @@ class TestTrainer:
         with pytest.raises(ValueError):
             TrainConfig(patience=0)
 
+    def test_epoch_timing_split(self, small_model, tiny_split):
+        history = Trainer(small_model, tiny_split,
+                          TrainConfig(epochs=2, patience=2, batch_size=32,
+                                      num_eval_negatives=30)).fit()
+        for record in history.records:
+            assert record.train_seconds > 0
+            assert record.eval_seconds > 0
+            # the split accounts for (almost all of) the epoch wall clock
+            assert record.train_seconds + record.eval_seconds <= record.seconds
+            assert (record.train_seconds + record.eval_seconds
+                    >= 0.9 * record.seconds)
+        assert history.total_train_seconds() + history.total_eval_seconds() \
+            <= history.total_seconds()
+
     def test_reproducible_histories(self, tiny_dataset, tiny_graph, tiny_split):
         losses = []
         for _ in range(2):
@@ -104,6 +118,37 @@ class TestCheckpointing:
         for (na, pa), (nb, pb) in zip(model.named_parameters(),
                                       clone.named_parameters()):
             assert np.allclose(pa.numpy(), pb.numpy()), na
+
+    def test_run_manifest_written_next_to_checkpoint(self, tiny_dataset,
+                                                     tiny_graph, tiny_split,
+                                                     tmp_path):
+        import json
+
+        from repro.core import MISSL, MISSLConfig
+        config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                             num_train_negatives=8, lambda_aug=0.0)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        path = tmp_path / "best.npz"
+        history = Trainer(model, tiny_split,
+                          TrainConfig(epochs=2, patience=2, seed=4,
+                                      num_eval_negatives=30,
+                                      checkpoint_path=str(path))).fit()
+        manifest_path = tmp_path / "best.npz.manifest.json"
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert manifest["seed"] == 4
+        assert manifest["config"]["epochs"] == 2
+        assert manifest["metrics"]["best_epoch"] == history.best_epoch
+        assert manifest["metrics"]["best_metric"] == pytest.approx(
+            history.best_metric)
+        assert manifest["extra"]["model"] == "MISSL"
+
+    def test_no_manifest_without_checkpoint_path(self, small_model, tiny_split,
+                                                 tmp_path):
+        Trainer(small_model, tiny_split,
+                TrainConfig(epochs=1, patience=1, num_eval_negatives=30)).fit()
+        assert not list(tmp_path.glob("*.manifest.json"))
 
 
 class TestLRSchedules:
