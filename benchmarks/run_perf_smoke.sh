@@ -17,6 +17,10 @@ export REPRO_PERF_SERVE_REQUESTS="${REPRO_PERF_SERVE_REQUESTS:-48}"
 export REPRO_PERF_SERVE_CLIENTS="${REPRO_PERF_SERVE_CLIENTS:-8}"
 export REPRO_PERF_SERVE_MIN_SPEEDUP="${REPRO_PERF_SERVE_MIN_SPEEDUP:-0}"
 
+# Static-analysis gate: new findings (anything not in lint-baseline.json)
+# fail the smoke run before any benchmark time is spent.
+PYTHONPATH=src python -m repro lint src/repro
+
 rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json
 
 PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py

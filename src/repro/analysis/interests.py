@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.batching import Batch
+from repro.nn.scatter import scatter_add_1d
 from repro.nn.tensor import Tensor, no_grad
 
 __all__ = ["interest_separation", "prototype_separation", "cluster_purity",
@@ -77,8 +78,8 @@ def cluster_purity(attention: np.ndarray, items: np.ndarray, valid: np.ndarray,
             total = weights.sum()
             if total <= 0:
                 continue
-            mass = np.zeros(num_clusters)
-            np.add.at(mass, item_clusters, weights)
+            mass = scatter_add_1d(item_clusters, weights.astype(np.float64),
+                                  num_clusters)
             purities.append(mass.max() / total)
     return float(np.mean(purities)) if purities else 0.0
 

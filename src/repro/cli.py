@@ -10,6 +10,7 @@ Commands:
     export       train MISSL and freeze it into a serving artifact (.npz)
     serve        answer JSON-lines requests over an exported artifact
     obs          render a telemetry event log (trace tree + metric summary)
+    lint         run the repro.lint static-analysis rules (CI gate)
 
 All commands are seeded and run on synthetic presets; see ``--help`` of each
 subcommand for knobs.  ``train`` and ``serve`` accept ``--events-out FILE``
@@ -115,6 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--collapse-after", type=int, default=5,
                      help="collapse sibling-span runs longer than this "
                           "into one aggregate line")
+
+    lint = sub.add_parser("lint", help="run the static-analysis rule catalog "
+                                       "(exits non-zero on new findings)")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the installed "
+                           "repro package)")
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline file (default: lint-baseline.json found "
+                           "upward from the first path)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file (every finding fails)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept all current findings into the baseline "
+                           "(preserves documented reasons)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="show offending source lines and baselined findings")
 
     compare = sub.add_parser("compare", help="paired-bootstrap two models")
     compare.add_argument("model_a")
@@ -371,6 +393,11 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+    return run_lint(args)
+
+
 def _cmd_compare(args) -> int:
     from repro.eval import rank_all
     from repro.eval.significance import paired_bootstrap
@@ -405,6 +432,7 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "serve": _cmd_serve,
         "obs": _cmd_obs,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

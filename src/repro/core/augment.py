@@ -43,7 +43,7 @@ def build_substitution_table(dataset) -> np.ndarray:
             rows.append(user)
             cols.append(item)
     num_users = max(dataset.users) + 1 if dataset.users else 1
-    incidence = sp.csr_matrix((np.ones(len(rows)), (rows, cols)),
+    incidence = sp.csr_matrix((np.ones(len(rows), dtype=np.int64), (rows, cols)),
                               shape=(num_users, dataset.num_items + 1))
     co = (incidence.T @ incidence).tolil()
     co.setdiag(0)

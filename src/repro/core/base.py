@@ -98,7 +98,7 @@ class SequentialRecommender(Module):
         costs.  Models with custom ``score_candidates`` fall back to that
         method on a broadcast (read-only, zero-copy) candidate view.
         """
-        all_items = np.arange(1, num_items + 1)
+        all_items = np.arange(1, num_items + 1, dtype=np.int64)
         if not self._supports_factored_scoring():
             candidates = np.broadcast_to(all_items, (batch.size, num_items))
             return self.score_candidates(batch, candidates)

@@ -51,10 +51,11 @@ class SequenceEmbedding(Module):
         vectors = item_table.take(items, axis=0)  # (B, L, D)
         # Right-aligned positions: the most recent event always gets the
         # highest position id regardless of padding length.
-        positions = np.arange(self.max_len - length, self.max_len)
+        positions = np.arange(self.max_len - length, self.max_len, dtype=np.intp)
         vectors = vectors + self.position(positions)
         if isinstance(behavior, str):
-            type_ids = np.full((batch, length), self.schema.behavior_id(behavior))
+            type_ids = np.full((batch, length), self.schema.behavior_id(behavior),
+                               dtype=np.int64)
         else:
             type_ids = np.asarray(behavior)
         vectors = vectors + self.behavior(type_ids)

@@ -63,7 +63,8 @@ class DynamicRoutingExtractor(Module):
 
         # Routing logits b: (B, L, K); start from the learned prior.
         logits = (self.logit_prior.expand_dims(0).expand_dims(0)
-                  + Tensor(np.zeros((batch, length, self.num_interests))))
+                  + Tensor(np.zeros((batch, length, self.num_interests),
+                                    dtype=np.float32)))
         capsules = None
         for iteration in range(self.iterations):
             weights = F.softmax(logits, axis=2) * valid         # (B, L, K)
@@ -85,7 +86,8 @@ class DynamicRoutingExtractor(Module):
             messages = self.bilinear(states)
             valid = Tensor(valid_mask.astype(messages.data.dtype)[:, :, None])
             logits = (self.logit_prior.expand_dims(0).expand_dims(0)
-                      + Tensor(np.zeros((batch, length, self.num_interests))))
+                      + Tensor(np.zeros((batch, length, self.num_interests),
+                                        dtype=np.float32)))
             for _ in range(self.iterations - 1):
                 weights = F.softmax(logits, axis=2) * valid
                 capsules = self._squash(weights.swapaxes(1, 2) @ messages)

@@ -56,7 +56,7 @@ def cross_behavior_interest_contrast(target_interests: Tensor,
             anchor3 = target_interests[rows]
             positive3 = aux[rows]
         else:
-            rows = np.arange(batch)
+            rows = np.arange(batch, dtype=np.intp)
             anchor3 = target_interests
             positive3 = aux
         if slot_aligned:

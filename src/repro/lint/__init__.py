@@ -1,0 +1,26 @@
+"""``repro.lint`` — AST-based static analysis for this codebase.
+
+A small custom lint framework (:mod:`.framework`) with a registry of
+codebase-specific rules (:mod:`.rules`), per-line ``# repro: noqa[RULE-ID]``
+suppression, a committed baseline of intentional violations with documented
+reasons (:mod:`.baseline`), text/JSON reporters (:mod:`.reporters`) and the
+``python -m repro lint`` CLI front-end (:mod:`.cli`).  The companion
+*runtime* checker — the autograd sanitizer — lives in
+:mod:`repro.nn.sanitizer`; see ``docs/STATIC_ANALYSIS.md`` for both.
+"""
+
+from .baseline import Baseline, BaselineMatcher, find_baseline
+from .framework import (FileContext, Finding, LintResult, all_rules, get_rule,
+                        lint_paths, module_name_for, register, rule_ids,
+                        suppressions_for)
+from .reporters import render_json, render_text
+from . import rules  # noqa: F401  (importing registers the rule catalog)
+
+__all__ = [
+    "Finding", "FileContext", "LintResult",
+    "register", "all_rules", "get_rule", "rule_ids",
+    "lint_paths", "module_name_for", "suppressions_for",
+    "Baseline", "BaselineMatcher", "find_baseline",
+    "render_text", "render_json",
+    "rules",
+]

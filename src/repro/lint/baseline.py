@@ -1,0 +1,125 @@
+"""Committed lint baseline: known-intentional violations with reasons.
+
+The baseline is a JSON file (``lint-baseline.json`` at the repository root)
+whose entries identify findings by ``(module, rule, stripped source line)``
+rather than by path + line number, so the file survives checkouts at
+different locations and unrelated edits that shift lines.  Every entry
+carries a ``reason`` explaining *why* the violation is intentional — the
+baseline doubles as documentation of the exceptions.
+
+Workflow::
+
+    python -m repro lint src/repro                  # gate: new findings fail
+    python -m repro lint src/repro --write-baseline # accept current findings
+
+``--write-baseline`` preserves the reasons of entries that still match, so
+regenerating never loses the documentation; fill in the reason of any new
+entry by hand before committing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .framework import Finding
+
+__all__ = ["Baseline", "BaselineMatcher", "find_baseline"]
+
+BASELINE_FILENAME = "lint-baseline.json"
+_FORMAT_VERSION = 1
+
+
+def find_baseline(start: Path) -> Path | None:
+    """Search ``start`` and its ancestors for ``lint-baseline.json``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in [current, *current.parents]:
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+class BaselineMatcher:
+    """Multiset matcher consuming baseline slots as findings arrive.
+
+    Two identical violations on one line of code in two places produce two
+    entries; each finding consumes one slot so a third occurrence is *new*.
+    """
+
+    def __init__(self, counts: Counter):
+        self._remaining = Counter(counts)
+
+    def consume(self, finding: Finding) -> bool:
+        """True (and consume a slot) if the finding matches the baseline."""
+        key = finding.key()
+        if self._remaining.get(key, 0) > 0:
+            self._remaining[key] -= 1
+            return True
+        return False
+
+    def unused(self) -> list[tuple[str, str, str]]:
+        """Baseline keys with unconsumed slots (stale entries)."""
+        return sorted(key for key, count in self._remaining.items()
+                      if count > 0)
+
+
+class Baseline:
+    """In-memory view of the baseline file."""
+
+    def __init__(self, entries: list[dict] | None = None,
+                 path: Path | None = None):
+        self.entries = entries or []
+        self.path = path
+
+    @staticmethod
+    def load(path: str | Path) -> "Baseline":
+        """Read a baseline file (raises ``ValueError`` on a bad format)."""
+        path = Path(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: not a lint baseline file")
+        entries = []
+        for entry in payload["entries"]:
+            missing = {"module", "rule", "code"} - set(entry)
+            if missing:
+                raise ValueError(f"{path}: baseline entry missing {sorted(missing)}")
+            entries.append({"module": entry["module"], "rule": entry["rule"],
+                            "code": entry["code"],
+                            "reason": entry.get("reason", "")})
+        return Baseline(entries, path=path)
+
+    def matcher(self) -> BaselineMatcher:
+        """A fresh matcher over this baseline's entries."""
+        return BaselineMatcher(Counter(
+            (e["module"], e["rule"], e["code"]) for e in self.entries))
+
+    def reasons(self) -> dict[tuple[str, str, str], str]:
+        """Map entry keys to their documented reasons (first wins)."""
+        reasons: dict[tuple[str, str, str], str] = {}
+        for entry in self.entries:
+            key = (entry["module"], entry["rule"], entry["code"])
+            reasons.setdefault(key, entry["reason"])
+        return reasons
+
+    @staticmethod
+    def from_findings(findings: list[Finding],
+                      previous: "Baseline | None" = None) -> "Baseline":
+        """Build a baseline accepting ``findings``, keeping known reasons."""
+        known = previous.reasons() if previous is not None else {}
+        entries = [{"module": f.module, "rule": f.rule, "code": f.code,
+                    "reason": known.get(f.key(), "")}
+                   for f in sorted(findings, key=lambda f: (f.module, f.line,
+                                                            f.rule))]
+        return Baseline(entries)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the baseline as stable, diff-friendly JSON."""
+        path = Path(path)
+        payload = {"version": _FORMAT_VERSION, "entries": self.entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        self.path = path
+        return path

@@ -1,0 +1,58 @@
+"""Lint output renderers: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .framework import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Compiler-style report: one ``path:line:col RULE message`` per finding.
+
+    With ``verbose`` the offending source line is shown under each finding
+    and baselined findings are listed too (they never fail the run).
+    """
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if verbose and finding.code:
+            lines.append(f"    {finding.code}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.render()} [baselined]")
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    for module, rule, code in result.unused_baseline:
+        lines.append(f"warning: stale baseline entry {rule} in {module}: {code!r}")
+    summary = (f"{len(result.findings)} finding(s), "
+               f"{len(result.baselined)} baselined, "
+               f"{result.suppressed_count} suppressed")
+    if result.errors:
+        summary += f", {len(result.errors)} error(s)"
+    lines.append(summary if lines else f"clean ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Full result as a JSON document (stable key order)."""
+
+    def encode(finding):
+        return {"rule": finding.rule, "path": finding.path,
+                "module": finding.module, "line": finding.line,
+                "col": finding.col, "message": finding.message,
+                "code": finding.code}
+
+    payload = {
+        "ok": result.ok,
+        "findings": [encode(f) for f in result.findings],
+        "baselined": [encode(f) for f in result.baselined],
+        "suppressed": result.suppressed_count,
+        "unused_baseline": [
+            {"module": module, "rule": rule, "code": code}
+            for module, rule, code in result.unused_baseline],
+        "errors": list(result.errors),
+    }
+    return json.dumps(payload, indent=2)

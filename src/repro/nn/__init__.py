@@ -17,6 +17,9 @@ from .losses import (bpr_loss, cross_entropy, cross_entropy_with_candidates, inf
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adagrad, Adam, AdamW, Optimizer, RMSprop, clip_grad_norm
 from .rnn import GRU, GRUCell
+from .sanitizer import (GradSanitizer, InplaceMutationError, NonFiniteOriginError,
+                        disable_sanitizer, enable_sanitizer, get_sanitizer,
+                        sanitized)
 from .scatter import (SegmentPlan, get_scatter_backend, scatter_backend,
                       set_scatter_backend)
 from .schedule import ConstantLR, LRSchedule, StepDecay, WarmupCosine
@@ -47,4 +50,6 @@ __all__ = [
     "LRSchedule", "ConstantLR", "WarmupCosine", "StepDecay",
     "save_checkpoint", "load_checkpoint",
     "SegmentPlan", "scatter_backend", "set_scatter_backend", "get_scatter_backend",
+    "GradSanitizer", "sanitized", "enable_sanitizer", "disable_sanitizer",
+    "get_sanitizer", "InplaceMutationError", "NonFiniteOriginError",
 ]

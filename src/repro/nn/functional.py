@@ -186,7 +186,7 @@ def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
     if not _FUSED:
         log_probs = log_softmax(logits, axis=-1)
         weights = keep.astype(log_probs.data.dtype) / count
-        picked = log_probs[np.arange(n), safe_targets]
+        picked = log_probs[np.arange(n, dtype=np.intp), safe_targets]
         nll = -(picked * Tensor(weights)).sum()
         if label_smoothing <= 0.0:
             return nll
@@ -198,7 +198,7 @@ def softmax_cross_entropy(logits: Tensor, targets: np.ndarray,
     exp = np.exp(shifted)
     sum_exp = exp.sum(axis=-1, keepdims=True)
     log_probs = shifted - np.log(sum_exp)
-    rows = np.arange(n)
+    rows = np.arange(n, dtype=np.intp)
     weights = keep.astype(data.dtype) / count
     loss = -float(log_probs[rows, safe_targets] @ weights)
     if label_smoothing > 0.0:

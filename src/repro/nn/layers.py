@@ -29,7 +29,7 @@ class Linear(Module):
         weight = np.empty((out_features, in_features), dtype=np.float64)
         init.xavier_uniform_(weight, rng)
         self.weight = Parameter(weight)
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.T
@@ -88,8 +88,8 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(np.ones(dim, dtype=np.float32))
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32))
 
     def forward(self, x: Tensor) -> Tensor:
         return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
@@ -128,8 +128,9 @@ class SinusoidalPositionalEncoding(Module):
         if dim % 2 != 0:
             raise ValueError(f"dim must be even for sin/cos pairs, got {dim}")
         positions = np.arange(max_len, dtype=np.float64)[:, None]
-        frequencies = np.exp(-np.log(10000.0) * np.arange(0, dim, 2) / dim)[None, :]
-        table = np.zeros((max_len, dim))
+        frequencies = np.exp(-np.log(10000.0)
+                             * np.arange(0, dim, 2, dtype=np.float64) / dim)[None, :]
+        table = np.zeros((max_len, dim), dtype=np.float64)
         table[:, 0::2] = np.sin(positions * frequencies)
         table[:, 1::2] = np.cos(positions * frequencies)
         self.max_len = max_len

@@ -61,7 +61,7 @@ def info_nce(anchor: Tensor, positive: Tensor, temperature: float = 0.2,
         positive = F.l2_normalize(positive, axis=-1)
     logits = (anchor @ positive.T) * (1.0 / temperature)  # (N, N)
     n = logits.shape[0]
-    labels = np.arange(n)
+    labels = np.arange(n, dtype=np.intp)
     loss_ab = cross_entropy(logits, labels)
     loss_ba = cross_entropy(logits.T, labels)
     return (loss_ab + loss_ba) * 0.5

@@ -1,0 +1,206 @@
+"""Runtime autograd sanitizer: version counters + non-finite-origin tracing.
+
+The static half of the correctness tooling lives in :mod:`repro.lint`; this
+module is the *runtime* half, guarding the invariant no AST check can see:
+arrays saved for backward must not change between forward and backward.
+
+Mutation detection (PyTorch's tensor version counters, adapted)
+---------------------------------------------------------------
+PyTorch bumps a version counter inside every in-place op.  This substrate
+exposes raw ``numpy`` arrays (``tensor.data``), so mutation can happen
+through plain NumPy with no op to intercept.  Instead, when the sanitizer is
+enabled every graph node records a content fingerprint (CRC32) of each array
+it saves for backward — its parents and its own output — together with the
+owning tensor's current ``_version``.  Observing a changed fingerprint bumps
+the version; at backward time each node re-verifies its saved tensors and
+raises :class:`InplaceMutationError` naming the offending tensor when the
+version no longer matches, instead of silently producing corrupt gradients.
+
+Non-finite-origin mode
+----------------------
+``repro.obs.NaNWatchdog`` sees the *symptom* — a non-finite gradient at a
+parameter after backward.  The sanitizer's opt-in ``track_nonfinite`` mode
+catches the *cause*: every freshly computed node output is checked at
+creation, so the error names the first op that turned finite inputs into
+NaN/Inf (or the leaf tensor that carried them into the graph).
+
+Cost discipline
+---------------
+Disabled is the default and costs one global ``is None`` check per node —
+the same zero-cost pattern as :mod:`repro.perf` profiling and
+:mod:`repro.obs` spans (guarded by ``tests/nn/test_sanitizer.py``'s <2%
+overhead test).  Enabled, it fingerprints every saved array and is meant for
+debugging runs, not production training.
+
+Usage::
+
+    from repro.nn import sanitized, InplaceMutationError
+
+    with sanitized():                      # mutation checks
+        loss = model.training_loss(batch, sampler)
+        loss.backward()                    # raises if anything was mutated
+
+    with sanitized(track_nonfinite=True):  # + NaN/Inf origin tracing
+        ...
+"""
+
+from __future__ import annotations
+
+import contextlib
+import zlib
+
+import numpy as np
+
+from . import tensor as _tensor_mod
+
+__all__ = [
+    "GradSanitizer",
+    "InplaceMutationError",
+    "NonFiniteOriginError",
+    "enable_sanitizer",
+    "disable_sanitizer",
+    "get_sanitizer",
+    "sanitized",
+]
+
+
+class InplaceMutationError(RuntimeError):
+    """An array saved for backward was mutated before backward consumed it."""
+
+
+class NonFiniteOriginError(FloatingPointError):
+    """An op produced the graph's first NaN/Inf (non-finite-origin mode)."""
+
+
+def _fingerprint(array: np.ndarray) -> int:
+    """CRC32 content fingerprint (dtype/shape changes also alter the bytes)."""
+    if not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array)
+    return zlib.crc32(array)
+
+
+def _describe(t) -> str:
+    """Human-readable identity of a tensor for error messages."""
+    op = t._op or "leaf"
+    return f"Tensor(op={op!r}, shape={t.data.shape}, dtype={t.data.dtype})"
+
+
+class GradSanitizer:
+    """The active sanitizer: hooks node creation and the backward sweep.
+
+    Attributes:
+        check_mutations: verify saved-tensor versions at backward time.
+        track_nonfinite: raise when an op first produces NaN/Inf.
+        nodes_seen: graph nodes observed at creation while enabled.
+        checks_run: saved-tensor verifications performed during backward.
+    """
+
+    __slots__ = ("check_mutations", "track_nonfinite", "nodes_seen",
+                 "checks_run")
+
+    def __init__(self, check_mutations: bool = True,
+                 track_nonfinite: bool = False):
+        if not check_mutations and not track_nonfinite:
+            raise ValueError("enable at least one of check_mutations / "
+                             "track_nonfinite")
+        self.check_mutations = check_mutations
+        self.track_nonfinite = track_nonfinite
+        self.nodes_seen = 0
+        self.checks_run = 0
+
+    # -- node-creation hook (called from Tensor._make) -------------------
+    def on_node(self, out) -> None:
+        """Record saved-tensor versions for ``out`` and scan for NaN/Inf."""
+        self.nodes_seen += 1
+        if self.check_mutations and out._prev:
+            saved = []
+            for parent in out._prev:
+                saved.append((parent, self._observe(parent)))
+            saved.append((out, self._observe(out)))
+            out._saved = tuple(saved)
+        if self.track_nonfinite:
+            self._check_finite(out)
+
+    def _observe(self, t) -> int:
+        """Fingerprint ``t.data``, bumping its version if it changed."""
+        fp = _fingerprint(t.data)
+        if t._fp is None:
+            t._fp = fp
+        elif t._fp != fp:
+            t._version += 1
+            t._fp = fp
+        return t._version
+
+    def _check_finite(self, out) -> None:
+        data = out.data
+        if data.dtype.kind != "f" or np.all(np.isfinite(data)):
+            return
+        count = int(data.size - np.isfinite(data).sum())
+        for parent in out._prev:
+            if (parent.data.dtype.kind == "f"
+                    and not np.all(np.isfinite(parent.data))):
+                # The origin is upstream: an interior node would already have
+                # raised at its own creation, so this parent carried the
+                # non-finite values into the graph (a leaf, or a tensor built
+                # before the sanitizer was enabled).
+                raise NonFiniteOriginError(
+                    f"non-finite values entered the graph through "
+                    f"{_describe(parent)}, consumed by op {out._op!r}")
+        raise NonFiniteOriginError(
+            f"op {out._op!r} produced the first non-finite value(s): "
+            f"{count} of {data.size} elements in {_describe(out)} are "
+            f"NaN/Inf while every input is finite")
+
+    # -- backward hook (called from Tensor.backward) ----------------------
+    def check_backward(self, node) -> None:
+        """Verify every tensor ``node`` saved for backward is unmutated."""
+        for saved_tensor, saved_version in node._saved:
+            self.checks_run += 1
+            fp = _fingerprint(saved_tensor.data)
+            if saved_tensor._fp != fp:
+                saved_tensor._version += 1
+                saved_tensor._fp = fp
+            if saved_tensor._version != saved_version:
+                raise InplaceMutationError(
+                    f"{_describe(saved_tensor)} was mutated in place after "
+                    f"being saved for the backward of op {node._op!r}: "
+                    f"tensor is at version {saved_tensor._version}; expected "
+                    f"version {saved_version}. Clone the array (or move the "
+                    f"mutation after backward) instead of modifying it "
+                    f"between forward and backward.")
+
+
+def enable_sanitizer(check_mutations: bool = True,
+                     track_nonfinite: bool = False) -> GradSanitizer:
+    """Install and return a fresh :class:`GradSanitizer` (process-global)."""
+    sanitizer = GradSanitizer(check_mutations=check_mutations,
+                              track_nonfinite=track_nonfinite)
+    _tensor_mod._install_sanitizer(sanitizer)
+    return sanitizer
+
+
+def disable_sanitizer() -> None:
+    """Remove the active sanitizer (hot paths return to the is-None check)."""
+    _tensor_mod._install_sanitizer(None)
+
+
+def get_sanitizer() -> GradSanitizer | None:
+    """The active sanitizer, or None when disabled (the default)."""
+    return _tensor_mod._SANITIZER
+
+
+@contextlib.contextmanager
+def sanitized(check_mutations: bool = True, track_nonfinite: bool = False):
+    """Context manager enabling the sanitizer for the enclosed block.
+
+    Restores the previously active sanitizer (usually None) on exit, so
+    blocks nest safely.
+    """
+    previous = _tensor_mod._SANITIZER
+    sanitizer = GradSanitizer(check_mutations=check_mutations,
+                              track_nonfinite=track_nonfinite)
+    _tensor_mod._install_sanitizer(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        _tensor_mod._install_sanitizer(previous)

@@ -29,7 +29,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from .scatter import scatter_add_rows
+from .scatter import scatter_add_at, scatter_add_rows
 
 __all__ = [
     "Tensor",
@@ -60,6 +60,10 @@ _GRAD_ENABLED = True
 # path to a single global check per node.
 _PROFILE_HOOK = None
 
+# Opt-in autograd sanitizer (see repro.nn.sanitizer): version counters on
+# saved tensors + non-finite-origin tracing.  Same ``None``-check discipline.
+_SANITIZER = None
+
 # Alias-aware gradient accumulation: interior nodes store the first incoming
 # gradient by reference instead of copying (the seed copied on every hop).
 # Disabled by repro.perf.reference_mode() to reproduce seed behavior.
@@ -70,6 +74,12 @@ def _install_profile_hook(hook) -> None:
     """Install (or clear, with None) the per-op profiling hook."""
     global _PROFILE_HOOK
     _PROFILE_HOOK = hook
+
+
+def _install_sanitizer(sanitizer) -> None:
+    """Install (or clear, with None) the autograd sanitizer."""
+    global _SANITIZER
+    _SANITIZER = sanitizer
 
 
 def set_fast_accumulate(enabled: bool) -> None:
@@ -152,7 +162,7 @@ class Tensor:
     """A NumPy-backed tensor that records operations for reverse-mode AD."""
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op",
-                 "_grad_owned", "__weakref__")
+                 "_grad_owned", "_version", "_fp", "_saved", "__weakref__")
     __array_priority__ = 100  # make NumPy defer to our __r*__ operators
 
     def __init__(self, data, requires_grad: bool = False, _prev: tuple = (), _op: str = ""):
@@ -165,6 +175,11 @@ class Tensor:
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = _prev if self.requires_grad or _prev else ()
         self._op = _op
+        # Sanitizer bookkeeping (repro.nn.sanitizer): in-place-mutation
+        # version counter, content fingerprint, and saved-tensor versions.
+        self._version = 0
+        self._fp = None
+        self._saved = None
 
     # ------------------------------------------------------------------
     # basic introspection
@@ -219,6 +234,9 @@ class Tensor:
         out._backward = None
         out._prev = ()
         out._op = "astype"
+        out._version = 0
+        out._fp = None
+        out._saved = None
         return out
 
     # ------------------------------------------------------------------
@@ -235,8 +253,13 @@ class Tensor:
         out._backward = None
         out._prev = tuple(parents) if requires else ()
         out._op = op
+        out._version = 0
+        out._fp = None
+        out._saved = None
         if _PROFILE_HOOK is not None:
             _PROFILE_HOOK.on_node(op, data)
+        if _SANITIZER is not None:
+            _SANITIZER.on_node(out)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -304,9 +327,12 @@ class Tensor:
         # cycles without waiting for the garbage collector.  Leaves (nodes
         # with no ``_backward``) keep their accumulated ``grad``.
         hook = _PROFILE_HOOK
+        sanitizer = _SANITIZER
         for node in reversed(topo):
             if node._backward is not None:
                 if node.grad is not None:
+                    if sanitizer is not None and node._saved is not None:
+                        sanitizer.check_backward(node)
                     if hook is None:
                         node._backward()
                     else:
@@ -316,6 +342,7 @@ class Tensor:
                 node._backward = None
                 node._prev = ()
                 node.grad = None
+                node._saved = None
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -641,7 +668,7 @@ class Tensor:
             else:
                 def _backward() -> None:
                     grad = np.zeros_like(self.data)
-                    np.add.at(grad, index, out.grad)
+                    scatter_add_at(grad, index, out.grad)
                     self._accumulate(grad)
             out._backward = _backward
         return out
@@ -715,7 +742,9 @@ def ones_like(t: Tensor, requires_grad: bool = False) -> Tensor:
 
 def arange(*args, **kwargs) -> Tensor:
     """``np.arange`` wrapped in a (non-differentiable) tensor."""
-    return Tensor(np.arange(*args, **kwargs))
+    # Pass-through factory: the caller chooses the dtype (float args produce
+    # floats, which Tensor() then casts to the default dtype).
+    return Tensor(np.arange(*args, **kwargs))  # repro: noqa[DTYPE-DISCIPLINE]
 
 
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

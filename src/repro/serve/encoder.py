@@ -72,10 +72,11 @@ class MisslServingEncoder:
             raise ValueError(f"sequence length {length} exceeds max_len "
                              f"{self.max_len}")
         vectors = np.take(self.table, items, axis=0)
-        positions = np.arange(self.max_len - length, self.max_len)
+        positions = np.arange(self.max_len - length, self.max_len, dtype=np.intp)
         vectors = vectors + self.params["seq_embedding.position.weight"][positions]
         if isinstance(behavior, str):
-            type_ids = np.full((batch, length), self.schema.behavior_id(behavior))
+            type_ids = np.full((batch, length), self.schema.behavior_id(behavior),
+                               dtype=np.int64)
         else:
             type_ids = np.asarray(behavior)
         vectors = vectors + self.params["seq_embedding.behavior.weight"][type_ids]

@@ -85,7 +85,7 @@ class ExactIndex:
         self.num_items = int(self.vectors.shape[0])
         self.score_mode = score_mode
         self.score_pow = score_pow
-        self.items = np.arange(1, self.num_items + 1)
+        self.items = np.arange(1, self.num_items + 1, dtype=np.int64)
 
     def combined_scores(self, interests: np.ndarray) -> np.ndarray:
         """Readout scores ``(N,)`` of one user's interests over the catalog."""
@@ -169,7 +169,7 @@ class IVFIndex:
                                  axis=1)[:, :probe_count]
         clusters = np.unique(probed)
         return np.concatenate([self.lists[c] for c in clusters]) \
-            if len(clusters) else np.arange(self.num_items)
+            if len(clusters) else np.arange(self.num_items, dtype=np.int64)
 
     def search(self, interests: np.ndarray, k: int,
                exclude=None) -> SearchResult:
@@ -191,7 +191,7 @@ class IVFIndex:
             order = shortlist[np.argsort(-scores[shortlist])]
         else:
             order = np.argsort(-scores)
-        items = np.arange(1, self.num_items + 1)
+        items = np.arange(1, self.num_items + 1, dtype=np.int64)
         return _finite_topk(items, scores, order, len(rows))
 
 

@@ -1,0 +1,37 @@
+"""Shared fixture helpers for the lint suite.
+
+Rules scope themselves by dotted module name, which the framework derives
+from ``__init__.py`` files on disk — so fixture snippets are written into a
+real (throwaway) package tree under ``tmp_path`` rather than passed as
+strings.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+def _write_module(root: Path, module: str, source: str) -> Path:
+    """Write ``source`` as dotted ``module`` under ``root``, with packages."""
+    parts = module.split(".")
+    directory = root
+    for part in parts[:-1]:
+        directory = directory / part
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    path = directory / f"{parts[-1]}.py"
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+@pytest.fixture
+def write_module(tmp_path):
+    """``write_module("repro.nn.bad", src) -> Path`` inside this test's tmp."""
+
+    def _write(module: str, source: str) -> Path:
+        return _write_module(tmp_path, module, source)
+
+    return _write

@@ -1,0 +1,108 @@
+"""CLI behavior (`python -m repro lint`) and the src/repro self-check gate."""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.lint import Baseline, lint_paths
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC_REPRO.parents[1]
+REPO_BASELINE = REPO_ROOT / "lint-baseline.json"
+
+BAD_RANDOM = "import numpy as np\nx = np.random.rand(3)\n"
+
+
+class TestExitCodes:
+    def test_clean_path_exits_zero(self, write_module, capsys):
+        path = write_module("repro.data.good", "x = 1\n")
+        assert main(["lint", str(path), "--no-baseline"]) == 0
+        assert "clean (" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, write_module, capsys):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        assert main(["lint", str(path), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "SEEDED-RANDOMNESS" in out
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+
+    def test_unknown_rule_is_usage_error(self, write_module):
+        path = write_module("repro.data.good", "x = 1\n")
+        assert main(["lint", str(path), "--select", "NOT-A-RULE"]) == 2
+
+    def test_missing_explicit_baseline_is_usage_error(self, write_module,
+                                                      tmp_path):
+        path = write_module("repro.data.good", "x = 1\n")
+        assert main(["lint", str(path),
+                     "--baseline", str(tmp_path / "missing.json")]) == 2
+
+
+class TestOptions:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DTYPE-DISCIPLINE", "SCATTER-CONTAINMENT",
+                        "NO-BARE-PRINT", "SEEDED-RANDOMNESS",
+                        "TELEMETRY-GUARD"):
+            assert rule_id in out
+
+    def test_select_restricts_rules(self, write_module):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        assert main(["lint", str(path), "--no-baseline",
+                     "--select", "NO-BARE-PRINT"]) == 0
+        assert main(["lint", str(path), "--no-baseline",
+                     "--select", "seeded-randomness"]) == 1
+
+    def test_json_format(self, write_module, capsys):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        assert main(["lint", str(path), "--no-baseline",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "SEEDED-RANDOMNESS"
+
+    def test_write_baseline_then_gate_passes(self, write_module, tmp_path,
+                                             capsys):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        baseline_path = tmp_path / "accepted.json"
+        assert main(["lint", str(path), "--baseline", str(baseline_path),
+                     "--write-baseline"]) == 0
+        assert baseline_path.exists()
+        capsys.readouterr()
+        assert main(["lint", str(path),
+                     "--baseline", str(baseline_path)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+
+class TestSelfCheck:
+    """The committed tree must satisfy its own gate (CI acceptance)."""
+
+    def test_src_repro_is_clean_under_committed_baseline(self):
+        result = lint_paths([SRC_REPRO],
+                            baseline=Baseline.load(REPO_BASELINE))
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+        assert not result.unused_baseline, (
+            f"stale baseline entries: {result.unused_baseline}")
+
+    def test_removing_baseline_resurfaces_only_baselined_findings(self):
+        # Acceptance: without the baseline file, the only findings are the
+        # deliberately-baselined ones — nothing else is hiding behind it.
+        ungated = lint_paths([SRC_REPRO])
+        expected = Counter(
+            (e["module"], e["rule"], e["code"])
+            for e in Baseline.load(REPO_BASELINE).entries)
+        assert Counter(f.key() for f in ungated.findings) == expected
+
+    def test_every_baseline_entry_documents_a_reason(self):
+        for entry in Baseline.load(REPO_BASELINE).entries:
+            assert entry["reason"].strip(), (
+                f"baseline entry without a reason: {entry}")
+
+    def test_cli_gate_from_repo_root(self, capsys):
+        # The exact invocation benchmarks/run_perf_smoke.sh uses.
+        assert main(["lint", str(SRC_REPRO)]) == 0
+        assert "clean (" in capsys.readouterr().out

@@ -1,0 +1,183 @@
+"""Framework mechanics: module naming, suppression parsing, baseline, reporters."""
+
+import json
+
+import pytest
+
+from repro.lint import (Baseline, get_rule, lint_paths, module_name_for,
+                        suppressions_for)
+from repro.lint.baseline import BaselineMatcher, find_baseline
+from repro.lint.framework import Finding, register
+from repro.lint.reporters import render_json, render_text
+
+BAD_RANDOM = """\
+    import numpy as np
+    x = np.random.rand(3)
+"""
+
+
+def _finding(module="repro.data.bad", rule="SEEDED-RANDOMNESS",
+             code="x = np.random.rand(3)"):
+    return Finding(rule=rule, path="tests/fake.py", module=module, line=2,
+                   col=4, message="msg", code=code)
+
+
+class TestModuleNameFor:
+    def test_nested_package(self, write_module):
+        path = write_module("repro.nn.layers", "x = 1\n")
+        assert module_name_for(path) == "repro.nn.layers"
+
+    def test_init_names_the_package(self, write_module):
+        init = write_module("repro.nn.layers", "x = 1\n").parent / "__init__.py"
+        assert module_name_for(init) == "repro.nn"
+
+    def test_file_outside_any_package(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("x = 1\n")
+        assert module_name_for(loose) == "script"
+
+
+class TestSuppressionsFor:
+    def test_specific_rule(self):
+        supp = suppressions_for("x = 1  # repro: noqa[NO-BARE-PRINT]\n")
+        assert supp == {1: {"NO-BARE-PRINT"}}
+
+    def test_bare_noqa_is_wildcard(self):
+        supp = suppressions_for("x = 1  # repro: noqa\n")
+        assert supp == {1: {"*"}}
+
+    def test_multiple_ids_and_case(self):
+        supp = suppressions_for(
+            "y = 2\nx = 1  # repro: noqa[no-bare-print, DTYPE-DISCIPLINE]\n")
+        assert supp == {2: {"NO-BARE-PRINT", "DTYPE-DISCIPLINE"}}
+
+    def test_plain_comments_ignored(self):
+        assert suppressions_for("x = 1  # a normal comment\n") == {}
+
+
+class TestEngine:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = lint_paths([bad])
+        assert not result.ok
+        assert result.errors and "broken.py" in result.errors[0]
+
+    def test_directory_recursion_and_dedup(self, write_module, tmp_path):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        result = lint_paths([tmp_path, path],
+                            rules=[get_rule("SEEDED-RANDOMNESS")])
+        assert len(result.findings) == 1  # listed twice, linted once
+
+    def test_duplicate_rule_id_rejected(self):
+        class Clash:
+            rule_id = "NO-BARE-PRINT"
+            description = "duplicate"
+
+            def check(self, ctx):
+                return iter(())
+
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            register(Clash)
+
+
+class TestBaseline:
+    def test_round_trip_silences_then_resurfaces(self, write_module, tmp_path):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        rules = [get_rule("SEEDED-RANDOMNESS")]
+
+        first = lint_paths([path], rules=rules)
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "lint-baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+
+        gated = lint_paths([path], rules=rules,
+                           baseline=Baseline.load(baseline_path))
+        assert gated.ok
+        assert len(gated.baselined) == 1
+        assert not gated.unused_baseline
+
+        # Removing the baseline re-surfaces exactly the baselined finding.
+        ungated = lint_paths([path], rules=rules)
+        assert [f.key() for f in ungated.findings] == \
+            [f.key() for f in gated.baselined]
+
+    def test_multiset_matching(self, write_module, tmp_path):
+        # Two identical violations, one baseline slot: one is still new.
+        path = write_module("repro.data.bad", """\
+            import numpy as np
+            x = np.random.rand(3)
+            y = np.random.rand(3)
+        """)
+        baseline_path = tmp_path / "lint-baseline.json"
+        Baseline.from_findings([_finding(code="x = np.random.rand(3)")]) \
+            .save(baseline_path)
+        # The two lines differ ('x =' vs 'y ='), so only one matches.
+        result = lint_paths([path], rules=[get_rule("SEEDED-RANDOMNESS")],
+                            baseline=Baseline.load(baseline_path))
+        assert len(result.baselined) == 1
+        assert len(result.findings) == 1
+
+    def test_stale_entries_are_flagged(self, write_module, tmp_path):
+        path = write_module("repro.data.good", "x = 1\n")
+        baseline_path = tmp_path / "lint-baseline.json"
+        Baseline.from_findings([_finding()]).save(baseline_path)
+        result = lint_paths([path], baseline=Baseline.load(baseline_path))
+        assert result.ok  # stale entries warn, they do not fail the gate
+        assert result.unused_baseline == [_finding().key()]
+
+    def test_reasons_survive_regeneration(self, tmp_path):
+        finding = _finding()
+        previous = Baseline([{"module": finding.module, "rule": finding.rule,
+                              "code": finding.code,
+                              "reason": "documented on purpose"}])
+        regenerated = Baseline.from_findings([finding], previous=previous)
+        assert regenerated.entries[0]["reason"] == "documented on purpose"
+
+    def test_load_rejects_malformed_files(self, tmp_path):
+        bad = tmp_path / "lint-baseline.json"
+        bad.write_text(json.dumps({"entries": [{"module": "m"}]}))
+        with pytest.raises(ValueError, match="missing"):
+            Baseline.load(bad)
+        bad.write_text(json.dumps([1, 2]))
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            Baseline.load(bad)
+
+    def test_find_baseline_walks_ancestors(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        target = tmp_path / "lint-baseline.json"
+        target.write_text("{}")
+        assert find_baseline(nested) == target
+
+    def test_matcher_consumes_slots(self):
+        finding = _finding()
+        matcher = BaselineMatcher({finding.key(): 1})
+        assert matcher.consume(finding)
+        assert not matcher.consume(finding)
+        assert matcher.unused() == []
+
+
+class TestReporters:
+    def test_text_clean_summary(self, write_module):
+        path = write_module("repro.data.good", "x = 1\n")
+        text = render_text(lint_paths([path]))
+        assert text.startswith("clean (")
+
+    def test_text_lists_findings_and_summary(self, write_module):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        result = lint_paths([path], rules=[get_rule("SEEDED-RANDOMNESS")])
+        text = render_text(result, verbose=True)
+        assert "SEEDED-RANDOMNESS" in text
+        assert str(path) in text
+        assert "1 finding(s)" in text
+        assert "x = np.random.rand(3)" in text  # verbose shows the code
+
+    def test_json_round_trips(self, write_module):
+        path = write_module("repro.data.bad", BAD_RANDOM)
+        result = lint_paths([path], rules=[get_rule("SEEDED-RANDOMNESS")])
+        payload = json.loads(render_json(result))
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "SEEDED-RANDOMNESS"
+        assert payload["findings"][0]["module"] == "repro.data.bad"

@@ -15,7 +15,8 @@ import repro
 
 PACKAGES = ["repro.nn", "repro.data", "repro.hypergraph", "repro.core",
             "repro.baselines", "repro.train", "repro.eval", "repro.experiments",
-            "repro.utils", "repro.analysis", "repro.serve", "repro.obs"]
+            "repro.utils", "repro.analysis", "repro.serve", "repro.obs",
+            "repro.lint"]
 
 
 def iter_modules():
@@ -48,33 +49,22 @@ class TestModuleSurface:
 class TestNoBarePrint:
     """Library code must log through ``repro.obs.get_logger``, not ``print``.
 
-    ``print`` is reserved for the user-facing CLI surface (tables, JSON
-    responses) and experiment report rendering; everything else should emit
-    through the logging tree so telemetry sessions capture it.
+    The check itself now lives in :mod:`repro.lint` (the ``NO-BARE-PRINT``
+    rule, which knows the allowed CLI/report surface); this test just runs
+    that rule over the installed tree so the hygiene suite and the lint gate
+    can never disagree.
     """
 
-    ALLOWED = {"cli.py", "__main__.py"}
-    ALLOWED_SUFFIXES = ("experiments/report.py",)
-
     def test_no_print_calls_outside_cli(self):
-        import ast
         from pathlib import Path
 
+        from repro.lint import get_rule, lint_paths
+
         src = Path(repro.__file__).resolve().parent
-        offenders = []
-        for path in sorted(src.rglob("*.py")):
-            relative = path.relative_to(src).as_posix()
-            if path.name in self.ALLOWED or relative.endswith(self.ALLOWED_SUFFIXES):
-                continue
-            tree = ast.parse(path.read_text(encoding="utf-8"))
-            for node in ast.walk(tree):
-                if (isinstance(node, ast.Call)
-                        and isinstance(node.func, ast.Name)
-                        and node.func.id == "print"):
-                    offenders.append(f"{relative}:{node.lineno}")
-        assert not offenders, (
-            "bare print() in library code (use repro.obs.get_logger): "
-            + ", ".join(offenders))
+        result = lint_paths([src], rules=[get_rule("NO-BARE-PRINT")])
+        assert result.ok, (
+            "bare print() in library code (use repro.obs.get_logger):\n"
+            + "\n".join(f.render() for f in result.findings))
 
 
 class TestTopLevel:
