@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Smoke-run the perf benchmarks (P1 hot paths, P2 serving) at tiny scale.
+# Smoke-run the perf benchmarks (P1 hot paths, P2 serving, P5 input
+# pipeline) at tiny scale.
 #
 # Verifies the benchmark machinery end to end — all code paths execute and
-# BENCH_P1.json / BENCH_P2.json are produced — without asserting the
-# speedup floors, which are only meaningful at the default scale (tiny
-# corpora are dominated by fixed overheads).  Intended for CI; finishes in
-# well under a minute.
+# BENCH_P1.json / BENCH_P2.json / BENCH_P5.json are produced — without
+# asserting the speedup floors, which are only meaningful at the default
+# scale (tiny corpora are dominated by fixed overheads).  Intended for CI;
+# finishes in well under a minute.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,17 +17,21 @@ export REPRO_PERF_MIN_SPEEDUP="${REPRO_PERF_MIN_SPEEDUP:-0}"
 export REPRO_PERF_SERVE_REQUESTS="${REPRO_PERF_SERVE_REQUESTS:-48}"
 export REPRO_PERF_SERVE_CLIENTS="${REPRO_PERF_SERVE_CLIENTS:-8}"
 export REPRO_PERF_SERVE_MIN_SPEEDUP="${REPRO_PERF_SERVE_MIN_SPEEDUP:-0}"
+export REPRO_PERF_PIPELINE_EPOCHS="${REPRO_PERF_PIPELINE_EPOCHS:-1}"
+export REPRO_PERF_PIPELINE_MIN_SPEEDUP="${REPRO_PERF_PIPELINE_MIN_SPEEDUP:-0}"
 
 # Static-analysis gate: new findings (anything not in lint-baseline.json)
 # fail the smoke run before any benchmark time is spent.
 PYTHONPATH=src python -m repro lint src/repro
 
-rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json
+rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json \
+      benchmarks/results/BENCH_P5.json
 
 PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py
 PYTHONPATH=src python benchmarks/bench_p2_serving.py
+PYTHONPATH=src python benchmarks/bench_p5_pipeline.py
 
-for result in BENCH_P1.json BENCH_P2.json; do
+for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json; do
     if [[ ! -f "benchmarks/results/$result" ]]; then
         echo "FAIL: benchmarks/results/$result was not produced" >&2
         exit 1

@@ -51,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--dim", type=int, default=32)
     train.add_argument("--epochs", type=int, default=12)
     train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--num-workers", type=int, default=0,
+                       help="input-pipeline worker processes (0 = in-process; "
+                            "batches are identical for any setting)")
+    train.add_argument("--prefetch", type=int, default=2,
+                       help="batches kept in flight per pipeline worker")
     train.add_argument("--checkpoint", default=None,
                        help="save the trained model's parameters to this .npz path")
     train.add_argument("--events-out", default=None, metavar="FILE",
@@ -182,7 +187,9 @@ def _cmd_train(args) -> int:
                                           seed=args.seed)
         model = build_model(args.model, context, dim=args.dim, seed=args.seed)
         report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
-                                             seed=args.seed, callbacks=callbacks)
+                                             seed=args.seed, callbacks=callbacks,
+                                             num_workers=args.num_workers,
+                                             prefetch=args.prefetch)
         print(f"{args.model} on {args.preset} (scale {args.scale}): {report} "
               f"[{seconds:.1f}s]")
         if args.checkpoint and model.parameters():
@@ -200,7 +207,8 @@ def _cmd_train(args) -> int:
                 checkpoint.with_name(checkpoint.name + ".manifest.json"),
                 config={"model": args.model, "preset": args.preset,
                         "dim": args.dim, "scale": args.scale,
-                        "epochs": args.epochs},
+                        "epochs": args.epochs, "num_workers": args.num_workers,
+                        "prefetch": args.prefetch},
                 seed=args.seed,
                 metrics=dict(report),
                 extra={"seconds": seconds})

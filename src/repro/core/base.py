@@ -117,7 +117,16 @@ class SequentialRecommender(Module):
     # ------------------------------------------------------------------
     def sample_training_candidates(self, batch: Batch, sampler: NegativeSampler,
                                    num_negatives: int) -> np.ndarray:
-        """Per-row ``[positive, negatives...]`` candidates for sampled softmax."""
+        """Per-row ``[positive, negatives...]`` candidates for sampled softmax.
+
+        Batches assembled by the prefetching pipeline arrive with the
+        candidates presampled off the main process (``batch.candidates``);
+        those are consumed directly when the width matches the requested
+        negative count, otherwise sampling happens inline as before.
+        """
+        presampled = batch.candidates
+        if presampled is not None and presampled.shape[1] == num_negatives + 1:
+            return presampled
         rows = []
         for user, target in zip(batch.users, batch.targets):
             negatives = sampler.sample(int(user), num_negatives, exclude={int(target)})

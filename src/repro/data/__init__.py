@@ -3,10 +3,17 @@
 Flow: :func:`~repro.data.synthetic.generate` (or any loader producing
 :class:`~repro.data.schema.Interaction` events) → :class:`MultiBehaviorDataset`
 → :func:`k_core_filter` / :func:`truncate_history` → :func:`leave_one_out_split`
-→ :class:`BatchLoader` batches consumed by models.
+→ :class:`BatchLoader` / :class:`PrefetchLoader` batches consumed by models.
+
+:mod:`~repro.data.pipeline` holds the parallel input path: CSR-packed
+examples with a fully vectorized collate, a prefetching multiprocess loader
+with deterministic per-``(epoch, batch)`` seeding, and the worker pool that
+also powers sharded ranking evaluation.
 """
 
 from .batching import Batch, BatchLoader, collate, pad_sequences
+from .pipeline import (PackedExamples, PrefetchLoader, WorkerError, WorkerPool,
+                       parallel_map)
 from .dataset import DatasetStats, MultiBehaviorDataset
 from .loaders import UB_BEHAVIOR_MAP, load_interaction_csv, load_user_behavior_csv
 from .preprocessing import drop_holdout_targets, k_core_filter, remap_ids, truncate_history
@@ -28,4 +35,6 @@ __all__ = [
     "DataSplit", "SequenceExample", "leave_one_out_split", "temporal_split",
     "NegativeSampler",
     "Batch", "BatchLoader", "collate", "pad_sequences",
+    "PackedExamples", "PrefetchLoader", "WorkerError", "WorkerPool",
+    "parallel_map",
 ]

@@ -9,6 +9,7 @@ position, which is where causal sequence models read the user state.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -26,18 +27,30 @@ def pad_sequences(sequences: Sequence[Sequence[int]], max_len: int | None = None
     Returns ``(matrix, mask)`` where ``mask`` is True at real positions.
     ``max_len`` defaults to the longest sequence (minimum 1 so empty behavior
     streams still produce a well-formed column).
+
+    The fill is vectorized: rows are flattened into one contiguous array and
+    written through a boolean suffix mask in a single scatter, instead of one
+    slice assignment per row.  Boolean assignment fills in row-major order,
+    which is exactly the order of the flattened (truncated) rows.
     """
-    if max_len is None:
-        max_len = max((len(s) for s in sequences), default=1)
-    max_len = max(max_len, 1)
     batch = len(sequences)
+    lengths = np.fromiter((len(s) for s in sequences), dtype=np.int64, count=batch)
+    if max_len is None:
+        max_len = int(lengths.max()) if batch else 1
+    max_len = max(max_len, 1)
     matrix = np.full((batch, max_len), pad_value, dtype=np.int64)
     mask = np.zeros((batch, max_len), dtype=bool)
-    for row, seq in enumerate(sequences):
-        seq = list(seq)[-max_len:]
-        if seq:
-            matrix[row, -len(seq):] = seq
-            mask[row, -len(seq):] = True
+    clipped = np.minimum(lengths, max_len)
+    total = int(clipped.sum())
+    if total:
+        np.greater_equal(np.arange(max_len, dtype=np.int64),
+                         (max_len - clipped)[:, None], out=mask)
+        if int(lengths.max()) <= max_len:
+            flat_rows: Iterator = chain.from_iterable(sequences)
+        else:
+            flat_rows = chain.from_iterable(
+                s[-max_len:] if len(s) > max_len else s for s in sequences)
+        matrix[mask] = np.fromiter(flat_rows, dtype=np.int64, count=total)
     return matrix, mask
 
 
@@ -52,6 +65,11 @@ class Batch:
     merged_behaviors: np.ndarray            # (B, L) behavior-type ids
     merged_mask: np.ndarray                 # (B, L) bool
     targets: np.ndarray                     # (B,)
+    candidates: np.ndarray | None = None    # (B, 1+num_negatives) presampled
+    """Optional presampled training candidates (positive in column 0), filled
+    in by the prefetching pipeline so negative sampling runs off the main
+    process; ``sample_training_candidates`` consumes them when the width
+    matches the requested negative count."""
 
     @property
     def size(self) -> int:

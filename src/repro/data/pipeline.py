@@ -1,0 +1,623 @@
+"""Prefetching, parallel batch pipeline: overlap batch assembly with compute.
+
+The training loop used to assemble every mini-batch on the main process —
+per-row Python padding, inline negative sampling — serializing input work
+with model compute.  This module provides the parallel input path:
+
+* :class:`PackedExamples` — the example list flattened into CSR arrays so a
+  mini-batch is assembled with pure NumPy gathers (no per-row Python), the
+  vectorized collate shared by training, evaluation and serving-style reuse.
+* :class:`WorkerPool` — a small multiprocessing pool with heartbeat/timeout
+  detection, clean shutdown, and worker tracebacks re-raised on the main
+  process as :class:`WorkerError`.
+* :class:`PrefetchLoader` — a bounded, double-buffered loader that shuffles,
+  collates and (optionally) presamples negative candidates either in-process
+  (``num_workers=0``, the deterministic reference) or on a worker pool.
+* :func:`parallel_map` — order-stable fan-out used by the sharded ranking
+  evaluation (:func:`repro.eval.evaluator.rank_all`).
+
+Determinism: every batch's randomness is derived from ``(seed, epoch,
+batch_index)`` alone (:func:`batch_rng` / :func:`epoch_order`), never from
+worker identity or scheduling, so any ``num_workers`` setting yields a
+bitwise-identical batch stream for a fixed seed — satisfying the
+``SEEDED-RANDOMNESS`` discipline with explicit generators throughout.
+
+Telemetry (zero-cost when disabled, one ``is None`` check per epoch): a
+``pipeline.queue_depth`` gauge, a ``pipeline.wait_seconds`` histogram of
+main-process blocking time, and ``pipeline.batches`` /
+``pipeline.worker.<id>.batches`` utilization counters in the session's
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.obs import get_telemetry
+
+from .batching import Batch
+from .sampling import NegativeSampler
+from .schema import BehaviorSchema, PAD_ITEM
+from .splits import SequenceExample
+
+__all__ = [
+    "PackedExamples",
+    "PrefetchLoader",
+    "WorkerError",
+    "WorkerPool",
+    "parallel_map",
+    "batch_rng",
+    "epoch_order",
+    "fork_available",
+]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def batch_rng(seed: int, epoch: int, index: int) -> np.random.Generator:
+    """Generator for batch ``index`` of ``epoch`` — independent of workers.
+
+    The entropy is the ``(seed, epoch, index)`` triple, so the stream a batch
+    draws (negative candidates today; augmentations tomorrow) is a pure
+    function of its position in the schedule, not of which process builds it
+    or in what order.  ``index`` 0 is reserved for the epoch shuffle
+    (:func:`epoch_order`); batch streams start at 1.
+    """
+    entropy = (seed & _MASK32, epoch & _MASK32, index & _MASK32)
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def epoch_order(seed: int, epoch: int, count: int, shuffle: bool) -> np.ndarray:
+    """The example visiting order for one epoch (identity when not shuffling)."""
+    if not shuffle:
+        return np.arange(count, dtype=np.int64)
+    return batch_rng(seed, epoch, 0).permutation(count).astype(np.int64, copy=False)
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists (shared-memory workers)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Vectorized collate over CSR-packed examples
+# ----------------------------------------------------------------------
+
+def _pack(sequences: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten variable-length rows into CSR ``(data, indptr)`` arrays."""
+    count = len(sequences)
+    lengths = np.zeros(count + 1, dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        lengths[row + 1] = len(seq)
+    indptr = np.cumsum(lengths)
+    data = np.zeros(int(indptr[-1]), dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        data[indptr[row]:indptr[row + 1]] = seq
+    return data, indptr
+
+
+def _gather_padded(data: np.ndarray, indptr: np.ndarray, rows: np.ndarray,
+                   max_len: int | None, pad_value: int = PAD_ITEM,
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Left-padded ``(len(rows), L)`` matrix + mask from CSR storage.
+
+    Pure array ops: the trailing ``min(length, L)`` entries of every row are
+    gathered with one fancy-index expression built from repeat/cumsum
+    arithmetic — the CSR twin of :func:`repro.data.batching.pad_sequences`
+    with identical left-padding and truncation semantics.
+    """
+    lengths = indptr[rows + 1] - indptr[rows]
+    if max_len is None:
+        max_len = int(lengths.max()) if rows.size else 1
+    max_len = max(max_len, 1)
+    clipped = np.minimum(lengths, max_len)
+    matrix = np.full((len(rows), max_len), pad_value, dtype=np.int64)
+    mask = np.zeros((len(rows), max_len), dtype=bool)
+    total = int(clipped.sum())
+    if total:
+        starts = indptr[rows + 1] - clipped          # trailing-window start
+        row_of = np.repeat(np.arange(len(rows), dtype=np.int64), clipped)
+        offsets = np.concatenate([np.zeros(1, dtype=np.int64),
+                                  np.cumsum(clipped)[:-1]])
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, clipped)
+        cols = (max_len - clipped)[row_of] + within
+        matrix[row_of, cols] = data[np.repeat(starts, clipped) + within]
+        mask[row_of, cols] = True
+    return matrix, mask
+
+
+@dataclass
+class PackedExamples:
+    """A list of :class:`SequenceExample` flattened into contiguous arrays.
+
+    Built once per split, shared (copy-on-write under ``fork``) by every
+    worker, and collated into batches with :meth:`collate_rows` — which
+    produces batches identical to :func:`repro.data.batching.collate` on the
+    same rows but touches no per-row Python.
+    """
+
+    schema: BehaviorSchema
+    users: np.ndarray                                  # (N,)
+    targets: np.ndarray                                # (N,)
+    behaviors: dict[str, tuple[np.ndarray, np.ndarray]]  # name -> (data, indptr)
+    merged_items: tuple[np.ndarray, np.ndarray]        # (data, indptr)
+    merged_behaviors: np.ndarray                       # data aligned with merged indptr
+
+    @classmethod
+    def from_examples(cls, examples: Sequence[SequenceExample],
+                      schema: BehaviorSchema) -> "PackedExamples":
+        """Flatten ``examples`` (one pass per field) into CSR storage."""
+        behaviors = {
+            behavior: _pack([e.inputs[behavior] for e in examples])
+            for behavior in schema.behaviors
+        }
+        merged_items = _pack([e.merged_items for e in examples])
+        merged_behaviors, _ = _pack([e.merged_behavior_ids for e in examples])
+        return cls(
+            schema=schema,
+            users=np.fromiter((e.user for e in examples), dtype=np.int64,
+                              count=len(examples)),
+            targets=np.fromiter((e.target for e in examples), dtype=np.int64,
+                                count=len(examples)),
+            behaviors=behaviors,
+            merged_items=merged_items,
+            merged_behaviors=merged_behaviors,
+        )
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def collate_rows(self, rows: np.ndarray, max_len: int | None = None) -> Batch:
+        """Assemble the batch for example indices ``rows`` (order preserved)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            raise ValueError("cannot collate an empty example list")
+        items: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        for behavior, (data, indptr) in self.behaviors.items():
+            items[behavior], masks[behavior] = _gather_padded(
+                data, indptr, rows, max_len)
+        merged_data, merged_indptr = self.merged_items
+        merged_items, merged_mask = _gather_padded(merged_data, merged_indptr,
+                                                   rows, max_len)
+        merged_behaviors, _ = _gather_padded(self.merged_behaviors, merged_indptr,
+                                             rows, merged_items.shape[1],
+                                             pad_value=0)
+        return Batch(
+            users=self.users[rows],
+            items=items,
+            masks=masks,
+            merged_items=merged_items,
+            merged_behaviors=merged_behaviors,
+            merged_mask=merged_mask,
+            targets=self.targets[rows],
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+class WorkerError(RuntimeError):
+    """A pipeline worker crashed, timed out, or died.
+
+    ``remote_traceback`` carries the worker's formatted traceback (when the
+    exception was caught worker-side); it is embedded in ``str(error)`` so
+    the original failure reads exactly like a local one.
+    """
+
+    def __init__(self, worker_id: int, message: str,
+                 remote_traceback: str | None = None):
+        detail = message if remote_traceback is None \
+            else f"{message}\n--- worker {worker_id} traceback ---\n{remote_traceback}"
+        super().__init__(detail)
+        self.worker_id = worker_id
+        self.remote_traceback = remote_traceback
+
+
+def _worker_main(worker_id: int, factory: Callable, initargs: tuple,
+                 tasks, results) -> None:
+    """Worker process entry point: build the task fn, then serve tasks.
+
+    Any exception — in the factory or per task — is caught, formatted, and
+    shipped to the main process, which re-raises it as :class:`WorkerError`.
+    """
+    try:
+        # Telemetry sessions (open event-log files, thread-local span stacks)
+        # belong to the parent; a forked child must not double-write them —
+        # including the final snapshot a normal disable would emit.
+        from repro.obs import disable_telemetry
+        disable_telemetry(final_snapshot=False)
+    except Exception:                                 # pragma: no cover
+        pass
+    try:
+        fn = factory(*initargs)
+    except BaseException:
+        results.put(("error", worker_id, None, traceback.format_exc()))
+        return
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        task_id, payload = task
+        try:
+            results.put(("ok", worker_id, task_id, fn(payload)))
+        except BaseException:
+            results.put(("error", worker_id, task_id, traceback.format_exc()))
+            break
+
+
+class WorkerPool:
+    """A supervised pool of daemon worker processes.
+
+    Args:
+        factory: module-level callable; ``factory(*initargs)`` runs once per
+            worker and returns the per-task function (closures stay
+            worker-side, so only the factory and its args ever cross the
+            process boundary).
+        initargs: arguments for ``factory`` — inherited by reference under
+            the ``fork`` start method, pickled once per worker under spawn.
+        num_workers: pool size (at least 1).
+        timeout: seconds :meth:`next_result` waits before declaring the pool
+            wedged and raising :class:`WorkerError`.
+        start_method: multiprocessing start method; defaults to ``fork``
+            when available (shared memory, no pickling).
+
+    Robustness contract: a worker exception re-raises on the main process
+    with the worker's traceback embedded; a worker that dies silently (OOM
+    kill, segfault) is detected by heartbeat; shutdown always reaps children
+    — no orphaned processes survive :meth:`close` / :meth:`terminate`.
+    """
+
+    def __init__(self, factory: Callable, initargs: tuple = (),
+                 num_workers: int = 1, timeout: float = 120.0,
+                 poll_interval: float = 0.1, start_method: str | None = None):
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        if start_method is None:
+            start_method = "fork" if fork_available() else None
+        self._ctx = mp.get_context(start_method)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._closed = False
+        self._workers = [
+            self._ctx.Process(target=_worker_main, name=f"repro-pipeline-{i}",
+                              args=(i, factory, initargs, self._tasks, self._results),
+                              daemon=True)
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool has been shut down (gracefully or not)."""
+        return self._closed
+
+    def submit(self, task_id, payload) -> None:
+        """Enqueue one task; results arrive via :meth:`next_result`."""
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed WorkerPool")
+        self._tasks.put((task_id, payload))
+
+    def next_result(self):
+        """Block for the next ``(worker_id, task_id, value)`` result.
+
+        Completion order is arbitrary — callers reorder by ``task_id``.
+        Raises :class:`WorkerError` on a worker exception (original traceback
+        embedded), on a silently-dead worker, or after ``timeout`` seconds
+        without any result (heartbeat).
+        """
+        deadline = time.monotonic() + self.timeout
+        dead_polls = 0
+        while True:
+            try:
+                kind, worker_id, task_id, value = self._results.get(
+                    timeout=self.poll_interval)
+            except queue_mod.Empty:
+                dead = [w for w in self._workers if not w.is_alive()]
+                if dead:
+                    # Give the queue feeder a few polls to flush a final
+                    # result/error the worker produced right before exiting.
+                    dead_polls += 1
+                    if dead_polls >= 3:
+                        exit_codes = {w.name: w.exitcode for w in dead}
+                        self.terminate()
+                        raise WorkerError(
+                            -1, f"worker died without reporting a result "
+                                f"(exit codes: {exit_codes})")
+                if time.monotonic() > deadline:
+                    self.terminate()
+                    raise WorkerError(
+                        -1, f"no result within {self.timeout:.0f}s "
+                            "(pipeline wedged or task too slow; raise the "
+                            "loader timeout for long batches)")
+                continue
+            if kind == "error":
+                self.terminate()
+                raise WorkerError(worker_id, "worker task failed",
+                                  remote_traceback=value)
+            return worker_id, task_id, value
+
+    def close(self) -> None:
+        """Graceful shutdown: sentinel every worker, join, reap stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            try:
+                self._tasks.put(None)
+            except (ValueError, OSError):             # pragma: no cover
+                break
+        self._reap(graceful_wait=5.0)
+
+    def terminate(self) -> None:
+        """Hard shutdown: terminate every worker immediately."""
+        self._closed = True
+        self._reap(graceful_wait=0.0)
+
+    def _reap(self, graceful_wait: float) -> None:
+        if graceful_wait > 0:
+            for worker in self._workers:
+                worker.join(timeout=graceful_wait)
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        for queue in (self._tasks, self._results):
+            queue.close()
+            queue.cancel_join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):                                # pragma: no cover
+        try:
+            self.terminate()
+        except Exception:
+            pass
+
+
+def parallel_map(factory: Callable, initargs: tuple, payloads: Sequence,
+                 num_workers: int, timeout: float = 120.0,
+                 start_method: str | None = None) -> list:
+    """Run ``factory(*initargs)(payload)`` for every payload on a pool.
+
+    Results come back **order-stable** (index-aligned with ``payloads``)
+    regardless of worker completion order.  The pool is always torn down
+    before returning — including on worker failure, where the worker's
+    traceback re-raises here as :class:`WorkerError`.
+    """
+    if not payloads:
+        return []
+    pool = WorkerPool(factory, initargs,
+                      num_workers=min(num_workers, len(payloads)),
+                      timeout=timeout, start_method=start_method)
+    results: list = [None] * len(payloads)
+    try:
+        for index, payload in enumerate(payloads):
+            pool.submit(index, payload)
+        for _ in range(len(payloads)):
+            _, task_id, value = pool.next_result()
+            results[task_id] = value
+    finally:
+        pool.close()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Prefetching loader
+# ----------------------------------------------------------------------
+
+def _assemble(packed: PackedExamples, sampler: NegativeSampler | None,
+              negatives: int, seed: int, max_len: int | None,
+              epoch: int, index: int, rows: np.ndarray) -> Batch:
+    """Build batch ``index`` of ``epoch`` — the single shared batch recipe.
+
+    Both the in-process reference mode and every worker run exactly this
+    function with randomness derived only from ``(seed, epoch, index)``,
+    which is what makes the stream independent of ``num_workers``.
+    """
+    batch = packed.collate_rows(rows, max_len)
+    if negatives and sampler is not None:
+        rng = batch_rng(seed, epoch, index + 1)
+        negs = sampler.sample_matrix(batch.users, batch.targets, negatives, rng=rng)
+        batch.candidates = np.concatenate([batch.targets[:, None], negs], axis=1)
+    return batch
+
+
+def _prefetch_worker(packed: PackedExamples, sampler: NegativeSampler | None,
+                     negatives: int, seed: int, max_len: int | None) -> Callable:
+    """Worker factory: bind the shared state, return the per-task assembler."""
+    def build(task) -> Batch:
+        epoch, index, rows = task
+        return _assemble(packed, sampler, negatives, seed, max_len,
+                         epoch, index, rows)
+    return build
+
+
+class PrefetchLoader:
+    """Shuffled mini-batches with parallel assembly and bounded prefetch.
+
+    The drop-in evolution of :class:`~repro.data.batching.BatchLoader` for
+    the training loop: collate (and optional negative presampling) runs on a
+    pool of worker processes while the main process spends its time in model
+    compute, with at most ``num_workers * prefetch`` batches in flight
+    (double-buffered by default).  ``num_workers=0`` assembles in-process
+    and is the deterministic reference — for a fixed ``seed`` every
+    ``num_workers`` setting yields a bitwise-identical batch stream.
+
+    Each completed iteration advances the epoch (resettable via
+    :meth:`set_epoch`), so consecutive passes see different shuffles exactly
+    like the ``rng``-driven ``BatchLoader``.
+
+    Args:
+        examples: the split to iterate.
+        schema: behavior vocabulary (collate layout).
+        batch_size: rows per batch.
+        seed: base seed; all shuffle/sampling randomness derives from it.
+        shuffle: visit examples in a per-epoch permutation (evaluation
+            passes set False).
+        max_len: optional padding cap (defaults to per-batch max length).
+        drop_last: drop the trailing partial batch.
+        num_workers: worker processes (0 = in-process reference mode).
+        prefetch: in-flight batches per worker (bounded queue depth).
+        negatives: per-row negatives to presample into ``Batch.candidates``
+            (0 disables; requires ``dataset``).
+        dataset: interaction corpus backing the negative sampler.
+        sampling_mode: ``NegativeSampler`` mode for presampling.
+        timeout: worker heartbeat timeout in seconds.
+        start_method: multiprocessing start method override.
+    """
+
+    def __init__(self, examples: Sequence[SequenceExample], schema: BehaviorSchema,
+                 batch_size: int, seed: int = 0, shuffle: bool = True,
+                 max_len: int | None = None, drop_last: bool = False,
+                 num_workers: int = 0, prefetch: int = 2, negatives: int = 0,
+                 dataset=None, sampling_mode: str = "uniform",
+                 timeout: float = 120.0, start_method: str | None = None):
+        if batch_size < 1:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        if prefetch < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {prefetch}")
+        if negatives < 0:
+            raise ValueError(f"negatives must be >= 0, got {negatives}")
+        if negatives and dataset is None:
+            raise ValueError("presampling negatives requires the dataset")
+        self.packed = PackedExamples.from_examples(examples, schema)
+        self.schema = schema
+        self.batch_size = batch_size
+        self.seed = seed
+        self.shuffle = shuffle
+        self.max_len = max_len
+        self.drop_last = drop_last
+        self.num_workers = num_workers
+        self.prefetch = prefetch
+        self.negatives = negatives
+        self.timeout = timeout
+        self.start_method = start_method
+        self.sampler = (NegativeSampler(dataset, np.random.default_rng(0),
+                                        mode=sampling_mode)
+                        if negatives else None)
+        self._epoch = 0
+        self._pool: WorkerPool | None = None
+
+    # -- epoch bookkeeping ---------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The epoch the next iteration will use."""
+        return self._epoch
+
+    def set_epoch(self, epoch: int) -> None:
+        """Pin the next iteration's epoch (resume / replay support)."""
+        self._epoch = epoch
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.packed), self.batch_size)
+        return full if (self.drop_last or remainder == 0) else full + 1
+
+    def _epoch_chunks(self, epoch: int) -> list[np.ndarray]:
+        order = epoch_order(self.seed, epoch, len(self.packed), self.shuffle)
+        chunks = []
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start:start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                break
+            chunks.append(chunk)
+        return chunks
+
+    # -- iteration ------------------------------------------------------
+    def __iter__(self) -> Iterator[Batch]:
+        epoch = self._epoch
+        self._epoch += 1
+        chunks = self._epoch_chunks(epoch)
+        if self.num_workers == 0:
+            return self._iter_inprocess(epoch, chunks)
+        return self._iter_parallel(epoch, chunks)
+
+    def _iter_inprocess(self, epoch: int, chunks: list[np.ndarray]) -> Iterator[Batch]:
+        for index, rows in enumerate(chunks):
+            yield _assemble(self.packed, self.sampler, self.negatives, self.seed,
+                            self.max_len, epoch, index, rows)
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(
+                _prefetch_worker,
+                (self.packed, self.sampler, self.negatives, self.seed, self.max_len),
+                num_workers=self.num_workers, timeout=self.timeout,
+                start_method=self.start_method)
+        return self._pool
+
+    def _iter_parallel(self, epoch: int, chunks: list[np.ndarray]) -> Iterator[Batch]:
+        pool = self._ensure_pool()
+        capacity = max(self.num_workers * self.prefetch, 2)
+        telemetry = get_telemetry()
+        registry = telemetry.registry if telemetry is not None else None
+        ready: dict[int, Batch] = {}
+        submitted = emitted = 0
+        try:
+            while emitted < len(chunks):
+                while (submitted < len(chunks)
+                       and submitted - emitted < capacity):
+                    pool.submit(submitted, (epoch, submitted, chunks[submitted]))
+                    submitted += 1
+                if emitted in ready:
+                    batch = ready.pop(emitted)
+                    emitted += 1
+                    if registry is not None:
+                        registry.gauge("pipeline.queue_depth").set(len(ready))
+                    yield batch
+                    continue
+                started = time.perf_counter()
+                worker_id, task_id, batch = pool.next_result()
+                if registry is not None:
+                    registry.histogram("pipeline.wait_seconds").record(
+                        time.perf_counter() - started)
+                    registry.counter("pipeline.batches").inc()
+                    registry.counter(f"pipeline.worker.{worker_id}.batches").inc()
+                    registry.gauge("pipeline.queue_depth").set(len(ready) + 1)
+                ready[task_id] = batch
+        finally:
+            # Abandoned mid-epoch (consumer broke out): drain what is still
+            # in flight so the pool stays clean for the next epoch.
+            if not pool.closed:
+                for _ in range(submitted - emitted - len(ready)):
+                    try:
+                        pool.next_result()
+                    except WorkerError:
+                        break
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for the in-process mode)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "PrefetchLoader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):                                # pragma: no cover
+        try:
+            self.close()
+        except Exception:
+            pass

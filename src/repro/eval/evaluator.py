@@ -3,6 +3,11 @@
 The model contract (see :class:`repro.baselines.base.SequentialRecommender`):
 ``score_candidates(batch, candidates)`` returns a ``(B, C)`` score tensor for
 the ``(B, C)`` candidate item-id matrix, higher = more likely next item.
+
+Both :func:`precollate` and :func:`rank_all` accept ``num_workers`` to shard
+their work across a :class:`repro.data.pipeline.WorkerPool` — batch assembly
+and candidate scoring partition over evaluation users with an order-stable
+merge, so the sharded path reproduces the serial ranks exactly.
 """
 
 from __future__ import annotations
@@ -10,19 +15,47 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.batching import collate
+from repro.data.pipeline import fork_available, parallel_map
 from repro.data.schema import BehaviorSchema
 from repro.data.splits import SequenceExample
 from repro.nn.tensor import no_grad
-from repro.obs import span
+from repro.obs import get_logger, span
 
 from .metrics import MetricReport, ranks_from_scores
 from .protocol import CandidateSets
 
 __all__ = ["evaluate_ranking", "rank_all", "precollate"]
 
+_log = get_logger(__name__)
+
+
+def _use_workers(num_workers: int, task_count: int) -> bool:
+    """Whether sharding is worth it (and safe) for this call.
+
+    Worker shards inherit the model / example list by reference via the
+    ``fork`` start method; without fork we would have to pickle live model
+    state mid-evaluation, so the sharded path degrades to serial instead.
+    """
+    if num_workers <= 0 or task_count <= 1:
+        return False
+    if not fork_available():
+        _log.warning("fork start method unavailable; evaluating serially")
+        return False
+    return True
+
+
+def _collate_shard(examples: list, candidate_sets: CandidateSets,
+                   schema: BehaviorSchema):
+    """Worker factory: collate one index chunk per task."""
+    def build(chunk_idx: np.ndarray):
+        batch = collate([examples[i] for i in chunk_idx], schema)
+        return batch, candidate_sets.slice(chunk_idx)
+    return build
+
 
 def precollate(examples: list[SequenceExample], candidate_sets: CandidateSets,
-               schema: BehaviorSchema, batch_size: int = 128) -> list[tuple]:
+               schema: BehaviorSchema, batch_size: int = 128,
+               num_workers: int = 0) -> list[tuple]:
     """Pre-collate evaluation batches for repeated ranking passes.
 
     Returns ``[(batch, candidates), ...]`` chunks ready for
@@ -30,20 +63,34 @@ def precollate(examples: list[SequenceExample], candidate_sets: CandidateSets,
     fixed for the lifetime of a split, so a trainer that evaluates every
     epoch can collate once and pass the result to :func:`rank_all` via
     ``precollated=`` instead of re-building identical batches each time.
+    ``num_workers > 0`` assembles the chunks on a worker pool (order-stable,
+    identical output to the serial path).
     """
     if len(examples) != len(candidate_sets):
         raise ValueError("examples and candidate sets are misaligned")
-    batches = []
-    for start in range(0, len(examples), batch_size):
-        chunk_idx = np.arange(start, min(start + batch_size, len(examples)))
-        batch = collate([examples[i] for i in chunk_idx], schema)
-        batches.append((batch, candidate_sets.slice(chunk_idx)))
-    return batches
+    chunks = [np.arange(start, min(start + batch_size, len(examples)))
+              for start in range(0, len(examples), batch_size)]
+    if _use_workers(num_workers, len(chunks)):
+        return parallel_map(_collate_shard, (examples, candidate_sets, schema),
+                            chunks, num_workers=num_workers)
+    build = _collate_shard(examples, candidate_sets, schema)
+    return [build(chunk_idx) for chunk_idx in chunks]
+
+
+def _rank_shard(model, batches: list[tuple]):
+    """Worker factory: score one precollated batch per task (by index)."""
+    def score(index: int) -> np.ndarray:
+        batch, candidates = batches[index]
+        with no_grad():
+            scores = model.score_candidates(batch, candidates)
+        return ranks_from_scores(scores.numpy())
+    return score
 
 
 def rank_all(model, examples: list[SequenceExample], candidate_sets: CandidateSets,
              schema: BehaviorSchema, batch_size: int = 128,
-             precollated: list[tuple] | None = None) -> np.ndarray:
+             precollated: list[tuple] | None = None,
+             num_workers: int = 0) -> np.ndarray:
     """Compute the positive item's rank for every example.
 
     Returns an ``(N,)`` int array of 0-based ranks; input ordering preserved.
@@ -51,28 +98,41 @@ def rank_all(model, examples: list[SequenceExample], candidate_sets: CandidateSe
     The model's train/eval mode is restored on exit rather than forced to
     train mode: evaluating an already-eval model must not flip it back to
     training (which would, e.g., invalidate cached inference tables).
+
+    With ``num_workers > 0`` batches are scored on a worker pool: the first
+    batch runs on the main process (in eval mode, priming any lazily-built
+    inference caches before the fork), the rest fan out, and shard results
+    merge back in batch order — bitwise-identical ranks to the serial path.
     """
     with span("eval.rank_all", examples=len(examples),
-              model=type(model).__name__):
+              model=type(model).__name__, num_workers=num_workers):
         if precollated is None:
-            precollated = precollate(examples, candidate_sets, schema, batch_size=batch_size)
+            precollated = precollate(examples, candidate_sets, schema,
+                                     batch_size=batch_size, num_workers=num_workers)
         was_training = bool(getattr(model, "training", False))
         model.eval()
-        ranks: list[np.ndarray] = []
-        with no_grad():
-            for batch, candidates in precollated:
-                scores = model.score_candidates(batch, candidates)
-                ranks.append(ranks_from_scores(scores.numpy()))
-        if was_training:
-            model.train()
+        try:
+            score = _rank_shard(model, precollated)
+            if _use_workers(num_workers, len(precollated)):
+                first = score(0)
+                rest = parallel_map(_rank_shard, (model, precollated),
+                                    list(range(1, len(precollated))),
+                                    num_workers=num_workers)
+                ranks = [first, *rest]
+            else:
+                ranks = [score(index) for index in range(len(precollated))]
+        finally:
+            if was_training:
+                model.train()
         return np.concatenate(ranks) if ranks else np.zeros(0, dtype=np.int64)
 
 
 def evaluate_ranking(model, examples: list[SequenceExample], candidate_sets: CandidateSets,
                      schema: BehaviorSchema, ks: tuple[int, ...] = (5, 10, 20),
                      batch_size: int = 128,
-                     precollated: list[tuple] | None = None) -> MetricReport:
+                     precollated: list[tuple] | None = None,
+                     num_workers: int = 0) -> MetricReport:
     """Full sampled-ranking evaluation → HR@K / NDCG@K / MRR report."""
     ranks = rank_all(model, examples, candidate_sets, schema, batch_size=batch_size,
-                     precollated=precollated)
+                     precollated=precollated, num_workers=num_workers)
     return MetricReport.from_ranks(ranks, ks=ks)

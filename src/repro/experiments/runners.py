@@ -31,13 +31,14 @@ __all__ = [
 
 def train_and_evaluate(model, context: ExperimentContext, epochs: int = 15,
                        batch_size: int = 128, patience: int = 3, seed: int = 0,
-                       callbacks: tuple = (),
+                       callbacks: tuple = (), num_workers: int = 0,
+                       prefetch: int = 2,
                        ) -> tuple[MetricReport, float]:
     """Fit (if trainable) and test-evaluate one model; returns (report, seconds)."""
     start = time.perf_counter()
     if model.parameters():
         config = TrainConfig(epochs=epochs, batch_size=batch_size, patience=patience,
-                             seed=seed)
+                             seed=seed, num_workers=num_workers, prefetch=prefetch)
         Trainer(model, context.split, config, callbacks=callbacks).fit()
     report = evaluate_ranking(model, context.split.test, context.test_candidates,
                               context.dataset.schema, ks=(5, 10, 20))

@@ -3,7 +3,11 @@
 :class:`MetricsRegistry` is the shared, always-on metric store — cheap
 enough to update unconditionally (one dict lookup + one add), with named
 get-or-create accessors so independent subsystems can contribute to one
-namespace (``train.*``, ``serve.*``, ``hypergraph.*``).  A process-wide
+namespace (``train.*``, ``serve.*``, ``hypergraph.*``, and the input
+pipeline's ``pipeline.queue_depth`` gauge / ``pipeline.wait_seconds``
+histogram / ``pipeline.batches`` + ``pipeline.worker.<id>.batches``
+utilization counters from :class:`repro.data.pipeline.PrefetchLoader`).
+A process-wide
 default registry is reachable via :func:`get_registry`; components that need
 isolation (e.g. one :class:`~repro.serve.metrics.ServingMetrics` per
 service) construct private registries of the same classes.

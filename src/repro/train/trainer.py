@@ -23,7 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.data.batching import BatchLoader
+from repro.data.pipeline import PrefetchLoader
 from repro.data.sampling import NegativeSampler
 from repro.data.splits import DataSplit
 from repro.eval.evaluator import evaluate_ranking, precollate
@@ -50,6 +50,11 @@ class TrainConfig:
     monitor: str = "NDCG@10"
     num_eval_negatives: int = 99
     seed: int = 0
+    num_workers: int = 0
+    """Input-pipeline worker processes (0 = in-process assembly; any value
+    yields a bitwise-identical batch stream for a fixed seed)."""
+    prefetch: int = 2
+    """Batches kept in flight per worker (bounded prefetch depth)."""
     checkpoint_path: str | None = None
     """When set, the best-so-far model is also written to this .npz path
     (plus a ``<path>.manifest.json`` run manifest at the end of fit)."""
@@ -68,6 +73,10 @@ class TrainConfig:
             raise ValueError("patience must be positive")
         if self.lr_schedule not in ("constant", "warmup_cosine", "step"):
             raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.prefetch < 1:
+            raise ValueError("prefetch depth must be >= 1")
 
 
 class Trainer:
@@ -88,8 +97,6 @@ class Trainer:
         self.config = config or TrainConfig()
         self.callbacks = list(callbacks)
         self.dataset = split.dataset
-        rng = np.random.default_rng(self.config.seed)
-        self._loader_rng = rng
         self.sampler = NegativeSampler(self.dataset, np.random.default_rng(self.config.seed + 1))
         # Clamp the negative count so tiny corpora remain evaluable.
         num_negatives = self.config.num_eval_negatives
@@ -109,8 +116,30 @@ class Trainer:
     def _validation_batches(self) -> list[tuple]:
         if self._valid_batches is None:
             self._valid_batches = precollate(self.split.valid, self.valid_candidates,
-                                             self.dataset.schema)
+                                             self.dataset.schema,
+                                             num_workers=self.config.num_workers)
         return self._valid_batches
+
+    def _train_negatives(self) -> int:
+        """Negatives per row the model's ``training_loss`` will request.
+
+        Used to presample candidates on the input pipeline (``Batch.
+        candidates``); models expose the count either as a config field
+        (``num_train_negatives``) or as the ``num_negatives`` default of
+        ``training_loss``.  Returns 0 (no presampling) when undiscoverable.
+        """
+        model_config = getattr(self.model, "config", None)
+        count = getattr(model_config, "num_train_negatives", None)
+        if count is None:
+            try:
+                parameters = inspect.signature(self.model.training_loss).parameters
+            except (TypeError, ValueError):
+                return 0
+            default = parameters.get("num_negatives")
+            if default is None or not isinstance(default.default, int):
+                return 0
+            count = default.default
+        return max(int(count), 0)
 
     def _supports_breakdown(self) -> bool:
         """Whether ``model.training_loss`` can return a per-component split."""
@@ -162,8 +191,14 @@ class Trainer:
                                  gamma=config.step_gamma)
         else:
             schedule = ConstantLR(optimizer)
-        loader = BatchLoader(self.split.train, self.dataset.schema, config.batch_size,
-                             rng=self._loader_rng)
+        # Prefetching loader: batch assembly + negative presampling run off
+        # the main process when num_workers > 0, and the stream is seeded so
+        # every worker count produces identical batches.
+        loader = PrefetchLoader(
+            self.split.train, self.dataset.schema, config.batch_size,
+            seed=config.seed, num_workers=config.num_workers,
+            prefetch=config.prefetch, negatives=self._train_negatives(),
+            dataset=self.dataset)
         # The breakdown dict is assembled inside training_loss either way,
         # so requesting it costs nothing — but only bother when someone
         # (callbacks or telemetry) will consume it.
@@ -173,67 +208,70 @@ class Trainer:
         best_state = None
         epochs_since_best = 0
         self._dispatch("on_fit_start")
-        with span("train.fit", model=type(self.model).__name__,
-                  epochs=config.epochs, batch_size=config.batch_size):
-            for epoch in range(config.epochs):
-                with span("train.epoch", epoch=epoch) as epoch_span:
-                    self._dispatch("on_epoch_start", epoch)
-                    train_start = time.perf_counter()
-                    schedule.step()
-                    self.model.train()
-                    with span("train.train_pass", epoch=epoch):
-                        losses = self._train_epoch(epoch, loader, optimizer,
-                                                   want_breakdown)
-                    eval_start = time.perf_counter()
-                    with span("train.eval_pass", epoch=epoch):
-                        metrics = evaluate_ranking(
-                            self.model, self.split.valid, self.valid_candidates,
-                            self.dataset.schema,
-                            precollated=self._validation_batches())
-                    now = time.perf_counter()
-                    train_seconds = eval_start - train_start
-                    eval_seconds = now - eval_start
-                    record = EpochRecord(
-                        epoch=epoch,
-                        train_loss=float(np.mean(losses)) if losses else float("nan"),
-                        valid_metrics=dict(metrics),
-                        seconds=now - train_start,
-                        learning_rate=optimizer.lr,
-                        train_seconds=train_seconds,
-                        eval_seconds=eval_seconds,
-                    )
-                    history.append(record)
-                    self._dispatch("on_epoch_end", record)
-                    epoch_span.set(train_loss=record.train_loss,
-                                   monitored=metrics.get(config.monitor, 0.0))
-                    telemetry = get_telemetry()
-                    if telemetry is not None:
-                        telemetry.emit(
-                            "epoch", epoch=epoch, train_loss=record.train_loss,
-                            train_seconds=train_seconds, eval_seconds=eval_seconds,
+        try:
+            with span("train.fit", model=type(self.model).__name__,
+                      epochs=config.epochs, batch_size=config.batch_size):
+                for epoch in range(config.epochs):
+                    with span("train.epoch", epoch=epoch) as epoch_span:
+                        self._dispatch("on_epoch_start", epoch)
+                        train_start = time.perf_counter()
+                        schedule.step()
+                        self.model.train()
+                        with span("train.train_pass", epoch=epoch):
+                            losses = self._train_epoch(epoch, loader, optimizer,
+                                                       want_breakdown)
+                        eval_start = time.perf_counter()
+                        with span("train.eval_pass", epoch=epoch):
+                            metrics = evaluate_ranking(
+                                self.model, self.split.valid, self.valid_candidates,
+                                self.dataset.schema,
+                                precollated=self._validation_batches())
+                        now = time.perf_counter()
+                        train_seconds = eval_start - train_start
+                        eval_seconds = now - eval_start
+                        record = EpochRecord(
+                            epoch=epoch,
+                            train_loss=float(np.mean(losses)) if losses else float("nan"),
+                            valid_metrics=dict(metrics),
+                            seconds=now - train_start,
                             learning_rate=optimizer.lr,
-                            monitored=metrics.get(config.monitor, 0.0),
-                            metrics=dict(metrics))
-                    if verbose:
-                        logger.info(
-                            "[epoch %02d] loss=%.4f %s (train %.1fs, eval %.1fs)",
-                            epoch, record.train_loss, metrics,
-                            train_seconds, eval_seconds)
-                    monitored = metrics.get(config.monitor, 0.0)
-                    if monitored > history.best_metric:
-                        history.best_metric = monitored
-                        history.best_epoch = epoch
-                        best_state = self.model.state_dict()
-                        if config.checkpoint_path is not None:
-                            from repro.nn.serialization import save_checkpoint
-                            save_checkpoint(self.model, config.checkpoint_path,
-                                            extra={"epoch": epoch, config.monitor: monitored})
-                        epochs_since_best = 0
-                    else:
-                        epochs_since_best += 1
-                        if epochs_since_best >= config.patience:
-                            history.stopped_early = True
-                            break
+                            train_seconds=train_seconds,
+                            eval_seconds=eval_seconds,
+                        )
+                        history.append(record)
+                        self._dispatch("on_epoch_end", record)
+                        epoch_span.set(train_loss=record.train_loss,
+                                       monitored=metrics.get(config.monitor, 0.0))
+                        telemetry = get_telemetry()
+                        if telemetry is not None:
+                            telemetry.emit(
+                                "epoch", epoch=epoch, train_loss=record.train_loss,
+                                train_seconds=train_seconds, eval_seconds=eval_seconds,
+                                learning_rate=optimizer.lr,
+                                monitored=metrics.get(config.monitor, 0.0),
+                                metrics=dict(metrics))
+                        if verbose:
+                            logger.info(
+                                "[epoch %02d] loss=%.4f %s (train %.1fs, eval %.1fs)",
+                                epoch, record.train_loss, metrics,
+                                train_seconds, eval_seconds)
+                        monitored = metrics.get(config.monitor, 0.0)
+                        if monitored > history.best_metric:
+                            history.best_metric = monitored
+                            history.best_epoch = epoch
+                            best_state = self.model.state_dict()
+                            if config.checkpoint_path is not None:
+                                from repro.nn.serialization import save_checkpoint
+                                save_checkpoint(self.model, config.checkpoint_path,
+                                                extra={"epoch": epoch, config.monitor: monitored})
+                            epochs_since_best = 0
+                        else:
+                            epochs_since_best += 1
+                            if epochs_since_best >= config.patience:
+                                history.stopped_early = True
+                                break
+        finally:
+            loader.close()
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()

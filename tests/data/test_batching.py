@@ -27,6 +27,30 @@ class TestPadSequences:
         matrix, mask = pad_sequences([[], []])
         assert matrix.shape == (2, 1)
 
+    @staticmethod
+    def _reference_pad(sequences, max_len=None, pad_value=PAD_ITEM):
+        """The seed per-row implementation, kept as the semantic oracle."""
+        if max_len is None:
+            max_len = max((len(s) for s in sequences), default=1)
+        max_len = max(max_len, 1)
+        matrix = np.full((len(sequences), max_len), pad_value, dtype=np.int64)
+        mask = np.zeros((len(sequences), max_len), dtype=bool)
+        for row, seq in enumerate(sequences):
+            tail = list(seq)[-max_len:]
+            if tail:
+                matrix[row, -len(tail):] = tail
+                mask[row, -len(tail):] = True
+        return matrix, mask
+
+    @given(st.lists(st.lists(st.integers(1, 100), max_size=12), min_size=0, max_size=8),
+           st.one_of(st.none(), st.integers(1, 6)))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_matches_reference(self, sequences, max_len):
+        matrix, mask = pad_sequences(sequences, max_len=max_len)
+        expected_matrix, expected_mask = self._reference_pad(sequences, max_len=max_len)
+        assert (matrix == expected_matrix).all()
+        assert (mask == expected_mask).all()
+
     @given(st.lists(st.lists(st.integers(1, 100), max_size=8), min_size=1, max_size=6))
     @settings(max_examples=40, deadline=None)
     def test_mask_matches_content(self, sequences):

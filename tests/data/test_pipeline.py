@@ -1,0 +1,236 @@
+"""Tests for the parallel input pipeline: packed collate, prefetch loader,
+worker pool robustness, and sharded helpers."""
+
+import multiprocessing as mp
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import collate
+from repro.data.pipeline import (PackedExamples, PrefetchLoader, WorkerError,
+                                 WorkerPool, batch_rng, epoch_order,
+                                 parallel_map)
+
+
+def _assert_batches_equal(a, b):
+    assert (a.users == b.users).all()
+    assert (a.targets == b.targets).all()
+    assert set(a.items) == set(b.items)
+    for behavior in a.items:
+        assert (a.items[behavior] == b.items[behavior]).all()
+        assert (a.masks[behavior] == b.masks[behavior]).all()
+    assert (a.merged_items == b.merged_items).all()
+    assert (a.merged_behaviors == b.merged_behaviors).all()
+    assert (a.merged_mask == b.merged_mask).all()
+    if a.candidates is None or b.candidates is None:
+        assert a.candidates is None and b.candidates is None
+    else:
+        assert (a.candidates == b.candidates).all()
+
+
+class TestPackedExamples:
+    def test_collate_rows_matches_collate(self, tiny_dataset, tiny_split):
+        packed = PackedExamples.from_examples(tiny_split.train, tiny_dataset.schema)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            rows = rng.choice(len(packed), size=9, replace=False)
+            fast = packed.collate_rows(rows)
+            reference = collate([tiny_split.train[i] for i in rows],
+                                tiny_dataset.schema)
+            _assert_batches_equal(fast, reference)
+
+    def test_collate_rows_with_max_len(self, tiny_dataset, tiny_split):
+        packed = PackedExamples.from_examples(tiny_split.train, tiny_dataset.schema)
+        rows = np.arange(12)
+        fast = packed.collate_rows(rows, max_len=3)
+        reference = collate([tiny_split.train[i] for i in rows],
+                            tiny_dataset.schema, max_len=3)
+        _assert_batches_equal(fast, reference)
+
+    def test_empty_rows_rejected(self, tiny_dataset, tiny_split):
+        packed = PackedExamples.from_examples(tiny_split.train, tiny_dataset.schema)
+        with pytest.raises(ValueError):
+            packed.collate_rows(np.zeros(0, dtype=np.int64))
+
+
+class TestSeeding:
+    def test_batch_rng_streams_are_distinct(self):
+        draws = {batch_rng(0, e, i).integers(0, 1 << 30)
+                 for e in range(3) for i in range(3)}
+        assert len(draws) == 9
+
+    def test_epoch_order_is_a_permutation_and_reproducible(self):
+        order = epoch_order(5, 2, 100, shuffle=True)
+        assert sorted(order.tolist()) == list(range(100))
+        assert (order == epoch_order(5, 2, 100, shuffle=True)).all()
+        assert (epoch_order(5, 0, 10, shuffle=False) == np.arange(10)).all()
+
+
+class TestPrefetchLoaderDeterminism:
+    def _stream(self, split, dataset, num_workers, seed=11, epochs=1):
+        loader = PrefetchLoader(split.train, dataset.schema, batch_size=16,
+                                seed=seed, num_workers=num_workers,
+                                negatives=4, dataset=dataset)
+        try:
+            return [batch for _ in range(epochs) for batch in loader]
+        finally:
+            loader.close()
+
+    def test_bitwise_identical_across_worker_counts(self, tiny_dataset, tiny_split):
+        serial = self._stream(tiny_split, tiny_dataset, num_workers=0, epochs=2)
+        parallel = self._stream(tiny_split, tiny_dataset, num_workers=2, epochs=2)
+        assert len(serial) == len(parallel) > 0
+        for a, b in zip(serial, parallel):
+            _assert_batches_equal(a, b)
+
+    def test_epochs_reshuffle_but_replay_with_set_epoch(self, tiny_dataset, tiny_split):
+        loader = PrefetchLoader(tiny_split.train, tiny_dataset.schema,
+                                batch_size=16, seed=3)
+        first = [b.users.copy() for b in loader]
+        second = [b.users.copy() for b in loader]
+        assert any((a != b).any() for a, b in zip(first, second))
+        loader.set_epoch(0)
+        replay = [b.users.copy() for b in loader]
+        assert all((a == b).all() for a, b in zip(first, replay))
+
+    def test_len_and_drop_last(self, tiny_dataset, tiny_split):
+        n = len(tiny_split.train)
+        loader = PrefetchLoader(tiny_split.train, tiny_dataset.schema,
+                                batch_size=16)
+        assert len(loader) == -(-n // 16) == len(list(loader))
+        tail = PrefetchLoader(tiny_split.train, tiny_dataset.schema,
+                              batch_size=16, drop_last=True)
+        assert len(tail) == n // 16 == len(list(tail))
+
+    def test_candidates_are_valid_negatives(self, tiny_dataset, tiny_split):
+        for batch in self._stream(tiny_split, tiny_dataset, num_workers=0):
+            assert batch.candidates.shape == (batch.size, 5)
+            assert (batch.candidates[:, 0] == batch.targets).all()
+            negatives = batch.candidates[:, 1:]
+            assert (negatives != batch.targets[:, None]).all()
+            assert (negatives >= 1).all()
+            # Distinct within each row.
+            assert all(len(set(row)) == len(row) for row in negatives.tolist())
+
+    def test_validation(self, tiny_dataset, tiny_split):
+        with pytest.raises(ValueError):
+            PrefetchLoader(tiny_split.train, tiny_dataset.schema, batch_size=0)
+        with pytest.raises(ValueError):
+            PrefetchLoader(tiny_split.train, tiny_dataset.schema, batch_size=8,
+                           num_workers=-1)
+        with pytest.raises(ValueError):
+            PrefetchLoader(tiny_split.train, tiny_dataset.schema, batch_size=8,
+                           prefetch=0)
+        with pytest.raises(ValueError):
+            PrefetchLoader(tiny_split.train, tiny_dataset.schema, batch_size=8,
+                           negatives=4)  # no dataset
+
+    def test_abandoned_epoch_leaves_pool_reusable(self, tiny_dataset, tiny_split):
+        loader = PrefetchLoader(tiny_split.train, tiny_dataset.schema,
+                                batch_size=16, seed=4, num_workers=2)
+        try:
+            for _ in loader:
+                break  # abandon mid-epoch
+            loader.set_epoch(0)
+            full = list(loader)
+            assert len(full) == len(loader)
+        finally:
+            loader.close()
+
+
+# ----------------------------------------------------------------------
+# Worker pool robustness (factories must be module-level picklable-by-ref)
+# ----------------------------------------------------------------------
+
+def _double_factory(offset):
+    def fn(x):
+        return 2 * x + offset
+    return fn
+
+
+def _crashy_factory():
+    def fn(x):
+        if x == 3:
+            raise KeyError("poisoned payload 3")
+        return x
+    return fn
+
+
+def _sleepy_factory():
+    def fn(x):
+        time.sleep(60.0)
+        return x
+    return fn
+
+
+def _suicidal_factory():
+    def fn(x):
+        import os
+        os._exit(17)  # die without reporting anything
+    return fn
+
+
+class TestWorkerPool:
+    def test_parallel_map_is_order_stable(self):
+        out = parallel_map(_double_factory, (7,), list(range(23)), num_workers=3)
+        assert out == [2 * x + 7 for x in range(23)]
+
+    def test_empty_payloads(self):
+        assert parallel_map(_double_factory, (0,), [], num_workers=2) == []
+
+    def test_worker_exception_reraises_with_traceback_and_reaps(self):
+        before = {p.pid for p in mp.active_children()}
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_crashy_factory, (), list(range(8)), num_workers=2)
+        message = str(excinfo.value)
+        assert "KeyError" in message and "poisoned payload 3" in message
+        assert excinfo.value.remote_traceback is not None
+        # No orphaned children beyond whatever existed before.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            leftover = {p.pid for p in mp.active_children()} - before
+            if not leftover:
+                break
+            time.sleep(0.05)
+        assert not leftover
+
+    def test_silently_dead_worker_detected(self):
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_suicidal_factory, (), [0], num_workers=1, timeout=30.0)
+        assert "died" in str(excinfo.value)
+
+    def test_heartbeat_timeout(self):
+        pool = WorkerPool(_sleepy_factory, (), num_workers=1, timeout=0.5,
+                          poll_interval=0.05)
+        pool.submit(0, 0)
+        with pytest.raises(WorkerError) as excinfo:
+            pool.next_result()
+        assert "no result within" in str(excinfo.value)
+        assert pool.closed
+
+    def test_close_is_idempotent_and_rejects_submits(self):
+        pool = WorkerPool(_double_factory, (0,), num_workers=1)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(0, 1)
+
+    def test_loader_worker_crash_surfaces_traceback(self, tiny_dataset, tiny_split):
+        loader = PrefetchLoader(tiny_split.train, tiny_dataset.schema,
+                                batch_size=16, seed=1, num_workers=2,
+                                negatives=2, dataset=tiny_dataset)
+        # Sabotage the packed merged timeline so worker-side collate raises.
+        data, indptr = loader.packed.merged_items
+        loader.packed.merged_items = (data, indptr[:2])
+        before = {p.pid for p in mp.active_children()}
+        with pytest.raises(WorkerError):
+            list(loader)
+        loader.close()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            leftover = {p.pid for p in mp.active_children()} - before
+            if not leftover:
+                break
+            time.sleep(0.05)
+        assert not leftover

@@ -116,3 +116,46 @@ class TestEvaluator:
         sets = CandidateSets(tiny_dataset, tiny_split.test[:2], 10, seed=0)
         with pytest.raises(ValueError):
             precollate(tiny_split.test, sets, tiny_dataset.schema)
+
+
+class TestShardedEvaluation:
+    """Sharded (num_workers > 0) paths must reproduce serial results exactly."""
+
+    def test_sharded_precollate_matches_serial(self, tiny_dataset, tiny_split):
+        sets = CandidateSets(tiny_dataset, tiny_split.test, 10, seed=0)
+        serial = precollate(tiny_split.test, sets, tiny_dataset.schema,
+                            batch_size=7)
+        sharded = precollate(tiny_split.test, sets, tiny_dataset.schema,
+                             batch_size=7, num_workers=2)
+        assert len(serial) == len(sharded)
+        for (a, ca), (b, cb) in zip(serial, sharded):
+            assert (a.users == b.users).all()
+            assert (a.merged_items == b.merged_items).all()
+            assert np.array_equal(ca, cb)
+
+    def test_sharded_rank_all_matches_serial(self, tiny_dataset, tiny_split):
+        targets = {e.user: e.target for e in tiny_split.test}
+        model = OracleModel(targets)
+        sets = CandidateSets(tiny_dataset, tiny_split.test, 10, seed=0)
+        serial = rank_all(model, tiny_split.test, sets, tiny_dataset.schema,
+                          batch_size=7)
+        sharded = rank_all(model, tiny_split.test, sets, tiny_dataset.schema,
+                           batch_size=7, num_workers=2)
+        assert np.array_equal(serial, sharded)
+
+    def test_sharded_rank_all_with_real_model(self, tiny_dataset, tiny_split,
+                                              tiny_graph):
+        from repro.core import MISSL, MISSLConfig
+        config = MISSLConfig(dim=16, num_interests=3, max_len=20,
+                             num_train_negatives=10)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      config, seed=0)
+        model.eval()
+        sets = CandidateSets(tiny_dataset, tiny_split.test, 10, seed=0)
+        serial = evaluate_ranking(model, tiny_split.test, sets,
+                                  tiny_dataset.schema, batch_size=7)
+        sharded = evaluate_ranking(model, tiny_split.test, sets,
+                                   tiny_dataset.schema, batch_size=7,
+                                   num_workers=2)
+        assert dict(serial) == dict(sharded)
+        assert not model.training
