@@ -1,0 +1,270 @@
+"""P6 — data-parallel training and the zero-copy shared-memory transport.
+
+Times three workloads against the PR 5 state of the tree:
+
+* **Training epoch wall-clock** — ``Trainer.fit`` with ``data_parallel``
+  at ``num_workers`` ∈ {0, 1, 2, 4} (fixed ``grad_shards``, so every run is
+  bitwise-comparable) next to the legacy single-process loader path.  The
+  bench asserts the worker runs reproduce the in-process reference's final
+  parameters exactly — the determinism contract — and, on multi-CPU hosts,
+  that the best worker count beats the in-process shard loop by
+  ``REPRO_PERF_DDP_MIN_SPEEDUP``.
+* **Evaluation wall-clock** — serial ``rank_all`` vs the persistent
+  :class:`repro.eval.EvalShardPool` (the fork-once pool this PR adds after
+  BENCH_P5 measured the per-call sharded path at 0.81× serial).  Floor:
+  ``REPRO_PERF_EVAL_MIN_SPEEDUP`` (default 1.0 — sharded eval must at least
+  tie serial now).
+* **Queue transport traffic** — bytes of batch payload that cross the
+  worker queue pickled, before (everything) vs after (shm descriptors, only
+  sub-threshold leftovers pickle).  This assertion is hardware-independent
+  and always enforced: the reduction must be at least
+  ``REPRO_PERF_SHM_MIN_REDUCTION`` (default 10×).
+
+Speed floors are **waived with a recorded reason** when the host exposes
+fewer than 2 CPUs — parallel wall-clock wins are physically impossible
+there, but determinism and transport-traffic assertions still run.
+
+Writes ``benchmarks/results/BENCH_P6.json``.
+
+Runnable both ways:
+    pytest -m perf benchmarks/bench_p6_ddp.py
+    python benchmarks/bench_p6_ddp.py
+
+Environment knobs (see also benchmarks/common.py):
+    REPRO_PERF_SCALE              dataset scale factor (default 0.4)
+    REPRO_PERF_DDP_EPOCHS         training epochs per configuration (default 2)
+    REPRO_PERF_DDP_MIN_SPEEDUP    best-workers vs in-process floor (default 1.0)
+    REPRO_PERF_EVAL_MIN_SPEEDUP   persistent sharded eval floor (default 1.0)
+    REPRO_PERF_SHM_MIN_REDUCTION  pickled-bytes reduction floor (default 10)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from common import RESULTS_DIR
+
+from repro.data.pipeline import PrefetchLoader
+from repro.eval.evaluator import EvalShardPool, precollate, rank_all
+from repro.eval.protocol import CandidateSets
+from repro.experiments import ExperimentContext, build_model
+from repro.train import TrainConfig, Trainer
+
+PERF_SCALE = float(os.environ.get("REPRO_PERF_SCALE", "0.4"))
+PERF_EPOCHS = int(os.environ.get("REPRO_PERF_DDP_EPOCHS", "2"))
+PERF_DDP_MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_DDP_MIN_SPEEDUP", "1.0"))
+PERF_EVAL_MIN_SPEEDUP = float(os.environ.get("REPRO_PERF_EVAL_MIN_SPEEDUP", "1.0"))
+PERF_SHM_MIN_REDUCTION = float(os.environ.get("REPRO_PERF_SHM_MIN_REDUCTION", "10"))
+PERF_BATCH = 128
+PERF_NEGATIVES = 50
+PERF_DIM = 32
+PERF_GRAD_SHARDS = 4
+
+pytestmark = pytest.mark.perf
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _fit(context, num_workers: int, data_parallel: bool):
+    """Train one fresh model; returns (state_dict, train_s, eval_s, losses)."""
+    model = build_model("MISSL", context, dim=PERF_DIM, seed=1)
+    config = TrainConfig(epochs=PERF_EPOCHS, patience=PERF_EPOCHS,
+                         batch_size=PERF_BATCH, seed=9,
+                         num_eval_negatives=30, num_workers=num_workers,
+                         data_parallel=data_parallel,
+                         grad_shards=PERF_GRAD_SHARDS)
+    history = Trainer(model, context.split, config).fit()
+    return (model.state_dict(),
+            sum(r.train_seconds for r in history.records),
+            sum(r.eval_seconds for r in history.records),
+            [r.train_loss for r in history.records])
+
+
+def _batch_payload_bytes(batch) -> int:
+    total = batch.users.nbytes + batch.targets.nbytes
+    for behavior in batch.items:
+        total += batch.items[behavior].nbytes + batch.masks[behavior].nbytes
+    total += (batch.merged_items.nbytes + batch.merged_behaviors.nbytes
+              + batch.merged_mask.nbytes)
+    if batch.candidates is not None:
+        total += batch.candidates.nbytes
+    return total
+
+
+def _transport_traffic(context) -> dict:
+    """One worker epoch: payload bytes vs bytes that still crossed pickled."""
+    loader = PrefetchLoader(context.split.train, context.dataset.schema,
+                            PERF_BATCH, seed=9, num_workers=1,
+                            negatives=PERF_NEGATIVES, dataset=context.dataset,
+                            use_shm=True)
+    try:
+        payload_bytes = sum(_batch_payload_bytes(batch) for batch in loader)
+        pool = loader._pool
+        shm_bytes = pool.shm_bytes
+        shm_results = pool.shm_results
+        raw_results = pool.raw_results
+    finally:
+        loader.close()
+    pickled_after = max(payload_bytes - shm_bytes, 0)
+    return {
+        "payload_bytes_per_epoch": payload_bytes,   # == pickled before this PR
+        "shm_bytes_per_epoch": shm_bytes,
+        "pickled_bytes_per_epoch": pickled_after,
+        "shm_batches": shm_results,
+        "pickle_fallback_batches": raw_results,
+        "reduction": (payload_bytes / pickled_after if pickled_after
+                      else float("inf")),
+    }
+
+
+def run_bench() -> dict:
+    context = ExperimentContext.build("taobao", scale=PERF_SCALE, seed=1)
+    cpus = _available_cpus()
+    floors_waived = (None if cpus >= 2 else
+                     f"host exposes {cpus} CPU(s); parallel wall-clock "
+                     "speedups are unattainable, so only determinism and "
+                     "transport assertions are enforced")
+
+    # -- training: legacy loader path + DDP at each worker count ---------
+    legacy_state, legacy_train, legacy_eval, legacy_losses = _fit(
+        context, num_workers=0, data_parallel=False)
+    runs = {}
+    reference_state = None
+    reference_losses = None
+    bitwise_identical = True
+    for num_workers in (0, 1, 2, 4):
+        state, train_s, eval_s, losses = _fit(context, num_workers=num_workers,
+                                              data_parallel=True)
+        runs[f"ddp_nw{num_workers}"] = {"train_seconds": train_s,
+                                        "eval_seconds": eval_s}
+        if num_workers == 0:
+            reference_state, reference_losses = state, losses
+        else:
+            assert losses == reference_losses, \
+                f"ddp nw={num_workers} losses diverged from the reference"
+            for name in reference_state:
+                if not np.array_equal(state[name], reference_state[name]):
+                    bitwise_identical = False
+    assert bitwise_identical, \
+        "data-parallel fit is not bitwise worker-count-independent"
+
+    ddp_serial = runs["ddp_nw0"]["train_seconds"]
+    ddp_best = min(runs[f"ddp_nw{nw}"]["train_seconds"] for nw in (1, 2, 4))
+    ddp_speedup = ddp_serial / ddp_best if ddp_best > 0 else float("inf")
+
+    # -- evaluation: serial vs the persistent shard pool -----------------
+    model = build_model("MISSL", context, dim=PERF_DIM, seed=1)
+    model.eval()
+    dataset = context.dataset
+    max_profile = max(len(dataset.items_of_user(u)) for u in dataset.users)
+    num_negatives = min(99, max(1, dataset.num_items - max_profile - 1))
+    candidates = CandidateSets(dataset, context.split.valid, num_negatives, seed=5)
+    batches = precollate(context.split.valid, candidates, dataset.schema)
+    rank_all(model, context.split.valid, candidates, dataset.schema,
+             precollated=batches)                       # warm caches
+    started = time.perf_counter()
+    serial_ranks = rank_all(model, context.split.valid, candidates,
+                            dataset.schema, precollated=batches)
+    eval_serial = time.perf_counter() - started
+    with EvalShardPool(model, batches, num_workers=min(2, max(cpus, 1))) as pool:
+        pool.rank_all()                                 # warm the fork pool
+        started = time.perf_counter()
+        sharded_ranks = pool.rank_all()
+        eval_sharded = time.perf_counter() - started
+    assert np.array_equal(serial_ranks, sharded_ranks), \
+        "persistent shard pool diverged from the serial ranks"
+    eval_speedup = eval_serial / eval_sharded if eval_sharded > 0 else float("inf")
+
+    # -- transport traffic ----------------------------------------------
+    traffic = _transport_traffic(context)
+
+    payload = {
+        "benchmark": "P6",
+        "config": {"preset": "taobao", "scale": PERF_SCALE,
+                   "batch_size": PERF_BATCH, "epochs": PERF_EPOCHS,
+                   "grad_shards": PERF_GRAD_SHARDS, "cpus": cpus,
+                   "ddp_min_speedup": PERF_DDP_MIN_SPEEDUP,
+                   "eval_min_speedup": PERF_EVAL_MIN_SPEEDUP,
+                   "shm_min_reduction": PERF_SHM_MIN_REDUCTION},
+        "floors_waived": floors_waived,
+        "training": {
+            "legacy": {"train_seconds": legacy_train,
+                       "eval_seconds": legacy_eval},
+            **runs,
+            "ddp_best_workers_speedup": ddp_speedup,
+            "bitwise_identical": bitwise_identical,
+        },
+        "evaluation": {
+            "serial_seconds": eval_serial,
+            "shard_pool_seconds": eval_sharded,
+            "speedup": eval_speedup,
+            "ranks_identical": True,
+        },
+        "transport": traffic,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_P6.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(f"  legacy loader fit    train={legacy_train:7.2f}s "
+          f"eval={legacy_eval:6.2f}s")
+    for name, timing in runs.items():
+        print(f"  {name:20s} train={timing['train_seconds']:7.2f}s "
+              f"eval={timing['eval_seconds']:6.2f}s")
+    print(f"  ddp best-workers speedup {ddp_speedup:.2f}x "
+          f"(bitwise identical: {bitwise_identical})")
+    print(f"  eval serial={eval_serial:.3f}s shard-pool={eval_sharded:.3f}s "
+          f"({eval_speedup:.2f}x), ranks identical")
+    print(f"  transport: {traffic['payload_bytes_per_epoch']:,} B payload, "
+          f"{traffic['pickled_bytes_per_epoch']:,} B still pickled "
+          f"({traffic['reduction']:.0f}x reduction)")
+    if floors_waived:
+        print(f"  speed floors waived: {floors_waived}")
+    print(f"  written to {out_path}")
+    return payload
+
+
+def _check_floors(payload: dict) -> list[str]:
+    """Floor violations (empty = pass); speed floors CPU-gated, traffic not."""
+    failures = []
+    reduction = payload["transport"]["reduction"]
+    if reduction < PERF_SHM_MIN_REDUCTION:
+        failures.append(f"pickled-bytes reduction {reduction:.1f}x below the "
+                        f"{PERF_SHM_MIN_REDUCTION:.0f}x floor")
+    if payload["floors_waived"]:
+        return failures
+    ddp = payload["training"]["ddp_best_workers_speedup"]
+    if ddp < PERF_DDP_MIN_SPEEDUP:
+        failures.append(f"ddp best-workers speedup {ddp:.2f}x below the "
+                        f"{PERF_DDP_MIN_SPEEDUP:.2f}x floor")
+    evaluation = payload["evaluation"]["speedup"]
+    if evaluation < PERF_EVAL_MIN_SPEEDUP:
+        failures.append(f"persistent sharded eval {evaluation:.2f}x below the "
+                        f"{PERF_EVAL_MIN_SPEEDUP:.2f}x floor")
+    return failures
+
+
+def test_p6_ddp():
+    payload = run_bench()
+    assert (RESULTS_DIR / "BENCH_P6.json").exists()
+    assert payload["training"]["bitwise_identical"]
+    assert payload["evaluation"]["ranks_identical"]
+    failures = _check_floors(payload)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    problems = _check_floors(result)
+    if problems:
+        raise SystemExit("; ".join(problems))

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-run the perf benchmarks (P1 hot paths, P2 serving, P5 input
-# pipeline) at tiny scale.
+# pipeline, P6 data-parallel training) at tiny scale.
 #
 # Verifies the benchmark machinery end to end — all code paths execute and
-# BENCH_P1.json / BENCH_P2.json / BENCH_P5.json are produced — without
-# asserting the speedup floors, which are only meaningful at the default
+# BENCH_P1.json / BENCH_P2.json / BENCH_P5.json / BENCH_P6.json are
+# produced — without asserting the speedup floors, which are only meaningful at the default
 # scale (tiny corpora are dominated by fixed overheads).  Intended for CI;
 # finishes in well under a minute.
 set -euo pipefail
@@ -19,19 +19,23 @@ export REPRO_PERF_SERVE_CLIENTS="${REPRO_PERF_SERVE_CLIENTS:-8}"
 export REPRO_PERF_SERVE_MIN_SPEEDUP="${REPRO_PERF_SERVE_MIN_SPEEDUP:-0}"
 export REPRO_PERF_PIPELINE_EPOCHS="${REPRO_PERF_PIPELINE_EPOCHS:-1}"
 export REPRO_PERF_PIPELINE_MIN_SPEEDUP="${REPRO_PERF_PIPELINE_MIN_SPEEDUP:-0}"
+export REPRO_PERF_DDP_EPOCHS="${REPRO_PERF_DDP_EPOCHS:-1}"
+export REPRO_PERF_DDP_MIN_SPEEDUP="${REPRO_PERF_DDP_MIN_SPEEDUP:-0}"
+export REPRO_PERF_EVAL_MIN_SPEEDUP="${REPRO_PERF_EVAL_MIN_SPEEDUP:-0}"
 
 # Static-analysis gate: new findings (anything not in lint-baseline.json)
 # fail the smoke run before any benchmark time is spent.
 PYTHONPATH=src python -m repro lint src/repro
 
 rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json \
-      benchmarks/results/BENCH_P5.json
+      benchmarks/results/BENCH_P5.json benchmarks/results/BENCH_P6.json
 
 PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py
 PYTHONPATH=src python benchmarks/bench_p2_serving.py
 PYTHONPATH=src python benchmarks/bench_p5_pipeline.py
+PYTHONPATH=src python benchmarks/bench_p6_ddp.py
 
-for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json; do
+for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json BENCH_P6.json; do
     if [[ ! -f "benchmarks/results/$result" ]]; then
         echo "FAIL: benchmarks/results/$result was not produced" >&2
         exit 1

@@ -56,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "batches are identical for any setting)")
     train.add_argument("--prefetch", type=int, default=2,
                        help="batches kept in flight per pipeline worker")
+    train.add_argument("--data-parallel", action="store_true",
+                       help="shard-decomposed data-parallel training "
+                            "(allreduce over --grad-shards gradient shards; "
+                            "deterministic at any --num-workers)")
+    train.add_argument("--grad-shards", type=int, default=4,
+                       help="gradient shards per step under --data-parallel "
+                            "(fixed shard count keeps results worker-"
+                            "count-independent)")
     train.add_argument("--checkpoint", default=None,
                        help="save the trained model's parameters to this .npz path")
     train.add_argument("--events-out", default=None, metavar="FILE",
@@ -189,7 +197,9 @@ def _cmd_train(args) -> int:
         report, seconds = train_and_evaluate(model, context, epochs=args.epochs,
                                              seed=args.seed, callbacks=callbacks,
                                              num_workers=args.num_workers,
-                                             prefetch=args.prefetch)
+                                             prefetch=args.prefetch,
+                                             data_parallel=args.data_parallel,
+                                             grad_shards=args.grad_shards)
         print(f"{args.model} on {args.preset} (scale {args.scale}): {report} "
               f"[{seconds:.1f}s]")
         if args.checkpoint and model.parameters():
@@ -208,7 +218,9 @@ def _cmd_train(args) -> int:
                 config={"model": args.model, "preset": args.preset,
                         "dim": args.dim, "scale": args.scale,
                         "epochs": args.epochs, "num_workers": args.num_workers,
-                        "prefetch": args.prefetch},
+                        "prefetch": args.prefetch,
+                        "data_parallel": args.data_parallel,
+                        "grad_shards": args.grad_shards},
                 seed=args.seed,
                 metrics=dict(report),
                 extra={"seconds": seconds})

@@ -8,12 +8,15 @@ Flow: :func:`~repro.data.synthetic.generate` (or any loader producing
 :mod:`~repro.data.pipeline` holds the parallel input path: CSR-packed
 examples with a fully vectorized collate, a prefetching multiprocess loader
 with deterministic per-``(epoch, batch)`` seeding, and the worker pool that
-also powers sharded ranking evaluation.
+also powers sharded ranking evaluation.  :mod:`~repro.data.shm` carries the
+arrays between those processes through shared memory (descriptors on the
+queue, zero-copy views on the consumer side).
 """
 
 from .batching import Batch, BatchLoader, collate, pad_sequences
 from .pipeline import (PackedExamples, PrefetchLoader, WorkerError, WorkerPool,
                        parallel_map)
+from .shm import ShmArena, ShmBlock, ShmParamMirror, decode_payload, encode_payload
 from .dataset import DatasetStats, MultiBehaviorDataset
 from .loaders import UB_BEHAVIOR_MAP, load_interaction_csv, load_user_behavior_csv
 from .preprocessing import drop_holdout_targets, k_core_filter, remap_ids, truncate_history
@@ -37,4 +40,5 @@ __all__ = [
     "Batch", "BatchLoader", "collate", "pad_sequences",
     "PackedExamples", "PrefetchLoader", "WorkerError", "WorkerPool",
     "parallel_map",
+    "ShmArena", "ShmBlock", "ShmParamMirror", "encode_payload", "decode_payload",
 ]

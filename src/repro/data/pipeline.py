@@ -22,16 +22,28 @@ worker identity or scheduling, so any ``num_workers`` setting yields a
 bitwise-identical batch stream for a fixed seed — satisfying the
 ``SEEDED-RANDOMNESS`` discipline with explicit generators throughout.
 
+Transport: result payloads can ride a :class:`~repro.data.shm.ShmArena`
+instead of the queue's pickle path — workers write their ndarrays into a
+pre-sized shared-memory slot and only a tiny descriptor crosses the queue,
+with the parent mapping zero-copy views (or private copies for long-lived
+results).  A payload that does not fit, or arrives while every slot is
+leased, silently falls back to pickling: degraded throughput, never a
+hang.  :class:`PrefetchLoader` sizes and owns its arena automatically when
+``num_workers > 0``.
+
 Telemetry (zero-cost when disabled, one ``is None`` check per epoch): a
 ``pipeline.queue_depth`` gauge, a ``pipeline.wait_seconds`` histogram of
-main-process blocking time, and ``pipeline.batches`` /
-``pipeline.worker.<id>.batches`` utilization counters in the session's
+main-process blocking time, ``pipeline.batches`` /
+``pipeline.worker.<id>.batches`` utilization counters, and shared-memory
+transport counters (``pipeline.shm.bytes``, ``pipeline.shm.results``,
+``pipeline.shm.fallbacks``) in the session's
 :class:`~repro.obs.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 import traceback
@@ -45,6 +57,7 @@ from repro.obs import get_telemetry
 from .batching import Batch
 from .sampling import NegativeSampler
 from .schema import BehaviorSchema, PAD_ITEM
+from .shm import ShmArena, decode_payload, encode_payload
 from .splits import SequenceExample
 
 __all__ = [
@@ -223,11 +236,14 @@ class WorkerError(RuntimeError):
 
 
 def _worker_main(worker_id: int, factory: Callable, initargs: tuple,
-                 tasks, results) -> None:
+                 tasks, results, transport: ShmArena | None = None) -> None:
     """Worker process entry point: build the task fn, then serve tasks.
 
     Any exception — in the factory or per task — is caught, formatted, and
     shipped to the main process, which re-raises it as :class:`WorkerError`.
+    With a ``transport`` arena, result ndarrays are written into a shared
+    slot and only the descriptor is queued (pickle fallback when the arena
+    cannot take the payload).
     """
     try:
         # Telemetry sessions (open event-log files, thread-local span stacks)
@@ -248,7 +264,10 @@ def _worker_main(worker_id: int, factory: Callable, initargs: tuple,
             break
         task_id, payload = task
         try:
-            results.put(("ok", worker_id, task_id, fn(payload)))
+            value = fn(payload)
+            if transport is not None:
+                value = encode_payload(value, transport)
+            results.put(("ok", worker_id, task_id, value))
         except BaseException:
             results.put(("error", worker_id, task_id, traceback.format_exc()))
             break
@@ -266,32 +285,56 @@ class WorkerPool:
             the ``fork`` start method, pickled once per worker under spawn.
         num_workers: pool size (at least 1).
         timeout: seconds :meth:`next_result` waits before declaring the pool
-            wedged and raising :class:`WorkerError`.
+            wedged and raising :class:`WorkerError`; ``None`` reads the
+            ``REPRO_POOL_TIMEOUT`` environment variable (default 120).
         start_method: multiprocessing start method; defaults to ``fork``
             when available (shared memory, no pickling).
+        transport: optional :class:`~repro.data.shm.ShmArena` carrying result
+            ndarrays out-of-band (descriptors on the queue, zero-copy reads);
+            the caller owns the arena's lifetime.
+        transport_copy: decode shm results as private copies instead of
+            leased views — use for results that outlive the arena.
+        death_grace: seconds a worker may be observed dead before the pool
+            declares silent death (lets the queue feeder flush a final
+            result); ``None`` reads ``REPRO_POOL_DEATH_GRACE`` (default 2).
 
     Robustness contract: a worker exception re-raises on the main process
     with the worker's traceback embedded; a worker that dies silently (OOM
-    kill, segfault) is detected by heartbeat; shutdown always reaps children
-    — no orphaned processes survive :meth:`close` / :meth:`terminate`.
+    kill, segfault) is detected by heartbeat on a monotonic clock — the
+    grace window is configurable so loaded CI machines don't false-positive;
+    shutdown always reaps children — no orphaned processes survive
+    :meth:`close` / :meth:`terminate`.
     """
 
     def __init__(self, factory: Callable, initargs: tuple = (),
-                 num_workers: int = 1, timeout: float = 120.0,
-                 poll_interval: float = 0.1, start_method: str | None = None):
+                 num_workers: int = 1, timeout: float | None = None,
+                 poll_interval: float = 0.1, start_method: str | None = None,
+                 transport: ShmArena | None = None, transport_copy: bool = False,
+                 death_grace: float | None = None):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
         if start_method is None:
             start_method = "fork" if fork_available() else None
         self._ctx = mp.get_context(start_method)
+        if timeout is None:
+            timeout = float(os.environ.get("REPRO_POOL_TIMEOUT", "120"))
+        if death_grace is None:
+            death_grace = float(os.environ.get("REPRO_POOL_DEATH_GRACE", "2"))
         self.timeout = timeout
+        self.death_grace = death_grace
         self.poll_interval = poll_interval
+        self._transport = transport
+        self._transport_copy = transport_copy
+        self.shm_bytes = 0
+        self.shm_results = 0
+        self.raw_results = 0
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
         self._closed = False
         self._workers = [
             self._ctx.Process(target=_worker_main, name=f"repro-pipeline-{i}",
-                              args=(i, factory, initargs, self._tasks, self._results),
+                              args=(i, factory, initargs, self._tasks,
+                                    self._results, transport),
                               daemon=True)
             for i in range(num_workers)
         ]
@@ -318,24 +361,30 @@ class WorkerPool:
         without any result (heartbeat).
         """
         deadline = time.monotonic() + self.timeout
-        dead_polls = 0
+        dead_since: float | None = None
         while True:
             try:
                 kind, worker_id, task_id, value = self._results.get(
                     timeout=self.poll_interval)
             except queue_mod.Empty:
+                now = time.monotonic()
                 dead = [w for w in self._workers if not w.is_alive()]
                 if dead:
-                    # Give the queue feeder a few polls to flush a final
-                    # result/error the worker produced right before exiting.
-                    dead_polls += 1
-                    if dead_polls >= 3:
+                    # Give the queue feeder a grace window (monotonic, so a
+                    # loaded machine's wall-clock hiccups don't count) to
+                    # flush a final result/error the worker produced right
+                    # before exiting.
+                    if dead_since is None:
+                        dead_since = now
+                    if now - dead_since >= self.death_grace:
                         exit_codes = {w.name: w.exitcode for w in dead}
                         self.terminate()
                         raise WorkerError(
                             -1, f"worker died without reporting a result "
                                 f"(exit codes: {exit_codes})")
-                if time.monotonic() > deadline:
+                else:
+                    dead_since = None
+                if now > deadline:
                     self.terminate()
                     raise WorkerError(
                         -1, f"no result within {self.timeout:.0f}s "
@@ -346,6 +395,22 @@ class WorkerPool:
                 self.terminate()
                 raise WorkerError(worker_id, "worker task failed",
                                   remote_traceback=value)
+            if self._transport is not None:
+                value, shm_nbytes = decode_payload(
+                    value, self._transport, copy=self._transport_copy)
+                if shm_nbytes:
+                    self.shm_bytes += shm_nbytes
+                    self.shm_results += 1
+                else:
+                    self.raw_results += 1
+                telemetry = get_telemetry()
+                if telemetry is not None:
+                    registry = telemetry.registry
+                    if shm_nbytes:
+                        registry.counter("pipeline.shm.bytes").inc(shm_nbytes)
+                        registry.counter("pipeline.shm.results").inc()
+                    else:
+                        registry.counter("pipeline.shm.fallbacks").inc()
             return worker_id, task_id, value
 
     def close(self) -> None:
@@ -392,20 +457,25 @@ class WorkerPool:
 
 
 def parallel_map(factory: Callable, initargs: tuple, payloads: Sequence,
-                 num_workers: int, timeout: float = 120.0,
-                 start_method: str | None = None) -> list:
+                 num_workers: int, timeout: float | None = None,
+                 start_method: str | None = None,
+                 transport: ShmArena | None = None,
+                 transport_copy: bool = True) -> list:
     """Run ``factory(*initargs)(payload)`` for every payload on a pool.
 
     Results come back **order-stable** (index-aligned with ``payloads``)
     regardless of worker completion order.  The pool is always torn down
     before returning — including on worker failure, where the worker's
-    traceback re-raises here as :class:`WorkerError`.
+    traceback re-raises here as :class:`WorkerError`.  An optional
+    ``transport`` arena carries result arrays out-of-band; results are
+    decoded as private copies by default since they outlive the call.
     """
     if not payloads:
         return []
     pool = WorkerPool(factory, initargs,
                       num_workers=min(num_workers, len(payloads)),
-                      timeout=timeout, start_method=start_method)
+                      timeout=timeout, start_method=start_method,
+                      transport=transport, transport_copy=transport_copy)
     results: list = [None] * len(payloads)
     try:
         for index, payload in enumerate(payloads):
@@ -479,8 +549,12 @@ class PrefetchLoader:
             (0 disables; requires ``dataset``).
         dataset: interaction corpus backing the negative sampler.
         sampling_mode: ``NegativeSampler`` mode for presampling.
-        timeout: worker heartbeat timeout in seconds.
+        timeout: worker heartbeat timeout in seconds (``None`` = env /
+            ``REPRO_POOL_TIMEOUT`` / 120).
         start_method: multiprocessing start method override.
+        use_shm: carry worker-built batches through a shared-memory arena
+            (zero-copy into the training loop) instead of pickling them;
+            sized automatically from the packed sequence lengths.
     """
 
     def __init__(self, examples: Sequence[SequenceExample], schema: BehaviorSchema,
@@ -488,7 +562,8 @@ class PrefetchLoader:
                  max_len: int | None = None, drop_last: bool = False,
                  num_workers: int = 0, prefetch: int = 2, negatives: int = 0,
                  dataset=None, sampling_mode: str = "uniform",
-                 timeout: float = 120.0, start_method: str | None = None):
+                 timeout: float | None = None, start_method: str | None = None,
+                 use_shm: bool = True):
         if batch_size < 1:
             raise ValueError(f"batch size must be positive, got {batch_size}")
         if num_workers < 0:
@@ -511,11 +586,40 @@ class PrefetchLoader:
         self.negatives = negatives
         self.timeout = timeout
         self.start_method = start_method
+        self.use_shm = use_shm
         self.sampler = (NegativeSampler(dataset, np.random.default_rng(0),
                                         mode=sampling_mode)
                         if negatives else None)
         self._epoch = 0
         self._pool: WorkerPool | None = None
+        self._arena: ShmArena | None = None
+
+    def _batch_bytes_bound(self) -> int:
+        """Upper bound on one collated batch's array bytes (arena slot size).
+
+        Computed analytically from the packed CSR index pointers — the widest
+        possible padded matrix is ``batch_size`` rows at the longest sequence
+        in the split (or ``max_len`` when capped) — so the arena never needs
+        a measure-first pass and oversize fallbacks only happen if the data
+        itself changes under the loader.
+        """
+        rows = self.batch_size
+
+        def width(indptr: np.ndarray) -> int:
+            longest = int(np.diff(indptr).max()) if len(indptr) > 1 else 1
+            if self.max_len is not None:
+                longest = min(longest, self.max_len)
+            return max(longest, 1)
+
+        total = 2 * rows * 8                                # users, targets
+        for data, indptr in self.packed.behaviors.values():
+            total += rows * width(indptr) * (8 + 1)         # items + mask
+        merged_width = width(self.packed.merged_items[1])
+        total += rows * merged_width * (8 + 8 + 1)          # items/behaviors/mask
+        if self.negatives:
+            total += rows * (self.negatives + 1) * 8        # candidates
+        arrays = 5 + 2 * len(self.packed.behaviors) + (1 if self.negatives else 0)
+        return total + 64 * (arrays + 1)                    # alignment slack
 
     # -- epoch bookkeeping ---------------------------------------------
     @property
@@ -557,11 +661,23 @@ class PrefetchLoader:
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None or self._pool.closed:
+            # The arena is recreated together with the pool: a crashed pool
+            # may have lost in-flight slot leases, and a fresh free list is
+            # cheaper than auditing the old one.
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
+            if self.use_shm:
+                # Slots for every in-flight task, the batch currently held
+                # by the consumer, and margin for batches the consumer keeps
+                # alive briefly after yielding the next one.
+                slots = max(self.num_workers * self.prefetch, 2) + 4
+                self._arena = ShmArena(self._batch_bytes_bound(), slots)
             self._pool = WorkerPool(
                 _prefetch_worker,
                 (self.packed, self.sampler, self.negatives, self.seed, self.max_len),
                 num_workers=self.num_workers, timeout=self.timeout,
-                start_method=self.start_method)
+                start_method=self.start_method, transport=self._arena)
         return self._pool
 
     def _iter_parallel(self, epoch: int, chunks: list[np.ndarray]) -> Iterator[Batch]:
@@ -609,6 +725,9 @@ class PrefetchLoader:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "PrefetchLoader":
         return self

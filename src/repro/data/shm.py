@@ -1,0 +1,520 @@
+"""Shared-memory array transport for the multiprocess pipeline.
+
+Queue-based worker transport pickles every ndarray payload twice (serialize
+on the worker, deserialize on the parent) and copies it through a pipe in
+4 KiB chunks — for batch-sized arrays that serialization dominates the cost
+of shipping work between processes (BENCH_P5 measured sharded evaluation at
+0.81× serial for exactly this reason).  This module provides the zero-copy
+alternative used by :class:`~repro.data.pipeline.WorkerPool`,
+:class:`~repro.data.pipeline.PrefetchLoader` and the sharded evaluation /
+data-parallel training paths:
+
+* :class:`ShmArena` — a pre-sized pool of fixed-width slots inside one
+  ``multiprocessing.shared_memory`` segment with a cross-process free list.
+  Writers borrow a slot, copy their arrays in once, and send only a tiny
+  :class:`ShmBlock` descriptor ``(slot, offsets, shapes, dtypes)`` through
+  the queue; readers map zero-copy views directly onto the segment.
+* :func:`encode_payload` / :func:`decode_payload` — structure-preserving
+  codecs that swap the ndarray leaves of a payload (dicts, lists, tuples,
+  dataclasses such as :class:`~repro.data.batching.Batch`) for arena
+  references, leaving everything else to the ordinary pickle path.
+* :class:`ShmParamMirror` — a version-stamped broadcast buffer for flat
+  parameter vectors, used to keep long-lived worker model replicas in sync
+  with the parent between optimizer steps (data-parallel training) and
+  between evaluation passes (persistent eval sharding).
+
+Robustness contract: every segment is owned by the process that created it
+and is unlinked by a ``weakref.finalize`` finalizer — it fires on garbage
+collection, explicit :meth:`close`, *and* interpreter exit, so segments are
+reclaimed even when a worker crashes or the parent aborts mid-epoch.  A
+writer that cannot borrow a slot in time (reader holding leases too long,
+oversized payload) falls back to the pickle path instead of deadlocking —
+degraded throughput, never a hang.  Attached (non-owning) processes
+unregister from the ``resource_tracker`` so a worker exit never unlinks a
+segment the parent still uses.
+
+``SHM-DISCIPLINE`` (see :mod:`repro.lint`) keeps every ``SharedMemory``
+construction and attach inside this module, so lifetime management and the
+fallback policy cannot be bypassed piecemeal elsewhere in the tree.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import multiprocessing as mp
+import secrets
+import weakref
+from dataclasses import dataclass, fields as dataclass_fields, is_dataclass
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs import get_logger
+
+__all__ = [
+    "ShmArena",
+    "ShmBlock",
+    "ShmParamMirror",
+    "encode_payload",
+    "decode_payload",
+    "DEFAULT_MIN_SHM_BYTES",
+]
+
+_log = get_logger(__name__)
+
+_ALIGN = 64
+DEFAULT_MIN_SHM_BYTES = 1024
+"""Arrays smaller than this ride the ordinary pickle path — descriptor
+bookkeeping costs more than pickling a few hundred bytes."""
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _unregister_attachment(segment: shared_memory.SharedMemory) -> None:
+    """Detach a non-owning process from the resource tracker's ledger.
+
+    Attaching registers the segment with this process's ``resource_tracker``,
+    which would unlink it when *this* process exits — yanking the memory out
+    from under the owner.  Only the owning process may unlink.
+    """
+    try:  # pragma: no cover - tracker internals vary across Python patch levels
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+
+
+class _SegmentState:
+    """Segment lifetime bookkeeping shared by finalizers and view leases.
+
+    ``SharedMemory.close()`` unmaps the segment even while numpy views built
+    over its buffer are alive (numpy snapshots the pointer rather than
+    pinning the mmap), so an eager unmap turns every outstanding zero-copy
+    view into a segfault.  This state object counts live view leases and
+    defers the actual unmap until the last one is collected: ``cleanup``
+    (called from ``close()`` and from the garbage-collection finalizer)
+    unlinks the name immediately — reclaiming ``/dev/shm`` space — but only
+    unmaps once ``live`` drops to zero.
+    """
+
+    __slots__ = ("segment", "owner", "live", "unmap_pending", "unmapped")
+
+    def __init__(self, segment: shared_memory.SharedMemory, owner: bool):
+        self.segment = segment
+        self.owner = owner
+        self.live = 0
+        self.unmap_pending = False
+        self.unmapped = False
+
+    def _unmap(self) -> None:
+        self.unmapped = True
+        self.unmap_pending = False
+        try:
+            self.segment.close()
+        except BufferError:  # pragma: no cover - belt and braces
+            pass
+
+    def cleanup(self) -> None:
+        """Unlink (owner) now; unmap now or when the last view lease drops."""
+        if self.owner:
+            self.owner = False
+            try:
+                self.segment.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:  # pragma: no cover - platform-specific races
+                pass
+        if self.unmapped:
+            return
+        if self.live > 0:
+            self.unmap_pending = True
+        else:
+            self._unmap()
+
+    def lease(self) -> None:
+        """Register one outstanding view lease against the mapping."""
+        self.live += 1
+
+    def unlease(self) -> None:
+        """Drop one lease; performs the deferred unmap on the last one."""
+        self.live -= 1
+        if self.live <= 0 and self.unmap_pending:
+            self._unmap()
+
+
+@dataclass(frozen=True)
+class ShmBlock:
+    """Descriptor of arrays written into one arena slot (crosses the queue).
+
+    ``entries`` holds one ``(offset, shape, dtype-str)`` triple per array,
+    with offsets relative to the slot base.  The descriptor pickles to a few
+    hundred bytes regardless of payload size.
+    """
+
+    slot: int
+    entries: tuple[tuple[int, tuple[int, ...], str], ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes described by this block."""
+        return sum(int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+                   for _, shape, dtype in self.entries)
+
+
+class _SlotLease:
+    """Releases an arena slot once every view mapped from it is collected."""
+
+    __slots__ = ("_arena", "_state", "_slot", "_outstanding")
+
+    def __init__(self, arena: "ShmArena", slot: int, count: int):
+        self._arena = arena
+        self._state = arena._state
+        self._slot = slot
+        self._outstanding = count
+        self._state.lease()
+
+    def drop(self) -> None:
+        """One view died; free the slot when the last one goes."""
+        self._outstanding -= 1
+        if self._outstanding <= 0:
+            self._arena.release_slot(self._slot)
+            self._state.unlease()
+
+
+class ShmArena:
+    """A pool of fixed-size slots in one shared-memory segment.
+
+    Args:
+        slot_bytes: capacity of one slot; payloads that do not fit fall back
+            to pickle.  Size it from an upper bound over the payloads you
+            expect (batch collate bounds, flat gradient size, ...).
+        num_slots: slots in flight at once — writers block (then fall back)
+            when all slots are leased, so size it to the pipeline's bounded
+            prefetch depth plus margin.
+
+    The creating process owns the segment (and unlinks it); worker processes
+    attach by inheritance (``fork``) or by name (pickle → ``spawn``) and
+    never unlink.  The free list is a ``multiprocessing`` queue of slot
+    indices, safe for any number of concurrent writers and readers.
+    """
+
+    def __init__(self, slot_bytes: int, num_slots: int):
+        if slot_bytes < _ALIGN:
+            raise ValueError(f"slot_bytes must be >= {_ALIGN}, got {slot_bytes}")
+        if num_slots < 1:
+            raise ValueError(f"need at least one slot, got {num_slots}")
+        self.slot_bytes = _aligned(int(slot_bytes))
+        self.num_slots = int(num_slots)
+        name = f"repro-arena-{secrets.token_hex(6)}"
+        self._segment = shared_memory.SharedMemory(
+            name=name, create=True, size=self.slot_bytes * self.num_slots)
+        self._free: mp.Queue = mp.Queue()
+        for slot in range(self.num_slots):
+            self._free.put(slot)
+        self._state = _SegmentState(self._segment, owner=True)
+        self._finalizer = weakref.finalize(self, self._state.cleanup)
+
+    # -- pickling (spawn-based workers attach by name) -------------------
+    def __getstate__(self):
+        return {"name": self._segment.name, "slot_bytes": self.slot_bytes,
+                "num_slots": self.num_slots, "free": self._free}
+
+    def __setstate__(self, state):
+        self.slot_bytes = state["slot_bytes"]
+        self.num_slots = state["num_slots"]
+        self._segment = shared_memory.SharedMemory(name=state["name"])
+        _unregister_attachment(self._segment)
+        self._free = state["free"]
+        self._state = _SegmentState(self._segment, owner=False)
+        self._finalizer = weakref.finalize(self, self._state.cleanup)
+
+    @property
+    def name(self) -> str:
+        """OS-level segment name (``/dev/shm/<name>`` on Linux)."""
+        return self._segment.name
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (or the finalizer fired)."""
+        return not self._finalizer.alive
+
+    # -- writing ---------------------------------------------------------
+    def write(self, arrays: Sequence[np.ndarray],
+              timeout: float = 1.0) -> ShmBlock | None:
+        """Copy ``arrays`` into a free slot; None → caller must fall back.
+
+        Returns ``None`` (without blocking indefinitely) when the payload
+        exceeds ``slot_bytes`` or no slot frees up within ``timeout``.
+        """
+        offsets = []
+        cursor = 0
+        for array in arrays:
+            cursor = _aligned(cursor)
+            offsets.append(cursor)
+            cursor += array.nbytes
+        if cursor > self.slot_bytes:
+            return None
+        try:
+            slot = self._free.get(timeout=timeout)
+        except queue_mod.Empty:
+            return None
+        base = slot * self.slot_bytes
+        entries = []
+        for array, offset in zip(arrays, offsets):
+            flat = np.ascontiguousarray(array)
+            view = np.ndarray(flat.shape, dtype=flat.dtype,
+                              buffer=self._segment.buf, offset=base + offset)
+            view[...] = flat
+            entries.append((offset, tuple(flat.shape), flat.dtype.str))
+        return ShmBlock(slot=slot, entries=tuple(entries))
+
+    # -- reading ---------------------------------------------------------
+    def open(self, block: ShmBlock, copy: bool = False) -> list[np.ndarray]:
+        """Arrays described by ``block``: zero-copy views or private copies.
+
+        With ``copy=False`` the returned arrays are read-only views onto the
+        segment; the slot is released automatically once every view (and
+        anything derived from it) has been garbage collected.  With
+        ``copy=True`` the arrays are private and the slot is released
+        immediately — use this for long-lived results.
+        """
+        base = block.slot * self.slot_bytes
+        views = []
+        for offset, shape, dtype in block.entries:
+            view = np.ndarray(shape, dtype=np.dtype(dtype),
+                              buffer=self._segment.buf, offset=base + offset)
+            views.append(view)
+        if copy:
+            arrays = [view.copy() for view in views]
+            del views
+            self.release_slot(block.slot)
+            return arrays
+        lease = _SlotLease(self, block.slot, len(views))
+        if not views:
+            self.release_slot(block.slot)
+        for view in views:
+            view.flags.writeable = False
+            weakref.finalize(view, lease.drop)
+        return views
+
+    def release_slot(self, slot: int) -> None:
+        """Return one slot to the free list (idempotence is the caller's job)."""
+        try:
+            self._free.put(slot)
+        except (ValueError, OSError):  # pragma: no cover - interpreter teardown
+            pass
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Unlink (owner) and unmap the segment; safe to call repeatedly."""
+        try:
+            self._free.close()
+            self._free.cancel_join_thread()
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+        self._finalizer()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Structure-preserving payload codec
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ArrayRef:
+    """Placeholder for the ``index``-th pooled array of a payload."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class _DataclassShell:
+    """A dataclass instance with its array fields swapped for references."""
+
+    cls: type
+    fields: dict
+
+
+def _strip_arrays(obj, arrays: list, min_bytes: int):
+    if isinstance(obj, np.ndarray) and obj.dtype != object and obj.nbytes >= min_bytes:
+        arrays.append(obj)
+        return _ArrayRef(len(arrays) - 1)
+    if isinstance(obj, dict):
+        return {key: _strip_arrays(value, arrays, min_bytes)
+                for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(_strip_arrays(value, arrays, min_bytes) for value in obj)
+    if isinstance(obj, list):
+        return [_strip_arrays(value, arrays, min_bytes) for value in obj]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return _DataclassShell(type(obj), {
+            field.name: _strip_arrays(getattr(obj, field.name), arrays, min_bytes)
+            for field in dataclass_fields(obj) if field.init
+        })
+    return obj
+
+
+def _fill_arrays(obj, arrays: list):
+    if isinstance(obj, _ArrayRef):
+        return arrays[obj.index]
+    if isinstance(obj, dict):
+        return {key: _fill_arrays(value, arrays) for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(_fill_arrays(value, arrays) for value in obj)
+    if isinstance(obj, list):
+        return [_fill_arrays(value, arrays) for value in obj]
+    if isinstance(obj, _DataclassShell):
+        return obj.cls(**{name: _fill_arrays(value, arrays)
+                          for name, value in obj.fields.items()})
+    return obj
+
+
+def encode_payload(obj, arena: ShmArena | None,
+                   min_bytes: int = DEFAULT_MIN_SHM_BYTES,
+                   timeout: float = 1.0) -> tuple:
+    """Swap the ndarray leaves of ``obj`` for arena references.
+
+    Returns a tagged tuple for the queue: ``("shm", block, shell)`` when the
+    arrays were written into a slot, or ``("raw", obj)`` when there was
+    nothing worth pooling or the arena could not take the payload (oversize
+    or no free slot within ``timeout``) — the graceful-degradation path.
+    """
+    if arena is None or arena.closed:
+        return ("raw", obj)
+    arrays: list[np.ndarray] = []
+    shell = _strip_arrays(obj, arrays, min_bytes)
+    if not arrays:
+        return ("raw", obj)
+    block = arena.write(arrays, timeout=timeout)
+    if block is None:
+        return ("raw", obj)
+    return ("shm", block, shell)
+
+
+def decode_payload(tagged: tuple, arena: ShmArena | None,
+                   copy: bool = False) -> tuple:
+    """Inverse of :func:`encode_payload`.
+
+    Returns ``(value, shm_bytes)`` where ``shm_bytes`` is how much of the
+    payload crossed through shared memory (0 for the pickle path) — the
+    parent-side signal feeding the ``pipeline.shm.*`` metrics.
+    """
+    kind = tagged[0]
+    if kind == "raw":
+        return tagged[1], 0
+    if kind != "shm":
+        raise ValueError(f"unknown payload tag {kind!r}")
+    _, block, shell = tagged
+    if arena is None:
+        raise RuntimeError("shm-encoded payload arrived without an arena")
+    arrays = arena.open(block, copy=copy)
+    return _fill_arrays(shell, arrays), block.nbytes
+
+
+# ----------------------------------------------------------------------
+# Versioned parameter broadcast
+# ----------------------------------------------------------------------
+
+class ShmParamMirror:
+    """A version-stamped flat array broadcast from the parent to workers.
+
+    The parent owns a single segment holding ``count`` scalars plus a
+    version header; :meth:`publish` overwrites the payload and bumps the
+    version, and each worker's :meth:`refresh` compares the version against
+    the last one it consumed, copying the payload out only when it changed.
+    Synchronization piggybacks on the task queue: the parent publishes
+    strictly before submitting the tasks that depend on the new values, so a
+    worker processing such a task always observes ``version >= published``.
+    """
+
+    _HEADER = _ALIGN  # one cacheline for the uint64 version counter
+
+    def __init__(self, count: int, dtype=np.float32):
+        if count < 1:
+            raise ValueError(f"need at least one element, got {count}")
+        self.count = int(count)
+        self.dtype = np.dtype(dtype)
+        name = f"repro-mirror-{secrets.token_hex(6)}"
+        self._segment = shared_memory.SharedMemory(
+            name=name, create=True,
+            size=self._HEADER + self.count * self.dtype.itemsize)
+        self._seen = 0
+        self._init_views()
+        self._version_view[0] = 0
+        self._state = _SegmentState(self._segment, owner=True)
+        self._finalizer = weakref.finalize(self, self._state.cleanup)
+
+    def _init_views(self) -> None:
+        self._version_view = np.ndarray((1,), dtype=np.uint64,
+                                        buffer=self._segment.buf, offset=0)
+        self.data = np.ndarray((self.count,), dtype=self.dtype,
+                               buffer=self._segment.buf, offset=self._HEADER)
+
+    def __getstate__(self):
+        return {"name": self._segment.name, "count": self.count,
+                "dtype": self.dtype.str}
+
+    def __setstate__(self, state):
+        self.count = state["count"]
+        self.dtype = np.dtype(state["dtype"])
+        self._segment = shared_memory.SharedMemory(name=state["name"])
+        _unregister_attachment(self._segment)
+        self._seen = 0
+        self._init_views()
+        self._state = _SegmentState(self._segment, owner=False)
+        self._finalizer = weakref.finalize(self, self._state.cleanup)
+
+    @property
+    def name(self) -> str:
+        """OS-level segment name."""
+        return self._segment.name
+
+    @property
+    def version(self) -> int:
+        """The currently published version (0 = nothing published yet)."""
+        return int(self._version_view[0])
+
+    def publish(self, values: np.ndarray | None = None) -> int:
+        """Overwrite the payload (or just bump after writing ``.data``).
+
+        Returns the new version number.  Only the owning process publishes.
+        """
+        if values is not None:
+            self.data[...] = values
+        self._version_view[0] += 1
+        return self.version
+
+    def refresh(self, out: np.ndarray) -> bool:
+        """Copy the payload into ``out`` iff a newer version was published.
+
+        Returns True when ``out`` was updated.  Tracks the last consumed
+        version per process, so repeated calls between publishes are free.
+        """
+        version = self.version
+        if version == self._seen:
+            return False
+        out[...] = self.data
+        self._seen = version
+        return True
+
+    def close(self) -> None:
+        """Unlink (owner) and unmap the segment; safe to call repeatedly."""
+        # Views hold buffer exports; drop them so close() can unmap.
+        self._version_view = None
+        self.data = None
+        self._finalizer()
+
+    def __enter__(self) -> "ShmParamMirror":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -7,7 +7,17 @@ the ``(B, C)`` candidate item-id matrix, higher = more likely next item.
 Both :func:`precollate` and :func:`rank_all` accept ``num_workers`` to shard
 their work across a :class:`repro.data.pipeline.WorkerPool` — batch assembly
 and candidate scoring partition over evaluation users with an order-stable
-merge, so the sharded path reproduces the serial ranks exactly.
+merge, so the sharded path reproduces the serial ranks exactly.  Collated
+shards come back through a shared-memory arena (descriptors on the queue)
+instead of the pickle path.
+
+For per-epoch validation inside a training loop, :class:`EvalShardPool`
+keeps the worker pool alive *across* ranking passes — the per-call pools
+above pay a fork + teardown per evaluation, which is exactly the overhead
+that made sharded evaluation slower than serial at small scale.  Workers
+hold a forked model replica and resynchronize parameters from a
+version-stamped :class:`~repro.data.shm.ShmParamMirror` before scoring, so
+each pass ranks with the parent's current weights.
 """
 
 from __future__ import annotations
@@ -15,8 +25,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.batching import collate
-from repro.data.pipeline import fork_available, parallel_map
+from repro.data.pipeline import WorkerPool, fork_available, parallel_map
 from repro.data.schema import BehaviorSchema
+from repro.data.shm import ShmArena, ShmParamMirror
 from repro.data.splits import SequenceExample
 from repro.nn.tensor import no_grad
 from repro.obs import get_logger, span
@@ -24,7 +35,7 @@ from repro.obs import get_logger, span
 from .metrics import MetricReport, ranks_from_scores
 from .protocol import CandidateSets
 
-__all__ = ["evaluate_ranking", "rank_all", "precollate"]
+__all__ = ["evaluate_ranking", "rank_all", "precollate", "EvalShardPool"]
 
 _log = get_logger(__name__)
 
@@ -53,6 +64,31 @@ def _collate_shard(examples: list, candidate_sets: CandidateSets,
     return build
 
 
+def _collate_bytes_bound(examples: list, candidate_sets: CandidateSets,
+                         schema: BehaviorSchema, batch_size: int) -> int:
+    """Upper bound on one collated ``(batch, candidates)`` shard's bytes.
+
+    Sized analytically from the longest sequences in the split so the arena
+    never needs a measure-first pass (left-padded matrices are
+    ``batch_size × longest``, int64 items plus bool masks).
+    """
+    longest_behavior = {behavior: 1 for behavior in schema.behaviors}
+    longest_merged = 1
+    for example in examples:
+        for behavior in schema.behaviors:
+            longest_behavior[behavior] = max(longest_behavior[behavior],
+                                             len(example.inputs[behavior]))
+        longest_merged = max(longest_merged, len(example.merged_items))
+    rows = batch_size
+    total = 2 * rows * 8                                    # users, targets
+    for width in longest_behavior.values():
+        total += rows * width * (8 + 1)                     # items + mask
+    total += rows * longest_merged * (8 + 8 + 1)            # merged triple
+    total += rows * candidate_sets.candidates.shape[1] * 8  # candidate matrix
+    arrays = 6 + 2 * len(schema.behaviors)
+    return total + 64 * (arrays + 1)
+
+
 def precollate(examples: list[SequenceExample], candidate_sets: CandidateSets,
                schema: BehaviorSchema, batch_size: int = 128,
                num_workers: int = 0) -> list[tuple]:
@@ -71,8 +107,15 @@ def precollate(examples: list[SequenceExample], candidate_sets: CandidateSets,
     chunks = [np.arange(start, min(start + batch_size, len(examples)))
               for start in range(0, len(examples), batch_size)]
     if _use_workers(num_workers, len(chunks)):
-        return parallel_map(_collate_shard, (examples, candidate_sets, schema),
-                            chunks, num_workers=num_workers)
+        # Collated shards are mostly batch arrays — route them through a
+        # shared-memory arena (decoded as private copies, since precollated
+        # batches live for the whole training run).
+        with ShmArena(_collate_bytes_bound(examples, candidate_sets, schema,
+                                           batch_size),
+                      num_slots=num_workers * 2 + 2) as arena:
+            return parallel_map(_collate_shard, (examples, candidate_sets, schema),
+                                chunks, num_workers=num_workers,
+                                transport=arena, transport_copy=True)
     build = _collate_shard(examples, candidate_sets, schema)
     return [build(chunk_idx) for chunk_idx in chunks]
 
@@ -136,3 +179,98 @@ def evaluate_ranking(model, examples: list[SequenceExample], candidate_sets: Can
     ranks = rank_all(model, examples, candidate_sets, schema, batch_size=batch_size,
                      precollated=precollated, num_workers=num_workers)
     return MetricReport.from_ranks(ranks, ks=ks)
+
+
+def _mirror_rank_shard(model, batches: list[tuple], mirror: ShmParamMirror):
+    """Worker factory for :class:`EvalShardPool`: sync params, then score.
+
+    On the first task after the parent publishes new weights, the replica
+    reloads its parameters and cycles ``train()``/``eval()`` so any
+    eval-only inference caches (e.g. MISSL's item table) built against the
+    stale weights are dropped and lazily rebuilt.
+    """
+    model.eval()
+    buffer = np.empty(mirror.count, dtype=mirror.dtype)
+
+    def score(index: int) -> np.ndarray:
+        if mirror.refresh(buffer):
+            model.load_parameter_vector(buffer)
+            model.train()
+            model.eval()
+        batch, candidates = batches[index]
+        with no_grad():
+            scores = model.score_candidates(batch, candidates)
+        return ranks_from_scores(scores.numpy())
+    return score
+
+
+class EvalShardPool:
+    """A persistent sharded ranking pool for repeated evaluation passes.
+
+    :func:`rank_all`'s per-call sharding forks and tears down a pool every
+    evaluation — at per-epoch validation scale that fixed cost outweighs the
+    parallel scoring win.  This pool forks **once** over the precollated
+    validation batches (inherited by reference), and each :meth:`rank_all`
+    call publishes the model's current parameters through a
+    :class:`~repro.data.shm.ShmParamMirror` before fanning out, so workers
+    score with the weights the parent holds *now*.  Results merge
+    order-stably: ranks are bitwise-identical to the serial path.
+
+    Args:
+        model: the live (parent) model; workers fork replicas at init.
+        precollated: ``[(batch, candidates), ...]`` from :func:`precollate`.
+        num_workers: shard worker count (capped at the batch count).
+        timeout: worker heartbeat timeout (``None`` = env default).
+    """
+
+    def __init__(self, model, precollated: list[tuple], num_workers: int,
+                 timeout: float | None = None):
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        if not precollated:
+            raise ValueError("no precollated batches to rank")
+        if not fork_available():
+            raise RuntimeError("EvalShardPool requires the fork start method")
+        self.model = model
+        self.num_batches = len(precollated)
+        self.num_workers = min(num_workers, self.num_batches)
+        flat = model.parameter_vector()
+        self._mirror = ShmParamMirror(flat.size, dtype=flat.dtype)
+        self._mirror.publish(flat)
+        self._pool = WorkerPool(
+            _mirror_rank_shard, (model, precollated, self._mirror),
+            num_workers=self.num_workers, timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (the pool cannot rank again)."""
+        return self._pool.closed
+
+    def rank_all(self) -> np.ndarray:
+        """Rank every precollated batch with the model's current weights."""
+        with span("eval.rank_all", model=type(self.model).__name__,
+                  num_workers=self.num_workers, persistent=True):
+            self.model.parameter_vector(out=self._mirror.data)
+            self._mirror.publish()
+            for index in range(self.num_batches):
+                self._pool.submit(index, index)
+            ranks: list = [None] * self.num_batches
+            for _ in range(self.num_batches):
+                _, index, value = self._pool.next_result()
+                ranks[index] = value
+        return np.concatenate(ranks)
+
+    def evaluate(self, ks: tuple[int, ...] = (5, 10, 20)) -> MetricReport:
+        """Full HR@K / NDCG@K / MRR report from one sharded ranking pass."""
+        return MetricReport.from_ranks(self.rank_all(), ks=ks)
+
+    def close(self) -> None:
+        """Tear down the worker pool and the parameter mirror (idempotent)."""
+        self._pool.close()
+        self._mirror.close()
+
+    def __enter__(self) -> "EvalShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

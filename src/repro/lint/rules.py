@@ -11,6 +11,11 @@ now only enforced by review:
 * ``SCATTER-CONTAINMENT`` — ``ufunc.at`` is the slowest scatter idiom; all
   scatter kernels live behind :mod:`repro.nn.scatter` so the fast/reference
   backend switch covers every call site.
+* ``SHM-DISCIPLINE`` — ``multiprocessing.shared_memory.SharedMemory`` leaks
+  ``/dev/shm`` segments unless creation, attachment, resource-tracker
+  bookkeeping and unlink ordering are all handled; that lifecycle lives in
+  :mod:`repro.data.shm` (arena slots, lease-counted unmap, finalizers) and
+  nowhere else.
 * ``NO-BARE-PRINT`` — library code logs through ``repro.obs.get_logger`` so
   telemetry sessions capture it; ``print`` is reserved for the CLI surface
   and experiment report rendering.
@@ -33,6 +38,7 @@ from .framework import FileContext, Finding, register
 __all__ = [
     "DtypeDisciplineRule",
     "ScatterContainmentRule",
+    "ShmDisciplineRule",
     "NoBarePrintRule",
     "SeededRandomnessRule",
     "TelemetryGuardRule",
@@ -135,6 +141,37 @@ class ScatterContainmentRule:
                     f"np.{node.func.value.attr}.at outside repro.nn.scatter "
                     "(route through the scatter kernels so backend selection "
                     "and the fast paths apply)")
+
+
+@register
+class ShmDisciplineRule:
+    """``SharedMemory`` construction/attach belongs in ``repro.data.shm`` only."""
+
+    rule_id = "SHM-DISCIPLINE"
+    description = ("SharedMemory() construction/attach is forbidden outside "
+                   "repro.data.shm — use ShmArena / ShmParamMirror so segment "
+                   "cleanup and resource-tracker bookkeeping apply")
+
+    HOME_MODULE = "repro.data.shm"
+
+    def _is_shared_memory(self, func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id == "SharedMemory"
+        if isinstance(func, ast.Attribute):
+            return func.attr == "SharedMemory"
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``SharedMemory(...)`` calls in any other module."""
+        if ctx.module == self.HOME_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and self._is_shared_memory(node.func):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "SharedMemory construction/attach outside repro.data.shm "
+                    "(route through ShmArena / ShmParamMirror so leases, "
+                    "finalizers and unlink ordering are handled)")
 
 
 @register

@@ -203,7 +203,13 @@ class GradientMonitor(TrainerCallback):
                 continue
             param_norm = float(np.linalg.norm(previous))
             update_norm = float(np.linalg.norm(param.data - previous))
-            ratio = update_norm / param_norm if param_norm > 0 else 0.0
+            # All-zero or freshly-initialized parameters make the denominator
+            # 0, and a poisoned parameter makes it NaN/inf — either way the
+            # ratio is meaningless, so report 0 rather than dividing.
+            if param_norm > 0.0 and np.isfinite(param_norm) and np.isfinite(update_norm):
+                ratio = update_norm / param_norm
+            else:
+                ratio = 0.0
             self.update_ratios.setdefault(name, []).append(ratio)
             if ratio > worst_ratio:
                 worst_ratio = ratio

@@ -1,6 +1,8 @@
-"""``repro.train`` — optimization loop and history tracking."""
+"""``repro.train`` — optimization loop, data-parallel engine, and history."""
 
+from .ddp import DataParallelEngine
 from .history import EpochRecord, History
 from .trainer import TrainConfig, Trainer
 
-__all__ = ["TrainConfig", "Trainer", "History", "EpochRecord"]
+__all__ = ["TrainConfig", "Trainer", "History", "EpochRecord",
+           "DataParallelEngine"]

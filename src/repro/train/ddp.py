@@ -1,0 +1,317 @@
+"""Data-parallel training: sharded forward/backward with a flat allreduce.
+
+One optimizer step is decomposed into ``grad_shards`` micro-batches.  Each
+shard runs a full forward/backward on a replica of the model (a forked
+worker process, or the parent itself in the in-process reference mode),
+its gradient is flattened into one vector
+(:func:`repro.nn.optim.gather_flat_gradients`) and shipped back through a
+shared-memory arena, and the parent reduces the shard gradients in **fixed
+shard order** with weights ``n_s / n`` before a single optimizer step on
+the combined gradient — so clipping, Adam state, and every
+:class:`~repro.obs.health.TrainerCallback` hook see exactly one gradient
+per step, same as serial training.
+
+Determinism guarantee: the shard decomposition is a pure function of
+``(seed, epoch, step, grad_shards)`` — never of the worker count — and
+every stochastic surface (dropout generators, augmentation generator, the
+negative sampler) is reseeded per ``(seed, epoch, step, shard)`` before a
+shard's forward (:func:`reseed_stochastic`).  Worker replicas are
+refreshed from a version-stamped
+:class:`~repro.data.shm.ShmParamMirror` the parent publishes before each
+step, so shard ``s`` of step ``t`` computes bitwise the same gradient in a
+worker as it would in-process; the fixed-order reduction then makes
+``fit`` with any ``num_workers`` (including 0) produce bitwise-identical
+parameters for a fixed ``grad_shards``.
+
+Semantics note: batch-coupled loss terms (the SSL contrastive objectives
+contrast rows *within* a shard) see micro-batches rather than the full
+batch — the standard data-parallel trade, equivalent to training with
+``batch_size / grad_shards`` contrast groups.  The single-process legacy
+path in :class:`~repro.train.trainer.Trainer` is untouched and remains the
+default (``data_parallel=False``).
+
+Telemetry: ``ddp.steps`` / ``ddp.shards`` counters, a ``ddp.sync_seconds``
+histogram of publish+reduce overhead, and a ``ddp.grad_bytes`` counter of
+gradient traffic, all in the session registry (zero-cost when disabled).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.pipeline import (PackedExamples, WorkerPool, epoch_order,
+                                 fork_available)
+from repro.data.sampling import NegativeSampler
+from repro.data.shm import ShmArena, ShmParamMirror
+from repro.nn.optim import assign_flat_gradients, gather_flat_gradients
+from repro.obs import get_logger, get_telemetry
+
+__all__ = ["DataParallelEngine", "discover_generators", "reseed_stochastic",
+           "shard_rows"]
+
+_log = get_logger(__name__)
+
+_MASK32 = 0xFFFFFFFF
+_SAMPLING_SALT = 0x5EED  # keeps candidate draws off the module generators
+
+
+def discover_generators(model, sampler: NegativeSampler | None = None) -> list:
+    """Every ``np.random.Generator`` reachable from the model (plus sampler).
+
+    Traverses ``model.modules()`` in registration order and scans each
+    module's attributes in insertion order, de-duplicating shared generator
+    objects — the result is a deterministic list identical across forked
+    replicas, so index ``i`` names the same stream in every process.
+    """
+    seen: set[int] = set()
+    generators = []
+    for module in model.modules():
+        for value in vars(module).values():
+            if isinstance(value, np.random.Generator) and id(value) not in seen:
+                seen.add(id(value))
+                generators.append(value)
+    rng = getattr(sampler, "rng", None)
+    if isinstance(rng, np.random.Generator) and id(rng) not in seen:
+        generators.append(rng)
+    return generators
+
+
+def _shard_sequence(seed: int, epoch: int, step: int, shard: int,
+                    salt: int) -> np.random.SeedSequence:
+    return np.random.SeedSequence((seed & _MASK32, epoch & _MASK32,
+                                   step & _MASK32, shard & _MASK32,
+                                   salt & _MASK32))
+
+
+def reseed_stochastic(generators: Sequence, seed: int, epoch: int, step: int,
+                      shard: int) -> None:
+    """Reset every generator's stream to a pure function of the shard key.
+
+    The generators are *shared object references* (one dropout generator
+    threads through many layers), so the state is replaced **in place** —
+    every module holding the reference sees the fresh stream.  Generator
+    ``i`` draws from ``SeedSequence((seed, epoch, step, shard, i))``, making
+    a shard's stochastic forward identical no matter which process runs it.
+    """
+    for index, generator in enumerate(generators):
+        sequence = _shard_sequence(seed, epoch, step, shard, index)
+        fresh = type(generator.bit_generator)(sequence)
+        generator.bit_generator.state = fresh.state
+
+
+def shard_rows(rows: np.ndarray, grad_shards: int) -> list[np.ndarray]:
+    """Split one batch's example rows into contiguous micro-batch shards.
+
+    Pure function of ``(rows, grad_shards)``: empty tails are dropped, so a
+    8-row batch at 4 shards yields 4×2 rows and a 3-row batch yields 3×1.
+    """
+    splits = np.array_split(np.asarray(rows, dtype=np.int64),
+                            min(grad_shards, len(rows)))
+    return [split for split in splits if split.size]
+
+
+def _shard_step(model, sampler: NegativeSampler | None, packed: PackedExamples,
+                negatives: int, max_len: int | None, generators: Sequence,
+                seed: int, epoch: int, step: int, shard: int,
+                rows: np.ndarray, want_breakdown: bool):
+    """Forward/backward one shard; returns ``(loss, breakdown, n, flat_grad)``.
+
+    The single shared recipe: the in-process mode and every worker run
+    exactly this function, with all randomness pinned by
+    :func:`reseed_stochastic` and the shard-keyed candidate generator —
+    which is what makes the gradient independent of where it is computed.
+    """
+    reseed_stochastic(generators, seed, epoch, step, shard)
+    batch = packed.collate_rows(rows, max_len)
+    if negatives and sampler is not None:
+        rng = np.random.default_rng(
+            _shard_sequence(seed, epoch, step, shard, _SAMPLING_SALT))
+        negs = sampler.sample_matrix(batch.users, batch.targets, negatives,
+                                     rng=rng)
+        batch.candidates = np.concatenate([batch.targets[:, None], negs], axis=1)
+    model.zero_grad()
+    if want_breakdown:
+        loss, breakdown = model.training_loss(batch, sampler,
+                                              return_breakdown=True)
+        breakdown = dict(breakdown)
+    else:
+        loss, breakdown = model.training_loss(batch, sampler), None
+    loss.backward()
+    flat = gather_flat_gradients(model.parameters())
+    return float(loss.data), breakdown, int(rows.size), flat
+
+
+def _ddp_worker(model, sampler: NegativeSampler | None, packed: PackedExamples,
+                negatives: int, max_len: int | None, seed: int,
+                mirror: ShmParamMirror, want_breakdown: bool) -> Callable:
+    """Worker factory: bind the forked replica, serve shard tasks.
+
+    Before each task the replica's parameters are refreshed from the mirror
+    when the parent has published a newer version (one version check per
+    task, one flat copy per optimizer step).
+    """
+    model.train()
+    buffer = np.empty(mirror.count, dtype=mirror.dtype)
+    generators = discover_generators(model, sampler)
+
+    def run(task):
+        epoch, step, shard, rows = task
+        if mirror.refresh(buffer):
+            model.load_parameter_vector(buffer)
+        return _shard_step(model, sampler, packed, negatives, max_len,
+                           generators, seed, epoch, step, shard, rows,
+                           want_breakdown)
+    return run
+
+
+class DataParallelEngine:
+    """Runs the sharded forward/backward for :class:`~repro.train.trainer.Trainer`.
+
+    Owns the worker pool, the parameter mirror, and the gradient arena; the
+    trainer drives it one batch at a time via :meth:`step` and keeps
+    clipping / optimizer / callback logic unchanged on the combined
+    gradient.  With ``num_workers=0`` (or no ``fork``) the same shard loop
+    runs in-process — the bitwise reference for any worker count.
+
+    Args:
+        model: the live model (parent copy; workers fork replicas of it).
+        sampler: training negative sampler (reseeded per shard).
+        packed: CSR-packed training examples (inherited by workers).
+        batch_size: examples per optimizer step (pre-shard).
+        negatives: presampled negatives per row (0 = model samples inline).
+        seed: base seed; shard randomness derives from it.
+        grad_shards: micro-batches per step — fixes the gradient's reduction
+            order, so it must stay constant to compare runs bitwise.
+        num_workers: worker processes (capped at ``grad_shards``).
+        max_len: optional padding cap, as in the loader.
+        want_breakdown: request per-component losses from the model.
+        timeout: worker heartbeat timeout (``None`` = env default).
+    """
+
+    def __init__(self, model, sampler: NegativeSampler | None,
+                 packed: PackedExamples, batch_size: int, *, negatives: int = 0,
+                 seed: int = 0, grad_shards: int = 4, num_workers: int = 0,
+                 max_len: int | None = None, want_breakdown: bool = False,
+                 timeout: float | None = None):
+        if grad_shards < 1:
+            raise ValueError(f"grad_shards must be >= 1, got {grad_shards}")
+        self.model = model
+        self.sampler = sampler
+        self.packed = packed
+        self.batch_size = batch_size
+        self.negatives = negatives
+        self.seed = seed
+        self.grad_shards = grad_shards
+        self.max_len = max_len
+        self.want_breakdown = want_breakdown
+        self._generators = discover_generators(model, sampler)
+        flat = model.parameter_vector()
+        self._flat_size = flat.size
+        self._dtype = flat.dtype
+        self._acc = np.zeros(self._flat_size, dtype=self._dtype)
+        self._pool: WorkerPool | None = None
+        self._mirror: ShmParamMirror | None = None
+        self._arena: ShmArena | None = None
+        if num_workers > 0 and not fork_available():
+            _log.warning("fork start method unavailable; data-parallel fit "
+                         "runs its shard loop in-process")
+            num_workers = 0
+        self.num_workers = min(num_workers, grad_shards)
+        if self.num_workers > 0:
+            self._mirror = ShmParamMirror(self._flat_size, dtype=self._dtype)
+            self._mirror.publish(flat)
+            slot_bytes = self._flat_size * self._dtype.itemsize + 256
+            self._arena = ShmArena(slot_bytes, grad_shards + 2)
+            self._pool = WorkerPool(
+                _ddp_worker,
+                (model, sampler, packed, negatives, max_len, seed,
+                 self._mirror, want_breakdown),
+                num_workers=self.num_workers, timeout=timeout,
+                transport=self._arena, transport_copy=False)
+
+    def epoch_chunks(self, epoch: int) -> list[np.ndarray]:
+        """The batch schedule for one epoch (shuffled, loader-compatible)."""
+        order = epoch_order(self.seed, epoch, len(self.packed), shuffle=True)
+        return [order[start:start + self.batch_size]
+                for start in range(0, len(order), self.batch_size)]
+
+    def step(self, epoch: int, step: int, rows: np.ndarray):
+        """One optimizer step's worth of shards → combined grads on the model.
+
+        Publishes current parameters (worker mode), fans the shards out,
+        reduces the shard gradients in shard order with ``n_s / n`` weights,
+        and assigns the result onto ``param.grad`` windows.  Returns
+        ``(loss, breakdown)`` for the combined step.
+        """
+        shards = shard_rows(rows, self.grad_shards)
+        sync_seconds = 0.0
+        if self._pool is not None:
+            started = time.perf_counter()
+            # Parent writes straight into the mirror segment; no in-flight
+            # tasks exist between steps, so workers never observe a torn
+            # publish.
+            self.model.parameter_vector(out=self._mirror.data)
+            self._mirror.publish()
+            sync_seconds += time.perf_counter() - started
+            for shard, shard_rows_ in enumerate(shards):
+                self._pool.submit(shard, (epoch, step, shard, shard_rows_))
+            results: dict[int, tuple] = {}
+            for _ in shards:
+                _, shard, value = self._pool.next_result()
+                results[shard] = value
+        else:
+            results = {
+                shard: _shard_step(self.model, self.sampler, self.packed,
+                                   self.negatives, self.max_len,
+                                   self._generators, self.seed, epoch, step,
+                                   shard, shard_rows_, self.want_breakdown)
+                for shard, shard_rows_ in enumerate(shards)
+            }
+        started = time.perf_counter()
+        total_rows = sum(value[2] for value in results.values())
+        self._acc[:] = 0.0
+        loss = 0.0
+        breakdown: dict[str, float] | None = {} if self.want_breakdown else None
+        for shard in range(len(shards)):
+            shard_loss, shard_breakdown, shard_rows_count, flat = results[shard]
+            weight = shard_rows_count / total_rows
+            self._acc += flat * weight
+            loss += shard_loss * weight
+            if breakdown is not None and shard_breakdown is not None:
+                for key, value in shard_breakdown.items():
+                    breakdown[key] = breakdown.get(key, 0.0) + value * weight
+        results.clear()  # drop shm views so the gradient slots recycle
+        assign_flat_gradients(self.model.parameters(), self._acc)
+        sync_seconds += time.perf_counter() - started
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            registry = telemetry.registry
+            registry.counter("ddp.steps").inc()
+            registry.counter("ddp.shards").inc(len(shards))
+            registry.counter("ddp.grad_bytes").inc(
+                len(shards) * self._flat_size * self._dtype.itemsize)
+            registry.histogram("ddp.sync_seconds").record(sync_seconds)
+        if breakdown is not None and not breakdown:
+            breakdown = None
+        return loss, breakdown
+
+    def close(self) -> None:
+        """Tear down the pool, mirror, and gradient arena (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._mirror is not None:
+            self._mirror.close()
+            self._mirror = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def __enter__(self) -> "DataParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -23,15 +23,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.data.pipeline import PrefetchLoader
+from repro.data.pipeline import PrefetchLoader, fork_available
 from repro.data.sampling import NegativeSampler
 from repro.data.splits import DataSplit
-from repro.eval.evaluator import evaluate_ranking, precollate
+from repro.eval.evaluator import EvalShardPool, evaluate_ranking, precollate
 from repro.eval.protocol import CandidateSets
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.schedule import ConstantLR, StepDecay, WarmupCosine
 from repro.obs import get_logger, get_telemetry, span
 
+from .ddp import DataParallelEngine
 from .history import EpochRecord, History
 
 __all__ = ["TrainConfig", "Trainer"]
@@ -55,6 +56,19 @@ class TrainConfig:
     yields a bitwise-identical batch stream for a fixed seed)."""
     prefetch: int = 2
     """Batches kept in flight per worker (bounded prefetch depth)."""
+    data_parallel: bool = False
+    """Shard each optimizer step's forward/backward across ``num_workers``
+    replicas with a fixed-order gradient allreduce (see
+    :mod:`repro.train.ddp`).  Off by default: the sharded loss decomposes
+    batch-coupled SSL terms into micro-batches, so it is a different (still
+    deterministic) training trajectory than the serial path."""
+    grad_shards: int = 4
+    """Micro-batches per optimizer step under ``data_parallel``.  Fixes the
+    gradient reduction order — results are bitwise-identical across any
+    ``num_workers`` for the same ``grad_shards``."""
+    worker_timeout: float | None = None
+    """Heartbeat timeout (seconds) for loader / data-parallel / eval worker
+    pools; ``None`` defers to ``REPRO_POOL_TIMEOUT`` (default 120)."""
     checkpoint_path: str | None = None
     """When set, the best-so-far model is also written to this .npz path
     (plus a ``<path>.manifest.json`` run manifest at the end of fit)."""
@@ -77,6 +91,10 @@ class TrainConfig:
             raise ValueError("num_workers must be >= 0")
         if self.prefetch < 1:
             raise ValueError("prefetch depth must be >= 1")
+        if self.grad_shards < 1:
+            raise ValueError("grad_shards must be >= 1")
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
 
 
 class Trainer:
@@ -177,6 +195,25 @@ class Trainer:
                                    else {"total": value})
         return losses
 
+    def _train_epoch_ddp(self, epoch: int, engine: DataParallelEngine,
+                         optimizer) -> list[float]:
+        """One data-parallel pass: the engine produces each step's combined
+        gradient; clipping, the optimizer step, and every callback hook run
+        here on the parent, exactly as in the serial loop."""
+        losses = []
+        for step, rows in enumerate(engine.epoch_chunks(epoch)):
+            with span("train.step", epoch=epoch, step=step):
+                self._dispatch("on_batch_start", epoch, step)
+                value, breakdown = engine.step(epoch, step, rows)
+                clip_grad_norm(self.model.parameters(), self.config.clip_norm)
+                optimizer.step()
+                losses.append(value)
+                if self.callbacks:
+                    self._dispatch("on_batch_end", epoch, step, value,
+                                   breakdown if breakdown is not None
+                                   else {"total": value})
+        return losses
+
     def fit(self, verbose: bool = False) -> History:
         """Train with early stopping; the model ends at its best checkpoint."""
         config = self.config
@@ -191,19 +228,44 @@ class Trainer:
                                  gamma=config.step_gamma)
         else:
             schedule = ConstantLR(optimizer)
-        # Prefetching loader: batch assembly + negative presampling run off
-        # the main process when num_workers > 0, and the stream is seeded so
-        # every worker count produces identical batches.
-        loader = PrefetchLoader(
-            self.split.train, self.dataset.schema, config.batch_size,
-            seed=config.seed, num_workers=config.num_workers,
-            prefetch=config.prefetch, negatives=self._train_negatives(),
-            dataset=self.dataset)
         # The breakdown dict is assembled inside training_loss either way,
         # so requesting it costs nothing — but only bother when someone
         # (callbacks or telemetry) will consume it.
         want_breakdown = ((bool(self.callbacks) or get_telemetry() is not None)
                           and self._supports_breakdown())
+        loader: PrefetchLoader | None = None
+        engine: DataParallelEngine | None = None
+        if config.data_parallel:
+            # Sharded forward/backward: the engine assembles each shard's
+            # micro-batch from the packed split directly (workers inherit it
+            # by reference), so no loader is needed.
+            from repro.data.pipeline import PackedExamples
+            engine = DataParallelEngine(
+                self.model, self.sampler,
+                PackedExamples.from_examples(self.split.train, self.dataset.schema),
+                config.batch_size, negatives=self._train_negatives(),
+                seed=config.seed, grad_shards=config.grad_shards,
+                num_workers=config.num_workers,
+                want_breakdown=want_breakdown, timeout=config.worker_timeout)
+        else:
+            # Prefetching loader: batch assembly + negative presampling run
+            # off the main process when num_workers > 0, and the stream is
+            # seeded so every worker count produces identical batches.
+            loader = PrefetchLoader(
+                self.split.train, self.dataset.schema, config.batch_size,
+                seed=config.seed, num_workers=config.num_workers,
+                prefetch=config.prefetch, negatives=self._train_negatives(),
+                dataset=self.dataset, timeout=config.worker_timeout)
+        # Per-epoch validation reuses one long-lived sharded ranking pool
+        # (parameters resynchronized through shared memory each pass) —
+        # forking a fresh pool per epoch is what made sharded evaluation
+        # lose to serial.
+        eval_pool: EvalShardPool | None = None
+        if (config.num_workers > 0 and fork_available()
+                and len(self._validation_batches()) > 1):
+            eval_pool = EvalShardPool(self.model, self._validation_batches(),
+                                      num_workers=config.num_workers,
+                                      timeout=config.worker_timeout)
         history = History()
         best_state = None
         epochs_since_best = 0
@@ -218,14 +280,22 @@ class Trainer:
                         schedule.step()
                         self.model.train()
                         with span("train.train_pass", epoch=epoch):
-                            losses = self._train_epoch(epoch, loader, optimizer,
-                                                       want_breakdown)
+                            if engine is not None:
+                                losses = self._train_epoch_ddp(epoch, engine,
+                                                               optimizer)
+                            else:
+                                losses = self._train_epoch(epoch, loader, optimizer,
+                                                           want_breakdown)
                         eval_start = time.perf_counter()
+                        self.model.eval()
                         with span("train.eval_pass", epoch=epoch):
-                            metrics = evaluate_ranking(
-                                self.model, self.split.valid, self.valid_candidates,
-                                self.dataset.schema,
-                                precollated=self._validation_batches())
+                            if eval_pool is not None:
+                                metrics = eval_pool.evaluate()
+                            else:
+                                metrics = evaluate_ranking(
+                                    self.model, self.split.valid, self.valid_candidates,
+                                    self.dataset.schema,
+                                    precollated=self._validation_batches())
                         now = time.perf_counter()
                         train_seconds = eval_start - train_start
                         eval_seconds = now - eval_start
@@ -271,7 +341,12 @@ class Trainer:
                                 history.stopped_early = True
                                 break
         finally:
-            loader.close()
+            if loader is not None:
+                loader.close()
+            if engine is not None:
+                engine.close()
+            if eval_pool is not None:
+                eval_pool.close()
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()

@@ -1,0 +1,221 @@
+"""Tests for the shared-memory transport: arena round-trips, slot leasing,
+payload codec parity, segment cleanup (including crashed readers), and the
+versioned parameter mirror."""
+
+import gc
+import os
+import signal
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.data import collate
+from repro.data.shm import (DEFAULT_MIN_SHM_BYTES, ShmArena, ShmBlock,
+                            ShmParamMirror, decode_payload, encode_payload)
+
+
+def _segment_path(name: str) -> str:
+    return os.path.join("/dev/shm", name)
+
+
+def _shm_visible(name: str) -> bool:
+    return os.path.exists(_segment_path(name))
+
+
+needs_dev_shm = pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                                   reason="no /dev/shm on this platform")
+
+
+class TestShmArena:
+    def test_write_open_round_trip(self):
+        rng = np.random.default_rng(0)
+        arrays = [rng.standard_normal((64, 32)),
+                  rng.integers(0, 1000, size=(128,), dtype=np.int64),
+                  rng.random((7, 5)).astype(np.float32)]
+        with ShmArena(slot_bytes=1 << 20, num_slots=2) as arena:
+            block = arena.write(arrays)
+            assert isinstance(block, ShmBlock)
+            views = arena.open(block)
+            assert len(views) == len(arrays)
+            for view, original in zip(views, arrays):
+                assert view.dtype == original.dtype
+                assert view.shape == original.shape
+                np.testing.assert_array_equal(view, original)
+                assert not view.flags.writeable
+
+    def test_views_survive_arena_close(self):
+        # Deferred unmap: closing the arena must not invalidate outstanding
+        # zero-copy views (numpy does not pin the mmap, so an eager unmap
+        # would segfault on the next read).
+        with ShmArena(slot_bytes=1 << 16, num_slots=1) as arena:
+            original = np.arange(4096, dtype=np.float64)
+            views = arena.open(arena.write([original]))
+        assert arena.closed
+        np.testing.assert_array_equal(views[0], original)
+
+    def test_slot_recycled_after_views_collected(self):
+        with ShmArena(slot_bytes=1 << 16, num_slots=1) as arena:
+            first = arena.write([np.zeros(512, dtype=np.float64)])
+            assert first is not None
+            views = arena.open(first)
+            # The only slot is leased by the live view: the next write must
+            # fall back rather than block forever.
+            assert arena.write([np.ones(512)], timeout=0.05) is None
+            del views
+            gc.collect()
+            again = arena.write([np.ones(512, dtype=np.float64)], timeout=5.0)
+            assert again is not None
+            np.testing.assert_array_equal(arena.open(again, copy=True)[0],
+                                          np.ones(512))
+
+    def test_copy_mode_releases_slot_immediately(self):
+        with ShmArena(slot_bytes=1 << 16, num_slots=1) as arena:
+            payload = np.arange(256, dtype=np.int64)
+            copies = arena.open(arena.write([payload]), copy=True)
+            np.testing.assert_array_equal(copies[0], payload)
+            assert copies[0].flags.writeable
+            # Slot is free again without any GC ceremony.
+            assert arena.write([payload], timeout=5.0) is not None
+
+    def test_oversize_payload_refused(self):
+        with ShmArena(slot_bytes=1 << 12, num_slots=2) as arena:
+            assert arena.write([np.zeros(1 << 14, dtype=np.float64)]) is None
+
+    @needs_dev_shm
+    def test_segment_unlinked_on_close(self):
+        arena = ShmArena(slot_bytes=1 << 12, num_slots=1)
+        name = arena.name
+        assert _shm_visible(name)
+        arena.close()
+        assert not _shm_visible(name)
+        arena.close()  # idempotent
+
+    @needs_dev_shm
+    def test_segment_unlinked_after_reader_killed(self):
+        # A reader that dies holding views must not leak the segment or
+        # poison the parent's mapping.
+        arena = ShmArena(slot_bytes=1 << 16, num_slots=2)
+        payload = np.arange(1024, dtype=np.float64)
+        block = arena.write([payload])
+        assert block is not None
+
+        def read_then_die():
+            views = arena.open(block)
+            assert views[0][10] == 10.0
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        child = mp.get_context("fork").Process(target=read_then_die)
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == -signal.SIGKILL
+        # Parent still owns a healthy segment and can read the data.
+        np.testing.assert_array_equal(arena.open(block, copy=True)[0], payload)
+        name = arena.name
+        arena.close()
+        assert not _shm_visible(name)
+
+
+class TestPayloadCodec:
+    def test_batch_dataclass_round_trip(self, tiny_dataset, tiny_split):
+        batch = collate(tiny_split.train[:16], tiny_dataset.schema)
+        with ShmArena(slot_bytes=1 << 20, num_slots=2) as arena:
+            tagged = encode_payload(batch, arena, min_bytes=1)
+            assert tagged[0] == "shm"
+            decoded, shm_bytes = decode_payload(tagged, arena, copy=True)
+            assert shm_bytes > 0
+        assert (decoded.users == batch.users).all()
+        assert (decoded.targets == batch.targets).all()
+        for behavior in batch.items:
+            assert (decoded.items[behavior] == batch.items[behavior]).all()
+            assert (decoded.masks[behavior] == batch.masks[behavior]).all()
+        assert (decoded.merged_items == batch.merged_items).all()
+        assert (decoded.merged_behaviors == batch.merged_behaviors).all()
+        assert (decoded.merged_mask == batch.merged_mask).all()
+
+    def test_nested_structure_preserved(self):
+        big = np.arange(4096, dtype=np.float64)
+        payload = {"big": big, "meta": {"count": 3, "names": ["a", "b"]},
+                   "pair": (big * 2, "label")}
+        with ShmArena(slot_bytes=1 << 20, num_slots=2) as arena:
+            tagged = encode_payload(payload, arena, min_bytes=1)
+            assert tagged[0] == "shm"
+            decoded, _ = decode_payload(tagged, arena, copy=False)
+            np.testing.assert_array_equal(decoded["big"], big)
+            np.testing.assert_array_equal(decoded["pair"][0], big * 2)
+            assert decoded["meta"] == {"count": 3, "names": ["a", "b"]}
+            assert decoded["pair"][1] == "label"
+
+    def test_small_arrays_stay_raw(self):
+        tiny = np.arange(8, dtype=np.int64)  # far below DEFAULT_MIN_SHM_BYTES
+        assert tiny.nbytes < DEFAULT_MIN_SHM_BYTES
+        with ShmArena(slot_bytes=1 << 12, num_slots=1) as arena:
+            tagged = encode_payload({"x": tiny}, arena)
+            assert tagged[0] == "raw"
+            decoded, shm_bytes = decode_payload(tagged, arena)
+            assert shm_bytes == 0
+            np.testing.assert_array_equal(decoded["x"], tiny)
+
+    def test_fallback_when_arena_full(self):
+        big = np.zeros(1 << 12, dtype=np.float64)
+        with ShmArena(slot_bytes=1 << 16, num_slots=1) as arena:
+            held = arena.open(arena.write([big]))
+            tagged = encode_payload({"x": big}, arena, min_bytes=1,
+                                    timeout=0.05)
+            assert tagged[0] == "raw"
+            decoded, shm_bytes = decode_payload(tagged, arena)
+            assert shm_bytes == 0
+            np.testing.assert_array_equal(decoded["x"], big)
+            del held
+
+    def test_closed_arena_encodes_raw(self):
+        arena = ShmArena(slot_bytes=1 << 12, num_slots=1)
+        arena.close()
+        tagged = encode_payload({"x": np.zeros(4096)}, arena, min_bytes=1)
+        assert tagged[0] == "raw"
+
+
+class TestShmParamMirror:
+    def test_publish_refresh_cycle(self):
+        with ShmParamMirror(count=64, dtype=np.float64) as mirror:
+            out = np.zeros(64, dtype=np.float64)
+            assert mirror.version == 0
+            assert not mirror.refresh(out)  # nothing published yet... but
+            first = np.arange(64, dtype=np.float64)
+            assert mirror.publish(first) == 1
+            # A fresh consumer state would see it; this process's _seen is
+            # still 0, so refresh picks it up exactly once.
+            assert mirror.refresh(out)
+            np.testing.assert_array_equal(out, first)
+            assert not mirror.refresh(out)  # no new version
+            mirror.data[...] = 7.0
+            assert mirror.publish() == 2  # bump without values
+            assert mirror.refresh(out)
+            np.testing.assert_array_equal(out, np.full(64, 7.0))
+
+    @needs_dev_shm
+    def test_mirror_unlinked_on_close(self):
+        mirror = ShmParamMirror(count=16)
+        name = mirror.name
+        assert _shm_visible(name)
+        mirror.close()
+        assert not _shm_visible(name)
+        mirror.close()  # idempotent
+
+    def test_refresh_across_fork(self):
+        with ShmParamMirror(count=32, dtype=np.float32) as mirror:
+            mirror.publish(np.full(32, 3.0, dtype=np.float32))
+            parent, child = mp.get_context("fork").Pipe()
+
+            def report():
+                buffer = np.zeros(32, dtype=np.float32)
+                updated = mirror.refresh(buffer)
+                child.send((updated, float(buffer[0])))
+                child.close()
+
+            worker = mp.get_context("fork").Process(target=report)
+            worker.start()
+            updated, value = parent.recv()
+            worker.join(timeout=30)
+            assert updated and value == 3.0

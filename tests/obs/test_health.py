@@ -110,6 +110,24 @@ class TestGradientMonitor:
         assert registry.gauge("train.grad.global_norm").value == pytest.approx(1.0)
         assert registry.gauge("train.grad.update_ratio.max").value == pytest.approx(0.02)
 
+    def test_zero_or_poisoned_param_norm_reports_zero_ratio(self):
+        # All-zero parameters make the ratio denominator 0 and a NaN-poisoned
+        # parameter makes it non-finite; both must report 0.0, not nan/inf.
+        registry = MetricsRegistry()
+        monitor = GradientMonitor(every=1, registry=registry)
+        zero = SimpleNamespace(data=np.zeros(3), grad=np.zeros(3))
+        poisoned = SimpleNamespace(data=np.array([np.nan, 1.0]),
+                                   grad=np.array([0.1, 0.1]))
+        params = [("zero", zero), ("poisoned", poisoned)]
+        model = SimpleNamespace(named_parameters=lambda: list(params))
+        trainer = SimpleNamespace(model=model)
+        monitor.on_batch_start(trainer, 0, 0)
+        zero.data = np.full(3, 0.5)  # huge relative update from a zero start
+        monitor.on_batch_end(trainer, 0, 0, 1.0, {})
+        assert monitor.last_ratios()["zero"] == 0.0
+        assert monitor.last_ratios()["poisoned"] == 0.0
+        assert registry.gauge("train.grad.update_ratio.max").value == 0.0
+
     def test_every_controls_sampling(self):
         monitor = GradientMonitor(every=2, registry=MetricsRegistry())
         param = SimpleNamespace(data=np.ones(2), grad=np.ones(2))

@@ -1,0 +1,142 @@
+"""Tests for data-parallel training: shard decomposition, stochastic
+reseeding, and the bitwise worker-count-independence guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.core import MISSL, MISSLConfig
+from repro.data.pipeline import PackedExamples, fork_available
+from repro.data.sampling import NegativeSampler
+from repro.train import DataParallelEngine, TrainConfig, Trainer
+from repro.train.ddp import discover_generators, reseed_stochastic, shard_rows
+
+
+def _build_model(tiny_dataset, tiny_graph, seed=3):
+    config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                         num_train_negatives=8, lambda_aug=0.0)
+    return MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                 config, seed=seed)
+
+
+class TestShardRows:
+    def test_even_split(self):
+        shards = shard_rows(np.arange(8), 4)
+        assert [list(s) for s in shards] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_fewer_rows_than_shards(self):
+        shards = shard_rows(np.arange(3), 4)
+        assert [list(s) for s in shards] == [[0], [1], [2]]
+
+    def test_order_preserved_under_concat(self):
+        rows = np.array([9, 2, 7, 4, 1])
+        shards = shard_rows(rows, 2)
+        np.testing.assert_array_equal(np.concatenate(shards), rows)
+
+    def test_no_empty_shards(self):
+        assert all(s.size for s in shard_rows(np.arange(5), 16))
+
+
+class TestReseedStochastic:
+    def test_same_key_same_stream(self):
+        a, b = np.random.default_rng(1), np.random.default_rng(2)
+        reseed_stochastic([a], seed=5, epoch=1, step=2, shard=0)
+        reseed_stochastic([b], seed=5, epoch=1, step=2, shard=0)
+        np.testing.assert_array_equal(a.random(16), b.random(16))
+
+    def test_different_shard_different_stream(self):
+        a, b = np.random.default_rng(0), np.random.default_rng(0)
+        reseed_stochastic([a], seed=5, epoch=1, step=2, shard=0)
+        reseed_stochastic([b], seed=5, epoch=1, step=2, shard=1)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_reseed_is_in_place(self):
+        # Modules share generator *objects*; the reseed must replace the
+        # stream behind every shared reference, not rebind one of them.
+        shared = np.random.default_rng(0)
+        alias = shared
+        reseed_stochastic([shared], seed=1, epoch=0, step=0, shard=0)
+        expected = np.random.Generator(type(shared.bit_generator)(
+            np.random.SeedSequence((1, 0, 0, 0, 0)))).random(8)
+        np.testing.assert_array_equal(alias.random(8), expected)
+
+    def test_generator_index_salts_the_key(self):
+        a, b = np.random.default_rng(0), np.random.default_rng(0)
+        reseed_stochastic([a, b], seed=1, epoch=0, step=0, shard=0)
+        assert not np.array_equal(a.random(16), b.random(16))
+
+
+class TestDiscoverGenerators:
+    def test_model_generators_deduped(self, tiny_dataset, tiny_graph):
+        model = _build_model(tiny_dataset, tiny_graph)
+        generators = discover_generators(model)
+        assert generators
+        assert len({id(g) for g in generators}) == len(generators)
+        assert all(isinstance(g, np.random.Generator) for g in generators)
+
+    def test_sampler_rng_included(self, tiny_dataset, tiny_graph):
+        model = _build_model(tiny_dataset, tiny_graph)
+        sampler = NegativeSampler(tiny_dataset, np.random.default_rng(11))
+        generators = discover_generators(model, sampler)
+        assert any(g is sampler.rng for g in generators)
+
+    def test_order_stable(self, tiny_dataset, tiny_graph):
+        model = _build_model(tiny_dataset, tiny_graph)
+        first = discover_generators(model)
+        second = discover_generators(model)
+        assert [id(g) for g in first] == [id(g) for g in second]
+
+
+def _fit(tiny_dataset, tiny_graph, tiny_split, num_workers):
+    model = _build_model(tiny_dataset, tiny_graph)
+    config = TrainConfig(epochs=2, patience=2, batch_size=32, seed=9,
+                         num_eval_negatives=30, data_parallel=True,
+                         grad_shards=4, num_workers=num_workers)
+    history = Trainer(model, tiny_split, config).fit()
+    return model, history
+
+
+class TestBitwiseDeterminism:
+    @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_fit_matches_in_process_reference(self, tiny_dataset, tiny_graph,
+                                              tiny_split, num_workers):
+        reference_model, reference = _fit(tiny_dataset, tiny_graph, tiny_split,
+                                          num_workers=0)
+        model, history = _fit(tiny_dataset, tiny_graph, tiny_split,
+                              num_workers=num_workers)
+        for ref_record, record in zip(reference.records, history.records):
+            assert record.train_loss == ref_record.train_loss
+            assert record.valid_metrics == ref_record.valid_metrics
+        reference_state = reference_model.state_dict()
+        state = model.state_dict()
+        assert state.keys() == reference_state.keys()
+        for name in state:
+            np.testing.assert_array_equal(state[name], reference_state[name])
+
+    def test_engine_matches_serial_training_loss(self, tiny_dataset, tiny_graph,
+                                                 tiny_split):
+        # grad_shards=1, num_workers=0 degenerates to one full-batch shard:
+        # the engine's decomposition overhead must not perturb the math.
+        model = _build_model(tiny_dataset, tiny_graph)
+        packed = PackedExamples.from_examples(tiny_split.train,
+                                              tiny_dataset.schema)
+        sampler = NegativeSampler(tiny_dataset, np.random.default_rng(9))
+        with DataParallelEngine(model, sampler, packed, batch_size=32,
+                                seed=9, grad_shards=1) as engine:
+            rows = engine.epoch_chunks(0)[0]
+            loss, _ = engine.step(0, 0, rows)
+        assert np.isfinite(loss)
+        flat = np.concatenate([p.grad.ravel() for p in model.parameters()
+                               if p.grad is not None])
+        assert np.isfinite(flat).all() and np.abs(flat).sum() > 0
+
+
+class TestConfigSurface:
+    def test_grad_shards_validated(self):
+        with pytest.raises(ValueError):
+            TrainConfig(grad_shards=0)
+
+    def test_data_parallel_off_by_default(self):
+        config = TrainConfig()
+        assert config.data_parallel is False
+        assert config.grad_shards == 4
