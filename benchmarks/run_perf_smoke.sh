@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-run the perf benchmarks (P1 hot paths, P2 serving, P5 input
-# pipeline, P6 data-parallel training) at tiny scale.
+# pipeline, P6 data-parallel training, P7 network serving) at tiny scale.
 #
 # Verifies the benchmark machinery end to end — all code paths execute and
-# BENCH_P1.json / BENCH_P2.json / BENCH_P5.json / BENCH_P6.json are
+# BENCH_P1.json / BENCH_P2.json / BENCH_P5.json / BENCH_P6.json /
+# BENCH_P7.json are
 # produced — without asserting the speedup floors, which are only meaningful at the default
 # scale (tiny corpora are dominated by fixed overheads).  Intended for CI;
 # finishes in well under a minute.
@@ -22,20 +23,24 @@ export REPRO_PERF_PIPELINE_MIN_SPEEDUP="${REPRO_PERF_PIPELINE_MIN_SPEEDUP:-0}"
 export REPRO_PERF_DDP_EPOCHS="${REPRO_PERF_DDP_EPOCHS:-1}"
 export REPRO_PERF_DDP_MIN_SPEEDUP="${REPRO_PERF_DDP_MIN_SPEEDUP:-0}"
 export REPRO_PERF_EVAL_MIN_SPEEDUP="${REPRO_PERF_EVAL_MIN_SPEEDUP:-0}"
+export REPRO_PERF_NET_REQUESTS="${REPRO_PERF_NET_REQUESTS:-120}"
+export REPRO_PERF_NET_CONNECTIONS="${REPRO_PERF_NET_CONNECTIONS:-4}"
 
 # Static-analysis gate: new findings (anything not in lint-baseline.json)
 # fail the smoke run before any benchmark time is spent.
 PYTHONPATH=src python -m repro lint src/repro
 
 rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json \
-      benchmarks/results/BENCH_P5.json benchmarks/results/BENCH_P6.json
+      benchmarks/results/BENCH_P5.json benchmarks/results/BENCH_P6.json \
+      benchmarks/results/BENCH_P7.json
 
 PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py
 PYTHONPATH=src python benchmarks/bench_p2_serving.py
 PYTHONPATH=src python benchmarks/bench_p5_pipeline.py
 PYTHONPATH=src python benchmarks/bench_p6_ddp.py
+PYTHONPATH=src python benchmarks/bench_p7_net.py
 
-for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json BENCH_P6.json; do
+for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json BENCH_P6.json BENCH_P7.json; do
     if [[ ! -f "benchmarks/results/$result" ]]; then
         echo "FAIL: benchmarks/results/$result was not produced" >&2
         exit 1
@@ -55,5 +60,43 @@ grep -q "train.fit" "$OBS_RENDER" || {
     echo "FAIL: obs render missing train.fit span" >&2
     exit 1
 }
+
+# Network serving smoke, end to end through the CLI: export an artifact,
+# start `repro serve --listen` with replicas, push 200 closed-loop requests
+# through a real socket, then SIGTERM and require a clean (exit 0) drain.
+SERVE_ARTIFACT="$(mktemp -t repro_serve_smoke.XXXXXX.npz)"
+trap 'rm -f "$OBS_EVENTS" "$OBS_RENDER" "$SERVE_ARTIFACT"' EXIT
+PYTHONPATH=src python -m repro export --preset taobao \
+    --scale "$REPRO_PERF_SCALE" --dim 16 --epochs 1 --seed 1 \
+    "$SERVE_ARTIFACT" >/dev/null
+PYTHONPATH=src python - "$SERVE_ARTIFACT" "$REPRO_PERF_SCALE" <<'PY'
+import json
+import signal
+import subprocess
+import sys
+
+artifact, scale = sys.argv[1], float(sys.argv[2])
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", artifact,
+     "--listen", "127.0.0.1:0", "--replicas", "2", "--index", "hnsw"],
+    stdout=subprocess.PIPE, text=True)
+try:
+    banner = json.loads(proc.stdout.readline())
+    assert banner.get("ready"), f"no ready banner: {banner}"
+    from repro.data import DATASET_PRESETS, generate, k_core_filter
+    from repro.serve import run_load
+    dataset = k_core_filter(generate(DATASET_PRESETS["taobao"](scale), seed=1))
+    report = run_load(banner["host"], banner["port"], dataset.users,
+                      connections=4, target_qps=0.0, total_requests=200,
+                      warmup=20, k=10, seed=1)
+    assert report.sent == 200, report.to_dict()
+    assert report.ok == 200, report.to_dict()
+finally:
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=60)
+assert code == 0, f"serve exited {code} on SIGTERM"
+print(f"serve smoke OK ({report.ok} requests, "
+      f"p99 {report.percentile(99.0):.1f}ms)")
+PY
 
 echo "perf smoke OK"

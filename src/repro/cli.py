@@ -108,13 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "provenance recorded in the artifact)")
     serve.add_argument("--scale", type=float, default=None)
     serve.add_argument("--seed", type=int, default=None)
-    serve.add_argument("--backend", default="exact", choices=["exact", "ivf"])
+    serve.add_argument("--backend", default="exact",
+                       choices=["exact", "ivf", "hnsw"])
+    serve.add_argument("--index", default=None,
+                       choices=["exact", "ivf", "hnsw"],
+                       help="retrieval index (overrides --backend; the "
+                            "network-mode spelling)")
     serve.add_argument("--k", type=int, default=10, help="default top-k per request")
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--max-wait-ms", type=float, default=5.0)
     serve.add_argument("--probe-every", type=int, default=0,
-                       help="with --backend ivf, shadow-score every N-th "
-                            "request on an exact index and record recall")
+                       help="with an approximate index, shadow-score every "
+                            "N-th request on an exact index and record recall")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve newline-delimited JSON over TCP instead "
+                            "of stdin/stdout (port 0 picks a free port; the "
+                            "ready banner reports the bound address)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="with --listen, fork this many single-worker "
+                            "replica processes (0 = serve in-process)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="with --listen, bound on concurrently executing "
+                            "requests before load shedding")
     serve.add_argument("--events-out", default=None, metavar="FILE",
                        help="write a JSON-lines telemetry event log "
                             "(render it with `python -m repro obs FILE`)")
@@ -368,10 +383,13 @@ def _cmd_serve(args) -> int:
               f"artifact was exported with {artifact.num_items}", file=sys.stderr)
         return 2
     history = HistoryStore.from_dataset(dataset)
-    probe = args.probe_every if args.backend != "exact" else 0
+    index_backend = args.index or args.backend
+    probe = args.probe_every if index_backend != "exact" else 0
+    if args.listen is not None:
+        return _serve_network(args, artifact, history, index_backend, probe)
     with _telemetry(args.events_out) as telemetry:
         registry = telemetry.registry if telemetry is not None else None
-        with RecommenderService(artifact, history, index_backend=args.backend,
+        with RecommenderService(artifact, history, index_backend=index_backend,
                                 max_batch=args.max_batch,
                                 max_wait_ms=args.max_wait_ms,
                                 recall_probe_every=probe,
@@ -379,7 +397,7 @@ def _cmd_serve(args) -> int:
             print(json.dumps({"ok": True, "ready": True,
                               "users": len(history.users),
                               "num_items": artifact.num_items,
-                              "backend": args.backend}), flush=True)
+                              "backend": index_backend}), flush=True)
             for line in sys.stdin:
                 line = line.strip()
                 if not line:
@@ -397,6 +415,54 @@ def _cmd_serve(args) -> int:
                 from pathlib import Path
                 snapshot = json.dumps(service.stats(), indent=2) + "\n"
                 Path(args.metrics_out).write_text(snapshot, encoding="utf-8")
+    return 0
+
+
+def _serve_network(args, artifact, history, index_backend: str,
+                   probe: int) -> int:
+    """Network serving mode (``--listen``): NDJSON over TCP until SIGTERM."""
+    import json
+    import signal
+
+    from repro.serve import NetServer, build_backend
+
+    host, _, port_text = args.listen.rpartition(":")
+    if not host or not port_text:
+        print(f"--listen expects HOST:PORT, got {args.listen!r}",
+              file=sys.stderr)
+        return 2
+    with _telemetry(args.events_out) as telemetry:
+        registry = telemetry.registry if telemetry is not None else None
+        backend = build_backend(
+            artifact, history, replicas=args.replicas,
+            service_options={"index_backend": index_backend,
+                             "recall_probe_every": probe},
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            registry=registry)
+        server = NetServer(backend, host, int(port_text),
+                           max_inflight=args.max_inflight,
+                           default_k=args.k, registry=registry)
+        try:
+            bound_host, bound_port = server.start_background()
+            print(json.dumps({"ok": True, "ready": True,
+                              "host": bound_host, "port": bound_port,
+                              "users": len(history.users),
+                              "num_items": artifact.num_items,
+                              "backend": index_backend,
+                              "replicas": args.replicas}), flush=True)
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, lambda *_: server.drain())
+            server.wait()
+        finally:
+            server.stop()
+            if args.metrics_out:
+                from pathlib import Path
+                snapshot = {"net": server.net_stats()}
+                if hasattr(backend, "stats"):
+                    snapshot["backend"] = backend.stats()
+                Path(args.metrics_out).write_text(
+                    json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+            backend.close()
     return 0
 
 

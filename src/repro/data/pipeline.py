@@ -57,7 +57,8 @@ from repro.obs import get_telemetry
 from .batching import Batch
 from .sampling import NegativeSampler
 from .schema import BehaviorSchema, PAD_ITEM
-from .shm import ShmArena, decode_payload, encode_payload
+from .shm import (DEFAULT_MIN_SHM_BYTES, ShmArena, decode_payload,
+                  encode_payload)
 from .splits import SequenceExample
 
 __all__ = [
@@ -236,14 +237,18 @@ class WorkerError(RuntimeError):
 
 
 def _worker_main(worker_id: int, factory: Callable, initargs: tuple,
-                 tasks, results, transport: ShmArena | None = None) -> None:
+                 tasks, results, transport: ShmArena | None = None,
+                 transport_requests: bool = False,
+                 transport_min_bytes: int | None = None) -> None:
     """Worker process entry point: build the task fn, then serve tasks.
 
     Any exception — in the factory or per task — is caught, formatted, and
     shipped to the main process, which re-raises it as :class:`WorkerError`.
     With a ``transport`` arena, result ndarrays are written into a shared
     slot and only the descriptor is queued (pickle fallback when the arena
-    cannot take the payload).
+    cannot take the payload).  With ``transport_requests`` the *inbound*
+    payloads are shm-encoded too (the serving replicas use this); they are
+    decoded as private copies so the slot frees immediately.
     """
     try:
         # Telemetry sessions (open event-log files, thread-local span stacks)
@@ -264,9 +269,13 @@ def _worker_main(worker_id: int, factory: Callable, initargs: tuple,
             break
         task_id, payload = task
         try:
+            if transport_requests and transport is not None:
+                payload, _ = decode_payload(payload, transport, copy=True)
             value = fn(payload)
             if transport is not None:
-                value = encode_payload(value, transport)
+                min_bytes = (DEFAULT_MIN_SHM_BYTES if transport_min_bytes is None
+                             else transport_min_bytes)
+                value = encode_payload(value, transport, min_bytes=min_bytes)
             results.put(("ok", worker_id, task_id, value))
         except BaseException:
             results.put(("error", worker_id, task_id, traceback.format_exc()))
@@ -294,6 +303,12 @@ class WorkerPool:
             the caller owns the arena's lifetime.
         transport_copy: decode shm results as private copies instead of
             leased views — use for results that outlive the arena.
+        transport_requests: also shm-encode *task payloads* on submit (the
+            serving replica path); workers decode them as private copies so
+            the slot frees immediately.
+        transport_min_bytes: per-array floor below which payloads take the
+            pickle path; ``None`` keeps the module default (1024 B).  The
+            serving tier lowers it — request batches are small but frequent.
         death_grace: seconds a worker may be observed dead before the pool
             declares silent death (lets the queue feeder flush a final
             result); ``None`` reads ``REPRO_POOL_DEATH_GRACE`` (default 2).
@@ -310,6 +325,8 @@ class WorkerPool:
                  num_workers: int = 1, timeout: float | None = None,
                  poll_interval: float = 0.1, start_method: str | None = None,
                  transport: ShmArena | None = None, transport_copy: bool = False,
+                 transport_requests: bool = False,
+                 transport_min_bytes: int | None = None,
                  death_grace: float | None = None):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
@@ -325,6 +342,8 @@ class WorkerPool:
         self.poll_interval = poll_interval
         self._transport = transport
         self._transport_copy = transport_copy
+        self._transport_requests = transport_requests
+        self._transport_min_bytes = transport_min_bytes
         self.shm_bytes = 0
         self.shm_results = 0
         self.raw_results = 0
@@ -334,7 +353,8 @@ class WorkerPool:
         self._workers = [
             self._ctx.Process(target=_worker_main, name=f"repro-pipeline-{i}",
                               args=(i, factory, initargs, self._tasks,
-                                    self._results, transport),
+                                    self._results, transport,
+                                    transport_requests, transport_min_bytes),
                               daemon=True)
             for i in range(num_workers)
         ]
@@ -350,7 +370,19 @@ class WorkerPool:
         """Enqueue one task; results arrive via :meth:`next_result`."""
         if self._closed:
             raise RuntimeError("cannot submit to a closed WorkerPool")
+        if self._transport_requests and self._transport is not None:
+            min_bytes = (DEFAULT_MIN_SHM_BYTES
+                         if self._transport_min_bytes is None
+                         else self._transport_min_bytes)
+            payload = encode_payload(payload, self._transport,
+                                     min_bytes=min_bytes)
         self._tasks.put((task_id, payload))
+
+    def workers_alive(self) -> list[bool]:
+        """Per-worker liveness (a supervisor polls this between results —
+        the heartbeat in :meth:`next_result` only fires while a result is
+        being awaited, so an idle pool needs this to notice silent death)."""
+        return [worker.is_alive() for worker in self._workers]
 
     def next_result(self):
         """Block for the next ``(worker_id, task_id, value)`` result.

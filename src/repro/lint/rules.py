@@ -26,6 +26,10 @@ now only enforced by review:
   ``None`` when disabled; chaining directly on the call both crashes when
   telemetry is off and defeats the one-global-check zero-cost discipline
   shared with :mod:`repro.perf`.
+* ``BLOCKING-IO-CONTAINMENT`` — raw sockets and blocking receive/send calls
+  belong in :mod:`repro.serve.net` only; anywhere else (and especially on
+  the asyncio front-end's event loop) a blocking socket call is a stall the
+  in-flight bound cannot see.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ __all__ = [
     "NoBarePrintRule",
     "SeededRandomnessRule",
     "TelemetryGuardRule",
+    "BlockingIoContainmentRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -222,6 +227,59 @@ class SeededRandomnessRule:
                     self.rule_id, node,
                     f"global-state np.random.{node.func.attr} "
                     "(thread a seeded np.random.Generator instead)")
+
+
+@register
+class BlockingIoContainmentRule:
+    """Raw sockets and blocking receive calls live in ``repro.serve.net`` only."""
+
+    rule_id = "BLOCKING-IO-CONTAINMENT"
+    description = ("socket imports/constructors and blocking recv/sendall/"
+                   "accept calls are forbidden outside repro.serve.net — the "
+                   "serving tier keeps every blocking socket behind the "
+                   "executor boundary there")
+
+    HOME_MODULE = "repro.serve.net"
+    CONSTRUCTORS = ("socket", "create_connection", "create_server",
+                    "socketpair", "fromfd")
+    BLOCKING_METHODS = ("recv", "recv_into", "recvfrom", "recvfrom_into",
+                        "recvmsg", "sendall", "accept")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag socket imports, ``socket.*`` constructors and blocking
+        socket-style method calls in any other module."""
+        if ctx.module == self.HOME_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "socket" or alias.name.startswith("socket."):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            "socket import outside repro.serve.net (route "
+                            "network I/O through the serving tier)")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "socket":
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "socket import outside repro.serve.net (route "
+                        "network I/O through the serving tier)")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                func = node.func
+                if (isinstance(func.value, ast.Name)
+                        and func.value.id == "socket"
+                        and func.attr in self.CONSTRUCTORS):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"socket.{func.attr} outside repro.serve.net "
+                        "(raw sockets bypass the serving tier's timeout and "
+                        "shedding discipline)")
+                elif func.attr in self.BLOCKING_METHODS:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f".{func.attr}() is a blocking socket-style call "
+                        "outside repro.serve.net (it would stall whatever "
+                        "thread or event loop runs it)")
 
 
 @register

@@ -6,15 +6,21 @@ Layers (each usable on its own):
   inference artifact (``.npz`` + manifest) loadable without the autodiff graph.
 - :mod:`repro.serve.encoder` — autodiff-free forward pass that maps user
   histories to multi-interest vectors, bitwise-equal to the eval-mode model.
-- :mod:`repro.serve.index` — exact and IVF (coarse-quantized) retrieval over
-  the frozen item table, queried with multi-interest vectors.
+- :mod:`repro.serve.index` — exact, IVF (coarse-quantized) and HNSW (layered
+  graph) retrieval over the frozen item table, queried with multi-interest
+  vectors.
 - :mod:`repro.serve.history` / :mod:`~repro.serve.cache` /
   :mod:`~repro.serve.batcher` — versioned user histories, a TTL + LRU cache
-  of interest vectors, and the micro-batching request engine.
+  of interest vectors (with single-flight stampede suppression), and the
+  micro-batching request engine.
 - :mod:`repro.serve.metrics` — per-stage latency histograms, QPS, cache
   hit rate and recall-vs-exact counters.
 - :mod:`repro.serve.service` — the :class:`RecommenderService` facade that
   wires everything together (also behind ``python -m repro serve``).
+- :mod:`repro.serve.net` — the network tier: NDJSON TCP front-end with
+  bounded in-flight load shedding and graceful drain, replica sharding over
+  forked worker processes with user-hash routing and respawn-on-death, a
+  blocking client and a closed-loop load generator.
 """
 
 from .artifact import InferenceArtifact, export_artifact, load_artifact
@@ -22,8 +28,12 @@ from .batcher import MicroBatcher
 from .cache import InterestCache
 from .encoder import MisslServingEncoder, build_encoder, register_encoder
 from .history import HistoryStore
-from .index import ExactIndex, IVFIndex, SearchResult, build_index, topk_overlap
+from .index import (ExactIndex, HNSWIndex, IVFIndex, SearchResult,
+                    build_index, topk_overlap)
 from .metrics import LatencyHistogram, ServingMetrics
+from .net import (LoadReport, LocalBackend, NetClient, NetServer, ReplicaSet,
+                  ReplicaUnavailable, build_backend, normalize_request,
+                  run_load)
 from .service import RecommenderService
 
 __all__ = [
@@ -35,6 +45,7 @@ __all__ = [
     "register_encoder",
     "ExactIndex",
     "IVFIndex",
+    "HNSWIndex",
     "SearchResult",
     "build_index",
     "topk_overlap",
@@ -44,4 +55,13 @@ __all__ = [
     "LatencyHistogram",
     "ServingMetrics",
     "RecommenderService",
+    "LoadReport",
+    "LocalBackend",
+    "NetClient",
+    "NetServer",
+    "ReplicaSet",
+    "ReplicaUnavailable",
+    "build_backend",
+    "normalize_request",
+    "run_load",
 ]

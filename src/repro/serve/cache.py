@@ -1,4 +1,4 @@
-"""TTL + LRU cache of per-user interest vectors.
+"""TTL + LRU cache of per-user interest vectors, with stampede suppression.
 
 Encoding a user (sequence embedding → transformers → interest extraction) is
 the expensive stage of a request; interest vectors are small ``(K, D)``
@@ -8,11 +8,25 @@ which bumps the version — makes the stale entry unreachable immediately;
 ``ttl_seconds`` (bounding staleness of the *item table* view) and the least
 recently used entry is evicted beyond ``capacity``.
 
-The clock is injectable so tests drive expiry deterministically.
+Single-flight discipline: with the async network front-end, several in-flight
+requests can miss on the same ``(user, version)`` key at once — a classic
+cache stampede that would encode the same user once per request.  The
+claim/fulfill protocol deduplicates that work: the first thread to
+:meth:`claim` a key owns the encode; later claimants receive a
+``threading.Event`` to wait on and read the fulfilled value from the cache,
+and every such wait is counted in :attr:`stampedes_suppressed` (exported as
+the ``serve.cache.stampede_suppressed`` counter by
+:class:`~repro.serve.metrics.ServingMetrics`).  An owner that fails calls
+:meth:`abandon`, releasing waiters to encode for themselves — degraded work,
+never a deadlock.
+
+All public methods are thread-safe; the clock is injectable so tests drive
+expiry deterministically.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Callable, Hashable
@@ -33,11 +47,15 @@ class InterestCache:
         self.ttl_seconds = ttl_seconds
         self._clock = clock
         self._entries: "OrderedDict[Hashable, tuple[float, object]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._inflight: dict[Hashable, threading.Event] = {}
         self.evictions = 0
         self.expirations = 0
+        self.stampedes_suppressed = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def _key(user: int, version: int) -> tuple[int, int]:
@@ -47,32 +65,74 @@ class InterestCache:
         """The cached value, or None on miss/expiry (expired entries are
         dropped; hits refresh LRU recency)."""
         key = self._key(user, version)
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        expires, value = entry
-        if self._clock() >= expires:
-            del self._entries[key]
-            self.expirations += 1
-            return None
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            expires, value = entry
+            if self._clock() >= expires:
+                del self._entries[key]
+                self.expirations += 1
+                return None
+            self._entries.move_to_end(key)
+            return value
 
     def put(self, user: int, version: int, value) -> None:
         """Insert (or refresh) an entry, evicting LRU beyond capacity."""
         key = self._key(user, version)
-        self._entries[key] = (self._clock() + self.ttl_seconds, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = (self._clock() + self.ttl_seconds, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # single-flight claims (stampede suppression)
+    # ------------------------------------------------------------------
+    def claim(self, user: int, version: int) -> threading.Event | None:
+        """Claim the right to encode ``(user, version)``.
+
+        Returns ``None`` when the caller now owns the claim (it must finish
+        with :meth:`fulfill` or :meth:`abandon`), or the owning thread's
+        ``Event`` to wait on when another claim is already in flight — in
+        which case the suppressed-stampede counter is bumped.
+        """
+        key = self._key(user, version)
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is not None:
+                self.stampedes_suppressed += 1
+                return event
+            self._inflight[key] = threading.Event()
+            return None
+
+    def fulfill(self, user: int, version: int, value) -> None:
+        """Publish an owned claim's value and release every waiter."""
+        key = self._key(user, version)
+        self.put(user, version, value)
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def abandon(self, user: int, version: int) -> None:
+        """Drop an owned claim without a value (encode failed); waiters wake
+        and fall back to encoding for themselves."""
+        key = self._key(user, version)
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
 
     def invalidate(self, user: int) -> int:
         """Eagerly drop every cached version for ``user``; returns the count."""
-        stale = [key for key in self._entries if key[0] == user]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == user]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

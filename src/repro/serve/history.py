@@ -8,10 +8,21 @@ dataset), a monotonically increasing **version** per user that bumps on every
 append, and builds the exact same inference examples as
 :func:`repro.recommend.build_inference_example` — so a service answer equals
 the offline answer for an unmodified user.
+
+Thread safety: the async network front-end interleaves cold-start appends
+with encode-path reads from executor threads, so every accessor and the
+append path run under one re-entrant store lock.  ``append`` in particular
+is a read-modify-write (latest-timestamp read, list append, version bump)
+that must be atomic — without the lock two concurrent appends could both
+read version ``v`` and publish ``v + 1``, making one event invisible to the
+``(user, version)`` cache key.  Contention is negligible: every critical
+section is a few dict/list operations, orders of magnitude cheaper than the
+encodes they synchronize against.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 
 from repro.data.dataset import MultiBehaviorDataset
@@ -31,6 +42,7 @@ class HistoryStore:
         self._seen: dict[int, set[int]] = defaultdict(set)
         self._versions: dict[int, int] = defaultdict(int)
         self._behavior_order = {b: i for i, b in enumerate(schema.behaviors)}
+        self._lock = threading.RLock()
 
     @classmethod
     def from_dataset(cls, dataset: MultiBehaviorDataset) -> "HistoryStore":
@@ -45,23 +57,39 @@ class HistoryStore:
         return store
 
     # ------------------------------------------------------------------
+    # pickling (lock objects do not cross process/pickle boundaries)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
     def users(self) -> list[int]:
-        return sorted(self._sequences)
+        with self._lock:
+            return sorted(self._sequences)
 
     def has_user(self, user: int) -> bool:
         """True when the store holds any history for ``user``."""
-        return user in self._sequences
+        with self._lock:
+            return user in self._sequences
 
     def version(self, user: int) -> int:
         """The user's history version (bumps on every append); 0 initially."""
-        return self._versions[user]
+        with self._lock:
+            return self._versions[user]
 
     def seen(self, user: int) -> set[int]:
         """Items the user touched under any behavior (copy)."""
-        return set(self._seen[user])
+        with self._lock:
+            return set(self._seen[user])
 
     def _last_timestamp(self, user: int) -> int:
         sequences = self._sequences.get(user)
@@ -87,18 +115,19 @@ class HistoryStore:
                            f"{self.schema.behaviors}")
         if not 1 <= item <= self.num_items:
             raise ValueError(f"item id {item} outside [1, {self.num_items}]")
-        last = self._last_timestamp(user)
-        if timestamp is None:
-            timestamp = last + 1
-        elif timestamp < last:
-            raise ValueError(f"timestamp {timestamp} precedes the user's "
-                             f"latest event at {last}")
-        if user not in self._sequences:
-            self._sequences[user] = {b: [] for b in self.schema.behaviors}
-        self._sequences[user][behavior].append((item, timestamp))
-        self._seen[user].add(item)
-        self._versions[user] += 1
-        return self._versions[user]
+        with self._lock:
+            last = self._last_timestamp(user)
+            if timestamp is None:
+                timestamp = last + 1
+            elif timestamp < last:
+                raise ValueError(f"timestamp {timestamp} precedes the user's "
+                                 f"latest event at {last}")
+            if user not in self._sequences:
+                self._sequences[user] = {b: [] for b in self.schema.behaviors}
+            self._sequences[user][behavior].append((item, timestamp))
+            self._seen[user].add(item)
+            self._versions[user] += 1
+            return self._versions[user]
 
     # ------------------------------------------------------------------
     # inference examples
@@ -110,18 +139,19 @@ class HistoryStore:
         :func:`repro.recommend.build_inference_example` for a user whose
         history has not been modified since :meth:`from_dataset`.
         """
-        if user not in self._sequences:
-            raise KeyError(f"user {user} not in the history store")
-        sequences = self._sequences[user]
-        inputs = {
-            behavior: tuple(item for item, _ in sequences[behavior][-max_len:])
-            for behavior in self.schema.behaviors
-        }
-        triples = [
-            (item, behavior, ts)
-            for behavior in self.schema.behaviors
-            for item, ts in sequences[behavior]
-        ]
+        with self._lock:
+            if user not in self._sequences:
+                raise KeyError(f"user {user} not in the history store")
+            sequences = self._sequences[user]
+            inputs = {
+                behavior: tuple(item for item, _ in sequences[behavior][-max_len:])
+                for behavior in self.schema.behaviors
+            }
+            triples = [
+                (item, behavior, ts)
+                for behavior in self.schema.behaviors
+                for item, ts in sequences[behavior]
+            ]
         triples.sort(key=lambda t: (t[2], self._behavior_order[t[1]]))
         merged = [(item, self.schema.behavior_id(behavior))
                   for item, behavior, _ in triples][-max_len:]

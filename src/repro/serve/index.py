@@ -1,7 +1,8 @@
 """Multi-interest item retrieval indexes.
 
 A retrieval index answers "given a user's K interest vectors, which items
-score highest?" without the caller touching the full catalog.  Two backends:
+score highest?" without the caller touching the full catalog.  Three
+backends:
 
 * :class:`ExactIndex` — brute-force matmul over the whole item block.  Its
   results are *identical* to offline full-catalog scoring (same readout, same
@@ -12,20 +13,31 @@ score highest?" without the caller touching the full catalog.  Two backends:
   ``nprobe`` closest partitions and the per-interest candidate sets are
   merged before exact re-scoring.  Classic ComiRec-style serving: K queries
   against an ANN structure, merge, rank.
+* :class:`HNSWIndex` — a layered navigable-small-world proximity graph built
+  with seeded level draws.  Each interest vector descends from the top-layer
+  entry point and runs an ``ef_search``-wide beam over the bottom layer; the
+  union of beam candidates across interests is re-scored exactly, so recall
+  is tuned by one knob without touching the ranking math.  This is the
+  second-generation index: where IVF's recall plateaus against its partition
+  boundaries, widening ``ef_search`` walks the graph past them (the
+  recall-vs-p99 Pareto in BENCH_P7).
 
 Scores use the same multi-interest readout as the model (``max`` or
 label-aware ``softmax``), so a candidate's index score equals its model
-score.
+score.  All approximate backends apply seen-item exclusion *after* exact
+re-scoring, mirroring the offline path.
 """
 
 from __future__ import annotations
+
+import heapq
 
 import numpy as np
 
 from .ops import interest_readout
 
-__all__ = ["ExactIndex", "IVFIndex", "build_index", "SearchResult",
-           "topk_overlap"]
+__all__ = ["ExactIndex", "IVFIndex", "HNSWIndex", "build_index",
+           "SearchResult", "topk_overlap"]
 
 
 class SearchResult:
@@ -195,6 +207,172 @@ class IVFIndex:
         return _finite_topk(items, scores, order, len(rows))
 
 
+class HNSWIndex:
+    """Hierarchical navigable-small-world graph index (seeded, NumPy-only).
+
+    Construction follows the classic HNSW recipe: every item draws a level
+    from a seeded geometric distribution (expected layer population shrinks
+    by ``1/M`` per layer); items insert one at a time by greedy descent from
+    the entry point through the upper layers, then an ``ef_construction``-wide
+    beam on each layer at or below their level picks the ``M`` most similar
+    neighbors, with reciprocal links pruned back to the per-layer degree cap.
+    Similarity is the inner product — the same quantity the readout scores —
+    so graph neighborhoods agree with what retrieval actually ranks.
+
+    Search runs one descent *per interest vector* (each interest lands in its
+    own region of the item space) and an ``ef_search``-wide bottom-layer
+    beam; the union of beam candidates across interests is re-scored exactly
+    with the model readout in float64, exclusions applied after re-scoring —
+    identical post-processing to :class:`IVFIndex`, so the only approximation
+    is which candidates the graph surfaces.
+
+    Args:
+        item_vectors: ``(N, D)`` catalog block, row ``i`` = item ``i + 1``.
+        M: neighbors kept per node per layer (bottom layer keeps ``2 * M``).
+        ef_construction: beam width while inserting (build quality).
+        ef_search: beam width while querying — *the* recall/latency knob;
+            raise it to walk more of the graph per interest.
+        score_mode / score_pow: multi-interest readout, as in the model.
+        seed: level-draw seed (construction is deterministic given it).
+    """
+
+    backend = "hnsw"
+
+    def __init__(self, item_vectors: np.ndarray, M: int = 8,
+                 ef_construction: int = 64, ef_search: int = 48,
+                 score_mode: str = "max", score_pow: float = 1.0,
+                 seed: int = 0):
+        self.vectors = np.ascontiguousarray(item_vectors)
+        self.num_items = int(self.vectors.shape[0])
+        if self.num_items < 1:
+            raise ValueError("cannot index an empty catalog")
+        self.score_mode = score_mode
+        self.score_pow = score_pow
+        self.M = max(2, int(M))
+        self.ef_construction = max(int(ef_construction), self.M + 1)
+        self.ef_search = max(1, int(ef_search))
+        rng = np.random.default_rng(seed)
+        level_mult = 1.0 / np.log(self.M)
+        draws = np.maximum(rng.random(self.num_items), 1e-12)
+        self._levels = np.floor(-np.log(draws) * level_mult).astype(np.int64)
+        layers = int(self._levels.max()) + 1
+        # Per layer: node -> neighbor list (python lists; degree-capped).
+        self._graph: list[dict[int, list[int]]] = [{} for _ in range(layers)]
+        self._entry = 0
+        self.max_level = 0
+        for node in range(self.num_items):
+            self._insert(node)
+
+    # -- construction -----------------------------------------------------
+    def _search_layer(self, query: np.ndarray, entries: list[int], ef: int,
+                      layer: int) -> list[tuple[float, int]]:
+        """Beam search on one layer: best-first over inner-product similarity.
+
+        Returns up to ``ef`` ``(similarity, node)`` pairs (a min-heap list,
+        not sorted).  Ties break on node id, keeping traversal deterministic.
+        """
+        adjacency = self._graph[layer]
+        visited = set(entries)
+        results: list[tuple[float, int]] = []
+        candidates: list[tuple[float, int]] = []
+        for node in entries:
+            sim = float(query @ self.vectors[node])
+            heapq.heappush(results, (sim, node))
+            heapq.heappush(candidates, (-sim, node))
+        while len(results) > ef:
+            heapq.heappop(results)
+        while candidates:
+            negative, node = heapq.heappop(candidates)
+            if len(results) >= ef and -negative < results[0][0]:
+                break
+            fresh = [n for n in adjacency.get(node, ()) if n not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            sims = self.vectors[fresh] @ query
+            for neighbor, sim in zip(fresh, sims):
+                sim = float(sim)
+                if len(results) < ef or sim > results[0][0]:
+                    heapq.heappush(results, (sim, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    heapq.heappush(candidates, (-sim, neighbor))
+        return results
+
+    def _greedy_descent(self, query: np.ndarray, stop_layer: int) -> list[int]:
+        """Entry point refined layer by layer down to ``stop_layer + 1``."""
+        entry = [self._entry]
+        for layer in range(self.max_level, stop_layer, -1):
+            found = self._search_layer(query, entry, 1, layer)
+            entry = [max(found)[1]]
+        return entry
+
+    def _insert(self, node: int) -> None:
+        level = int(self._levels[node])
+        vector = self.vectors[node]
+        if not self._graph[0]:                       # very first node
+            for layer in range(level + 1):
+                self._graph[layer][node] = []
+            self.max_level = level
+            self._entry = node
+            return
+        entry = self._greedy_descent(vector, level)
+        for layer in range(min(level, self.max_level), -1, -1):
+            found = self._search_layer(vector, entry, self.ef_construction,
+                                       layer)
+            cap = 2 * self.M if layer == 0 else self.M
+            best = sorted(found, reverse=True)[:self.M]
+            self._graph[layer][node] = [n for _, n in best]
+            for _, neighbor in best:
+                links = self._graph[layer][neighbor]
+                links.append(node)
+                if len(links) > cap:
+                    sims = self.vectors[links] @ self.vectors[neighbor]
+                    order = np.argsort(-sims, kind="stable")[:cap]
+                    self._graph[layer][neighbor] = [links[i] for i in order]
+            entry = [n for _, n in found]
+        if level > self.max_level:
+            for layer in range(self.max_level + 1, level + 1):
+                self._graph[layer][node] = []
+            self.max_level = level
+            self._entry = node
+
+    # -- querying ---------------------------------------------------------
+    def _candidate_rows(self, queries: np.ndarray,
+                        ef_search: int | None = None) -> np.ndarray:
+        """Union of bottom-layer beam candidates over every interest."""
+        ef = self.ef_search if ef_search is None else max(1, int(ef_search))
+        rows: set[int] = set()
+        for query in queries:
+            entry = self._greedy_descent(query, 0)
+            found = self._search_layer(query, entry, ef, 0)
+            rows.update(node for _, node in found)
+        return np.fromiter(sorted(rows), dtype=np.int64, count=len(rows))
+
+    def search(self, interests: np.ndarray, k: int, exclude=None,
+               ef_search: int | None = None) -> SearchResult:
+        """Approximate top-``k``: per-interest graph beams, union, exact
+        re-score, rank.  ``ef_search`` overrides the constructor knob."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        queries = _as_queries(interests)
+        rows = self._candidate_rows(queries, ef_search)
+        per_interest = queries @ self.vectors[rows].T            # (K, M)
+        combined = interest_readout(per_interest, self.score_mode,
+                                    self.score_pow)
+        scores = np.full(self.num_items, -np.inf, dtype=np.float64)
+        scores[rows] = combined
+        scores = _apply_exclusions(scores, exclude)
+        take = min(k, self.num_items)
+        if take < self.num_items:
+            shortlist = np.argpartition(-scores, take - 1)[:take]
+            order = shortlist[np.argsort(-scores[shortlist])]
+        else:
+            order = np.argsort(-scores)
+        items = np.arange(1, self.num_items + 1, dtype=np.int64)
+        return _finite_topk(items, scores, order, len(rows))
+
+
 def topk_overlap(approx_items: np.ndarray, exact_items: np.ndarray) -> float:
     """Recall@k of an approximate result against the exact reference:
     ``|approx ∩ exact| / |exact|`` (1.0 when the reference is empty)."""
@@ -205,12 +383,16 @@ def topk_overlap(approx_items: np.ndarray, exact_items: np.ndarray) -> float:
 
 def build_index(item_vectors: np.ndarray, backend: str = "exact",
                 score_mode: str = "max", score_pow: float = 1.0, **kwargs):
-    """Construct a retrieval index: ``backend`` is ``"exact"`` or ``"ivf"``."""
+    """Construct a retrieval index: ``backend`` is ``"exact"``, ``"ivf"``
+    or ``"hnsw"``."""
     if backend == "exact":
         return ExactIndex(item_vectors, score_mode=score_mode,
                           score_pow=score_pow)
     if backend == "ivf":
         return IVFIndex(item_vectors, score_mode=score_mode,
                         score_pow=score_pow, **kwargs)
+    if backend == "hnsw":
+        return HNSWIndex(item_vectors, score_mode=score_mode,
+                         score_pow=score_pow, **kwargs)
     raise ValueError(f"unknown index backend {backend!r}; "
-                     f"choose 'exact' or 'ivf'")
+                     f"choose 'exact', 'ivf' or 'hnsw'")

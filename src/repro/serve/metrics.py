@@ -71,6 +71,8 @@ class ServingMetrics:
         self._max_batch_size = self.registry.gauge("serve.max_batch_size")
         self._cache_hits = self.registry.counter("serve.cache.hits")
         self._cache_misses = self.registry.counter("serve.cache.misses")
+        self._cache_stampedes = self.registry.counter(
+            "serve.cache.stampede_suppressed")
         self._recall_sum = self.registry.gauge("serve.recall.sum")
         self._recall_count = self.registry.counter("serve.recall.samples")
 
@@ -113,6 +115,11 @@ class ServingMetrics:
         return self._cache_misses.value
 
     @property
+    def stampedes_suppressed(self) -> int:
+        """Duplicate concurrent encodes avoided by single-flight claims."""
+        return self._cache_stampedes.value
+
+    @property
     def recall_sum(self) -> float:
         """Sum of sampled recall@k probes."""
         return self._recall_sum.value
@@ -153,6 +160,11 @@ class ServingMetrics:
             self._cache_hits.inc()
         else:
             self._cache_misses.inc()
+
+    def record_stampede_suppressed(self, count: int = 1) -> None:
+        """Count encodes deduplicated by the cache's single-flight claims."""
+        if count:
+            self._cache_stampedes.inc(count)
 
     def record_recall(self, recall: float) -> None:
         """Add one recall@k sample of the approximate index vs exact."""
@@ -197,6 +209,7 @@ class ServingMetrics:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "hit_rate": self.cache_hit_rate(),
+                "stampede_suppressed": self.stampedes_suppressed,
             },
             "recall": {
                 "samples": self.recall_count,

@@ -1,0 +1,1044 @@
+"""Network serving tier: NDJSON front-end, replica sharding, load generator.
+
+This module turns the in-process :class:`~repro.serve.service.RecommenderService`
+into a network service without changing a single scoring code path — the
+acceptance bar is *parity through a real socket*: a recommend answered over
+TCP is byte-for-byte the answer ``RecommenderService.recommend`` gives for
+the same artifact and request.
+
+Three layers:
+
+* :class:`NetServer` — an asyncio TCP front-end speaking newline-delimited
+  JSON with the exact request schema of the CLI's stdin loop (``op`` ∈
+  recommend / append / stats / report, plus ``quit`` to close a
+  connection).  Connections get per-read timeouts (slow or silent peers are
+  dropped, never accumulated), the number of in-flight requests is bounded
+  with *explicit load shedding* — an over-limit request is answered
+  immediately with ``{"ok": false, "shed": true}`` instead of queueing
+  without bound — and ``SIGTERM``/``SIGINT`` trigger a graceful drain:
+  stop accepting, finish what is executing, exit.
+* :class:`LocalBackend` / :class:`ReplicaSet` — the execution substrate
+  behind the front-end.  ``LocalBackend`` wraps one in-process service (its
+  micro-batcher aggregates the executor threads' concurrent submits).
+  ``ReplicaSet`` forks N single-worker
+  :class:`~repro.data.pipeline.WorkerPool` replicas, each holding the full
+  frozen artifact; requests route by user hash so one user's appends and
+  recommends land on the same replica, per-replica front-side
+  :class:`~repro.serve.batcher.MicroBatcher` instances coalesce concurrent
+  recommends into one cross-process task, and batches ride a per-replica
+  :class:`~repro.data.shm.ShmArena` in both directions.  A replica death is
+  noticed by the pool heartbeat (or its collector), every in-flight request
+  on it fails fast (``ReplicaUnavailable`` — never a hang), the request is
+  retried once on the survivor set, and a supervisor respawns the replica
+  from the same artifact snapshot.
+* :class:`NetClient` and :func:`run_load` — a blocking NDJSON client and a
+  closed-loop load generator (K persistent connections pacing a target
+  aggregate QPS, warmup excluded from the measured window) used by the
+  parity tests, the serve smoke and ``benchmarks/bench_p7_net.py``.
+
+Failure semantics in replica mode: appends are applied on the routed
+replica only, and a respawned replica restarts from the artifact-seeded
+history — appends accepted by a replica that later dies are lost.  That is
+the documented trade for never blocking the serving path on cross-replica
+replication.
+
+``BLOCKING-IO-CONTAINMENT`` (see :mod:`repro.lint`) pins every raw socket
+and blocking ``recv``/``sendall`` in the tree to this module, so the async
+front-end can never silently grow a blocking call outside the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import signal
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.pipeline import WorkerError, WorkerPool
+from repro.data.shm import ShmArena
+from repro.obs import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+from .artifact import InferenceArtifact
+from .batcher import MicroBatcher
+from .history import HistoryStore
+from .service import RecommenderService
+
+__all__ = [
+    "LoadReport",
+    "LocalBackend",
+    "NetClient",
+    "NetServer",
+    "ReplicaSet",
+    "ReplicaUnavailable",
+    "build_backend",
+    "normalize_request",
+    "run_load",
+]
+
+_log = get_logger(__name__)
+
+
+class ReplicaUnavailable(RuntimeError):
+    """A replica died (or timed out) with the request in flight.
+
+    Raised to fail fast instead of hanging; the :class:`ReplicaSet` retries
+    the request once on the survivor set before letting it escape to the
+    client as an explicit error response.
+    """
+
+
+# ----------------------------------------------------------------------
+# Request schema (shared with the CLI stdin loop)
+# ----------------------------------------------------------------------
+
+def normalize_request(request: dict, default_k: int = 10) -> dict:
+    """Validate one decoded request into a canonical op dict.
+
+    Mirrors the CLI stdin loop's schema exactly; raises ``KeyError`` /
+    ``ValueError`` / ``TypeError`` for malformed requests (the server turns
+    those into ``{"ok": false}`` responses).
+    """
+    op = request.get("op", "recommend")
+    if op == "recommend":
+        return {"op": "recommend", "user": int(request["user"]),
+                "k": int(request.get("k", default_k))}
+    if op == "append":
+        timestamp = request.get("timestamp")
+        return {"op": "append", "user": int(request["user"]),
+                "item": int(request["item"]),
+                "behavior": str(request["behavior"]),
+                "timestamp": None if timestamp is None else int(timestamp)}
+    if op in ("stats", "report"):
+        return {"op": op}
+    raise ValueError(f"unknown op {op!r} (expected recommend/append/stats/report)")
+
+
+def _recommend_response(user: int, items: Sequence[int],
+                        scores: Sequence[float]) -> dict:
+    return {"ok": True, "user": int(user),
+            "items": [int(item) for item in items],
+            "scores": [float(score) for score in scores]}
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+class LocalBackend:
+    """One in-process service behind the front-end (``--replicas 0``).
+
+    The executor threads' concurrent :meth:`process` calls all funnel into
+    the service's existing micro-batcher, so network concurrency turns into
+    batched encodes exactly like in-process concurrency does.
+    """
+
+    kind = "local"
+
+    def __init__(self, service: RecommenderService):
+        self.service = service
+
+    def process(self, op: dict) -> dict:
+        """Execute one normalized op; raises the service's validation
+        errors (the server formats them)."""
+        if op["op"] == "recommend":
+            recs = self.service.recommend(op["user"], k=op["k"])
+            return _recommend_response(op["user"], [r.item for r in recs],
+                                       [r.score for r in recs])
+        if op["op"] == "append":
+            version = self.service.append_event(
+                op["user"], op["item"], op["behavior"],
+                timestamp=op["timestamp"])
+            return {"ok": True, "user": op["user"], "version": version}
+        if op["op"] == "stats":
+            return {"ok": True, "stats": self.service.stats()}
+        if op["op"] == "report":
+            return {"ok": True, "report": self.service.report()}
+        raise ValueError(f"unknown op {op['op']!r}")
+
+    def stats(self) -> dict:
+        return self.service.stats()
+
+    def report(self) -> str:
+        return self.service.report()
+
+    def close(self) -> None:
+        self.service.close()
+
+
+def _replica_factory(artifact: InferenceArtifact, history: HistoryStore,
+                     options: dict) -> Callable[[dict], object]:
+    """Worker-side entry point: build a full service, serve op batches.
+
+    Runs inside the forked replica process.  Results use compact markers —
+    ``("rec", items_ndarray, scores_list)`` per recommend (the ndarray rides
+    the shm arena), ``("ok", payload)`` for the rest, ``("err", type, msg)``
+    for per-request failures — so one bad request never fails its batch.
+    """
+    service = RecommenderService(artifact, history, **options)
+
+    def handle(task: dict):
+        kind = task["kind"]
+        if kind == "recommend":
+            users = [int(user) for user in task["users"]]
+            ks = [int(k) for k in task["ks"]]
+            results: list = [None] * len(users)
+            pairs: list[tuple[int, int]] = []
+            valid: list[int] = []
+            for idx, (user, k) in enumerate(zip(users, ks)):
+                if k < 1:
+                    results[idx] = ("err", "ValueError", "k must be positive")
+                elif not service.history.has_user(user):
+                    results[idx] = ("err", "KeyError",
+                                    f"user {user} not in the history store")
+                else:
+                    valid.append(idx)
+                    pairs.append((user, k))
+            if pairs:
+                ranked = service.recommend_pairs(pairs)
+                for idx, recs in zip(valid, ranked):
+                    items = np.fromiter((r.item for r in recs),
+                                        dtype=np.int64, count=len(recs))
+                    scores = [r.score for r in recs]
+                    results[idx] = ("rec", items, scores)
+            return results
+        if kind == "append":
+            try:
+                version = service.append_event(
+                    task["user"], task["item"], task["behavior"],
+                    timestamp=task["timestamp"])
+            except (KeyError, ValueError, TypeError) as error:
+                return ("err", type(error).__name__, str(error))
+            return ("ok", {"user": task["user"], "version": version})
+        if kind == "stats":
+            return ("ok", service.stats())
+        if kind == "report":
+            return ("ok", service.report())
+        raise ValueError(f"unknown replica task kind {kind!r}")
+
+    return handle
+
+
+class _Ticket:
+    """One in-flight cross-process task awaited by a front-end thread."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class _Replica:
+    """Front-end handle for one forked replica process.
+
+    Owns the single-worker pool, its shm arena, a collector thread matching
+    pool results back to tickets, and the per-replica micro-batcher that
+    coalesces concurrent recommends into one cross-process task.
+    """
+
+    def __init__(self, replica_id: int, artifact: InferenceArtifact,
+                 history: HistoryStore, service_options: dict,
+                 max_batch: int, max_wait_ms: float, pool_timeout: float,
+                 arena_slot_bytes: int):
+        self.id = replica_id
+        self.generation = 0
+        self.alive = False
+        self._artifact = artifact
+        self._history = history
+        self._service_options = service_options
+        self._pool_timeout = pool_timeout
+        self._arena_slot_bytes = arena_slot_bytes
+        self._lock = threading.Lock()
+        self._pending: dict[int, _Ticket] = {}
+        self._task_ids = itertools.count()
+        self._closing = False
+        self.pool: WorkerPool | None = None
+        self.arena: ShmArena | None = None
+        self._collector: threading.Thread | None = None
+        self._spawn()
+        self.batcher = MicroBatcher(self._flush_recommends,
+                                    max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms)
+
+    # -- lifecycle -------------------------------------------------------
+    def _spawn(self) -> None:
+        """Fork a fresh worker process (initial start and respawn)."""
+        self.arena = ShmArena(slot_bytes=self._arena_slot_bytes, num_slots=8)
+        self.pool = WorkerPool(
+            _replica_factory,
+            initargs=(self._artifact, self._history, self._service_options),
+            num_workers=1, timeout=self._pool_timeout,
+            transport=self.arena, transport_copy=True,
+            transport_requests=True, transport_min_bytes=64)
+        pool = self.pool
+        self._collector = threading.Thread(
+            target=self._collect, args=(pool,), daemon=True,
+            name=f"repro-replica-{self.id}-collector")
+        with self._lock:
+            self.alive = True
+        self._collector.start()
+
+    def respawn(self) -> None:
+        """Replace a dead worker with a fresh fork of the same artifact."""
+        old_arena = self.arena
+        self.generation += 1
+        self._spawn()
+        if old_arena is not None:
+            old_arena.close()
+        _log.info("replica %d respawned (generation %d)",
+                  self.id, self.generation)
+
+    def close(self) -> None:
+        """Drain the batcher, stop the worker, join the collector."""
+        self._closing = True
+        self.batcher.close()
+        with self._lock:
+            self.alive = False
+        if self.pool is not None:
+            self.pool.close()
+        if self._collector is not None:
+            self._collector.join(timeout=10.0)
+        self._fail_pending(ReplicaUnavailable(
+            f"replica {self.id} shut down"))
+        if self.arena is not None:
+            self.arena.close()
+
+    # -- result collection ----------------------------------------------
+    def _collect(self, pool: WorkerPool) -> None:
+        while True:
+            try:
+                _, task_id, value = pool.next_result()
+            except WorkerError as error:
+                with self._lock:
+                    self.alive = False
+                if not self._closing:
+                    _log.warning("replica %d died: %s", self.id,
+                                 str(error).splitlines()[0])
+                self._fail_pending(ReplicaUnavailable(
+                    f"replica {self.id} died with the request in flight"))
+                return
+            except (OSError, ValueError, EOFError):
+                # queues closed under us: normal shutdown path
+                with self._lock:
+                    self.alive = False
+                self._fail_pending(ReplicaUnavailable(
+                    f"replica {self.id} shut down"))
+                return
+            with self._lock:
+                ticket = self._pending.pop(task_id, None)
+            if ticket is not None:
+                ticket.value = value
+                ticket.event.set()
+
+    def _fail_pending(self, error: ReplicaUnavailable) -> None:
+        with self._lock:
+            tickets = list(self._pending.values())
+            self._pending.clear()
+        for ticket in tickets:
+            ticket.error = error
+            ticket.event.set()
+
+    # -- calling ---------------------------------------------------------
+    def call(self, task: dict, timeout: float | None = None):
+        """Ship one task to the replica and block for its result.
+
+        Raises :class:`ReplicaUnavailable` when the replica is dead, dies
+        mid-flight, or the result does not arrive in time — the caller
+        (ReplicaSet) decides whether to retry on a survivor.
+        """
+        if timeout is None:
+            timeout = self._pool_timeout + 10.0
+        with self._lock:
+            if not self.alive:
+                raise ReplicaUnavailable(f"replica {self.id} is down")
+            task_id = next(self._task_ids)
+            ticket = _Ticket()
+            self._pending[task_id] = ticket
+            pool = self.pool
+        try:
+            pool.submit(task_id, task)
+        except (RuntimeError, OSError, ValueError) as error:
+            with self._lock:
+                self._pending.pop(task_id, None)
+            raise ReplicaUnavailable(
+                f"replica {self.id} rejected the task: {error}") from error
+        if not ticket.event.wait(timeout):
+            with self._lock:
+                self._pending.pop(task_id, None)
+            raise ReplicaUnavailable(
+                f"replica {self.id} gave no result within {timeout:.0f}s")
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket.value
+
+    def _flush_recommends(self, ops: Sequence[dict]) -> list[dict]:
+        """Micro-batch flush: one cross-process task for the whole batch."""
+        task = {
+            "kind": "recommend",
+            "users": np.fromiter((op["user"] for op in ops),
+                                 dtype=np.int64, count=len(ops)),
+            "ks": np.fromiter((op["k"] for op in ops),
+                              dtype=np.int64, count=len(ops)),
+        }
+        markers = self.call(task)
+        return [_marker_to_response(marker, op) for marker, op in
+                zip(markers, ops)]
+
+
+def _marker_to_response(marker, op: dict) -> dict:
+    kind = marker[0]
+    if kind == "rec":
+        _, items, scores = marker
+        return _recommend_response(op["user"], items, scores)
+    if kind == "ok":
+        payload = marker[1]
+        if op["op"] == "append":
+            return {"ok": True, **payload}
+        return {"ok": True, op["op"]: payload}
+    if kind == "err":
+        return {"ok": False, "error": marker[2]}
+    raise ValueError(f"unknown result marker {kind!r}")
+
+
+class ReplicaSet:
+    """N forked single-worker replicas with user-hash routing and failover.
+
+    Args:
+        artifact / history: the frozen snapshot every replica starts from
+            (fork-inherited; a respawn restarts from the same snapshot).
+        replicas: replica count (at least 1).
+        service_options: kwargs for each replica's
+            :class:`RecommenderService` (index backend, cache bounds, ...).
+        max_batch / max_wait_ms: per-replica front-side micro-batching.
+        pool_timeout: per-task heartbeat for the worker pools (seconds).
+        registry: metrics registry for the ``serve.net.replica.*`` counters.
+        respawn_poll: supervisor poll interval for dead replicas (seconds).
+
+    Routing: ``user`` hashes to a primary replica, so one user's appends and
+    recommends stay on one replica's history copy.  When the primary is down
+    the request goes to the next live replica, and a request that fails with
+    :class:`ReplicaUnavailable` mid-flight is retried exactly once on the
+    survivor set — after that the error is surfaced explicitly.
+    """
+
+    kind = "replicas"
+
+    def __init__(self, artifact: InferenceArtifact, history: HistoryStore,
+                 replicas: int = 2, service_options: dict | None = None,
+                 max_batch: int = 32, max_wait_ms: float = 5.0,
+                 pool_timeout: float | None = None,
+                 registry: MetricsRegistry | None = None,
+                 respawn_poll: float = 0.2,
+                 arena_slot_bytes: int = 1 << 20):
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        if pool_timeout is None:
+            pool_timeout = float(os.environ.get("REPRO_POOL_TIMEOUT", "120"))
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._respawns = self.registry.counter("serve.net.replica.respawns")
+        self._retries = self.registry.counter("serve.net.replica.retries")
+        self._deaths = self.registry.counter("serve.net.replica.deaths")
+        self._closed = False
+        self.replicas = [
+            _Replica(i, artifact, history, dict(service_options or {}),
+                     max_batch=max_batch, max_wait_ms=max_wait_ms,
+                     pool_timeout=pool_timeout,
+                     arena_slot_bytes=arena_slot_bytes)
+            for i in range(replicas)
+        ]
+        self._respawn_poll = respawn_poll
+        self._stop = threading.Event()
+        self._supervisor = threading.Thread(target=self._supervise,
+                                            daemon=True,
+                                            name="repro-replica-supervisor")
+        self._supervisor.start()
+
+    # -- routing ---------------------------------------------------------
+    @staticmethod
+    def route(user: int, num_replicas: int) -> int:
+        """Primary replica for a user (Knuth multiplicative hash)."""
+        return ((int(user) * 2654435761) & 0xFFFFFFFF) % num_replicas
+
+    def _route_order(self, user: int) -> list[_Replica]:
+        primary = self.route(user, len(self.replicas))
+        order = [self.replicas[(primary + offset) % len(self.replicas)]
+                 for offset in range(len(self.replicas))]
+        live = [replica for replica in order if replica.alive]
+        if not live:
+            raise ReplicaUnavailable("no live replicas")
+        return live
+
+    def _with_retry(self, user: int, fn: Callable[[_Replica], dict]) -> dict:
+        last: ReplicaUnavailable | None = None
+        for attempt in range(2):
+            try:
+                candidates = self._route_order(user)
+            except ReplicaUnavailable as error:
+                last = error
+                break
+            replica = candidates[min(attempt, len(candidates) - 1)]
+            try:
+                return fn(replica)
+            except ReplicaUnavailable as error:
+                last = error
+                if attempt == 0:
+                    self._retries.inc()
+        raise last
+
+    # -- request surface -------------------------------------------------
+    def process(self, op: dict) -> dict:
+        """Execute one normalized op with routing + single retry."""
+        if op["op"] == "recommend":
+            return self._with_retry(
+                op["user"],
+                lambda replica: replica.batcher.submit(
+                    op, timeout=replica._pool_timeout + 15.0))
+        if op["op"] == "append":
+            task = {"kind": "append", "user": op["user"], "item": op["item"],
+                    "behavior": op["behavior"], "timestamp": op["timestamp"]}
+            marker = self._with_retry(
+                op["user"], lambda replica: replica.call(task))
+            return _marker_to_response(marker, op)
+        if op["op"] == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op["op"] == "report":
+            return {"ok": True, "report": self.report()}
+        raise ValueError(f"unknown op {op['op']!r}")
+
+    def stats(self) -> dict:
+        """Per-replica service stats plus replica-set counters."""
+        per_replica = []
+        for replica in self.replicas:
+            entry = {"replica": replica.id, "generation": replica.generation,
+                     "alive": replica.alive}
+            if replica.alive:
+                try:
+                    entry["stats"] = replica.call({"kind": "stats"})[1]
+                except ReplicaUnavailable:
+                    entry["alive"] = False
+            per_replica.append(entry)
+        return {"replicas": per_replica,
+                "respawns": self._respawns.value,
+                "retries": self._retries.value,
+                "deaths": self._deaths.value}
+
+    def report(self) -> str:
+        parts = []
+        for replica in self.replicas:
+            if not replica.alive:
+                parts.append(f"replica {replica.id}: down")
+                continue
+            try:
+                text = replica.call({"kind": "report"})[1]
+            except ReplicaUnavailable:
+                text = "down"
+            parts.append(f"replica {replica.id} "
+                         f"(generation {replica.generation}):\n{text}")
+        return "\n".join(parts)
+
+    # -- supervision ------------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._stop.wait(self._respawn_poll):
+            for replica in self.replicas:
+                if self._closed:
+                    return
+                if not replica.alive and not replica._closing:
+                    self._deaths.inc()
+                    try:
+                        replica.respawn()
+                        self._respawns.inc()
+                    except Exception:  # pragma: no cover - fork failure
+                        _log.exception("replica %d respawn failed", replica.id)
+
+    def kill_replica(self, replica_id: int) -> None:
+        """Chaos hook: hard-kill one replica's worker process (tests and the
+        failover benchmark use this to exercise fail-fast + respawn)."""
+        replica = self.replicas[replica_id]
+        pool = replica.pool
+        if pool is not None:
+            for worker in pool._workers:
+                if worker.is_alive():
+                    worker.terminate()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        self._supervisor.join(timeout=10.0)
+        for replica in self.replicas:
+            replica.close()
+
+
+def build_backend(artifact: InferenceArtifact, history: HistoryStore,
+                  replicas: int = 0, service_options: dict | None = None,
+                  max_batch: int = 32, max_wait_ms: float = 5.0,
+                  registry: MetricsRegistry | None = None,
+                  pool_timeout: float | None = None):
+    """The serving backend for a replica count: 0 → in-process, N ≥ 1 →
+    a :class:`ReplicaSet` of N forked workers."""
+    if replicas <= 0:
+        service = RecommenderService(artifact, history,
+                                     max_batch=max_batch,
+                                     max_wait_ms=max_wait_ms,
+                                     registry=registry,
+                                     **(service_options or {}))
+        return LocalBackend(service)
+    return ReplicaSet(artifact, history, replicas=replicas,
+                      service_options=service_options, max_batch=max_batch,
+                      max_wait_ms=max_wait_ms, registry=registry,
+                      pool_timeout=pool_timeout)
+
+
+# ----------------------------------------------------------------------
+# Async TCP front-end
+# ----------------------------------------------------------------------
+
+class NetServer:
+    """Newline-delimited-JSON TCP front-end over a serving backend.
+
+    Args:
+        backend: :class:`LocalBackend` or :class:`ReplicaSet` (not owned —
+            the caller closes it after :meth:`stop`).
+        host / port: bind address; port 0 picks a free port (read
+            :attr:`address` after start).
+        max_inflight: bound on concurrently executing requests across all
+            connections; a request over the bound is *shed* with an explicit
+            ``{"ok": false, "shed": true}`` response, never queued.
+        read_timeout: per-connection seconds to wait for the next request
+            line before dropping the connection.
+        drain_grace: seconds a drain waits for in-flight requests.
+        default_k: ``k`` for recommend requests that omit it.
+        registry: metrics registry for the ``serve.net.*`` counters.
+    """
+
+    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0, *,
+                 max_inflight: int = 64, read_timeout: float = 30.0,
+                 drain_grace: float = 10.0, default_k: int = 10,
+                 registry: MetricsRegistry | None = None):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.read_timeout = read_timeout
+        self.drain_grace = drain_grace
+        self.default_k = default_k
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._connections = self.registry.counter("serve.net.connections")
+        self._requests = self.registry.counter("serve.net.requests")
+        self._shed_count = self.registry.counter("serve.net.shed")
+        self._errors = self.registry.counter("serve.net.errors")
+        self._read_timeouts = self.registry.counter("serve.net.read_timeouts")
+        self._inflight_gauge = self.registry.gauge("serve.net.inflight")
+        self.address: tuple[str, int] | None = None
+        self._inflight = 0
+        self._draining = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._drain_requested: asyncio.Event | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set = set()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._failure: BaseException | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def run(self, install_signals: bool = True) -> None:
+        """Serve until drained (blocking; the CLI entry point)."""
+        try:
+            asyncio.run(self._main(install_signals))
+        except BaseException as error:
+            self._failure = error
+            raise
+        finally:
+            self._started.set()
+            self._stopped.set()
+
+    def start_background(self, timeout: float = 30.0) -> tuple[str, int]:
+        """Run the server on a daemon thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._run_quietly, daemon=True, name="repro-net-server")
+        self._thread.start()
+        if not self._started.wait(timeout) or self.address is None:
+            raise RuntimeError(
+                f"server failed to start: {self._failure or 'timeout'}")
+        return self.address
+
+    def _run_quietly(self) -> None:
+        try:
+            self.run(install_signals=False)
+        except BaseException:  # surfaced via start_background/stop
+            pass
+
+    def drain(self) -> None:
+        """Begin a graceful drain (threadsafe; signal handlers call this):
+        stop accepting, finish in-flight requests, exit the serve loop."""
+        self._draining = True
+        loop = self._loop
+        if loop is not None and self._drain_requested is not None:
+            try:
+                loop.call_soon_threadsafe(self._drain_requested.set)
+            except RuntimeError:  # loop already closed
+                pass
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the serve loop exits (drain completed); True when it
+        did within ``timeout``."""
+        return self._stopped.wait(timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and wait for the serve loop to exit."""
+        self.drain()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        else:
+            self._stopped.wait(timeout)
+
+    # -- event loop ------------------------------------------------------
+    async def _main(self, install_signals: bool) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._drain_requested = asyncio.Event()
+        if self._draining:  # drain() won the race before the loop existed
+            self._drain_requested.set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=min(self.max_inflight, 64),
+            thread_name_prefix="repro-net")
+        server = await asyncio.start_server(self._handle_connection,
+                                            self.host, self.port)
+        self.address = server.sockets[0].getsockname()[:2]
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self.drain)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread or unsupported platform
+        self._started.set()
+        _log.info("serving on %s:%d (max in-flight %d)",
+                  self.address[0], self.address[1], self.max_inflight)
+        try:
+            await self._drain_requested.wait()
+            server.close()
+            await server.wait_closed()
+            deadline = self._loop.time() + self.drain_grace
+            while self._inflight > 0 and self._loop.time() < deadline:
+                await asyncio.sleep(0.02)
+            for writer in list(self._writers):
+                writer.close()
+            pending = [task for task in self._conn_tasks if not task.done()]
+            if pending:
+                await asyncio.wait(pending, timeout=2.0)
+            _log.info("drained (%d requests served)", self._requests.value)
+        finally:
+            self._executor.shutdown(wait=False)
+
+    async def _send(self, writer: asyncio.StreamWriter, response: dict) -> None:
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.inc()
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while not self._draining:
+                try:
+                    line = await asyncio.wait_for(reader.readline(),
+                                                  self.read_timeout)
+                except asyncio.TimeoutError:
+                    self._read_timeouts.inc()
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    request = json.loads(text)
+                except json.JSONDecodeError as error:
+                    self._errors.inc()
+                    await self._send(writer, {"ok": False,
+                                              "error": f"bad json: {error}"})
+                    continue
+                if isinstance(request, dict) and request.get("op") == "quit":
+                    break
+                if self._inflight >= self.max_inflight:
+                    self._shed_count.inc()
+                    await self._send(writer, {
+                        "ok": False, "shed": True,
+                        "error": "overloaded: in-flight limit reached, "
+                                 "retry later"})
+                    continue
+                try:
+                    op = normalize_request(request, self.default_k)
+                except (KeyError, ValueError, TypeError) as error:
+                    self._errors.inc()
+                    await self._send(writer, {"ok": False,
+                                              "error": str(error)})
+                    continue
+                self._inflight += 1
+                self._inflight_gauge.set(self._inflight)
+                try:
+                    response = await self._loop.run_in_executor(
+                        self._executor, self._dispatch, op)
+                finally:
+                    self._inflight -= 1
+                    self._inflight_gauge.set(self._inflight)
+                self._requests.inc()
+                if not response.get("ok", False):
+                    self._errors.inc()
+                await self._send(writer, response)
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-write; nothing to answer
+        except asyncio.CancelledError:
+            pass  # loop teardown cancelled the connection; exit quietly
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, op: dict) -> dict:
+        """Execute one op on the backend (runs on an executor thread)."""
+        try:
+            response = self.backend.process(op)
+        except ReplicaUnavailable as error:
+            return {"ok": False, "error": str(error), "retryable": True}
+        except (KeyError, ValueError, TypeError) as error:
+            return {"ok": False, "error": str(error)}
+        if op["op"] == "stats" and response.get("ok"):
+            response["stats"]["net"] = self.net_stats()
+        return response
+
+    def net_stats(self) -> dict:
+        """The front-end's own counters (connections, sheds, timeouts)."""
+        return {
+            "connections": self._connections.value,
+            "requests": self._requests.value,
+            "shed": self._shed_count.value,
+            "errors": self._errors.value,
+            "read_timeouts": self._read_timeouts.value,
+            "inflight": int(self._inflight_gauge.value),
+            "draining": self._draining,
+        }
+
+
+# ----------------------------------------------------------------------
+# Blocking client + closed-loop load generator
+# ----------------------------------------------------------------------
+
+class NetClient:
+    """Blocking NDJSON client for :class:`NetServer` (one connection).
+
+    Connection setup retries briefly so tests can race server startup.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 connect_retries: int = 40, retry_delay: float = 0.05):
+        last: OSError | None = None
+        for _ in range(max(1, connect_retries)):
+            try:
+                self._sock = socket.create_connection((host, port),
+                                                      timeout=timeout)
+                break
+            except OSError as error:
+                last = error
+                time.sleep(retry_delay)
+        else:
+            raise ConnectionError(
+                f"could not connect to {host}:{port}: {last}") from last
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request line, block for its response line."""
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def recommend(self, user: int, k: int | None = None) -> dict:
+        payload = {"op": "recommend", "user": user}
+        if k is not None:
+            payload["k"] = k
+        return self.request(payload)
+
+    def append(self, user: int, item: int, behavior: str,
+               timestamp: int | None = None) -> dict:
+        payload = {"op": "append", "user": user, "item": item,
+                   "behavior": behavior}
+        if timestamp is not None:
+            payload["timestamp"] = timestamp
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def report(self) -> dict:
+        return self.request({"op": "report"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+@dataclass
+class LoadReport:
+    """Aggregated closed-loop load-generation outcome.
+
+    ``latencies_ms`` covers only the measurement window (post-warmup)
+    requests that were answered ``ok``; sheds and errors are counted but
+    never hidden — ``sent == ok + shed + errors`` always holds.
+    """
+
+    sent: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.sent / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Latency percentile in milliseconds (NaN with no samples)."""
+        if not self.latencies_ms:
+            return float("nan")
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent, "ok": self.ok, "shed": self.shed,
+            "errors": self.errors, "elapsed_s": self.elapsed_s,
+            "achieved_qps": self.achieved_qps,
+            "samples": len(self.latencies_ms),
+            "p50_ms": self.percentile(50.0),
+            "p99_ms": self.percentile(99.0),
+        }
+
+
+def run_load(host: str, port: int, users: Sequence[int], *,
+             connections: int = 4, target_qps: float = 200.0,
+             total_requests: int = 400, warmup: int = 50, k: int = 10,
+             seed: int = 0, timeout: float = 30.0,
+             on_request: Callable[[int], None] | None = None) -> LoadReport:
+    """Closed-loop load generation against a running :class:`NetServer`.
+
+    ``connections`` persistent clients send ``total_requests`` recommend
+    requests overall, paced to an aggregate ``target_qps`` (0 disables
+    pacing).  The first ``warmup`` requests per run are excluded from the
+    latency sample.  Every request terminates — answered, shed, or an
+    explicit error — so the report's ``sent`` always reaches the target
+    even under replica failure; a dropped connection reconnects once.
+
+    ``on_request`` (optional) is invoked with the global request ordinal
+    before each send — the chaos tests use it to kill a replica mid-load.
+    """
+    if connections < 1:
+        raise ValueError("connections must be positive")
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(np.asarray(users, dtype=np.int64),
+                        size=total_requests, replace=True)
+    per_thread: list[list[int]] = [[] for _ in range(connections)]
+    for ordinal, user in enumerate(chosen.tolist()):
+        per_thread[ordinal % connections].append(ordinal)
+    interval = connections / target_qps if target_qps > 0 else 0.0
+    counter_lock = threading.Lock()
+    report = LoadReport()
+
+    def drive(thread_id: int) -> None:
+        ordinals = per_thread[thread_id]
+        if not ordinals:
+            return
+        client = NetClient(host, port, timeout=timeout)
+        reconnected = False
+        start = time.monotonic()
+        try:
+            for position, ordinal in enumerate(ordinals):
+                if interval:
+                    due = start + position * interval
+                    delay = due - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                if on_request is not None:
+                    on_request(ordinal)
+                user = int(chosen[ordinal])
+                sent_at = time.monotonic()
+                try:
+                    response = client.request(
+                        {"op": "recommend", "user": user, "k": k})
+                except (ConnectionError, OSError):
+                    response = None
+                    if not reconnected:
+                        reconnected = True
+                        try:
+                            client.close()
+                            client = NetClient(host, port, timeout=timeout)
+                        except ConnectionError:
+                            pass
+                latency_ms = (time.monotonic() - sent_at) * 1e3
+                with counter_lock:
+                    report.sent += 1
+                    if response is None:
+                        report.errors += 1
+                    elif response.get("ok"):
+                        report.ok += 1
+                        if ordinal >= warmup:
+                            report.latencies_ms.append(latency_ms)
+                    elif response.get("shed"):
+                        report.shed += 1
+                    else:
+                        report.errors += 1
+        finally:
+            client.close()
+
+    started = time.monotonic()
+    threads = [threading.Thread(target=drive, args=(i,), daemon=True,
+                                name=f"repro-loadgen-{i}")
+               for i in range(connections)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.monotonic() - started
+    return report

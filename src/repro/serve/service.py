@@ -2,7 +2,7 @@
 
 :class:`RecommenderService` wires the serving subsystem together: a frozen
 :class:`~repro.serve.artifact.InferenceArtifact`, its NumPy encoder, a
-retrieval index (exact or IVF), a versioned
+retrieval index (exact, IVF or HNSW), a versioned
 :class:`~repro.serve.history.HistoryStore`, the TTL + LRU interest cache,
 the micro-batching engine and always-on serving metrics.
 
@@ -43,10 +43,11 @@ class RecommenderService:
     Args:
         artifact: the exported model snapshot.
         history: user histories (seed with ``HistoryStore.from_dataset``).
-        index_backend: ``"exact"`` (parity with offline scoring) or ``"ivf"``
-            (approximate, faster on large catalogs).
-        index_options: extra kwargs for the index constructor (e.g. ``nlist``,
-            ``nprobe``, ``seed`` for IVF).
+        index_backend: ``"exact"`` (parity with offline scoring), ``"ivf"``
+            or ``"hnsw"`` (approximate, faster on large catalogs).
+        index_options: extra kwargs for the index constructor (e.g. ``nlist``
+            and ``nprobe`` for IVF; ``M``, ``ef_construction`` and
+            ``ef_search`` for HNSW).
         max_batch / max_wait_ms: micro-batching triggers.
         cache_capacity / cache_ttl_seconds: interest-cache bounds.
         max_len: history truncation at encode time (matches the offline
@@ -93,6 +94,7 @@ class RecommenderService:
             self._reference_index = ExactIndex(
                 artifact.item_vectors(), score_mode=self.encoder.score_mode,
                 score_pow=self.encoder.score_pow)
+        self.claim_wait_seconds = 5.0
         self._served = 0
         self._batcher = MicroBatcher(self._process_batch, max_batch=max_batch,
                                      max_wait_ms=max_wait_ms, clock=clock,
@@ -135,6 +137,25 @@ class RecommenderService:
             self.metrics.record_request(elapsed)
         return dict(zip(users, results))
 
+    def recommend_pairs(self, pairs: Sequence[tuple[int, int]]
+                        ) -> list[list[Recommendation]]:
+        """One explicit batch of ``(user, k)`` pairs, results aligned with
+        the input (duplicates allowed; bypasses the queue like
+        :meth:`recommend_many`).  The replica workers use this so a whole
+        micro-batch crosses the process boundary as one task."""
+        for user, k in pairs:
+            if k < 1:
+                raise ValueError("k must be positive")
+            if not self.history.has_user(user):
+                raise KeyError(f"user {user} not in the history store")
+        started = self._clock()
+        results = self._process_batch(list(pairs))
+        elapsed = self._clock() - started
+        self.metrics.record_batch(len(pairs), [0.0] * len(pairs))
+        for _ in pairs:
+            self.metrics.record_request(elapsed)
+        return results
+
     def append_event(self, user: int, item: int, behavior: str,
                      timestamp: int | None = None) -> int:
         """Record a new interaction and invalidate the user's cached
@@ -146,26 +167,63 @@ class RecommenderService:
     # ------------------------------------------------------------------
     # engine
     # ------------------------------------------------------------------
+    def _encode_users(self, users: Sequence[int]) -> np.ndarray:
+        """One collated encode of ``users``; returns ``(len(users), K, D)``."""
+        examples = [self.history.example(user, self.max_len)
+                    for user in users]
+        batch = collate(examples, self.history.schema)
+        return self.encoder.interests(batch)
+
     def _interests_for(self, users: Sequence[int]) -> dict[int, np.ndarray]:
-        """Per-user ``(K, D)`` interest vectors, cache-first; all cache
-        misses are encoded as one collated batch."""
+        """Per-user ``(K, D)`` interest vectors, cache-first with single-flight.
+
+        Cache misses this call owns (first claimant for the ``(user,
+        version)`` key) are encoded as one collated batch; misses another
+        thread is already encoding are *waited on* instead of re-encoded —
+        the suppressed duplicate work lands on the
+        ``serve.cache.stampede_suppressed`` counter.  If an owner abandons
+        (encode failure) or the fulfilled entry expires before we read it,
+        we fall back to encoding those users ourselves.
+        """
         unique = list(dict.fromkeys(users))
         versions = {user: self.history.version(user) for user in unique}
         interests: dict[int, np.ndarray] = {}
-        misses: list[int] = []
+        owned: list[int] = []
+        waits: list[tuple[int, object]] = []
         for user in unique:
             cached = self.cache.get(user, versions[user])
             self.metrics.record_cache(cached is not None)
+            if cached is not None:
+                interests[user] = cached
+                continue
+            event = self.cache.claim(user, versions[user])
+            if event is None:
+                owned.append(user)
+            else:
+                self.metrics.record_stampede_suppressed()
+                waits.append((user, event))
+        if owned:
+            try:
+                encoded = self._encode_users(owned)
+            except BaseException:
+                for user in owned:
+                    self.cache.abandon(user, versions[user])
+                raise
+            for row, user in enumerate(owned):
+                vectors = encoded[row]
+                self.cache.fulfill(user, versions[user], vectors)
+                interests[user] = vectors
+        stragglers: list[int] = []
+        for user, event in waits:
+            event.wait(timeout=self.claim_wait_seconds)
+            cached = self.cache.get(user, versions[user])
             if cached is None:
-                misses.append(user)
+                stragglers.append(user)
             else:
                 interests[user] = cached
-        if misses:
-            examples = [self.history.example(user, self.max_len)
-                        for user in misses]
-            batch = collate(examples, self.history.schema)
-            encoded = self.encoder.interests(batch)
-            for row, user in enumerate(misses):
+        if stragglers:
+            encoded = self._encode_users(stragglers)
+            for row, user in enumerate(stragglers):
                 vectors = encoded[row]
                 self.cache.put(user, versions[user], vectors)
                 interests[user] = vectors
@@ -220,6 +278,10 @@ class RecommenderService:
         if self.index.backend == "ivf":
             index_info["nlist"] = self.index.nlist
             index_info["nprobe"] = self.index.nprobe
+        elif self.index.backend == "hnsw":
+            index_info["M"] = self.index.M
+            index_info["ef_search"] = self.index.ef_search
+            index_info["max_level"] = self.index.max_level
         snapshot["index"] = index_info
         return snapshot
 

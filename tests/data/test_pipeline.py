@@ -171,6 +171,13 @@ def _suicidal_factory():
     return fn
 
 
+def _array_increment_factory():
+    def fn(payload):
+        # Round-trips dict-of-ndarray payloads (the serving replica shape).
+        return {"values": payload["values"] + 1, "tag": payload["tag"]}
+    return fn
+
+
 class TestWorkerPool:
     def test_parallel_map_is_order_stable(self):
         out = parallel_map(_double_factory, (7,), list(range(23)), num_workers=3)
@@ -215,6 +222,47 @@ class TestWorkerPool:
         pool.close()
         with pytest.raises(RuntimeError):
             pool.submit(0, 1)
+
+    def test_workers_alive_tracks_liveness(self):
+        pool = WorkerPool(_double_factory, (0,), num_workers=2)
+        try:
+            assert pool.workers_alive() == [True, True]
+        finally:
+            pool.close()
+        deadline = time.monotonic() + 10.0
+        while any(pool.workers_alive()) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert pool.workers_alive() == [False, False]
+
+    def test_request_transport_round_trips_via_shm(self):
+        from repro.data.shm import ShmArena
+
+        arena = ShmArena(slot_bytes=1 << 16, num_slots=4)
+        pool = WorkerPool(_array_increment_factory, (), num_workers=1,
+                          transport=arena, transport_copy=True,
+                          transport_requests=True, transport_min_bytes=64)
+        try:
+            rng = np.random.default_rng(5)
+            payloads = {
+                task_id: {"values": rng.normal(
+                    size=512).astype(np.float32), "tag": task_id}
+                for task_id in range(6)
+            }
+            for task_id, payload in payloads.items():
+                pool.submit(task_id, payload)
+            seen = {}
+            for _ in payloads:
+                _, task_id, value = pool.next_result()
+                seen[task_id] = value
+            assert set(seen) == set(payloads)
+            for task_id, value in seen.items():
+                assert value["tag"] == task_id
+                np.testing.assert_array_equal(
+                    value["values"], payloads[task_id]["values"] + 1)
+            assert pool.shm_results > 0  # arrays actually rode the arena
+        finally:
+            pool.close()
+            arena.close()
 
     def test_loader_worker_crash_surfaces_traceback(self, tiny_dataset, tiny_split):
         loader = PrefetchLoader(tiny_split.train, tiny_dataset.schema,

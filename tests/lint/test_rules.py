@@ -248,9 +248,66 @@ class TestTelemetryGuard:
         assert result.suppressed_count == 1
 
 
+class TestBlockingIoContainment:
+    def test_socket_import_fires_outside_home(self, write_module):
+        path = write_module("repro.train.bad", """\
+            import socket
+        """)
+        result = run_rule("BLOCKING-IO-CONTAINMENT", path)
+        assert len(result.findings) == 1
+        assert "socket import" in result.findings[0].message
+
+    def test_from_socket_import_fires(self, write_module):
+        path = write_module("repro.obs.bad", """\
+            from socket import create_connection
+        """)
+        result = run_rule("BLOCKING-IO-CONTAINMENT", path)
+        assert len(result.findings) == 1
+
+    def test_constructors_and_blocking_methods_fire(self, write_module):
+        path = write_module("repro.core.bad", """\
+            import socket
+            conn = socket.create_connection(("localhost", 80))
+            conn.sendall(b"hi")
+            data = conn.recv(4096)
+            listener = socket.socket()
+            listener.accept()
+        """)
+        result = run_rule("BLOCKING-IO-CONTAINMENT", path)
+        # import + 2 constructors + sendall + recv + accept
+        assert len(result.findings) == 6
+        messages = "\n".join(f.message for f in result.findings)
+        assert "socket.create_connection" in messages
+        assert ".recv()" in messages and ".sendall()" in messages
+
+    def test_home_module_is_exempt(self, write_module):
+        path = write_module("repro.serve.net", """\
+            import socket
+            conn = socket.create_connection(("localhost", 80))
+            conn.sendall(b"hi")
+        """)
+        assert run_rule("BLOCKING-IO-CONTAINMENT", path).ok
+
+    def test_unrelated_attribute_calls_are_clean(self, write_module):
+        path = write_module("repro.core.good", """\
+            results.put(("ok", value))
+            queue.get(timeout=1.0)
+        """)
+        assert run_rule("BLOCKING-IO-CONTAINMENT", path).ok
+
+    def test_noqa_suppresses(self, write_module):
+        path = write_module("repro.train.bad", """\
+            import socket  # repro: noqa[BLOCKING-IO-CONTAINMENT]
+        """)
+        result = run_rule("BLOCKING-IO-CONTAINMENT", path)
+        assert result.ok
+        assert result.suppressed_count == 1
+
+
 class TestRegistry:
     EXPECTED = ("DTYPE-DISCIPLINE", "SCATTER-CONTAINMENT", "NO-BARE-PRINT",
-                "SEEDED-RANDOMNESS", "TELEMETRY-GUARD")
+                "SEEDED-RANDOMNESS", "TELEMETRY-GUARD",
+                "BLOCKING-IO-CONTAINMENT")
 
     def test_catalog_is_registered(self):
         from repro.lint import rule_ids

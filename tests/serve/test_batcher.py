@@ -57,6 +57,72 @@ class TestTriggers:
         assert seen["delays"][0] >= 0.0
 
 
+class TestExactlyOnce:
+    def test_age_flush_races_deliver_every_submit_exactly_once(self):
+        """Hammer the age trigger: tiny max_wait with concurrent submitters
+        must flush every payload exactly once — no duplicates, no drops."""
+        flushed = []
+        flush_lock = threading.Lock()
+
+        def record(payloads):
+            with flush_lock:
+                flushed.extend(payloads)
+            return [payload * 2 for payload in payloads]
+
+        submitted = []
+        results = []
+        result_lock = threading.Lock()
+        with MicroBatcher(record, max_batch=4, max_wait_ms=1.0) as batcher:
+
+            def call(base):
+                for offset in range(25):
+                    value = base * 1000 + offset
+                    result = batcher.submit(value)
+                    with result_lock:
+                        submitted.append(value)
+                        results.append((value, result))
+
+            threads = [threading.Thread(target=call, args=(base,))
+                       for base in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+        assert len(submitted) == 200
+        assert sorted(flushed) == sorted(submitted)  # exactly-once multiset
+        assert all(result == value * 2 for value, result in results)
+
+    def test_close_drains_pending_submits(self):
+        """Submits in flight when close() lands still get their results."""
+        release = threading.Event()
+
+        def slow(payloads):
+            release.wait(10.0)
+            return [payload * 2 for payload in payloads]
+
+        batcher = MicroBatcher(slow, max_batch=10, max_wait_ms=5_000.0)
+        results = {}
+
+        def call(value):
+            results[value] = batcher.submit(value)
+
+        threads = [threading.Thread(target=call, args=(value,))
+                   for value in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)  # let all three enqueue behind the age trigger
+
+        def close_soon():
+            time.sleep(0.05)
+            release.set()
+
+        threading.Thread(target=close_soon).start()
+        batcher.close()  # must flush the pending batch, not drop it
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert results == {0: 0, 1: 2, 2: 4}
+
+
 class TestErrors:
     def test_processing_error_propagates_to_caller(self):
         def broken(payloads):

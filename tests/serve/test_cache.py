@@ -1,4 +1,6 @@
-"""Interest-cache tests: TTL expiry, LRU eviction, invalidation."""
+"""Interest-cache tests: TTL expiry, LRU eviction, stampede suppression."""
+
+import threading
 
 import pytest
 
@@ -71,3 +73,64 @@ class TestLookup:
             InterestCache(capacity=0)
         with pytest.raises(ValueError):
             InterestCache(ttl_seconds=0.0)
+
+
+class TestSingleFlight:
+    def test_first_claim_owns_later_claims_wait(self, clock):
+        cache = InterestCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        assert cache.claim(1, 0) is None  # owner
+        event = cache.claim(1, 0)
+        assert event is not None and not event.is_set()
+        assert cache.stampedes_suppressed == 1
+        cache.fulfill(1, 0, "vectors")
+        assert event.is_set()
+        assert cache.get(1, 0) == "vectors"
+
+    def test_distinct_keys_claim_independently(self, clock):
+        cache = InterestCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        assert cache.claim(1, 0) is None
+        assert cache.claim(1, 1) is None  # new version → fresh claim
+        assert cache.claim(2, 0) is None
+        assert cache.stampedes_suppressed == 0
+
+    def test_abandon_releases_waiters_without_a_value(self, clock):
+        cache = InterestCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        assert cache.claim(1, 0) is None
+        event = cache.claim(1, 0)
+        cache.abandon(1, 0)
+        assert event.is_set()
+        assert cache.get(1, 0) is None  # waiter falls back to self-encode
+        assert cache.claim(1, 0) is None  # the key is claimable again
+
+    def test_concurrent_claimants_see_one_owner(self, clock):
+        cache = InterestCache(capacity=8, ttl_seconds=10.0, clock=clock)
+        barrier = threading.Barrier(6)
+        outcomes = []
+        lock = threading.Lock()
+
+        def contend():
+            barrier.wait()
+            event = cache.claim(7, 0)
+            if event is None:
+                # Hold the claim until every other thread has hit it, so the
+                # stampede is real rather than a lucky sequential interleave.
+                deadline = 100_000
+                while cache.stampedes_suppressed < 5 and deadline:
+                    deadline -= 1
+                    threading.Event().wait(0.001)
+                cache.fulfill(7, 0, "vectors")
+                with lock:
+                    outcomes.append("owner")
+            else:
+                assert event.wait(10.0)
+                with lock:
+                    outcomes.append(cache.get(7, 0))
+
+        threads = [threading.Thread(target=contend) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert outcomes.count("owner") == 1
+        assert outcomes.count("vectors") == 5
+        assert cache.stampedes_suppressed == 5

@@ -1,4 +1,7 @@
-"""History-store tests: example parity, versioning, append validation."""
+"""History-store tests: example parity, versioning, concurrency, validation."""
+
+import pickle
+import threading
 
 import pytest
 
@@ -82,3 +85,67 @@ class TestAppend:
     def test_unknown_user_example_raises(self, history):
         with pytest.raises(KeyError, match="not in the history store"):
             history.example(10_000_000)
+
+
+class TestConcurrency:
+    def test_parallel_appends_never_lose_a_version(self, tiny_dataset,
+                                                   history):
+        """N threads × M appends on one user: the read-modify-write under
+        the lock means the final version is exactly N * M."""
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        versions = []
+        lock = threading.Lock()
+
+        def append_many():
+            for _ in range(25):
+                version = history.append(user, 1, behavior)
+                with lock:
+                    versions.append(version)
+
+        threads = [threading.Thread(target=append_many) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert history.version(user) == 200
+        assert sorted(versions) == list(range(1, 201))  # no duplicates
+
+    def test_readers_race_appenders_safely(self, tiny_dataset, history):
+        user = tiny_dataset.users[0]
+        behavior = tiny_dataset.schema.behaviors[0]
+        stop = threading.Event()
+        failures = []
+
+        def read_loop():
+            while not stop.is_set():
+                try:
+                    example = history.example(user, max_len=20)
+                    assert len(example.merged_items) >= 1
+                    history.seen(user)
+                    history.version(user)
+                except Exception as error:  # pragma: no cover - fail signal
+                    failures.append(error)
+                    return
+
+        readers = [threading.Thread(target=read_loop) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        for _ in range(100):
+            history.append(user, 2, behavior)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=10.0)
+        assert not failures
+
+    def test_pickle_roundtrip_for_worker_fork(self, tiny_dataset, history):
+        """The store crosses process boundaries (replica initargs); the lock
+        must not travel, and the clone must keep working."""
+        clone = pickle.loads(pickle.dumps(history))
+        assert clone.users == history.users
+        user = tiny_dataset.users[0]
+        assert clone.example(user, max_len=50) == \
+            history.example(user, max_len=50)
+        clone.append(user, 1, tiny_dataset.schema.behaviors[0])
+        assert clone.version(user) == 1
+        assert history.version(user) == 0  # independent after the copy

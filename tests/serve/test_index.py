@@ -1,9 +1,10 @@
-"""Retrieval-index tests: exact baseline, IVF recall, exclusions."""
+"""Retrieval-index tests: exact baseline, IVF/HNSW recall, exclusions."""
 
 import numpy as np
 import pytest
 
-from repro.serve import ExactIndex, IVFIndex, build_index, topk_overlap
+from repro.serve import (ExactIndex, HNSWIndex, IVFIndex, build_index,
+                         topk_overlap)
 
 
 @pytest.fixture(scope="module")
@@ -92,6 +93,72 @@ class TestIVFIndex:
         assert not exclude & set(result.items.tolist())
 
 
+class TestHNSWIndex:
+    def test_wide_beam_matches_exact(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=20)
+        hnsw = HNSWIndex(vectors, M=8, ef_search=200, seed=0)
+        approx = hnsw.search(queries, k=20)
+        assert topk_overlap(approx.items, exact.items) == 1.0
+        np.testing.assert_allclose(np.sort(approx.scores),
+                                   np.sort(exact.scores))
+
+    def test_narrow_beam_prunes_candidates(self, vectors, queries):
+        hnsw = HNSWIndex(vectors, M=8, ef_search=16, seed=0)
+        result = hnsw.search(queries, k=10)
+        assert result.candidates_scored < 200
+        assert len(result) <= 10
+
+    def test_recall_improves_with_ef_search(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=10)
+        hnsw = HNSWIndex(vectors, M=8, ef_search=8, seed=0)
+        narrow = topk_overlap(hnsw.search(queries, k=10).items, exact.items)
+        wide = topk_overlap(
+            hnsw.search(queries, k=10, ef_search=128).items, exact.items)
+        assert wide >= narrow
+        assert wide >= 0.9
+
+    def test_per_call_ef_search_override(self, vectors, queries):
+        hnsw = HNSWIndex(vectors, M=8, ef_search=16, seed=0)
+        narrow = hnsw.search(queries, k=10)
+        wide = hnsw.search(queries, k=10, ef_search=128)
+        assert wide.candidates_scored > narrow.candidates_scored
+        assert hnsw.ef_search == 16  # the constructor knob is untouched
+
+    def test_deterministic_given_seed(self, vectors, queries):
+        first = HNSWIndex(vectors, M=8, seed=3).search(queries, k=10)
+        second = HNSWIndex(vectors, M=8, seed=3).search(queries, k=10)
+        np.testing.assert_array_equal(first.items, second.items)
+        np.testing.assert_allclose(first.scores, second.scores)
+
+    def test_layered_structure(self, vectors):
+        hnsw = HNSWIndex(vectors, M=4, seed=0)
+        assert hnsw.max_level >= 1  # 200 items at 1/ln(4) decay span layers
+        assert len(hnsw._graph[0]) == 200  # every item lives on layer 0
+        for layer in range(1, hnsw.max_level + 1):
+            assert len(hnsw._graph[layer]) < len(hnsw._graph[layer - 1])
+        for node, links in hnsw._graph[0].items():
+            assert len(links) <= 2 * hnsw.M
+            assert node not in links
+
+    def test_exclusions_absent(self, vectors, queries):
+        hnsw = HNSWIndex(vectors, M=8, ef_search=64, seed=0)
+        exclude = set(hnsw.search(queries, k=5).items.tolist())
+        result = hnsw.search(queries, k=10, exclude=exclude)
+        assert not exclude & set(result.items.tolist())
+
+    def test_single_item_catalog(self, queries):
+        hnsw = HNSWIndex(queries[:1], M=4, seed=0)
+        result = hnsw.search(queries, k=5)
+        assert len(result) == 1 and result.items[0] == 1
+
+    def test_rejects_bad_inputs(self, vectors, queries):
+        hnsw = HNSWIndex(vectors, M=8, seed=0)
+        with pytest.raises(ValueError, match="k must be positive"):
+            hnsw.search(queries, k=0)
+        with pytest.raises(ValueError, match="empty catalog"):
+            HNSWIndex(vectors[:0])
+
+
 class TestHelpers:
     def test_topk_overlap(self):
         assert topk_overlap(np.array([1, 2, 3]), np.array([2, 3, 4])) == pytest.approx(2 / 3)
@@ -100,5 +167,6 @@ class TestHelpers:
     def test_build_index_dispatch(self, vectors):
         assert build_index(vectors, "exact").backend == "exact"
         assert build_index(vectors, "ivf", nlist=4).backend == "ivf"
+        assert build_index(vectors, "hnsw", M=4).backend == "hnsw"
         with pytest.raises(ValueError, match="unknown index backend"):
             build_index(vectors, "faiss")

@@ -78,6 +78,90 @@ class TestCacheBehavior:
             assert svc.metrics.cache_misses == 2
 
 
+class TestStampedeSuppression:
+    def test_concurrent_misses_encode_once(self, artifact, tiny_dataset):
+        """Four threads missing on the same user yield ONE encode: the first
+        claimant owns it, the rest wait on the claim and read the cache."""
+        import threading
+        import time as time_mod
+
+        history = HistoryStore.from_dataset(tiny_dataset)
+        with RecommenderService(artifact, history, max_wait_ms=1.0) as svc:
+            real_interests = svc.encoder.interests
+            encode_calls = []
+
+            def slow_interests(batch):
+                encode_calls.append(1)
+                time_mod.sleep(0.25)  # hold the claim open for the stampede
+                return real_interests(batch)
+
+            svc.encoder.interests = slow_interests
+            user = tiny_dataset.users[0]
+            barrier = threading.Barrier(4)
+            results = {}
+
+            def hammer(slot):
+                barrier.wait()
+                results[slot] = svc.recommend_many([user], k=5)[user]
+
+            threads = [threading.Thread(target=hammer, args=(slot,))
+                       for slot in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert len(results) == 4
+            first = [r.item for r in results[0]]
+            assert all([r.item for r in results[slot]] == first
+                       for slot in range(4))
+            assert len(encode_calls) == 1  # the whole stampede → one encode
+            assert svc.metrics.stampedes_suppressed == 3
+            stats = svc.stats()
+            assert stats["cache"]["stampede_suppressed"] == 3
+
+    def test_owner_failure_releases_waiters(self, artifact, tiny_dataset):
+        """An owner whose encode blows up abandons the claim; a waiter falls
+        back to encoding for itself instead of deadlocking."""
+        import threading
+
+        history = HistoryStore.from_dataset(tiny_dataset)
+        with RecommenderService(artifact, history, max_wait_ms=1.0) as svc:
+            real_interests = svc.encoder.interests
+            waiter_ready = threading.Event()
+            outcome = {}
+
+            def exploding_interests(batch):
+                waiter_ready.wait(10.0)  # keep the claim open until B waits
+                svc.encoder.interests = real_interests
+                raise RuntimeError("encoder on fire")
+
+            svc.encoder.interests = exploding_interests
+            user = tiny_dataset.users[0]
+
+            def owner():
+                try:
+                    svc.recommend_many([user], k=5)
+                except RuntimeError as error:
+                    outcome["owner"] = str(error)
+
+            def waiter():
+                while svc.metrics.stampedes_suppressed == 0:
+                    pass  # spin until our claim is registered as a wait
+                waiter_ready.set()
+
+            owner_thread = threading.Thread(target=owner)
+            owner_thread.start()
+            import time as time_mod
+            time_mod.sleep(0.1)  # let the owner take the claim
+            release_thread = threading.Thread(target=waiter)
+            release_thread.start()
+            outcome["waiter"] = svc.recommend_many([user], k=5)[user]
+            owner_thread.join(timeout=30.0)
+            release_thread.join(timeout=30.0)
+            assert outcome["owner"] == "encoder on fire"
+            assert outcome["waiter"]  # served via the fallback encode
+
+
 class TestApproximateBackend:
     def test_recall_probes_recorded(self, artifact, history):
         with RecommenderService(artifact, history, index_backend="ivf",
