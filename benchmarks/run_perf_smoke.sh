@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Smoke-run the perf benchmarks (P1 hot paths, P2 serving, P5 input
-# pipeline, P6 data-parallel training, P7 network serving) at tiny scale.
+# pipeline, P6 data-parallel training, P7 network serving, P8 fleet
+# observability) at tiny scale.
 #
 # Verifies the benchmark machinery end to end — all code paths execute and
 # BENCH_P1.json / BENCH_P2.json / BENCH_P5.json / BENCH_P6.json /
-# BENCH_P7.json are
+# BENCH_P7.json / BENCH_P8.json are
 # produced — without asserting the speedup floors, which are only meaningful at the default
 # scale (tiny corpora are dominated by fixed overheads).  Intended for CI;
 # finishes in well under a minute.
@@ -25,6 +26,7 @@ export REPRO_PERF_DDP_MIN_SPEEDUP="${REPRO_PERF_DDP_MIN_SPEEDUP:-0}"
 export REPRO_PERF_EVAL_MIN_SPEEDUP="${REPRO_PERF_EVAL_MIN_SPEEDUP:-0}"
 export REPRO_PERF_NET_REQUESTS="${REPRO_PERF_NET_REQUESTS:-120}"
 export REPRO_PERF_NET_CONNECTIONS="${REPRO_PERF_NET_CONNECTIONS:-4}"
+export REPRO_PERF_OBS_MAX_REGRESSION="${REPRO_PERF_OBS_MAX_REGRESSION:-0}"
 
 # Static-analysis gate: new findings (anything not in lint-baseline.json)
 # fail the smoke run before any benchmark time is spent.
@@ -32,15 +34,16 @@ PYTHONPATH=src python -m repro lint src/repro
 
 rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json \
       benchmarks/results/BENCH_P5.json benchmarks/results/BENCH_P6.json \
-      benchmarks/results/BENCH_P7.json
+      benchmarks/results/BENCH_P7.json benchmarks/results/BENCH_P8.json
 
 PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py
 PYTHONPATH=src python benchmarks/bench_p2_serving.py
 PYTHONPATH=src python benchmarks/bench_p5_pipeline.py
 PYTHONPATH=src python benchmarks/bench_p6_ddp.py
 PYTHONPATH=src python benchmarks/bench_p7_net.py
+PYTHONPATH=src python benchmarks/bench_p8_fleet_obs.py
 
-for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json BENCH_P6.json BENCH_P7.json; do
+for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json BENCH_P6.json BENCH_P7.json BENCH_P8.json; do
     if [[ ! -f "benchmarks/results/$result" ]]; then
         echo "FAIL: benchmarks/results/$result was not produced" >&2
         exit 1
@@ -62,23 +65,29 @@ grep -q "train.fit" "$OBS_RENDER" || {
 }
 
 # Network serving smoke, end to end through the CLI: export an artifact,
-# start `repro serve --listen` with replicas, push 200 closed-loop requests
-# through a real socket, then SIGTERM and require a clean (exit 0) drain.
+# start `repro serve --listen` with replicas and fleet telemetry, push 200
+# closed-loop requests through a real socket, then SIGTERM and require a
+# clean (exit 0) drain with request-correlated spans in the event spools.
 SERVE_ARTIFACT="$(mktemp -t repro_serve_smoke.XXXXXX.npz)"
-trap 'rm -f "$OBS_EVENTS" "$OBS_RENDER" "$SERVE_ARTIFACT"' EXIT
+NET_EVENTS="$(mktemp -t repro_net_smoke.XXXXXX.jsonl)"
+NET_RENDER="$(mktemp -t repro_net_smoke.XXXXXX.txt)"
+trap 'rm -rf "$OBS_EVENTS" "$OBS_RENDER" "$SERVE_ARTIFACT" \
+             "$NET_EVENTS" "$NET_EVENTS.d" "$NET_RENDER"' EXIT
 PYTHONPATH=src python -m repro export --preset taobao \
     --scale "$REPRO_PERF_SCALE" --dim 16 --epochs 1 --seed 1 \
     "$SERVE_ARTIFACT" >/dev/null
-PYTHONPATH=src python - "$SERVE_ARTIFACT" "$REPRO_PERF_SCALE" <<'PY'
+PYTHONPATH=src python - "$SERVE_ARTIFACT" "$REPRO_PERF_SCALE" \
+    "$NET_EVENTS" <<'PY'
 import json
 import signal
 import subprocess
 import sys
 
-artifact, scale = sys.argv[1], float(sys.argv[2])
+artifact, scale, events = sys.argv[1], float(sys.argv[2]), sys.argv[3]
 proc = subprocess.Popen(
     [sys.executable, "-m", "repro", "serve", artifact,
-     "--listen", "127.0.0.1:0", "--replicas", "2", "--index", "hnsw"],
+     "--listen", "127.0.0.1:0", "--replicas", "2", "--index", "hnsw",
+     "--events-out", events],
     stdout=subprocess.PIPE, text=True)
 try:
     banner = json.loads(proc.stdout.readline())
@@ -95,8 +104,33 @@ finally:
     proc.send_signal(signal.SIGTERM)
     code = proc.wait(timeout=60)
 assert code == 0, f"serve exited {code} on SIGTERM"
+
+# Obs over the network: the fleet merge must recover front-end and replica
+# spools with request-correlated spans joined into one trace.
+from repro.obs import collect_fleet
+view = collect_fleet(events)
+roles = {p["role"] for p in view.processes}
+assert "main" in roles and any(r.startswith("replica") for r in roles), roles
+spans = {s["span_id"]: s for s in view.spans}
+replica_spans = [s for s in view.spans if s["name"] == "replica.request"]
+assert replica_spans, "no replica.request spans in the fleet view"
+for child in replica_spans:
+    parent = spans[child["parent_id"]]
+    assert parent["name"] == "net.request", parent
+    assert parent["request_id"] == child["request_id"]
 print(f"serve smoke OK ({report.ok} requests, "
-      f"p99 {report.percentile(99.0):.1f}ms)")
+      f"p99 {report.percentile(99.0):.1f}ms, "
+      f"{len(view.processes)} fleet processes, "
+      f"{len(replica_spans)} correlated replica spans)")
 PY
+PYTHONPATH=src python -m repro obs "$NET_EVENTS" >"$NET_RENDER"
+grep -q "net.request" "$NET_RENDER" || {
+    echo "FAIL: obs render missing net.request span" >&2
+    exit 1
+}
+grep -q "replica.request" "$NET_RENDER" || {
+    echo "FAIL: obs render missing replica.request span" >&2
+    exit 1
+}
 
 echo "perf smoke OK"

@@ -456,13 +456,21 @@ def _serve_network(args, artifact, history, index_backend: str,
         finally:
             server.stop()
             if args.metrics_out:
-                from pathlib import Path
                 snapshot = {"net": server.net_stats()}
                 if hasattr(backend, "stats"):
                     snapshot["backend"] = backend.stats()
+            # Close the backend before collecting: replica processes flush
+            # their relay spools (final metrics snapshot included) on exit.
+            backend.close()
+            if args.metrics_out:
+                from pathlib import Path
+                if telemetry is not None:
+                    from repro.obs import collect_fleet
+                    telemetry.emit_metrics_snapshot()
+                    fleet = collect_fleet(args.events_out)
+                    snapshot["fleet"] = fleet.registry.snapshot()
                 Path(args.metrics_out).write_text(
                     json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
-            backend.close()
     return 0
 
 

@@ -52,13 +52,14 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.obs import get_telemetry
+from repro.obs import (TraceContext, child_telemetry_config, current_context,
+                       get_telemetry, pipeline_worker_batches)
 
 from .batching import Batch
 from .sampling import NegativeSampler
 from .schema import BehaviorSchema, PAD_ITEM
 from .shm import (DEFAULT_MIN_SHM_BYTES, ShmArena, decode_payload,
-                  encode_payload)
+                  encode_payload, unwrap_context, wrap_context)
 from .splits import SequenceExample
 
 __all__ = [
@@ -239,7 +240,9 @@ class WorkerError(RuntimeError):
 def _worker_main(worker_id: int, factory: Callable, initargs: tuple,
                  tasks, results, transport: ShmArena | None = None,
                  transport_requests: bool = False,
-                 transport_min_bytes: int | None = None) -> None:
+                 transport_min_bytes: int | None = None,
+                 telemetry_config: dict | None = None,
+                 process_role: str = "worker", generation: int = 0) -> None:
     """Worker process entry point: build the task fn, then serve tasks.
 
     Any exception — in the factory or per task — is caught, formatted, and
@@ -249,37 +252,59 @@ def _worker_main(worker_id: int, factory: Callable, initargs: tuple,
     cannot take the payload).  With ``transport_requests`` the *inbound*
     payloads are shm-encoded too (the serving replicas use this); they are
     decoded as private copies so the slot frees immediately.
+
+    Telemetry: the parent's hub (open event file, span stack) must never be
+    written from a forked child.  ``enable_worker_telemetry`` replaces it —
+    with a per-process relay spool tagged ``process_role``/``worker_id``
+    when the parent session writes to a file (``telemetry_config`` from
+    :func:`~repro.obs.events.child_telemetry_config`), or with nothing at
+    all otherwise.  Tasks that arrive wrapped in a trace context run under
+    a ``worker.task`` span parented on the remote submitter.
     """
     try:
-        # Telemetry sessions (open event-log files, thread-local span stacks)
-        # belong to the parent; a forked child must not double-write them —
-        # including the final snapshot a normal disable would emit.
-        from repro.obs import disable_telemetry
-        disable_telemetry(final_snapshot=False)
+        from repro.obs import enable_worker_telemetry
+        enable_worker_telemetry(telemetry_config, process_role, worker_id,
+                                generation=generation)
     except Exception:                                 # pragma: no cover
         pass
+    from repro.obs import disable_telemetry, remote_context, span
     try:
-        fn = factory(*initargs)
-    except BaseException:
-        results.put(("error", worker_id, None, traceback.format_exc()))
-        return
-    while True:
-        task = tasks.get()
-        if task is None:
-            break
-        task_id, payload = task
         try:
-            if transport_requests and transport is not None:
-                payload, _ = decode_payload(payload, transport, copy=True)
-            value = fn(payload)
-            if transport is not None:
-                min_bytes = (DEFAULT_MIN_SHM_BYTES if transport_min_bytes is None
-                             else transport_min_bytes)
-                value = encode_payload(value, transport, min_bytes=min_bytes)
-            results.put(("ok", worker_id, task_id, value))
+            fn = factory(*initargs)
         except BaseException:
-            results.put(("error", worker_id, task_id, traceback.format_exc()))
-            break
+            results.put(("error", worker_id, None, traceback.format_exc()))
+            return
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            task_id, payload = task
+            try:
+                context, payload = unwrap_context(payload)
+                if transport_requests and transport is not None:
+                    payload, _ = decode_payload(payload, transport, copy=True)
+                if context is not None:
+                    with remote_context(context):
+                        with span("worker.task", task=task_id):
+                            value = fn(payload)
+                else:
+                    value = fn(payload)
+                if transport is not None:
+                    min_bytes = (DEFAULT_MIN_SHM_BYTES if transport_min_bytes is None
+                                 else transport_min_bytes)
+                    value = encode_payload(value, transport, min_bytes=min_bytes)
+                results.put(("ok", worker_id, task_id, value))
+            except BaseException:
+                results.put(("error", worker_id, task_id, traceback.format_exc()))
+                break
+    finally:
+        try:
+            # Flush the relay spool with a final metrics snapshot so the
+            # fleet merge sees this process's counters (no-op when the
+            # child runs with telemetry off).
+            disable_telemetry(final_snapshot=True)
+        except Exception:                             # pragma: no cover
+            pass
 
 
 class WorkerPool:
@@ -312,6 +337,11 @@ class WorkerPool:
         death_grace: seconds a worker may be observed dead before the pool
             declares silent death (lets the queue feeder flush a final
             result); ``None`` reads ``REPRO_POOL_DEATH_GRACE`` (default 2).
+        process_role: fleet-telemetry role tag for the forked workers
+            (``"loader"``, ``"ddp"``, ``"eval"``, ``"replica<N>"``...);
+            recorded on every event a worker relays to its spool.
+        generation: respawn generation tag (the serving tier bumps it each
+            time a replica is respawned so spool files never collide).
 
     Robustness contract: a worker exception re-raises on the main process
     with the worker's traceback embedded; a worker that dies silently (OOM
@@ -327,7 +357,8 @@ class WorkerPool:
                  transport: ShmArena | None = None, transport_copy: bool = False,
                  transport_requests: bool = False,
                  transport_min_bytes: int | None = None,
-                 death_grace: float | None = None):
+                 death_grace: float | None = None,
+                 process_role: str = "worker", generation: int = 0):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
         if start_method is None:
@@ -350,11 +381,14 @@ class WorkerPool:
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
         self._closed = False
+        telemetry_config = child_telemetry_config()
         self._workers = [
             self._ctx.Process(target=_worker_main, name=f"repro-pipeline-{i}",
                               args=(i, factory, initargs, self._tasks,
                                     self._results, transport,
-                                    transport_requests, transport_min_bytes),
+                                    transport_requests, transport_min_bytes,
+                                    telemetry_config, process_role,
+                                    generation),
                               daemon=True)
             for i in range(num_workers)
         ]
@@ -366,8 +400,15 @@ class WorkerPool:
         """True once the pool has been shut down (gracefully or not)."""
         return self._closed
 
-    def submit(self, task_id, payload) -> None:
-        """Enqueue one task; results arrive via :meth:`next_result`."""
+    def submit(self, task_id, payload, context=None) -> None:
+        """Enqueue one task; results arrive via :meth:`next_result`.
+
+        ``context`` overrides the trace context attached to the task (a
+        :class:`~repro.obs.TraceContext` or its packed tuple — the serving
+        tier forwards request contexts captured on other threads).  By
+        default the submitting thread's current context rides along, so a
+        worker's ``worker.task`` span parents on the span open here.
+        """
         if self._closed:
             raise RuntimeError("cannot submit to a closed WorkerPool")
         if self._transport_requests and self._transport is not None:
@@ -376,7 +417,12 @@ class WorkerPool:
                          else self._transport_min_bytes)
             payload = encode_payload(payload, self._transport,
                                      min_bytes=min_bytes)
-        self._tasks.put((task_id, payload))
+        if context is None:
+            current = current_context()
+            context = current.pack() if current is not None else None
+        elif isinstance(context, TraceContext):
+            context = context.pack()
+        self._tasks.put((task_id, wrap_context(payload, context)))
 
     def workers_alive(self) -> list[bool]:
         """Per-worker liveness (a supervisor polls this between results —
@@ -492,7 +538,8 @@ def parallel_map(factory: Callable, initargs: tuple, payloads: Sequence,
                  num_workers: int, timeout: float | None = None,
                  start_method: str | None = None,
                  transport: ShmArena | None = None,
-                 transport_copy: bool = True) -> list:
+                 transport_copy: bool = True,
+                 process_role: str = "worker") -> list:
     """Run ``factory(*initargs)(payload)`` for every payload on a pool.
 
     Results come back **order-stable** (index-aligned with ``payloads``)
@@ -507,7 +554,8 @@ def parallel_map(factory: Callable, initargs: tuple, payloads: Sequence,
     pool = WorkerPool(factory, initargs,
                       num_workers=min(num_workers, len(payloads)),
                       timeout=timeout, start_method=start_method,
-                      transport=transport, transport_copy=transport_copy)
+                      transport=transport, transport_copy=transport_copy,
+                      process_role=process_role)
     results: list = [None] * len(payloads)
     try:
         for index, payload in enumerate(payloads):
@@ -709,7 +757,8 @@ class PrefetchLoader:
                 _prefetch_worker,
                 (self.packed, self.sampler, self.negatives, self.seed, self.max_len),
                 num_workers=self.num_workers, timeout=self.timeout,
-                start_method=self.start_method, transport=self._arena)
+                start_method=self.start_method, transport=self._arena,
+                process_role="loader")
         return self._pool
 
     def _iter_parallel(self, epoch: int, chunks: list[np.ndarray]) -> Iterator[Batch]:
@@ -738,7 +787,7 @@ class PrefetchLoader:
                     registry.histogram("pipeline.wait_seconds").record(
                         time.perf_counter() - started)
                     registry.counter("pipeline.batches").inc()
-                    registry.counter(f"pipeline.worker.{worker_id}.batches").inc()
+                    registry.counter(pipeline_worker_batches(worker_id)).inc()
                     registry.gauge("pipeline.queue_depth").set(len(ready) + 1)
                 ready[task_id] = batch
         finally:

@@ -58,6 +58,8 @@ __all__ = [
     "ShmParamMirror",
     "encode_payload",
     "decode_payload",
+    "wrap_context",
+    "unwrap_context",
     "DEFAULT_MIN_SHM_BYTES",
 ]
 
@@ -418,6 +420,32 @@ def decode_payload(tagged: tuple, arena: ShmArena | None,
         raise RuntimeError("shm-encoded payload arrived without an arena")
     arrays = arena.open(block, copy=copy)
     return _fill_arrays(shell, arrays), block.nbytes
+
+
+def wrap_context(tagged: tuple, context) -> tuple:
+    """Attach a packed trace context to an already-encoded payload.
+
+    The context rides the task queue as an outer ``("ctx", packed, inner)``
+    envelope around the ``("raw", ...)`` / ``("shm", ...)`` codec output, so
+    shared-memory transport and trace propagation compose without either
+    knowing about the other.  ``context=None`` is the telemetry-disabled
+    fast path: the payload is returned untouched, costing nothing.
+    """
+    if context is None:
+        return tagged
+    return ("ctx", context, tagged)
+
+
+def unwrap_context(tagged) -> tuple:
+    """Split a queue payload into ``(packed_context | None, inner_payload)``.
+
+    Payloads that never went through :func:`wrap_context` — including bare
+    non-tuple objects — come back unchanged with a None context.
+    """
+    if (isinstance(tagged, tuple) and len(tagged) == 3
+            and tagged[0] == "ctx"):
+        return tagged[1], tagged[2]
+    return None, tagged
 
 
 # ----------------------------------------------------------------------

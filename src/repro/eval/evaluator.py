@@ -115,7 +115,8 @@ def precollate(examples: list[SequenceExample], candidate_sets: CandidateSets,
                       num_slots=num_workers * 2 + 2) as arena:
             return parallel_map(_collate_shard, (examples, candidate_sets, schema),
                                 chunks, num_workers=num_workers,
-                                transport=arena, transport_copy=True)
+                                transport=arena, transport_copy=True,
+                                process_role="eval")
     build = _collate_shard(examples, candidate_sets, schema)
     return [build(chunk_idx) for chunk_idx in chunks]
 
@@ -160,7 +161,8 @@ def rank_all(model, examples: list[SequenceExample], candidate_sets: CandidateSe
                 first = score(0)
                 rest = parallel_map(_rank_shard, (model, precollated),
                                     list(range(1, len(precollated))),
-                                    num_workers=num_workers)
+                                    num_workers=num_workers,
+                                    process_role="eval")
                 ranks = [first, *rest]
             else:
                 ranks = [score(index) for index in range(len(precollated))]
@@ -239,7 +241,8 @@ class EvalShardPool:
         self._mirror.publish(flat)
         self._pool = WorkerPool(
             _mirror_rank_shard, (model, precollated, self._mirror),
-            num_workers=self.num_workers, timeout=timeout)
+            num_workers=self.num_workers, timeout=timeout,
+            process_role="eval")
 
     @property
     def closed(self) -> bool:

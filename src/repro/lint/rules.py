@@ -30,6 +30,10 @@ now only enforced by review:
   belong in :mod:`repro.serve.net` only; anywhere else (and especially on
   the asyncio front-end's event loop) a blocking socket call is a stall the
   in-flight bound cannot see.
+* ``SPAN-NAME-DISCIPLINE`` — fleet merges aggregate per-process spools *by
+  name*, so a typo'd or ad-hoc span/metric name silently fragments the fleet
+  view; instrumentation sites must use a literal from the
+  :mod:`repro.obs.names` catalog or one of its template helpers.
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ __all__ = [
     "SeededRandomnessRule",
     "TelemetryGuardRule",
     "BlockingIoContainmentRule",
+    "SpanNameDisciplineRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -280,6 +285,94 @@ class BlockingIoContainmentRule:
                         f".{func.attr}() is a blocking socket-style call "
                         "outside repro.serve.net (it would stall whatever "
                         "thread or event loop runs it)")
+
+
+@register
+class SpanNameDisciplineRule:
+    """Span/metric names at instrumentation sites come from the catalog.
+
+    The fleet merge (:mod:`repro.obs.fleet`) sums counters and merges
+    histograms across per-process spools strictly by name, so every name
+    must be spelled identically in every process.  A ``span(...)`` /
+    ``registry.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call
+    must therefore name its series with either
+
+    * a string literal present in :data:`repro.obs.names.SPAN_NAMES` /
+      :data:`~repro.obs.names.METRIC_NAMES`, or
+    * a call to one of the catalog's template helpers
+      (``serve_latency_stage`` and friends) for the parameterized families.
+
+    F-strings and string arithmetic at the call site are always findings —
+    that is exactly the ad-hoc-name class the catalog exists to kill.  Bare
+    variables are allowed: merge/export code legitimately passes names it
+    read from another process's snapshot.
+    """
+
+    rule_id = "SPAN-NAME-DISCIPLINE"
+    description = ("span()/counter()/gauge()/histogram() names must be "
+                   "catalog literals from repro.obs.names or calls to its "
+                   "template helpers — ad-hoc literals and f-strings "
+                   "fragment the fleet merge")
+
+    # The catalog itself and the registry internals (which rebuild metrics
+    # from merged state under dynamic names) are exempt.
+    EXEMPT_MODULES = ("repro.obs.names", "repro.obs.metrics",
+                      "repro.obs.fleet", "repro.obs.exporters")
+    METRIC_METHODS = ("counter", "gauge", "histogram")
+    HELPERS = ("serve_latency_stage", "train_loss_component",
+               "pipeline_worker_batches")
+
+    def _catalogs(self):
+        from repro.obs.names import METRIC_NAMES, SPAN_NAMES
+        return SPAN_NAMES, METRIC_NAMES
+
+    def _is_helper_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in self.HELPERS
+        return isinstance(func, ast.Attribute) and func.attr in self.HELPERS
+
+    def _name_argument(self, call: ast.Call) -> ast.AST | None:
+        if call.args:
+            return call.args[0]
+        return next((kw.value for kw in call.keywords if kw.arg == "name"),
+                    None)
+
+    def _check_name(self, ctx: FileContext, call: ast.Call, catalog,
+                    what: str) -> Iterator[Finding]:
+        name = self._name_argument(call)
+        if name is None or self._is_helper_call(name):
+            return
+        if isinstance(name, ast.Constant) and isinstance(name.value, str):
+            if name.value not in catalog:
+                yield ctx.finding(
+                    self.rule_id, call,
+                    f"{what} name {name.value!r} is not in the "
+                    "repro.obs.names catalog (add it there so fleet merges "
+                    "can aggregate it)")
+        elif isinstance(name, (ast.JoinedStr, ast.BinOp, ast.Call)):
+            yield ctx.finding(
+                self.rule_id, call,
+                f"computed {what} name at the instrumentation site — use a "
+                "catalog literal or a repro.obs.names template helper")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag non-catalog names on span and metric constructor calls."""
+        if (ctx.module in self.EXEMPT_MODULES
+                or not _in_packages(ctx.module, ("repro",))):
+            return
+        span_names, metric_names = self._catalogs()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "span":
+                yield from self._check_name(ctx, node, span_names, "span")
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr in self.METRIC_METHODS):
+                yield from self._check_name(ctx, node, metric_names, "metric")
 
 
 @register

@@ -23,14 +23,21 @@ All instrumentation is zero-cost when disabled: call sites pay one
 """
 
 from .cli import render_events, render_span_tree
-from .events import (EventSink, Telemetry, disable_telemetry, enable_telemetry,
-                     get_telemetry, read_events, telemetry_session)
+from .events import (EventSink, Telemetry, child_telemetry_config,
+                     disable_telemetry, enable_telemetry,
+                     enable_worker_telemetry, get_telemetry, read_events,
+                     read_events_tolerant, spool_dir_for, telemetry_session)
 from .exporters import git_revision, prometheus_text, write_run_manifest
+from .fleet import (FleetView, collect_fleet, merge_registry_snapshot,
+                    merge_snapshots)
 from .health import (GradientMonitor, LossComponentTracker, NaNWatchdog,
                      NonFiniteGradientError, TrainerCallback)
 from .logs import get_logger, setup_logging
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
-from .trace import Span, current_span, span
+from .names import (METRIC_NAMES, SPAN_NAMES, pipeline_worker_batches,
+                    serve_latency_stage, train_loss_component)
+from .trace import (Span, TraceContext, current_context, current_span,
+                    remote_context, reset_trace_state, span)
 
 __all__ = [
     "EventSink",
@@ -40,6 +47,23 @@ __all__ = [
     "get_telemetry",
     "telemetry_session",
     "read_events",
+    "read_events_tolerant",
+    "child_telemetry_config",
+    "enable_worker_telemetry",
+    "spool_dir_for",
+    "TraceContext",
+    "current_context",
+    "remote_context",
+    "reset_trace_state",
+    "FleetView",
+    "collect_fleet",
+    "merge_registry_snapshot",
+    "merge_snapshots",
+    "SPAN_NAMES",
+    "METRIC_NAMES",
+    "serve_latency_stage",
+    "train_loss_component",
+    "pipeline_worker_batches",
     "Span",
     "span",
     "current_span",

@@ -1,23 +1,32 @@
 """Renderer behind ``python -m repro obs``: trace tree + metric summary.
 
-Reads one JSON-lines event log (produced by a
-:func:`~repro.obs.events.telemetry_session`) and renders:
+Reads one run's JSON-lines event log — plus, when present, the worker
+spool directory next to it (``<events>.d/``, see
+:mod:`repro.obs.fleet`) — and renders:
 
 * the **span tree** — spans nested under their parents with wall-clock
-  durations; runs of sibling spans sharing a name (e.g. hundreds of
-  ``train.step`` spans) collapse into one ``×N`` aggregate line;
+  durations; spans from worker processes stitch under their cross-process
+  parents (span ids are fleet-unique) and carry a ``@role`` tag; runs of
+  sibling spans sharing a name (e.g. hundreds of ``train.step`` spans)
+  collapse into one ``×N`` aggregate line;
 * the **epoch table** — one row per ``epoch`` event (loss, split timings,
   monitored metric);
 * the **metric summary** — counters, gauges and histogram percentiles from
-  the final ``metrics`` snapshot event;
+  the merged fleet registry (per-process snapshots: counters summed,
+  histograms merged bucket-wise);
+* the **process census** — one row per contributing process when workers
+  relayed events;
 * a one-line census of everything else (log records by level).
+
+Malformed lines (torn writes from a live fleet) are skipped and counted,
+never fatal.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from .events import read_events
+from .fleet import collect_fleet
 
 __all__ = ["render_events", "render_span_tree"]
 
@@ -35,12 +44,33 @@ def _fmt_attrs(attrs: dict) -> str:
     return f" [{inner}]"
 
 
+def _start_key(event: dict) -> float:
+    # Wall-clock start when available (comparable across processes);
+    # fall back to the in-process perf_counter start.
+    ts = event.get("ts")
+    if ts is not None:
+        return ts - (event.get("seconds") or 0.0)
+    return event.get("start", 0.0)
+
+
+def _span_line(event: dict) -> str:
+    attrs = dict(event.get("attrs") or {})
+    if event.get("request_id") is not None:
+        attrs = {"request_id": event["request_id"], **attrs}
+    role = (event.get("proc") or {}).get("role")
+    tag = f" @{role}" if role else ""
+    return (f"{event['name']} ({_fmt_seconds(event['seconds'])})"
+            f"{tag}{_fmt_attrs(attrs)}")
+
+
 def render_span_tree(spans: list[dict], collapse_after: int = 5) -> str:
     """Indented tree of span events (grouping large same-name sibling runs).
 
-    ``spans`` are raw ``span`` events (any order); parentage comes from
-    ``parent_id``.  Sibling groups larger than ``collapse_after`` render as
-    one aggregate line with count, total and mean duration.
+    ``spans`` are raw ``span`` events (any order, any number of source
+    processes); parentage comes from ``parent_id``, which may point at a
+    span recorded by a different process.  Sibling groups larger than
+    ``collapse_after`` render as one aggregate line with count, total and
+    mean duration.
     """
     children: dict[int | None, list[dict]] = {}
     known = {event["span_id"] for event in spans}
@@ -50,7 +80,7 @@ def render_span_tree(spans: list[dict], collapse_after: int = 5) -> str:
             parent = None  # orphaned spans surface at the root
         children.setdefault(parent, []).append(event)
     for siblings in children.values():
-        siblings.sort(key=lambda event: event.get("start", 0.0))
+        siblings.sort(key=_start_key)
 
     lines: list[str] = []
 
@@ -76,10 +106,7 @@ def render_span_tree(spans: list[dict], collapse_after: int = 5) -> str:
                         break
             else:
                 for event in group:
-                    lines.append(
-                        f"{indent}{event['name']} "
-                        f"({_fmt_seconds(event['seconds'])})"
-                        f"{_fmt_attrs(event.get('attrs') or {})}")
+                    lines.append(f"{indent}{_span_line(event)}")
                     render(event["span_id"], depth + 1)
 
     render(None, 0)
@@ -122,26 +149,50 @@ def _render_metrics(snapshot: dict) -> str:
             return f"{summary.get(key, 0.0) * 1e3:.3f}"
 
         rows = [[name, summary.get("count", 0), ms(summary, "mean"),
-                 ms(summary, "p50"), ms(summary, "p99"), ms(summary, "max")]
+                 ms(summary, "p50"), ms(summary, "p90"), ms(summary, "p99"),
+                 ms(summary, "max")]
                 for name, summary in histograms.items()]
         sections.append(format_table(
-            ["histogram", "count", "mean ms", "p50 ms", "p99 ms", "max ms"],
-            rows))
+            ["histogram", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+             "max ms"], rows))
     return "\n".join(sections)
 
 
+def _render_processes(processes: list[dict]) -> str:
+    from repro.utils import format_table
+
+    rows = []
+    for proc in processes:
+        worker = proc.get("worker")
+        generation = proc.get("generation")
+        rows.append([
+            proc.get("role", "?"),
+            "-" if worker is None else worker,
+            "-" if proc.get("pid") is None else proc["pid"],
+            "-" if generation is None else generation,
+            proc.get("events", 0),
+            proc.get("spans", 0),
+            proc.get("malformed_lines", 0),
+        ])
+    return format_table(["process", "worker", "pid", "gen", "events",
+                         "spans", "malformed"], rows)
+
+
 def render_events(path: str | Path, collapse_after: int = 5) -> str:
-    """Full human-readable report for one JSON-lines event log."""
-    events = read_events(path)
+    """Full human-readable report for one run's event log + worker spools."""
+    view = collect_fleet(path)
+    if not view.events and not view.malformed_lines:
+        return f"{path}: no events"
     by_type: dict[str, list[dict]] = {}
-    for event in events:
+    for event in view.events:
         by_type.setdefault(event.get("type", "?"), []).append(event)
 
     sections: list[str] = []
-    spans = by_type.get("span", [])
+    spans = view.spans
     if spans:
+        known = {event["span_id"] for event in spans}
         total = sum(event["seconds"] for event in spans
-                    if event.get("parent_id") is None)
+                    if event.get("parent_id") not in known)
         sections.append(f"trace ({len(spans)} spans, "
                         f"root time {_fmt_seconds(total)}):")
         sections.append(render_span_tree(spans, collapse_after=collapse_after))
@@ -149,12 +200,13 @@ def render_events(path: str | Path, collapse_after: int = 5) -> str:
     if epochs:
         sections.append("\nepochs:")
         sections.append(_render_epochs(epochs))
-    snapshots = by_type.get("metrics", [])
-    if snapshots:
-        rendered = _render_metrics(snapshots[-1].get("registry", {}))
-        if rendered:
-            sections.append("\nmetrics:")
-            sections.append(rendered)
+    rendered = _render_metrics(view.registry.snapshot())
+    if rendered:
+        sections.append("\nmetrics:")
+        sections.append(rendered)
+    if len(view.processes) > 1:
+        sections.append("\nprocesses:")
+        sections.append(_render_processes(view.processes))
     logs = by_type.get("log", [])
     if logs:
         levels: dict[str, int] = {}
@@ -163,6 +215,7 @@ def render_events(path: str | Path, collapse_after: int = 5) -> str:
         census = ", ".join(f"{count} {level}"
                            for level, count in sorted(levels.items()))
         sections.append(f"\nlogs: {census}")
-    if not sections:
-        return f"{path}: no events"
+    if view.malformed_lines:
+        sections.append(f"\nmalformed_lines: {view.malformed_lines} "
+                        f"(skipped)")
     return "\n".join(sections)

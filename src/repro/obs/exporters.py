@@ -49,7 +49,10 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
     Counters and gauges become single samples; histograms expand into
     cumulative ``_bucket{le="..."}`` samples plus ``_sum`` and ``_count``,
-    matching what a scraper expects from a native client.
+    matching what a scraper expects from a native client, and additionally
+    export derived ``_p50`` / ``_p90`` / ``_p99`` gauges — bucket
+    upper-bound quantiles (:meth:`~repro.obs.metrics.Histogram.percentile_upper`)
+    so latency SLOs are readable without recomputing from the buckets.
     """
     lines: list[str] = []
     for name in registry.names():
@@ -67,6 +70,11 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(f'{prom}_bucket{{le="{_fmt(bound)}"}} {count}')
             lines.append(f"{prom}_sum {_fmt(metric.total)}")
             lines.append(f"{prom}_count {metric.count}")
+            for percentile, label in ((50.0, "p50"), (90.0, "p90"),
+                                      (99.0, "p99")):
+                lines.append(f"# TYPE {prom}_{label} gauge")
+                lines.append(f"{prom}_{label} "
+                             f"{_fmt(metric.percentile_upper(percentile))}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

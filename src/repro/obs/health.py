@@ -24,6 +24,7 @@ import numpy as np
 
 from .events import get_telemetry
 from .metrics import MetricsRegistry, get_registry
+from .names import train_loss_component
 
 __all__ = [
     "TrainerCallback",
@@ -67,6 +68,39 @@ class TrainerCallback:
         """Called once after early stopping / the final epoch."""
 
 
+def _shard_health(trainer) -> list[dict]:
+    """The last step's per-shard health under ``--data-parallel`` (else [])."""
+    engine = getattr(trainer, "ddp_engine", None)
+    if engine is None:
+        return []
+    return list(getattr(engine, "last_shard_health", None) or [])
+
+
+def _shard_tags(trainer) -> dict:
+    """Event fields attributing a step to its shards/workers (data-parallel).
+
+    Empty outside data-parallel training, so single-process events keep
+    their historic shape.
+    """
+    health = _shard_health(trainer)
+    if not health:
+        return {}
+    return {"shards": [{"shard": entry["shard"], "worker": entry["worker"],
+                        "finite_grad": entry["finite_grad"]}
+                       for entry in health]}
+
+
+def _format_blame(bad: list[dict]) -> str:
+    if not bad:
+        return ""
+    names = ", ".join(
+        f"shard {entry['shard']}"
+        + (f" (worker {entry['worker']})"
+           if entry.get("worker") is not None else "")
+        for entry in bad)
+    return f"; produced by {names}"
+
+
 class NonFiniteGradientError(FloatingPointError):
     """A NaN/Inf reached a gradient (or the loss) during training.
 
@@ -74,14 +108,20 @@ class NonFiniteGradientError(FloatingPointError):
         parameter: offending parameter name, or None when the loss itself
             was non-finite.
         epoch / step: position in the training loop.
+        shard / worker: the data-parallel shard (and worker process) whose
+            gradient or loss was non-finite, when attributable; None in
+            single-process training.
     """
 
     def __init__(self, message: str, parameter: str | None = None,
-                 epoch: int = -1, step: int = -1):
+                 epoch: int = -1, step: int = -1,
+                 shard: int | None = None, worker: int | None = None):
         super().__init__(message)
         self.parameter = parameter
         self.epoch = epoch
         self.step = step
+        self.shard = shard
+        self.worker = worker
 
 
 class NaNWatchdog(TrainerCallback):
@@ -104,18 +144,28 @@ class NaNWatchdog(TrainerCallback):
         self._step += 1
         if self._step % self.every:
             return
+        health = _shard_health(trainer)
         if not np.isfinite(loss):
+            blamed = [entry for entry in health
+                      if not np.isfinite(entry.get("loss", 0.0))]
             raise NonFiniteGradientError(
-                f"non-finite training loss {loss!r} at epoch {epoch} step {step}",
-                parameter=None, epoch=epoch, step=step)
+                f"non-finite training loss {loss!r} at epoch {epoch} "
+                f"step {step}{_format_blame(blamed)}",
+                parameter=None, epoch=epoch, step=step,
+                shard=blamed[0]["shard"] if blamed else None,
+                worker=blamed[0]["worker"] if blamed else None)
         for name, param in trainer.model.named_parameters():
             grad = param.grad
             if grad is not None and not np.all(np.isfinite(grad)):
                 bad = "nan" if np.isnan(grad).any() else "inf"
+                blamed = [entry for entry in health
+                          if not entry.get("finite_grad", True)]
                 raise NonFiniteGradientError(
                     f"non-finite ({bad}) gradient in parameter {name!r} "
-                    f"at epoch {epoch} step {step}",
-                    parameter=name, epoch=epoch, step=step)
+                    f"at epoch {epoch} step {step}{_format_blame(blamed)}",
+                    parameter=name, epoch=epoch, step=step,
+                    shard=blamed[0]["shard"] if blamed else None,
+                    worker=blamed[0]["worker"] if blamed else None)
 
 
 class LossComponentTracker(TrainerCallback):
@@ -148,10 +198,11 @@ class LossComponentTracker(TrainerCallback):
                  for component in self._sums}
         self.epochs.append(means)
         for component, value in means.items():
-            self.registry.gauge(f"train.loss.{component}").set(value)
+            self.registry.gauge(train_loss_component(component)).set(value)
         telemetry = get_telemetry()
         if telemetry is not None:
-            telemetry.emit("loss_components", epoch=record.epoch, means=means)
+            telemetry.emit("loss_components", epoch=record.epoch, means=means,
+                           **_shard_tags(trainer))
 
     def curve(self, component: str) -> list[float]:
         """Per-epoch means of one component (NaN where it was absent)."""
@@ -219,7 +270,9 @@ class GradientMonitor(TrainerCallback):
         telemetry = get_telemetry()
         if telemetry is not None:
             telemetry.emit("grad_health", epoch=epoch, step=step,
-                           global_norm=global_norm, max_update_ratio=worst_ratio)
+                           global_norm=global_norm,
+                           max_update_ratio=worst_ratio,
+                           **_shard_tags(trainer))
 
     def last_ratios(self) -> dict[str, float]:
         """The most recent update/param ratio per parameter."""

@@ -119,6 +119,25 @@ class Histogram:
         fraction = (rank - previous) / in_bucket if in_bucket else 1.0
         return min(lower + fraction * (upper - lower), self.max or upper)
 
+    def percentile_upper(self, p: float) -> float:
+        """Guaranteed upper bound on the ``p``-th percentile (0 when empty).
+
+        Unlike :meth:`percentile` this never interpolates: it returns the
+        upper bound of the bucket holding the rank (clamped to the exact
+        ``max``), so factor-``b`` buckets bound the overstatement at ``b``×.
+        Derived quantile exports use this form — an SLO read from it can be
+        violated in the buckets but never silently exceeded by the data.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = np.cumsum(self._counts)
+        bucket = int(np.searchsorted(cumulative, rank, side="left"))
+        upper = self.bounds[bucket] if bucket < len(self.bounds) else self.max
+        return float(min(upper, self.max))
+
     def bucket_counts(self) -> list[tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
 
@@ -130,14 +149,55 @@ class Histogram:
         pairs.append((float("inf"), int(cumulative[-1])))
         return pairs
 
+    def state(self) -> dict:
+        """Exact mergeable state: bounds, raw bucket counts and aggregates.
+
+        Serializes losslessly through JSON, so a per-process ``metrics``
+        event carries everything :meth:`merge_state` needs to fold the
+        process back into a fleet-wide histogram — bucket-wise, exactly.
+        """
+        return {
+            "bounds": [float(bound) for bound in self.bounds],
+            "counts": [int(count) for count in self._counts],
+            "count": int(self.count),
+            "total": float(self.total),
+            "max": float(self.max),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Bucket counts add element-wise and count/total/max combine exactly,
+        so merging per-process histograms is equivalent to recording every
+        observation into one histogram.  Bounds must match.
+        """
+        bounds = np.asarray(state["bounds"], dtype=float)
+        if bounds.shape != self.bounds.shape or not np.array_equal(bounds, self.bounds):
+            raise ValueError(f"histogram {self.name!r}: cannot merge "
+                             f"incompatible bucket bounds")
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        self._counts += counts
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        self.max = max(self.max, float(state["max"]))
+
+    @classmethod
+    def from_state(cls, name: str, state: dict) -> "Histogram":
+        """Reconstruct a histogram from a serialized :meth:`state` dict."""
+        histogram = cls(name, bounds=np.asarray(state["bounds"], dtype=float))
+        histogram.merge_state(state)
+        return histogram
+
     def snapshot(self) -> dict:
-        """JSON-serializable summary (raw units)."""
+        """JSON-serializable summary (raw units) plus mergeable ``state``."""
         return {
             "count": self.count,
             "mean": self.mean,
             "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
             "p99": self.percentile(99.0),
             "max": self.max,
+            "state": self.state(),
         }
 
 

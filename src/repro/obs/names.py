@@ -1,0 +1,113 @@
+"""Catalog of every span and metric name the library emits.
+
+Fleet-wide aggregation only works when every process names its spans and
+metrics identically — a typo'd or ad-hoc name produces an unmergeable
+series that silently fragments the fleet view.  This module is therefore
+the single source of truth: instrumentation sites either use a dotted
+lowercase string literal present in :data:`SPAN_NAMES` /
+:data:`METRIC_NAMES`, or go through one of the template helpers below for
+the few legitimately parameterized families (per-stage serving latency,
+per-component loss gauges, per-worker utilization counters).
+
+The ``SPAN-NAME-DISCIPLINE`` lint rule (:mod:`repro.lint.rules`) enforces
+this at the AST level: a ``span(...)`` / ``registry.counter(...)`` call
+whose name argument is not a catalog literal or a call to a helper exported
+here is a finding.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPAN_NAMES",
+    "METRIC_NAMES",
+    "serve_latency_stage",
+    "train_loss_component",
+    "pipeline_worker_batches",
+]
+
+SPAN_NAMES = frozenset({
+    # training
+    "train.fit",
+    "train.epoch",
+    "train.train_pass",
+    "train.eval_pass",
+    "train.step",
+    # evaluation & preprocessing
+    "eval.rank_all",
+    "hypergraph.build",
+    # serving (in-process)
+    "serve.request",
+    "serve.batch",
+    "serve.encode",
+    "serve.retrieve_rank",
+    # cross-process fleet spans
+    "worker.task",
+    "net.request",
+    "replica.request",
+})
+"""Every static span name; child spans parent on these across processes."""
+
+METRIC_NAMES = frozenset({
+    # serving service
+    "serve.requests",
+    "serve.errors",
+    "serve.batches",
+    "serve.batched_requests",
+    "serve.max_batch_size",
+    "serve.cache.hits",
+    "serve.cache.misses",
+    "serve.cache.stampede_suppressed",
+    "serve.recall.sum",
+    "serve.recall.samples",
+    # serving network tier
+    "serve.net.connections",
+    "serve.net.requests",
+    "serve.net.shed",
+    "serve.net.errors",
+    "serve.net.read_timeouts",
+    "serve.net.inflight",
+    "serve.net.replica.respawns",
+    "serve.net.replica.retries",
+    "serve.net.replica.deaths",
+    # request correlation (front-end per-stage)
+    "net.request.seconds",
+    "net.request.dispatch_seconds",
+    "net.request.replica_seconds",
+    "net.request.batch_wait_seconds",
+    # training health
+    "train.grad.global_norm",
+    "train.grad.update_ratio.max",
+    # data-parallel engine
+    "ddp.steps",
+    "ddp.shards",
+    "ddp.grad_bytes",
+    "ddp.sync_seconds",
+    # fleet collection synthetics
+    "fleet.processes",
+    "fleet.events",
+    "fleet.spans",
+    "fleet.malformed_lines",
+    # input pipeline
+    "pipeline.queue_depth",
+    "pipeline.wait_seconds",
+    "pipeline.batches",
+    "pipeline.shm.bytes",
+    "pipeline.shm.results",
+    "pipeline.shm.fallbacks",
+})
+"""Every static metric name registered anywhere in the library."""
+
+
+def serve_latency_stage(stage: str) -> str:
+    """Histogram name for one serving latency stage (``serve.latency.<stage>``)."""
+    return "serve.latency." + stage
+
+
+def train_loss_component(component: str) -> str:
+    """Gauge name for one loss component (``train.loss.<component>``)."""
+    return "train.loss." + component
+
+
+def pipeline_worker_batches(worker_id: int) -> str:
+    """Counter name for one prefetch worker (``pipeline.worker.<id>.batches``)."""
+    return f"pipeline.worker.{worker_id}.batches"

@@ -18,17 +18,31 @@ When telemetry is disabled (:func:`repro.obs.get_telemetry` returns None)
 :func:`span` hands back a shared no-op object, so instrumented code pays one
 global check and no allocation — the same zero-cost discipline as
 :mod:`repro.perf`.  Each finished span emits a single ``span`` event carrying
-its name, id, parent id, start time, duration and attributes.
+its name, id, parent id, trace id, start time, duration and attributes.
+
+Cross-process propagation
+-------------------------
+A :class:`TraceContext` is the wire form of "where am I in the trace":
+``(trace_id, span_id, request_id)``.  A parent process captures one with
+:func:`current_context` and ships it alongside the task or request; the
+child process wraps its work in :func:`remote_context`, under which the
+next root span parents on the remote ``span_id`` and adopts the remote
+``trace_id`` — so span ids recorded in different per-process event spools
+stitch into one tree.  Span ids are made globally unique by seeding each
+process's counter with its pid (see :class:`repro.obs.events.Telemetry`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
+from dataclasses import dataclass
 
 from .events import get_telemetry
 
-__all__ = ["Span", "span", "current_span"]
+__all__ = ["Span", "span", "current_span", "TraceContext", "current_context",
+           "remote_context", "reset_trace_state"]
 
 _LOCAL = threading.local()
 
@@ -40,17 +54,43 @@ def _stack() -> list:
     return stack
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """Compact cross-process trace position: ``(trace_id, span_id, request_id)``.
+
+    ``span_id`` is the remote parent a child's root span should hang from;
+    ``trace_id`` groups every span of one logical operation (one request,
+    one training step) across the fleet; ``request_id`` is the serving
+    tier's end-to-end correlation token (None outside the request path).
+    """
+
+    trace_id: int
+    span_id: int
+    request_id: str | None = None
+
+    def pack(self) -> tuple:
+        """Wire form: a plain tuple, cheap to pickle onto task queues."""
+        return (self.trace_id, self.span_id, self.request_id)
+
+    @classmethod
+    def unpack(cls, packed) -> "TraceContext":
+        """Rebuild from :meth:`pack` output (tolerates list from JSON)."""
+        trace_id, span_id, request_id = packed
+        return cls(int(trace_id), int(span_id), request_id)
+
+
 class Span:
     """One live tracing span; use as a context manager.
 
     The span emits its event on exit — ``{"type": "span", "name", "span_id",
-    "parent_id", "start", "seconds", "attrs", "thread", "ts"}`` — where
-    ``start`` is a ``perf_counter`` timestamp (orders spans within the
-    process) and ``ts`` the wall-clock time at exit.
+    "parent_id", "trace_id", "start", "seconds", "attrs", "thread", "ts"}``
+    — where ``start`` is a ``perf_counter`` timestamp (orders spans within
+    the process) and ``ts`` the wall-clock time at exit.  A ``request_id``
+    field is added when the span is on a correlated request path.
     """
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "seconds",
-                 "_telemetry", "_start")
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "trace_id",
+                 "request_id", "seconds", "_telemetry", "_start")
 
     def __init__(self, telemetry, name: str, attrs: dict):
         self.name = name
@@ -58,6 +98,8 @@ class Span:
         self._telemetry = telemetry
         self.span_id = telemetry.next_span_id()
         self.parent_id: int | None = None
+        self.trace_id: int = self.span_id
+        self.request_id: str | None = None
         self.seconds: float | None = None
         self._start: float | None = None
 
@@ -68,7 +110,17 @@ class Span:
 
     def __enter__(self) -> "Span":
         stack = _stack()
-        self.parent_id = stack[-1].span_id if stack else None
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+            self.request_id = parent.request_id
+        else:
+            remote = getattr(_LOCAL, "remote", None)
+            if remote is not None:
+                self.parent_id = remote.span_id
+                self.trace_id = remote.trace_id
+                self.request_id = remote.request_id
         stack.append(self)
         self._start = time.perf_counter()
         return self
@@ -80,12 +132,14 @@ class Span:
             stack.pop()
         if exc_type is not None:
             self.attrs["error"] = f"{exc_type.__name__}: {exc}"
-        self._telemetry.emit(
-            "span", name=self.name, span_id=self.span_id,
-            parent_id=self.parent_id, start=self._start,
-            seconds=self.seconds, attrs=self.attrs,
-            thread=threading.current_thread().name,
-        )
+        fields = dict(name=self.name, span_id=self.span_id,
+                      parent_id=self.parent_id, trace_id=self.trace_id,
+                      start=self._start, seconds=self.seconds,
+                      attrs=self.attrs,
+                      thread=threading.current_thread().name)
+        if self.request_id is not None:
+            fields["request_id"] = self.request_id
+        self._telemetry.emit("span", **fields)
 
 
 class _NoopSpan:
@@ -96,6 +150,10 @@ class _NoopSpan:
     def set(self, **_attrs) -> "_NoopSpan":
         """No-op attribute setter (keeps call sites unconditional)."""
         return self
+
+    def __setattr__(self, _name: str, _value) -> None:
+        """Silently drop assignments (e.g. ``span.request_id = ...``) so a
+        telemetry disable racing a call site never turns into an error."""
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -123,3 +181,58 @@ def current_span() -> Span | None:
     """The innermost open span on this thread, or None."""
     stack = getattr(_LOCAL, "stack", None)
     return stack[-1] if stack else None
+
+
+def current_context(request_id: str | None = None) -> TraceContext | None:
+    """The shippable :class:`TraceContext` at this point, or None.
+
+    Derived from the innermost open span (falling back to an active
+    :func:`remote_context`, so a relay hop can forward its inherited
+    position).  Returns None when telemetry is disabled or no span is open —
+    callers ship the context only when it exists, preserving the
+    zero-cost-when-disabled discipline.
+    """
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        top = stack[-1]
+        return TraceContext(top.trace_id, top.span_id,
+                            request_id if request_id is not None
+                            else top.request_id)
+    remote = getattr(_LOCAL, "remote", None)
+    if remote is not None and request_id is not None:
+        return TraceContext(remote.trace_id, remote.span_id, request_id)
+    return remote
+
+
+@contextlib.contextmanager
+def remote_context(context: TraceContext | tuple | None):
+    """Adopt a remote parent for root spans opened inside the block.
+
+    ``context`` may be a :class:`TraceContext`, its :meth:`~TraceContext.pack`
+    tuple, or None (no-op).  While active, a span opened with an empty
+    thread-local stack parents on ``context.span_id`` and inherits
+    ``trace_id`` / ``request_id``, which is how worker tasks and replica
+    requests attach to the tree of the process that shipped them.
+    """
+    if context is None:
+        yield
+        return
+    if not isinstance(context, TraceContext):
+        context = TraceContext.unpack(context)
+    previous = getattr(_LOCAL, "remote", None)
+    _LOCAL.remote = context
+    try:
+        yield
+    finally:
+        _LOCAL.remote = previous
+
+
+def reset_trace_state() -> None:
+    """Drop this thread's span stack and remote context.
+
+    Called after ``fork``: the child inherits the forking thread's open
+    spans, which belong to the parent process and must not adopt children
+    recorded in the child's spool.
+    """
+    _LOCAL.stack = []
+    _LOCAL.remote = None

@@ -17,6 +17,7 @@ import time
 from typing import Callable
 
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.names import serve_latency_stage
 
 __all__ = ["LatencyHistogram", "ServingMetrics", "STAGES"]
 
@@ -38,8 +39,10 @@ class LatencyHistogram(Histogram):
             "count": self.count,
             "mean_ms": self.mean * 1e3,
             "p50_ms": self.percentile(50.0) * 1e3,
+            "p90_ms": self.percentile(90.0) * 1e3,
             "p99_ms": self.percentile(99.0) * 1e3,
             "max_ms": self.max * 1e3,
+            "state": self.state(),
         }
 
 
@@ -60,7 +63,7 @@ class ServingMetrics:
         self.started_at = clock()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.stages = {
-            stage: self.registry.histogram(f"serve.latency.{stage}",
+            stage: self.registry.histogram(serve_latency_stage(stage),
                                            cls=LatencyHistogram)
             for stage in STAGES
         }

@@ -65,8 +65,9 @@ import numpy as np
 
 from repro.data.pipeline import WorkerError, WorkerPool
 from repro.data.shm import ShmArena
-from repro.obs import get_logger
+from repro.obs import current_context, get_logger, get_telemetry, span
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext
 
 from .artifact import InferenceArtifact
 from .batcher import MicroBatcher
@@ -175,6 +176,28 @@ class LocalBackend:
         self.service.close()
 
 
+def _emit_replica_request_span(telemetry, context, user: int,
+                               batch_size: int, seconds: float) -> None:
+    """Record one per-request ``replica.request`` span under a remote parent.
+
+    A whole micro-batch crosses the process boundary as one task, so the
+    batched ``serve.*`` spans can only hang from one request's trace.  Every
+    request in the batch additionally gets this explicit span — emitted with
+    the request's own ``(trace_id, span_id, request_id)`` parentage so each
+    front-end ``net.request`` tree reaches into the replica that served it.
+    """
+    parent = TraceContext.unpack(context)
+    fields = dict(name="replica.request",
+                  span_id=telemetry.next_span_id(),
+                  parent_id=parent.span_id, trace_id=parent.trace_id,
+                  start=time.perf_counter() - seconds, seconds=seconds,
+                  attrs={"user": int(user), "batch": int(batch_size)},
+                  thread=threading.current_thread().name)
+    if parent.request_id is not None:
+        fields["request_id"] = parent.request_id
+    telemetry.emit("span", **fields)
+
+
 def _replica_factory(artifact: InferenceArtifact, history: HistoryStore,
                      options: dict) -> Callable[[dict], object]:
     """Worker-side entry point: build a full service, serve op batches.
@@ -183,7 +206,16 @@ def _replica_factory(artifact: InferenceArtifact, history: HistoryStore,
     ``("rec", items_ndarray, scores_list)`` per recommend (the ndarray rides
     the shm arena), ``("ok", payload)`` for the rest, ``("err", type, msg)``
     for per-request failures — so one bad request never fails its batch.
+
+    The service publishes its metrics into the replica's relay registry when
+    fleet telemetry is on (see :func:`repro.obs.enable_worker_telemetry`, which
+    the pool installed before this factory ran), so per-replica ``serve.*``
+    counters land in the spool's final snapshot and merge into the fleet view.
     """
+    options = dict(options)
+    telemetry = get_telemetry()
+    if telemetry is not None:
+        options.setdefault("registry", telemetry.registry)
     service = RecommenderService(artifact, history, **options)
 
     def handle(task: dict):
@@ -191,6 +223,7 @@ def _replica_factory(artifact: InferenceArtifact, history: HistoryStore,
         if kind == "recommend":
             users = [int(user) for user in task["users"]]
             ks = [int(k) for k in task["ks"]]
+            contexts = task.get("contexts") or [None] * len(users)
             results: list = [None] * len(users)
             pairs: list[tuple[int, int]] = []
             valid: list[int] = []
@@ -204,12 +237,19 @@ def _replica_factory(artifact: InferenceArtifact, history: HistoryStore,
                     valid.append(idx)
                     pairs.append((user, k))
             if pairs:
+                started = time.perf_counter()
                 ranked = service.recommend_pairs(pairs)
+                elapsed = time.perf_counter() - started
+                telemetry = get_telemetry()
                 for idx, recs in zip(valid, ranked):
                     items = np.fromiter((r.item for r in recs),
                                         dtype=np.int64, count=len(recs))
                     scores = [r.score for r in recs]
                     results[idx] = ("rec", items, scores)
+                    if telemetry is not None and contexts[idx] is not None:
+                        _emit_replica_request_span(
+                            telemetry, contexts[idx], users[idx],
+                            len(pairs), elapsed)
             return results
         if kind == "append":
             try:
@@ -250,9 +290,15 @@ class _Replica:
     def __init__(self, replica_id: int, artifact: InferenceArtifact,
                  history: HistoryStore, service_options: dict,
                  max_batch: int, max_wait_ms: float, pool_timeout: float,
-                 arena_slot_bytes: int):
+                 arena_slot_bytes: int,
+                 registry: MetricsRegistry | None = None):
         self.id = replica_id
         self.generation = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._replica_seconds = registry.histogram(
+            "net.request.replica_seconds")
+        self._batch_wait = registry.histogram(
+            "net.request.batch_wait_seconds")
         self.alive = False
         self._artifact = artifact
         self._history = history
@@ -269,7 +315,8 @@ class _Replica:
         self._spawn()
         self.batcher = MicroBatcher(self._flush_recommends,
                                     max_batch=max_batch,
-                                    max_wait_ms=max_wait_ms)
+                                    max_wait_ms=max_wait_ms,
+                                    on_flush=self._record_batch)
 
     # -- lifecycle -------------------------------------------------------
     def _spawn(self) -> None:
@@ -280,7 +327,8 @@ class _Replica:
             initargs=(self._artifact, self._history, self._service_options),
             num_workers=1, timeout=self._pool_timeout,
             transport=self.arena, transport_copy=True,
-            transport_requests=True, transport_min_bytes=64)
+            transport_requests=True, transport_min_bytes=64,
+            process_role=f"replica{self.id}", generation=self.generation)
         pool = self.pool
         self._collector = threading.Thread(
             target=self._collect, args=(pool,), daemon=True,
@@ -350,8 +398,12 @@ class _Replica:
             ticket.event.set()
 
     # -- calling ---------------------------------------------------------
-    def call(self, task: dict, timeout: float | None = None):
+    def call(self, task: dict, timeout: float | None = None, context=None):
         """Ship one task to the replica and block for its result.
+
+        ``context`` is an optional packed trace context forwarded with the
+        task (the batcher's flush thread has no span stack of its own, so
+        the front-end captures the context where the request executes).
 
         Raises :class:`ReplicaUnavailable` when the replica is dead, dies
         mid-flight, or the result does not arrive in time — the caller
@@ -366,8 +418,9 @@ class _Replica:
             ticket = _Ticket()
             self._pending[task_id] = ticket
             pool = self.pool
+        started = time.perf_counter()
         try:
-            pool.submit(task_id, task)
+            pool.submit(task_id, task, context=context)
         except (RuntimeError, OSError, ValueError) as error:
             with self._lock:
                 self._pending.pop(task_id, None)
@@ -380,10 +433,22 @@ class _Replica:
                 f"replica {self.id} gave no result within {timeout:.0f}s")
         if ticket.error is not None:
             raise ticket.error
+        self._replica_seconds.record(time.perf_counter() - started)
         return ticket.value
 
+    def _record_batch(self, size: int, delays: list[float]) -> None:
+        """Micro-batcher flush observer: per-request queue-wait histogram."""
+        for delay in delays:
+            self._batch_wait.record(delay)
+
     def _flush_recommends(self, ops: Sequence[dict]) -> list[dict]:
-        """Micro-batch flush: one cross-process task for the whole batch."""
+        """Micro-batch flush: one cross-process task for the whole batch.
+
+        Trace contexts the front-end attached to the ops ride along — the
+        first one parents the replica's ``worker.task``/``serve.*`` spans,
+        and the full per-op list lets the replica emit one
+        ``replica.request`` span per correlated request in the batch.
+        """
         task = {
             "kind": "recommend",
             "users": np.fromiter((op["user"] for op in ops),
@@ -391,7 +456,11 @@ class _Replica:
             "ks": np.fromiter((op["k"] for op in ops),
                               dtype=np.int64, count=len(ops)),
         }
-        markers = self.call(task)
+        contexts = [op.get("ctx") for op in ops]
+        first = next((ctx for ctx in contexts if ctx is not None), None)
+        if first is not None:
+            task["contexts"] = contexts
+        markers = self.call(task, context=first)
         return [_marker_to_response(marker, op) for marker, op in
                 zip(markers, ops)]
 
@@ -454,7 +523,8 @@ class ReplicaSet:
             _Replica(i, artifact, history, dict(service_options or {}),
                      max_batch=max_batch, max_wait_ms=max_wait_ms,
                      pool_timeout=pool_timeout,
-                     arena_slot_bytes=arena_slot_bytes)
+                     arena_slot_bytes=arena_slot_bytes,
+                     registry=self.registry)
             for i in range(replicas)
         ]
         self._respawn_poll = respawn_poll
@@ -508,7 +578,8 @@ class ReplicaSet:
             task = {"kind": "append", "user": op["user"], "item": op["item"],
                     "behavior": op["behavior"], "timestamp": op["timestamp"]}
             marker = self._with_retry(
-                op["user"], lambda replica: replica.call(task))
+                op["user"],
+                lambda replica: replica.call(task, context=op.get("ctx")))
             return _marker_to_response(marker, op)
         if op["op"] == "stats":
             return {"ok": True, "stats": self.stats()}
@@ -643,6 +714,12 @@ class NetServer:
         self._errors = self.registry.counter("serve.net.errors")
         self._read_timeouts = self.registry.counter("serve.net.read_timeouts")
         self._inflight_gauge = self.registry.gauge("serve.net.inflight")
+        self._request_seconds = self.registry.histogram("net.request.seconds")
+        self._dispatch_seconds = self.registry.histogram(
+            "net.request.dispatch_seconds")
+        # Correlates one request across front-end, batcher and replica: the
+        # pid keeps ids unique across servers sharing one event spool.
+        self._request_ids = itertools.count(1)
         self.address: tuple[str, int] | None = None
         self._inflight = 0
         self._draining = False
@@ -780,10 +857,12 @@ class NetServer:
                     continue
                 if isinstance(request, dict) and request.get("op") == "quit":
                     break
+                request_id = f"req-{os.getpid():x}-{next(self._request_ids)}"
                 if self._inflight >= self.max_inflight:
                     self._shed_count.inc()
                     await self._send(writer, {
                         "ok": False, "shed": True,
+                        "request_id": request_id,
                         "error": "overloaded: in-flight limit reached, "
                                  "retry later"})
                     continue
@@ -792,16 +871,19 @@ class NetServer:
                 except (KeyError, ValueError, TypeError) as error:
                     self._errors.inc()
                     await self._send(writer, {"ok": False,
+                                              "request_id": request_id,
                                               "error": str(error)})
                     continue
                 self._inflight += 1
                 self._inflight_gauge.set(self._inflight)
+                accepted = time.monotonic()
                 try:
                     response = await self._loop.run_in_executor(
-                        self._executor, self._dispatch, op)
+                        self._executor, self._dispatch, op, request_id)
                 finally:
                     self._inflight -= 1
                     self._inflight_gauge.set(self._inflight)
+                self._request_seconds.record(time.monotonic() - accepted)
                 self._requests.inc()
                 if not response.get("ok", False):
                     self._errors.inc()
@@ -820,17 +902,41 @@ class NetServer:
             except (ConnectionError, OSError):
                 pass
 
-    def _dispatch(self, op: dict) -> dict:
-        """Execute one op on the backend (runs on an executor thread)."""
+    def _dispatch(self, op: dict, request_id: str) -> dict:
+        """Execute one op on the backend (runs on an executor thread).
+
+        With telemetry enabled the whole dispatch runs inside a
+        ``net.request`` root span correlated by ``request_id``; the packed
+        trace context rides on the op (``op["ctx"]``) so the replica tier —
+        which executes on batcher threads and forked workers — can parent
+        its spans on this one.  Error responses always carry the
+        ``request_id`` so a client-visible failure is greppable in the
+        fleet's event spools.
+        """
+        started = time.monotonic()
+        if get_telemetry() is None:
+            response = self._execute(op)
+        else:
+            with span("net.request", op=op["op"]) as net_span:
+                net_span.request_id = request_id
+                context = current_context(request_id=request_id)
+                if context is not None:
+                    op["ctx"] = context.pack()
+                response = self._execute(op)
+        self._dispatch_seconds.record(time.monotonic() - started)
+        if not response.get("ok", False):
+            response.setdefault("request_id", request_id)
+        if op["op"] == "stats" and response.get("ok"):
+            response["stats"]["net"] = self.net_stats()
+        return response
+
+    def _execute(self, op: dict) -> dict:
         try:
-            response = self.backend.process(op)
+            return self.backend.process(op)
         except ReplicaUnavailable as error:
             return {"ok": False, "error": str(error), "retryable": True}
         except (KeyError, ValueError, TypeError) as error:
             return {"ok": False, "error": str(error)}
-        if op["op"] == "stats" and response.get("ok"):
-            response["stats"]["net"] = self.net_stats()
-        return response
 
     def net_stats(self) -> dict:
         """The front-end's own counters (connections, sheds, timeouts)."""

@@ -230,7 +230,9 @@ class DataParallelEngine:
                 (model, sampler, packed, negatives, max_len, seed,
                  self._mirror, want_breakdown),
                 num_workers=self.num_workers, timeout=timeout,
-                transport=self._arena, transport_copy=False)
+                transport=self._arena, transport_copy=False,
+                process_role="ddp")
+        self.last_shard_health: list[dict] = []
 
     def epoch_chunks(self, epoch: int) -> list[np.ndarray]:
         """The batch schedule for one epoch (shuffled, loader-compatible)."""
@@ -259,9 +261,11 @@ class DataParallelEngine:
             for shard, shard_rows_ in enumerate(shards):
                 self._pool.submit(shard, (epoch, step, shard, shard_rows_))
             results: dict[int, tuple] = {}
+            workers: dict[int, int | None] = {}
             for _ in shards:
-                _, shard, value = self._pool.next_result()
+                worker_id, shard, value = self._pool.next_result()
                 results[shard] = value
+                workers[shard] = worker_id
         else:
             results = {
                 shard: _shard_step(self.model, self.sampler, self.packed,
@@ -270,20 +274,32 @@ class DataParallelEngine:
                                    shard, shard_rows_, self.want_breakdown)
                 for shard, shard_rows_ in enumerate(shards)
             }
+            workers = {shard: None for shard in results}
         started = time.perf_counter()
         total_rows = sum(value[2] for value in results.values())
         self._acc[:] = 0.0
         loss = 0.0
         breakdown: dict[str, float] | None = {} if self.want_breakdown else None
+        health: list[dict] = []
         for shard in range(len(shards)):
             shard_loss, shard_breakdown, shard_rows_count, flat = results[shard]
             weight = shard_rows_count / total_rows
             self._acc += flat * weight
             loss += shard_loss * weight
+            # One SIMD reduction per shard: a non-finite element poisons the
+            # sum, which is how a NaN gradient gets attributed to the shard
+            # (and worker) that produced it rather than just the parameter.
+            health.append({
+                "epoch": epoch, "step": step, "shard": shard,
+                "worker": workers.get(shard), "rows": shard_rows_count,
+                "loss": shard_loss,
+                "finite_grad": bool(np.isfinite(np.sum(flat))),
+            })
             if breakdown is not None and shard_breakdown is not None:
                 for key, value in shard_breakdown.items():
                     breakdown[key] = breakdown.get(key, 0.0) + value * weight
         results.clear()  # drop shm views so the gradient slots recycle
+        self.last_shard_health = health
         assign_flat_gradients(self.model.parameters(), self._acc)
         sync_seconds += time.perf_counter() - started
         telemetry = get_telemetry()

@@ -235,6 +235,7 @@ class Trainer:
                           and self._supports_breakdown())
         loader: PrefetchLoader | None = None
         engine: DataParallelEngine | None = None
+        self.ddp_engine = None
         if config.data_parallel:
             # Sharded forward/backward: the engine assembles each shard's
             # micro-batch from the packed split directly (workers inherit it
@@ -247,6 +248,9 @@ class Trainer:
                 seed=config.seed, grad_shards=config.grad_shards,
                 num_workers=config.num_workers,
                 want_breakdown=want_breakdown, timeout=config.worker_timeout)
+            # Exposed so health callbacks can name the shard/worker behind a
+            # bad gradient (engine.last_shard_health) during on_batch_end.
+            self.ddp_engine = engine
         else:
             # Prefetching loader: batch assembly + negative presampling run
             # off the main process when num_workers > 0, and the stream is
@@ -345,6 +349,7 @@ class Trainer:
                 loader.close()
             if engine is not None:
                 engine.close()
+            self.ddp_engine = None
             if eval_pool is not None:
                 eval_pool.close()
         if best_state is not None:

@@ -304,10 +304,72 @@ class TestBlockingIoContainment:
         assert result.suppressed_count == 1
 
 
+class TestSpanNameDiscipline:
+    def test_catalog_literals_are_clean(self, write_module):
+        path = write_module("repro.train.good", """\
+            from repro.obs import span
+            with span("train.epoch", epoch=1):
+                registry.counter("serve.requests").inc()
+                registry.histogram("net.request.seconds").record(0.1)
+        """)
+        assert run_rule("SPAN-NAME-DISCIPLINE", path).ok
+
+    def test_ad_hoc_literal_fires(self, write_module):
+        path = write_module("repro.train.bad", """\
+            from repro.obs import span
+            with span("train.my_new_stage"):
+                pass
+        """)
+        result = run_rule("SPAN-NAME-DISCIPLINE", path)
+        assert len(result.findings) == 1
+        assert "not in the repro.obs.names catalog" in result.findings[0].message
+
+    def test_fstring_and_concat_names_fire(self, write_module):
+        path = write_module("repro.serve.bad", """\
+            registry.counter(f"serve.replica.{rid}.requests").inc()
+            registry.gauge("serve." + stage).set(1.0)
+        """)
+        result = run_rule("SPAN-NAME-DISCIPLINE", path)
+        assert len(result.findings) == 2
+        assert all("computed metric name" in f.message
+                   for f in result.findings)
+
+    def test_template_helper_calls_are_clean(self, write_module):
+        path = write_module("repro.serve.good", """\
+            from repro.obs.names import serve_latency_stage, train_loss_component
+            registry.histogram(serve_latency_stage("encode")).record(0.1)
+            registry.gauge(train_loss_component(name)).set(0.5)
+        """)
+        assert run_rule("SPAN-NAME-DISCIPLINE", path).ok
+
+    def test_bare_variable_names_are_allowed(self, write_module):
+        path = write_module("repro.core.good", """\
+            for name, value in snapshot["counters"].items():
+                registry.counter(name).inc(value)
+        """)
+        assert run_rule("SPAN-NAME-DISCIPLINE", path).ok
+
+    def test_exempt_modules_are_skipped(self, write_module):
+        path = write_module("repro.obs.fleet", """\
+            registry.counter("anything.goes.here").inc()
+        """)
+        assert run_rule("SPAN-NAME-DISCIPLINE", path).ok
+
+    def test_noqa_suppresses(self, write_module):
+        path = write_module("repro.train.bad", """\
+            from repro.obs import span
+            with span("train.oddball"):  # repro: noqa[SPAN-NAME-DISCIPLINE]
+                pass
+        """)
+        result = run_rule("SPAN-NAME-DISCIPLINE", path)
+        assert result.ok
+        assert result.suppressed_count == 1
+
+
 class TestRegistry:
     EXPECTED = ("DTYPE-DISCIPLINE", "SCATTER-CONTAINMENT", "NO-BARE-PRINT",
                 "SEEDED-RANDOMNESS", "TELEMETRY-GUARD",
-                "BLOCKING-IO-CONTAINMENT")
+                "BLOCKING-IO-CONTAINMENT", "SPAN-NAME-DISCIPLINE")
 
     def test_catalog_is_registered(self):
         from repro.lint import rule_ids

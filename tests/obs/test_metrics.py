@@ -68,7 +68,51 @@ class TestHistogram:
         hist = Histogram("h")
         hist.record(0.004)
         snapshot = hist.snapshot()
-        assert set(snapshot) == {"count", "mean", "p50", "p99", "max"}
+        assert set(snapshot) == {"count", "mean", "p50", "p90", "p99", "max",
+                                 "state"}
+
+    def test_percentile_upper_bounds_true_percentile(self):
+        hist = Histogram("h")
+        values = np.linspace(0.001, 0.1, 500)
+        for value in values:
+            hist.record(float(value))
+        for p in (50.0, 90.0, 99.0):
+            true = float(np.percentile(values, p))
+            upper = hist.percentile_upper(p)
+            assert upper >= true  # guaranteed upper bound...
+            assert upper <= true * 2  # ...within the factor-2 bucketing
+        assert hist.percentile_upper(100.0) == hist.max
+        assert Histogram("e").percentile_upper(99.0) == 0.0
+
+    def test_merge_state_is_exact(self):
+        left, right, reference = Histogram("h"), Histogram("h"), Histogram("h")
+        for i, value in enumerate(np.linspace(1e-5, 0.5, 200)):
+            (left if i % 2 else right).record(float(value))
+            reference.record(float(value))
+        left.merge_state(right.state())
+        assert left.count == reference.count
+        assert left.total == pytest.approx(reference.total)
+        assert left.max == reference.max
+        assert left.bucket_counts() == reference.bucket_counts()
+        assert left.percentile(99.0) == pytest.approx(
+            reference.percentile(99.0))
+
+    def test_merge_state_rejects_incompatible_bounds(self):
+        hist = Histogram("h", bounds=np.array([1.0, 10.0]))
+        other = Histogram("h", bounds=np.array([2.0, 20.0]))
+        with pytest.raises(ValueError, match="incompatible"):
+            hist.merge_state(other.state())
+
+    def test_from_state_round_trips_through_json(self):
+        import json
+
+        hist = Histogram("h")
+        for value in (0.001, 0.02, 0.3):
+            hist.record(value)
+        state = json.loads(json.dumps(hist.state()))
+        rebuilt = Histogram.from_state("h", state)
+        assert rebuilt.bucket_counts() == hist.bucket_counts()
+        assert rebuilt.count == hist.count and rebuilt.max == hist.max
 
 
 class TestRegistry:
@@ -133,6 +177,16 @@ class TestPrometheusText:
         assert 'lat_bucket{le="+Inf"} 2' in text
         assert "lat_count 2" in text
         assert text.endswith("\n")
+
+    def test_derived_quantiles_exported(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", bounds=np.array([0.01, 0.1]))
+        hist.record(0.005)
+        hist.record(0.05)
+        text = prometheus_text(registry)
+        assert "# TYPE lat_p50 gauge" in text
+        assert "lat_p50 0.01" in text  # bucket upper bound, not interpolated
+        assert "lat_p90 0.05" in text and "lat_p99 0.05" in text
 
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""

@@ -94,11 +94,16 @@ class TestObsCommand:
         assert main(["obs", str(tmp_path / "nope.jsonl")]) == 2
         assert "no such event log" in capsys.readouterr().err
 
-    def test_cli_malformed_file_fails_cleanly(self, tmp_path, capsys):
+    def test_cli_tolerates_malformed_lines(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
-        path.write_text("not json\n", encoding="utf-8")
-        assert main(["obs", str(path)]) == 2
-        assert "not valid JSON" in capsys.readouterr().err
+        path.write_text('{"type": "span", "span_id": 1, "name": "ok", '
+                        '"seconds": 0.1, "parent_id": null}\n'
+                        'not json\n'
+                        '{"type": "span", "trunca', encoding="utf-8")
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "malformed_lines: 2" in out
 
     def test_train_events_out_end_to_end(self, tmp_path, capsys):
         events = tmp_path / "train.jsonl"

@@ -76,3 +76,48 @@ class TestDisabledOverhead:
                 inner.set(k=1)
         assert current_span() is None
 
+    def test_disabled_serving_path_under_two_percent(self, tiny_dataset,
+                                                     tiny_graph, tmp_path):
+        """The request-correlation hooks must stay invisible when disabled.
+
+        A served request touches a handful of ``get_telemetry`` checks and
+        ``current_context`` calls (front-end dispatch, batcher flush, replica
+        emit); budget an order of magnitude more against one real in-process
+        recommend and hold the 2% bar from the tentpole acceptance.
+        """
+        from repro.core import MISSL, MISSLConfig
+        from repro.obs import current_context
+        from repro.serve import (HistoryStore, RecommenderService,
+                                 export_artifact, load_artifact)
+        assert get_telemetry() is None
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema, tiny_graph,
+                      MISSLConfig(dim=16, num_interests=2, max_len=20), seed=0)
+        artifact = load_artifact(export_artifact(model,
+                                                 tmp_path / "model.npz"))
+        history = HistoryStore.from_dataset(tiny_dataset)
+
+        def disabled_request_touches():
+            if get_telemetry() is None:
+                pass
+            current_context()
+            with span("net.request", op="recommend"):
+                pass
+
+        # the front-end dispatch path has ~4 correlation touch-sites; each
+        # bundle above is three of them, so 10 bundles is ~10x headroom
+        per_request_budget = 10 * _per_call_seconds(disabled_request_touches)
+
+        with RecommenderService(artifact, history, max_wait_ms=1.0) as service:
+            users = history.users[:8]
+            for user in users:  # warm caches/index before measuring
+                service.recommend(user, k=5)
+            start = time.perf_counter()
+            for _ in range(3):
+                for user in users:
+                    service.recommend(user, k=5)
+            request_seconds = (time.perf_counter() - start) / (3 * len(users))
+
+        assert per_request_budget < MAX_OVERHEAD_FRACTION * request_seconds, (
+            f"disabled request-path budget {per_request_budget * 1e6:.1f}µs "
+            f"exceeds 2% of a {request_seconds * 1e3:.2f}ms recommend")
+

@@ -2,11 +2,27 @@
 
 import io
 import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.cli import _serve_request, build_parser, main
-from repro.serve import RecommenderService, load_artifact
+from repro.serve import NetClient, RecommenderService, load_artifact
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "artifact.npz"
+    assert main(["export", str(path), "--preset", "taobao",
+                 "--scale", "0.1", "--dim", "16", "--epochs", "1",
+                 "--seed", "3"]) == 0
+    return path
 
 
 class TestParser:
@@ -69,14 +85,6 @@ class TestServeRequest:
 
 
 class TestEndToEnd:
-    @pytest.fixture(scope="class")
-    def exported(self, tmp_path_factory):
-        path = tmp_path_factory.mktemp("cli") / "artifact.npz"
-        assert main(["export", str(path), "--preset", "taobao",
-                     "--scale", "0.1", "--dim", "16", "--epochs", "1",
-                     "--seed", "3"]) == 0
-        return path
-
     def test_export_records_provenance(self, exported):
         artifact = load_artifact(exported)
         assert artifact.extra == {"preset": "taobao", "scale": 0.1, "seed": 3}
@@ -160,3 +168,119 @@ class TestEndToEnd:
         assert "serve.encode" in out
         assert "serve.requests" in out  # counters from the final snapshot
         assert "serve.latency.total" in out
+
+
+class TestNetworkFleet:
+    """``--listen --replicas 2 --events-out``: fleet correlation end to end.
+
+    The CLI's network mode installs signal handlers, so the test drives a
+    real ``python -m repro serve`` subprocess: requests go over TCP, the
+    fleet events come back through the main file plus the replica spools.
+    """
+
+    def serve_fleet(self, exported, tmp_path, requests):
+        events_path = tmp_path / "net.jsonl"
+        metrics_path = tmp_path / "net-metrics.json"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(exported),
+             "--listen", "127.0.0.1:0", "--replicas", "2",
+             "--events-out", str(events_path),
+             "--metrics-out", str(metrics_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env)
+        responses = []
+        try:
+            ready_line = []
+
+            def read_ready():
+                ready_line.append(process.stdout.readline())
+
+            reader = threading.Thread(target=read_ready, daemon=True)
+            reader.start()
+            reader.join(timeout=180.0)
+            assert ready_line and ready_line[0], (
+                f"server never became ready: {process.stderr.read()!r}")
+            ready = json.loads(ready_line[0])
+            assert ready["ready"] and ready["replicas"] == 2
+            with NetClient(ready["host"], ready["port"],
+                           connect_retries=20) as client:
+                for request in requests:
+                    responses.append(client.request(request))
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=60.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise
+        assert process.returncode == 0, process.stderr.read()
+        return events_path, metrics_path, responses
+
+    def test_request_ids_correlate_across_processes(self, exported, tmp_path,
+                                                    capsys):
+        from repro.data import DATASET_PRESETS, generate, k_core_filter
+        from repro.obs import collect_fleet, read_events_tolerant
+        dataset = k_core_filter(generate(DATASET_PRESETS["taobao"](0.1),
+                                         seed=3))
+        users = dataset.users[:4]
+        requests = [{"op": "recommend", "user": user, "k": 3}
+                    for user in users]
+        requests.append({"op": "recommend"})  # malformed: no user
+        events_path, metrics_path, responses = self.serve_fleet(
+            exported, tmp_path, requests)
+
+        for response in responses[:-1]:
+            assert response["ok"], response
+        error = responses[-1]
+        assert not error["ok"]
+        assert error["request_id"].startswith("req-")  # correlation token
+
+        view = collect_fleet(events_path)
+        roles = {p["role"] for p in view.processes}
+        assert "main" in roles
+        assert any(role.startswith("replica") for role in roles)
+
+        spans = {s["span_id"]: s for s in view.spans}
+        front = [s for s in view.spans if s["name"] == "net.request"]
+        replica = [s for s in view.spans if s["name"] == "replica.request"]
+        # the malformed request is rejected before dispatch: no span for it
+        assert len(front) == len(users)
+        assert len(replica) == len(users)
+        # every replica-side span joins a front-end request's tree and
+        # carries the same end-to-end request id
+        for child in replica:
+            assert child["proc"]["role"].startswith("replica")
+            parent = spans[child["parent_id"]]
+            assert parent["name"] == "net.request"
+            assert child["trace_id"] == parent["trace_id"]
+            assert child["request_id"] == parent["request_id"]
+        assert all(s["request_id"].startswith("req-") for s in front)
+
+        # merged fleet counters equal the sum of per-process counters
+        expected: dict = {}
+        for entry in view.processes:
+            events, _ = read_events_tolerant(entry["file"])
+            metric_events = [e for e in events if e.get("type") == "metrics"]
+            if not metric_events:
+                continue
+            counters = metric_events[-1]["registry"].get("counters", {})
+            for name, value in counters.items():
+                expected[name] = expected.get(name, 0) + value
+        assert any(name.startswith("serve.") for name in expected)
+        for name, value in expected.items():
+            assert view.registry.counter(name).value == value, name
+
+        # --metrics-out carries the same merged fleet view
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert snapshot["net"]["requests"] == len(users)  # dispatched only
+        fleet_counters = snapshot["fleet"]["counters"]
+        assert fleet_counters["fleet.processes"] == len(view.processes)
+
+        # one obs invocation renders the fleet-spanning tree
+        assert main(["obs", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "net.request" in out
+        assert "replica.request" in out
+        assert "serve.batch" in out  # replica-side spans in the same render
