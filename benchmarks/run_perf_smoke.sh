@@ -29,8 +29,14 @@ export REPRO_PERF_NET_CONNECTIONS="${REPRO_PERF_NET_CONNECTIONS:-4}"
 export REPRO_PERF_OBS_MAX_REGRESSION="${REPRO_PERF_OBS_MAX_REGRESSION:-0}"
 
 # Static-analysis gate: new findings (anything not in lint-baseline.json)
-# fail the smoke run before any benchmark time is spent.
-PYTHONPATH=src python -m repro lint src/repro
+# fail the smoke run before any benchmark time is spent.  --jobs exercises
+# the parallel front-end (output is asserted identical to serial in
+# tests/lint/test_flow_rules.py); the --select pass pins the five
+# concurrency flow rules explicitly so a registry regression that dropped
+# one would fail loudly here rather than silently passing the full gate.
+PYTHONPATH=src python -m repro lint src/repro --jobs 4
+PYTHONPATH=src python -m repro lint src/repro \
+    --select LEASE-BALANCE,LOCK-DISCIPLINE,LOCK-ORDER,FORK-SAFETY,ASYNC-BLOCKING
 
 rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json \
       benchmarks/results/BENCH_P5.json benchmarks/results/BENCH_P6.json \
@@ -68,6 +74,10 @@ grep -q "train.fit" "$OBS_RENDER" || {
 # start `repro serve --listen` with replicas and fleet telemetry, push 200
 # closed-loop requests through a real socket, then SIGTERM and require a
 # clean (exit 0) drain with request-correlated spans in the event spools.
+# REPRO_LOCK_WATCH=1 runs the whole fleet under the runtime lock-order
+# watchdog — any cycle-closing lock acquisition in the serve tier raises
+# LockOrderViolation and fails the smoke instead of deadlocking it.
+export REPRO_LOCK_WATCH=1
 SERVE_ARTIFACT="$(mktemp -t repro_serve_smoke.XXXXXX.npz)"
 NET_EVENTS="$(mktemp -t repro_net_smoke.XXXXXX.jsonl)"
 NET_RENDER="$(mktemp -t repro_net_smoke.XXXXXX.txt)"

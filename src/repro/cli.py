@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -161,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", action="store_true",
                       help="accept all current findings into the baseline "
                            "(preserves documented reasons)")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="parse and run per-file rules across N worker "
+                           "processes (project-wide rules stay in the "
+                           "parent); output is identical to --jobs 1")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
     lint.add_argument("--verbose", action="store_true",
@@ -515,6 +520,11 @@ def _cmd_compare(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     from repro.obs import setup_logging
     setup_logging()
+    if os.environ.get("REPRO_LOCK_WATCH", "") not in ("", "0"):
+        # Opt-in runtime lock-order watchdog; fork-based replicas inherit
+        # the enabled state (and their own private acquisition graphs).
+        from repro.obs import enable_lock_watch
+        enable_lock_watch()
     args = build_parser().parse_args(argv)
     handlers = {
         "stats": _cmd_stats,

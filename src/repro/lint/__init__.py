@@ -10,17 +10,19 @@ reasons (:mod:`.baseline`), text/JSON reporters (:mod:`.reporters`) and the
 """
 
 from .baseline import Baseline, BaselineMatcher, find_baseline
-from .framework import (FileContext, Finding, LintResult, all_rules, get_rule,
-                        lint_paths, module_name_for, register, rule_ids,
+from .framework import (FileContext, Finding, LintResult, ProjectContext,
+                        all_rules, get_rule, is_project_rule, lint_paths,
+                        module_name_for, register, rule_ids,
                         suppressions_for)
 from .reporters import render_json, render_text
 from . import rules  # noqa: F401  (importing registers the rule catalog)
+from . import flow   # noqa: F401  (importing registers the flow rules)
 
 __all__ = [
-    "Finding", "FileContext", "LintResult",
-    "register", "all_rules", "get_rule", "rule_ids",
+    "Finding", "FileContext", "LintResult", "ProjectContext",
+    "register", "all_rules", "get_rule", "rule_ids", "is_project_rule",
     "lint_paths", "module_name_for", "suppressions_for",
     "Baseline", "BaselineMatcher", "find_baseline",
     "render_text", "render_json",
-    "rules",
+    "rules", "flow",
 ]

@@ -1,0 +1,375 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The flow rules (:mod:`repro.lint.flow.rules`) need to reason about *paths*
+— "is this arena closed on every way out of the function?", "can a thread
+start before this pool forks?" — which a statement-at-a-time AST walk
+cannot answer.  :func:`build_cfg` lowers one ``FunctionDef`` /
+``AsyncFunctionDef`` body into basic blocks of *steps* connected by
+explicit edges, with the structured constructs desugared:
+
+* ``if`` / ``while`` / ``for`` produce branch and back edges; loop bodies
+  execute zero or more times.
+* ``with`` produces :class:`WithEnter` / :class:`WithExit` marker steps.
+  Because ``with`` guarantees its exit runs on *every* way out of the
+  body, early exits (``return`` / ``break`` / ``continue`` / ``raise``)
+  are routed through synthesized exit steps.
+* ``try`` bodies are split one statement per block, each with an
+  exceptional edge to the handler dispatch point, so a resource acquired
+  mid-``try`` is correctly seen as held on the handler path.  ``finally``
+  bodies are rebuilt on every path that crosses them (normal fall-through,
+  each handler, early exits, and the unhandled re-raise path).
+* ``return`` / ``raise`` edges lead to the single virtual :attr:`CFG.exit`
+  block after draining the active cleanup stack.
+
+Implicit exceptions (an arbitrary expression raising) are modeled only at
+``try``-body statement granularity; outside a ``try`` the graph tracks
+explicit control flow.  The analyses built on top
+(:mod:`repro.lint.flow.lifecycle`) are therefore tuned to catch
+missing-release-on-explicit-path and missing-``finally``-in-``try`` bugs
+without drowning call sites in hypothetical-exception noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "CFG", "WithEnter", "WithExit", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Marker step: control entered ``with <context_expr>``."""
+
+    node: ast.With | ast.AsyncWith
+    item: ast.withitem
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.item.context_expr, "lineno", self.node.lineno)
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Marker step: the ``with <context_expr>`` context manager exited."""
+
+    node: ast.With | ast.AsyncWith
+    item: ast.withitem
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.item.context_expr, "lineno", self.node.lineno)
+
+
+# A step is an ast statement (simple statements, plus Return/Raise as block
+# terminators), a bare expression (branch/loop conditions, iterables), or a
+# with-lifecycle marker.
+Step = object
+
+
+@dataclass
+class Block:
+    """One basic block: a straight-line list of steps plus successor edges."""
+
+    index: int
+    steps: list = field(default_factory=list)
+    succs: list["Block"] = field(default_factory=list)
+
+    def link(self, other: "Block") -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Block({self.index}, steps={len(self.steps)}, "
+                f"succs={[b.index for b in self.succs]})")
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph: ``entry`` … ``exit`` over blocks."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    blocks: list[Block]
+    entry: Block
+    exit: Block
+
+    def preds(self) -> dict[int, list[Block]]:
+        """Predecessor map (block index -> predecessor blocks)."""
+        preds: dict[int, list[Block]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.succs:
+                preds[succ.index].append(block)
+        return preds
+
+
+class _Builder:
+    """Recursive-descent lowering of a function body into a :class:`CFG`."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef):
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        self.current: Block | None = self.entry
+        # Stack frames crossed by early exits, innermost last:
+        #   ("with", With-node, [withitem, ...])   -> synthesize WithExit steps
+        #   ("finally", [stmt, ...])               -> rebuild the finally body
+        #   ("loop", head_block, after_block)      -> break/continue targets
+        #   ("except", dispatch_block)             -> where explicit raises go
+        self.cleanup: list[tuple] = []
+
+    def _new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _emit(self, step) -> None:
+        if self.current is not None:
+            self.current.steps.append(step)
+
+    def _start_block(self) -> Block:
+        """End the current block and chain a fresh one after it."""
+        block = self._new_block()
+        if self.current is not None:
+            self.current.link(block)
+        self.current = block
+        return block
+
+    # -- early-exit routing -------------------------------------------------
+
+    def _drain_cleanups(self, frames: list[tuple], from_block: Block) -> Block:
+        """Build the cleanup chain for an early exit; returns its last block.
+
+        ``frames`` are the stack frames being exited, innermost first.
+        With-frames synthesize :class:`WithExit` steps; finally-frames
+        rebuild their statements (loop/except frames carry no cleanup).
+        """
+        tail = from_block
+        for frame in frames:
+            if frame[0] == "with":
+                _, node, items = frame
+                for item in reversed(items):
+                    tail.steps.append(WithExit(node, item))
+            elif frame[0] == "finally":
+                _, body = frame
+                saved_current, saved_cleanup = self.current, self.cleanup
+                # The finally body runs outside the frames it guards.  When
+                # the frame was already popped (normal try exit) the current
+                # stack is already the outer one.
+                if frame in saved_cleanup:
+                    self.cleanup = saved_cleanup[:saved_cleanup.index(frame)]
+                else:
+                    self.cleanup = list(saved_cleanup)
+                self.current = self._new_block()
+                tail.link(self.current)
+                self._build_body(body)
+                tail = self.current if self.current is not None \
+                    else self._new_block()
+                self.current, self.cleanup = saved_current, saved_cleanup
+        return tail
+
+    def _jump(self, kind: str) -> None:
+        """Route return/break/continue through the active cleanup stack."""
+        if self.current is None:
+            return
+        frames: list[tuple] = []
+        target: Block | None = None
+        for frame in reversed(self.cleanup):
+            if frame[0] == "loop" and kind in ("break", "continue"):
+                target = frame[2] if kind == "break" else frame[1]
+                break
+            if frame[0] in ("with", "finally"):
+                frames.append(frame)
+        if target is None:
+            target = self.exit  # return (or break/continue outside a loop)
+        tail = self._drain_cleanups(frames, self.current)
+        tail.link(target)
+        self.current = None  # statements after a jump are unreachable
+
+    def _raise_target(self) -> tuple[list[tuple], Block]:
+        """Cleanup frames and destination for an explicit ``raise``."""
+        frames: list[tuple] = []
+        for frame in reversed(self.cleanup):
+            if frame[0] == "except":
+                return frames, frame[1]
+            if frame[0] in ("with", "finally"):
+                frames.append(frame)
+        return frames, self.exit
+
+    # -- statement lowering -------------------------------------------------
+
+    def _build_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if self.current is None:
+                break  # unreachable code after return/raise/break
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Nested definitions do not execute inline; the def itself is a
+            # plain binding step (decorators/defaults do evaluate here).
+            self._emit(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._emit(stmt)
+            self._jump("return")
+        elif isinstance(stmt, ast.Break):
+            self._jump("break")
+        elif isinstance(stmt, ast.Continue):
+            self._jump("continue")
+        elif isinstance(stmt, ast.Raise):
+            self._emit(stmt)
+            frames, target = self._raise_target()
+            tail = self._drain_cleanups(frames, self.current)
+            tail.link(target)
+            self.current = None
+        elif isinstance(stmt, ast.If):
+            self._build_if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._build_loop(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._build_with(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._build_try(stmt)
+        else:
+            self._emit(stmt)
+
+    def _build_if(self, stmt: ast.If) -> None:
+        self._emit(stmt.test)
+        fork = self.current
+        join = self._new_block()
+        self.current = self._new_block()
+        fork.link(self.current)
+        self._build_body(stmt.body)
+        if self.current is not None:
+            self.current.link(join)
+        if stmt.orelse:
+            self.current = self._new_block()
+            fork.link(self.current)
+            self._build_body(stmt.orelse)
+            if self.current is not None:
+                self.current.link(join)
+        else:
+            fork.link(join)
+        self.current = join
+
+    def _build_loop(self, stmt) -> None:
+        head = self._start_block()
+        self._emit(stmt.test if isinstance(stmt, ast.While) else stmt.iter)
+        after = self._new_block()
+        body = self._new_block()
+        head.link(body)
+        self.cleanup.append(("loop", head, after))
+        self.current = body
+        self._build_body(stmt.body)
+        if self.current is not None:
+            self.current.link(head)  # back edge
+        self.cleanup.pop()
+        if stmt.orelse:
+            self.current = self._new_block()
+            head.link(self.current)
+            self._build_body(stmt.orelse)
+            if self.current is not None:
+                self.current.link(after)
+        else:
+            head.link(after)
+        self.current = after
+
+    def _build_with(self, stmt) -> None:
+        for item in stmt.items:
+            self._emit(WithEnter(stmt, item))
+        self.cleanup.append(("with", stmt, list(stmt.items)))
+        self._build_body(stmt.body)
+        self.cleanup.pop()
+        if self.current is not None:
+            for item in reversed(stmt.items):
+                self._emit(WithExit(stmt, item))
+
+    def _build_try(self, stmt: ast.Try) -> None:
+        handlers = stmt.handlers
+        finally_body = stmt.finalbody
+        after = self._new_block()
+        dispatch = self._new_block() if handlers else None
+
+        if finally_body:
+            self.cleanup.append(("finally", finally_body))
+            finally_frame = self.cleanup[-1]
+        if dispatch is not None:
+            self.cleanup.append(("except", dispatch))
+
+        # Try body: one statement per block, each with an exceptional edge
+        # to the dispatch point so mid-body state reaches the handlers.
+        body_entry = self._start_block()
+        if dispatch is not None:
+            body_entry.link(dispatch)
+        for sub in stmt.body:
+            if self.current is None:
+                break
+            self._build_stmt(sub)
+            if self.current is not None:
+                self._start_block()
+                if dispatch is not None:
+                    self.current.link(dispatch)
+        if dispatch is not None:
+            self.cleanup.pop()  # "except": handlers do not catch themselves
+
+        # else-clause runs only after a clean body.
+        if stmt.orelse and self.current is not None:
+            self._build_body(stmt.orelse)
+
+        exits: list[Block] = []
+        if self.current is not None:
+            exits.append(self.current)
+
+        bare_except = False
+        for handler in handlers:
+            if handler.type is None:
+                bare_except = True
+            self.current = self._new_block()
+            dispatch.link(self.current)
+            self._build_body(handler.body)
+            if self.current is not None:
+                exits.append(self.current)
+
+        if finally_body:
+            self.cleanup.pop()  # "finally"
+            # Normal paths: body/else and handler fall-throughs cross the
+            # finally once, then reach `after`.
+            for block in exits:
+                tail = self._drain_cleanups([finally_frame], block)
+                tail.link(after)
+            # Unhandled-exception path: finally runs, then the exception
+            # propagates (to an outer handler or out of the function).
+            if dispatch is not None and not bare_except:
+                frames, target = self._raise_target()
+                tail = self._drain_cleanups([finally_frame, *frames], dispatch)
+                tail.link(target)
+            elif dispatch is None:
+                # try/finally with no handlers: exceptional entry is the
+                # body blocks themselves; model the propagate path from the
+                # try entry through the finally.
+                frames, target = self._raise_target()
+                tail = self._drain_cleanups([finally_frame, *frames],
+                                            body_entry)
+                tail.link(target)
+        else:
+            for block in exits:
+                block.link(after)
+            if dispatch is not None and not bare_except:
+                frames, target = self._raise_target()
+                tail = self._drain_cleanups(frames, dispatch)
+                tail.link(target)
+
+        self.current = after
+
+    def build(self) -> CFG:
+        self._build_body(self.func.body)
+        if self.current is not None:
+            self.current.link(self.exit)
+        return CFG(func=self.func, blocks=self.blocks,
+                   entry=self.entry, exit=self.exit)
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function's body into a control-flow graph."""
+    return _Builder(func).build()

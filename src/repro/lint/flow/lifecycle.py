@@ -1,0 +1,197 @@
+"""Resource-lifecycle abstract interpretation over the CFG.
+
+A forward *may* analysis: the abstract state at a program point is the set
+of facts that hold on **some** path reaching it.  Two clients:
+
+* :func:`find_leaks` — track acquire/release pairs.  A resource acquired
+  by ``v = Ctor(...)`` is *held* until the path releases it
+  (``v.close()``, ``with v`` / ``with closing(v)``) or the function
+  transfers ownership (``self.x = v``, ``return v``, ``yield v``,
+  ``container.append(v)``, ``v2 = v`` aliasing).  Any path that reaches
+  the function exit still holding the resource is a leak.  Passing ``v``
+  as a plain call argument is a *borrow*, not a transfer — callees do not
+  inherit the close obligation.
+* :func:`step_states` — the raw fixpoint, exposed so other rules (e.g.
+  FORK-SAFETY's "thread started before fork" check) can ask for the state
+  in force at each individual step.
+
+States are frozensets, transfer functions are pure, and the fixpoint is a
+standard worklist over block in-states; CFGs here are tiny (one function),
+so no widening is needed beyond set union.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .cfg import CFG, WithEnter, WithExit
+
+__all__ = ["Resource", "find_leaks", "run_forward", "step_states"]
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One tracked acquisition: the variable it bound and where."""
+
+    var: str
+    line: int
+    kind: str
+
+
+# Methods that transfer ownership of an argument into a container/registry.
+_ADOPTING_METHODS = frozenset({"append", "add", "insert", "put", "register",
+                               "setdefault", "appendleft"})
+
+
+def run_forward(cfg: CFG,
+                transfer: Callable[[object, frozenset], frozenset],
+                init: frozenset = frozenset()) -> dict[int, frozenset]:
+    """Fixpoint of a forward may-analysis; returns block in-states."""
+    in_states: dict[int, frozenset] = {cfg.entry.index: init}
+    work = [cfg.entry]
+    while work:
+        block = work.pop()
+        state = in_states.get(block.index, frozenset())
+        for step in block.steps:
+            state = transfer(step, state)
+        for succ in block.succs:
+            merged = in_states.get(succ.index, frozenset()) | state
+            if merged != in_states.get(succ.index):
+                in_states[succ.index] = merged
+                work.append(succ)
+    return in_states
+
+
+def step_states(cfg: CFG,
+                transfer: Callable[[object, frozenset], frozenset],
+                init: frozenset = frozenset()
+                ) -> Iterator[tuple[object, frozenset]]:
+    """Yield ``(step, state_before_step)`` for every step, post-fixpoint."""
+    in_states = run_forward(cfg, transfer, init)
+    for block in cfg.blocks:
+        state = in_states.get(block.index)
+        if state is None:       # unreachable block
+            continue
+        for step in block.steps:
+            yield step, state
+            state = transfer(step, state)
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _released_vars(step, held_vars: set[str]) -> set[str]:
+    """Variables released by this step (``v.close()`` or ``with v``)."""
+    released: set[str] = set()
+    if isinstance(step, WithEnter):
+        expr = step.item.context_expr
+        if isinstance(expr, ast.Name) and expr.id in held_vars:
+            released.add(expr.id)
+        elif (isinstance(expr, ast.Call) and len(expr.args) == 1
+              and isinstance(expr.args[0], ast.Name)
+              and expr.args[0].id in held_vars):
+            released.add(expr.args[0].id)   # with closing(v): ...
+        return released
+    if isinstance(step, ast.AST):
+        for node in ast.walk(step):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("close", "terminate", "release")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in held_vars):
+                released.add(node.func.value.id)
+    return released
+
+
+def _escaped_vars(step, held_vars: set[str]) -> set[str]:
+    """Variables whose ownership this step transfers away."""
+    escaped: set[str] = set()
+    if not isinstance(step, ast.AST):
+        return escaped
+    if isinstance(step, (ast.Return, ast.Expr)) and isinstance(
+            getattr(step, "value", None), ast.AST):
+        value = step.value
+        if isinstance(step, ast.Return):
+            escaped |= _names_in(value) & held_vars
+        elif isinstance(value, (ast.Yield, ast.YieldFrom)) and value.value:
+            escaped |= _names_in(value.value) & held_vars
+    if isinstance(step, ast.Assign) and not isinstance(step.value, ast.Call):
+        # `x = v` / `self.x = v` / `x = (v, ...)` alias or store the
+        # resource; `x = Ctor(..., v, ...)` arguments stay borrows.
+        escaped |= _names_in(step.value) & held_vars
+    for node in ast.walk(step):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ADOPTING_METHODS):
+            for arg in node.args:
+                if isinstance(arg, ast.Name) and arg.id in held_vars:
+                    escaped.add(arg.id)
+    return escaped
+
+
+def find_leaks(cfg: CFG,
+               acquire_kind: Callable[[ast.Call], str | None]
+               ) -> tuple[list[Resource], list[ast.Call]]:
+    """Resources some explicit path leaks, plus unbindable acquisitions.
+
+    ``acquire_kind`` classifies a call expression: return the resource kind
+    (e.g. ``"ShmArena"``) when the call acquires something that must be
+    released, else None.
+
+    Returns ``(leaked, anonymous)``: resources bound to a local name that
+    some path to the function exit still holds, and acquisition calls in
+    positions where no name ever binds them (nested in an expression), so
+    no release is possible at all.
+    """
+    anonymous: list[ast.Call] = []
+    tracked: dict[tuple[str, int], Resource] = {}
+
+    def acquires_in(step) -> list[tuple[ast.Call, str]]:
+        if not isinstance(step, ast.AST):
+            return []
+        return [(node, kind) for node in ast.walk(step)
+                if isinstance(node, ast.Call)
+                for kind in (acquire_kind(node),) if kind is not None]
+
+    def transfer(step, state: frozenset) -> frozenset:
+        held = set(state)
+        acquires = acquires_in(step)
+        if acquires:
+            if (isinstance(step, ast.Assign) and len(step.targets) == 1
+                    and isinstance(step.targets[0], ast.Name)
+                    and isinstance(step.value, ast.Call)
+                    and acquires[0][0] is step.value and len(acquires) == 1):
+                call, kind = acquires[0]
+                res = Resource(var=step.targets[0].id, line=call.lineno,
+                               kind=kind)
+                tracked[(res.var, res.line)] = res
+                held.add(res)
+            elif (isinstance(step, ast.Assign)
+                  and any(isinstance(t, (ast.Attribute, ast.Subscript))
+                          for t in step.targets)):
+                pass    # self.x = Ctor(...): ownership lives on the object
+            elif isinstance(step, ast.Return) or (
+                    isinstance(step, ast.Expr)
+                    and isinstance(step.value, (ast.Yield, ast.YieldFrom))):
+                pass    # return Ctor(...): ownership transfers to the caller
+            else:
+                for call, _ in acquires:
+                    if call not in anonymous:
+                        anonymous.append(call)
+        held_vars = {r.var for r in held}
+        if held_vars:
+            for var in _released_vars(step, held_vars):
+                held = {r for r in held if r.var != var}
+                held_vars.discard(var)
+        if held_vars:
+            for var in _escaped_vars(step, held_vars):
+                held = {r for r in held if r.var != var}
+        return frozenset(held)
+
+    in_states = run_forward(cfg, transfer)
+    at_exit = in_states.get(cfg.exit.index, frozenset())
+    leaked = sorted({r for r in at_exit}, key=lambda r: (r.line, r.var))
+    return leaked, anonymous

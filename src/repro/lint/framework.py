@@ -33,11 +33,13 @@ from typing import Iterable, Iterator, Protocol, Sequence
 __all__ = [
     "Finding",
     "FileContext",
+    "ProjectContext",
     "Rule",
     "register",
     "all_rules",
     "get_rule",
     "rule_ids",
+    "is_project_rule",
     "LintResult",
     "lint_paths",
     "module_name_for",
@@ -105,6 +107,24 @@ class FileContext:
                        code=self.source_line(lineno))
 
 
+class ProjectContext:
+    """Every linted file at once, for project-scoped (flow) rules.
+
+    ``files`` are the successfully parsed :class:`FileContext` objects in
+    deterministic (sorted-path) order.  ``cache`` is a scratch dict shared
+    by all project rules of one run, so expensive whole-project analyses
+    (the call graph in :mod:`repro.lint.flow.callgraph`) are built once
+    and reused across rules.
+    """
+
+    def __init__(self, files: Sequence[FileContext]):
+        self.files = tuple(files)
+        self.cache: dict = {}
+
+    def by_module(self) -> dict[str, FileContext]:
+        return {ctx.module: ctx for ctx in self.files}
+
+
 class Rule(Protocol):
     """The rule protocol: an id, a one-line description, and a checker."""
 
@@ -114,6 +134,16 @@ class Rule(Protocol):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one parsed file."""
         ...  # pragma: no cover - protocol stub
+
+
+def is_project_rule(rule) -> bool:
+    """True for rules that analyze the whole project at once.
+
+    A project rule implements ``check_project(project) -> Iterator[Finding]``
+    instead of (or in addition to) the per-file ``check``; the engine runs
+    it once over a :class:`ProjectContext` after every file is parsed.
+    """
+    return callable(getattr(rule, "check_project", None))
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -236,9 +266,44 @@ def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def _parse_file(path: Path) -> tuple[FileContext | None, str | None]:
+    """Read and parse one file into a :class:`FileContext` (or an error)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as error:
+        return None, f"{path}: {error}"
+    return FileContext(path=path, source=source, tree=tree,
+                       module=module_name_for(path),
+                       display_path=str(path)), None
+
+
+def _lint_worker(rule_ids_selected: tuple[str, ...]):
+    """Worker factory for ``--jobs``: parse + run file rules on one path.
+
+    Returns a picklable payload per file — the parse error or the parsed
+    tree (AST nodes pickle) plus that file's findings — so the parent can
+    rebuild :class:`FileContext` objects for the project rules without
+    re-parsing, and merge findings in input order (``parallel_map`` is
+    order-stable, keeping output identical to the serial path).
+    """
+    selected = [_REGISTRY[rule_id] for rule_id in rule_ids_selected]
+
+    def analyze(path_str: str):
+        ctx, error = _parse_file(Path(path_str))
+        if error is not None:
+            return {"error": error}
+        findings = [finding for rule in selected
+                    for finding in rule.check(ctx)]
+        return {"error": None, "source": ctx.source, "tree": ctx.tree,
+                "module": ctx.module, "findings": findings}
+
+    return analyze
+
+
 def lint_paths(paths: Sequence[str | Path],
                rules: Sequence[Rule] | None = None,
-               baseline=None) -> LintResult:
+               baseline=None, jobs: int = 1) -> LintResult:
     """Lint files/directories and classify findings against ``baseline``.
 
     Args:
@@ -246,29 +311,71 @@ def lint_paths(paths: Sequence[str | Path],
             for ``*.py``).
         rules: rules to run; defaults to the full registry.
         baseline: a :class:`repro.lint.baseline.Baseline` or None.
+        jobs: with ``jobs > 1``, fan per-file parsing and file-scoped rules
+            out over a :func:`repro.data.pipeline.parallel_map` worker pool
+            (project rules still run once, in the parent, over the full
+            tree).  Output ordering and exit semantics are identical to
+            the serial path; without fork support this falls back to
+            serial.
     """
     active = tuple(rules) if rules is not None else all_rules()
+    file_rules = tuple(r for r in active if not is_project_rule(r))
+    project_rules = tuple(r for r in active if is_project_rule(r))
     result = LintResult()
     matcher = baseline.matcher() if baseline is not None else None
-    for path in _iter_python_files([Path(p) for p in paths]):
-        try:
-            source = path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(path))
-        except (OSError, SyntaxError) as error:
-            result.errors.append(f"{path}: {error}")
-            continue
-        ctx = FileContext(path=path, source=source, tree=tree,
-                          module=module_name_for(path),
-                          display_path=str(path))
-        suppressed = suppressions_for(source)
-        for rule in active:
-            for finding in rule.check(ctx):
-                if _is_suppressed(finding, suppressed):
-                    result.suppressed_count += 1
-                elif matcher is not None and matcher.consume(finding):
-                    result.baselined.append(finding)
-                else:
-                    result.findings.append(finding)
+
+    def classify(finding: Finding, suppressed: dict[int, set[str]]) -> None:
+        if _is_suppressed(finding, suppressed):
+            result.suppressed_count += 1
+        elif matcher is not None and matcher.consume(finding):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    files = list(_iter_python_files([Path(p) for p in paths]))
+    contexts: list[FileContext] = []
+    suppressions: dict[str, dict[int, set[str]]] = {}
+
+    if jobs > 1:
+        from repro.data.pipeline import fork_available, parallel_map
+        if not fork_available():  # pragma: no cover - platform dependent
+            jobs = 1
+    if jobs > 1 and files:
+        reports = parallel_map(
+            _lint_worker, (tuple(r.rule_id for r in file_rules),),
+            [str(p) for p in files], num_workers=min(jobs, len(files)),
+            process_role="lint")
+        for path, report in zip(files, reports):
+            if report["error"] is not None:
+                result.errors.append(report["error"])
+                continue
+            ctx = FileContext(path=path, source=report["source"],
+                              tree=report["tree"], module=report["module"],
+                              display_path=str(path))
+            contexts.append(ctx)
+            suppressed = suppressions_for(ctx.source)
+            suppressions[ctx.display_path] = suppressed
+            for finding in report["findings"]:
+                classify(finding, suppressed)
+    else:
+        for path in files:
+            ctx, error = _parse_file(path)
+            if error is not None:
+                result.errors.append(error)
+                continue
+            contexts.append(ctx)
+            suppressed = suppressions_for(ctx.source)
+            suppressions[ctx.display_path] = suppressed
+            for rule in file_rules:
+                for finding in rule.check(ctx):
+                    classify(finding, suppressed)
+
+    if project_rules and contexts:
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                classify(finding, suppressions.get(finding.path, {}))
+
     if matcher is not None:
         result.unused_baseline = matcher.unused()
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))

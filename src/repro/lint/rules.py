@@ -383,7 +383,8 @@ class TelemetryGuardRule:
     description = ("get_telemetry()/current_span() return None when disabled; "
                    "bind the result and check `is not None` before use")
 
-    OPTIONAL_ACCESSORS = ("get_telemetry", "current_span", "get_sanitizer")
+    OPTIONAL_ACCESSORS = ("get_telemetry", "current_span", "get_sanitizer",
+                          "get_lock_watch")
 
     def _accessor_name(self, call: ast.AST) -> str | None:
         if not isinstance(call, ast.Call):

@@ -13,6 +13,10 @@ training, evaluation, serving):
 - :mod:`repro.obs.health` — training-health monitors (per-component loss
   tracking, gradient-norm and update-ratio monitors, NaN/Inf watchdog)
   attached to the trainer via :class:`TrainerCallback`.
+- :mod:`repro.obs.lockwatch` — runtime lock-order watchdog: named
+  :class:`WatchedLock` wrappers feed a dynamic acquisition graph and a
+  cycle-closing acquire raises :class:`LockOrderViolation` instead of
+  deadlocking.
 - :mod:`repro.obs.logs` — stdlib ``logging`` routed into the event layer.
 - :mod:`repro.obs.exporters` — Prometheus text exposition and per-run
   manifests written next to checkpoints.
@@ -32,6 +36,9 @@ from .fleet import (FleetView, collect_fleet, merge_registry_snapshot,
                     merge_snapshots)
 from .health import (GradientMonitor, LossComponentTracker, NaNWatchdog,
                      NonFiniteGradientError, TrainerCallback)
+from .lockwatch import (LockOrderViolation, LockWatchdog, WatchedLock,
+                        disable_lock_watch, enable_lock_watch,
+                        get_lock_watch, watched_lock, watched_rlock)
 from .logs import get_logger, setup_logging
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .names import (METRIC_NAMES, SPAN_NAMES, pipeline_worker_batches,
@@ -77,6 +84,14 @@ __all__ = [
     "GradientMonitor",
     "NaNWatchdog",
     "NonFiniteGradientError",
+    "LockOrderViolation",
+    "LockWatchdog",
+    "WatchedLock",
+    "watched_lock",
+    "watched_rlock",
+    "enable_lock_watch",
+    "disable_lock_watch",
+    "get_lock_watch",
     "get_logger",
     "setup_logging",
     "prometheus_text",

@@ -1,0 +1,265 @@
+"""Runtime lock-order watchdog: the dynamic half of ``LOCK-ORDER``.
+
+The static rule (:mod:`repro.lint.flow.rules`) proves the *possible*
+acquisition orders it can see; this module watches the orders that actually
+happen.  Every :class:`WatchedLock` acquisition records a ``held -> wanted``
+edge in a process-wide acquisition graph, and an acquire that would close a
+cycle in that graph raises :class:`LockOrderViolation` *before* blocking on
+the lock — turning a latent deadlock (two threads stuck forever, no
+traceback) into an immediate, attributable exception naming the cycle.
+
+Zero-cost-when-disabled, following the :mod:`repro.perf` /
+:mod:`repro.obs` discipline: call sites pay one ``is None`` check on
+:func:`get_lock_watch`.  :func:`watched_lock` / :func:`watched_rlock` are
+drop-in factories for ``threading.Lock()`` / ``threading.RLock()`` — the
+wrapper supports ``with``, ``acquire``/``release`` and ``locked`` and adds
+~one dict operation per acquisition when watching is enabled.
+
+Metrics (``lockwatch.acquisitions`` / ``lockwatch.edges`` /
+``lockwatch.cycles``) accumulate as plain ints inside the watchdog and are
+flushed to the metrics registry by :meth:`LockWatchdog.export` (called on
+:func:`disable_lock_watch`) — never from inside ``note_acquire``, which may
+itself run under arbitrary locks and must not touch the registry's own.
+Reentrant acquisition of the same (R)lock is not an edge; the watchdog
+tracks held locks per thread, so independent threads build independent
+stacks over the one shared graph, exactly the situation where inverted
+orders deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "LockOrderViolation",
+    "LockWatchdog",
+    "WatchedLock",
+    "watched_lock",
+    "watched_rlock",
+    "enable_lock_watch",
+    "disable_lock_watch",
+    "get_lock_watch",
+]
+
+
+class LockOrderViolation(RuntimeError):
+    """Acquiring ``wanted`` while holding ``held`` closes an order cycle."""
+
+    def __init__(self, held: str, wanted: str, cycle: tuple[str, ...]):
+        self.held = held
+        self.wanted = wanted
+        self.cycle = cycle
+        super().__init__(
+            "lock-order cycle: acquiring %r while holding %r inverts the "
+            "established order %s" % (wanted, held, " -> ".join(cycle)))
+
+
+class LockWatchdog:
+    """Process-wide dynamic lock-acquisition graph with cycle detection.
+
+    Edges ``A -> B`` mean "some thread acquired B while holding A".  The
+    graph is shared across threads (that is the point: deadlocks need two
+    threads with inverted orders), the held-stack is per thread.  The
+    internal guard is a *raw* ``threading.Lock`` — watching the watchdog's
+    own lock would recurse.
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._edges: dict[str, set[str]] = {}
+        self._held = threading.local()
+        self.acquisitions = 0
+        self.edge_count = 0
+        self.cycle_count = 0
+
+    # -- per-thread held stack -------------------------------------------
+    def _stack(self) -> list[tuple[str, int]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        """Names of locks the calling thread currently holds."""
+        return tuple(name for name, _ in self._stack())
+
+    # -- graph maintenance ------------------------------------------------
+    def _path_exists(self, src: str, dst: str) -> bool:
+        """True when ``src`` reaches ``dst`` in the edge graph (guard held)."""
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            if node == dst:
+                return True
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def _cycle_path(self, src: str, dst: str) -> tuple[str, ...]:
+        """A witness path ``src -> ... -> dst`` (guard held; path exists)."""
+        parents: dict[str, str] = {}
+        frontier = [src]
+        seen = {src}
+        while frontier:
+            node = frontier.pop()
+            if node == dst:
+                break
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parents[nxt] = node
+                    frontier.append(nxt)
+        path = [dst]
+        while path[-1] != src:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return tuple(path)
+
+    # -- acquisition protocol ---------------------------------------------
+    def note_acquire(self, name: str, lock_id: int) -> bool:
+        """Record intent to acquire; raise before a cycle-closing acquire.
+
+        Returns False for a reentrant re-acquire of a lock this thread
+        already holds (no edge, no stack push expected), True otherwise.
+        The caller pushes via :meth:`note_acquired` only after the real
+        ``acquire`` succeeds, so a timed-out or failed acquire leaves the
+        stack untouched.
+        """
+        stack = self._stack()
+        if any(lid == lock_id for _, lid in stack):
+            return False
+        self.acquisitions += 1
+        if not stack:
+            return True
+        with self._guard:
+            for held, _ in stack:
+                if held == name:
+                    continue
+                if name in self._edges.get(held, ()):
+                    continue
+                if self._path_exists(name, held):
+                    self.cycle_count += 1
+                    cycle = self._cycle_path(name, held) + (name,)
+                    raise LockOrderViolation(held, name, cycle)
+                self._edges.setdefault(held, set()).add(name)
+                self.edge_count += 1
+        return True
+
+    def note_acquired(self, name: str, lock_id: int) -> None:
+        """Push onto the calling thread's held stack (acquire succeeded)."""
+        self._stack().append((name, lock_id))
+
+    def note_release(self, lock_id: int) -> None:
+        """Pop the most recent entry for this lock from the held stack."""
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] == lock_id:
+                del stack[i]
+                return
+
+    # -- introspection / export -------------------------------------------
+    def edges(self) -> dict[str, tuple[str, ...]]:
+        """Snapshot of the acquisition graph (name -> successors, sorted)."""
+        with self._guard:
+            return {src: tuple(sorted(dsts))
+                    for src, dsts in sorted(self._edges.items())}
+
+    def export(self, registry=None) -> None:
+        """Flush accumulated counts into a metrics registry.
+
+        Deferred on purpose: the registry has its own lock, and calling it
+        from ``note_acquire`` would nest registry-lock inside arbitrary
+        application locks — the very shape this module polices.
+        """
+        if registry is None:
+            from .metrics import get_registry
+            registry = get_registry()
+        registry.counter("lockwatch.acquisitions").inc(self.acquisitions)
+        registry.counter("lockwatch.edges").inc(self.edge_count)
+        registry.counter("lockwatch.cycles").inc(self.cycle_count)
+        self.acquisitions = 0
+        self.edge_count = 0
+        self.cycle_count = 0
+
+
+class WatchedLock:
+    """A named (R)Lock that reports acquisitions to the active watchdog.
+
+    When no watchdog is enabled the overhead is one global read and one
+    ``is None`` test per operation.  ``name`` should be stable and
+    process-unique per *role* (e.g. ``"serve.history.store"``) so edges
+    from different instances of the same class merge into one node — two
+    instance locks of one class are interchangeable for ordering purposes.
+    """
+
+    __slots__ = ("name", "_inner")
+
+    def __init__(self, name: str, inner=None):
+        self.name = name
+        self._inner = threading.Lock() if inner is None else inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        watch = get_lock_watch()
+        tracked = watch.note_acquire(self.name, id(self)) \
+            if watch is not None else False
+        ok = self._inner.acquire(blocking, timeout)
+        if ok and tracked:
+            watch.note_acquired(self.name, id(self))
+        return ok
+
+    def release(self) -> None:
+        watch = get_lock_watch()
+        if watch is not None:
+            watch.note_release(id(self))
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "WatchedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"WatchedLock({self.name!r})"
+
+
+def watched_lock(name: str) -> WatchedLock:
+    """Drop-in ``threading.Lock()`` with a stable watchdog name."""
+    return WatchedLock(name)
+
+
+def watched_rlock(name: str) -> WatchedLock:
+    """Drop-in ``threading.RLock()`` with a stable watchdog name."""
+    return WatchedLock(name, inner=threading.RLock())
+
+
+_WATCH: LockWatchdog | None = None
+
+
+def get_lock_watch() -> LockWatchdog | None:
+    """The active watchdog, or None (the common, zero-cost case)."""
+    return _WATCH
+
+
+def enable_lock_watch() -> LockWatchdog:
+    """Install a process-wide watchdog (idempotent) and return it."""
+    global _WATCH
+    if _WATCH is None:
+        _WATCH = LockWatchdog()
+    return _WATCH
+
+
+def disable_lock_watch() -> None:
+    """Tear down the watchdog, flushing its counters to the registry."""
+    global _WATCH
+    watch = _WATCH
+    _WATCH = None
+    if watch is not None:
+        watch.export()

@@ -87,6 +87,10 @@ METRIC_NAMES = frozenset({
     "fleet.events",
     "fleet.spans",
     "fleet.malformed_lines",
+    # lock-order watchdog (repro.obs.lockwatch)
+    "lockwatch.acquisitions",
+    "lockwatch.edges",
+    "lockwatch.cycles",
     # input pipeline
     "pipeline.queue_depth",
     "pipeline.wait_seconds",

@@ -31,6 +31,8 @@ import time
 from collections import OrderedDict
 from typing import Callable, Hashable
 
+from repro.obs.lockwatch import watched_rlock
+
 __all__ = ["InterestCache"]
 
 
@@ -47,7 +49,7 @@ class InterestCache:
         self.ttl_seconds = ttl_seconds
         self._clock = clock
         self._entries: "OrderedDict[Hashable, tuple[float, object]]" = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = watched_rlock("serve.cache.interest")
         self._inflight: dict[Hashable, threading.Event] = {}
         self.evictions = 0
         self.expirations = 0

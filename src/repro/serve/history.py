@@ -17,17 +17,19 @@ that must be atomic — without the lock two concurrent appends could both
 read version ``v`` and publish ``v + 1``, making one event invisible to the
 ``(user, version)`` cache key.  Contention is negligible: every critical
 section is a few dict/list operations, orders of magnitude cheaper than the
-encodes they synchronize against.
+encodes they synchronize against.  The lock is a
+:func:`repro.obs.lockwatch.watched_rlock` so the runtime lock-order
+watchdog can place it in the fleet acquisition graph when enabled.
 """
 
 from __future__ import annotations
 
-import threading
 from collections import defaultdict
 
 from repro.data.dataset import MultiBehaviorDataset
 from repro.data.schema import BehaviorSchema
 from repro.data.splits import SequenceExample
+from repro.obs.lockwatch import watched_rlock
 
 __all__ = ["HistoryStore"]
 
@@ -42,7 +44,7 @@ class HistoryStore:
         self._seen: dict[int, set[int]] = defaultdict(set)
         self._versions: dict[int, int] = defaultdict(int)
         self._behavior_order = {b: i for i, b in enumerate(schema.behaviors)}
-        self._lock = threading.RLock()
+        self._lock = watched_rlock("serve.history.store")
 
     @classmethod
     def from_dataset(cls, dataset: MultiBehaviorDataset) -> "HistoryStore":
@@ -66,7 +68,7 @@ class HistoryStore:
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        self._lock = threading.RLock()
+        self._lock = watched_rlock("serve.history.store")
 
     # ------------------------------------------------------------------
     # accessors
@@ -74,7 +76,8 @@ class HistoryStore:
     @property
     def users(self) -> list[int]:
         with self._lock:
-            return sorted(self._sequences)
+            users = list(self._sequences)
+        return sorted(users)  # O(n log n) outside the critical section
 
     def has_user(self, user: int) -> bool:
         """True when the store holds any history for ``user``."""

@@ -65,7 +65,8 @@ import numpy as np
 
 from repro.data.pipeline import WorkerError, WorkerPool
 from repro.data.shm import ShmArena
-from repro.obs import current_context, get_logger, get_telemetry, span
+from repro.obs import (current_context, get_logger, get_telemetry, span,
+                       watched_lock)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceContext
 
@@ -305,7 +306,7 @@ class _Replica:
         self._service_options = service_options
         self._pool_timeout = pool_timeout
         self._arena_slot_bytes = arena_slot_bytes
-        self._lock = threading.Lock()
+        self._lock = watched_lock("serve.net.replica")
         self._pending: dict[int, _Ticket] = {}
         self._task_ids = itertools.count()
         self._closing = False
@@ -322,13 +323,22 @@ class _Replica:
     def _spawn(self) -> None:
         """Fork a fresh worker process (initial start and respawn)."""
         self.arena = ShmArena(slot_bytes=self._arena_slot_bytes, num_slots=8)
-        self.pool = WorkerPool(
-            _replica_factory,
-            initargs=(self._artifact, self._history, self._service_options),
-            num_workers=1, timeout=self._pool_timeout,
-            transport=self.arena, transport_copy=True,
-            transport_requests=True, transport_min_bytes=64,
-            process_role=f"replica{self.id}", generation=self.generation)
+        try:
+            self.pool = WorkerPool(
+                _replica_factory,
+                initargs=(self._artifact, self._history,
+                          self._service_options),
+                num_workers=1, timeout=self._pool_timeout,
+                transport=self.arena, transport_copy=True,
+                transport_requests=True, transport_min_bytes=64,
+                process_role=f"replica{self.id}",
+                generation=self.generation)
+        except BaseException:
+            # A failed fork must not strand the arena segment it was
+            # about to adopt (respawn would replace, not close, it).
+            self.arena.close()
+            self.arena = None
+            raise
         pool = self.pool
         self._collector = threading.Thread(
             target=self._collect, args=(pool,), daemon=True,

@@ -221,17 +221,25 @@ class DataParallelEngine:
             num_workers = 0
         self.num_workers = min(num_workers, grad_shards)
         if self.num_workers > 0:
-            self._mirror = ShmParamMirror(self._flat_size, dtype=self._dtype)
-            self._mirror.publish(flat)
-            slot_bytes = self._flat_size * self._dtype.itemsize + 256
-            self._arena = ShmArena(slot_bytes, grad_shards + 2)
-            self._pool = WorkerPool(
-                _ddp_worker,
-                (model, sampler, packed, negatives, max_len, seed,
-                 self._mirror, want_breakdown),
-                num_workers=self.num_workers, timeout=timeout,
-                transport=self._arena, transport_copy=False,
-                process_role="ddp")
+            # A failure partway through setup (e.g. the pool's fork) must
+            # not leak the shm segments already created; close() releases
+            # whichever of the three came into existence.
+            try:
+                self._mirror = ShmParamMirror(self._flat_size,
+                                              dtype=self._dtype)
+                self._mirror.publish(flat)
+                slot_bytes = self._flat_size * self._dtype.itemsize + 256
+                self._arena = ShmArena(slot_bytes, grad_shards + 2)
+                self._pool = WorkerPool(
+                    _ddp_worker,
+                    (model, sampler, packed, negatives, max_len, seed,
+                     self._mirror, want_breakdown),
+                    num_workers=self.num_workers, timeout=timeout,
+                    transport=self._arena, transport_copy=False,
+                    process_role="ddp")
+            except BaseException:
+                self.close()
+                raise
         self.last_shard_health: list[dict] = []
 
     def epoch_chunks(self, epoch: int) -> list[np.ndarray]:

@@ -1,0 +1,203 @@
+"""Call-graph construction and resolution tests (repro.lint.flow.callgraph)."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import FileContext, ProjectContext
+from repro.lint.flow import build_call_graph, project_call_graph
+
+
+def contexts(**modules):
+    ctxs = []
+    for module, source in sorted(modules.items()):
+        source = textwrap.dedent(source)
+        dotted = module.replace("__", ".")
+        ctxs.append(FileContext(
+            path=Path(f"/fake/{dotted.replace('.', '/')}.py"),
+            source=source, tree=ast.parse(source), module=dotted,
+            display_path=f"{dotted}.py"))
+    return ctxs
+
+
+def graph(**modules):
+    return build_call_graph(contexts(**modules))
+
+
+class TestResolution:
+    def test_local_function_call(self):
+        cg = graph(pkg__a="""
+            def helper():
+                pass
+
+            def main():
+                helper()
+        """)
+        calls = cg.functions["pkg.a.main"].calls
+        assert [c.target for c in calls] == ["pkg.a.helper"]
+
+    def test_imported_function_call(self):
+        cg = graph(
+            pkg__a="""
+                def helper():
+                    pass
+            """,
+            pkg__b="""
+                from pkg.a import helper
+
+                def main():
+                    helper()
+            """)
+        calls = cg.functions["pkg.b.main"].calls
+        assert [c.target for c in calls] == ["pkg.a.helper"]
+
+    def test_module_attr_call(self):
+        cg = graph(
+            pkg__a="""
+                def helper():
+                    pass
+            """,
+            pkg__b="""
+                from pkg import a
+
+                def main():
+                    a.helper()
+            """)
+        calls = cg.functions["pkg.b.main"].calls
+        assert [c.target for c in calls] == ["pkg.a.helper"]
+
+    def test_self_method_call(self):
+        cg = graph(pkg__a="""
+            class C:
+                def one(self):
+                    self.two()
+
+                def two(self):
+                    pass
+        """)
+        calls = cg.functions["pkg.a.C.one"].calls
+        assert [c.target for c in calls] == ["pkg.a.C.two"]
+
+    def test_attr_typed_by_constructor_assignment(self):
+        cg = graph(pkg__a="""
+            class Worker:
+                def run(self):
+                    pass
+
+            class Owner:
+                def __init__(self):
+                    self.worker = Worker()
+
+                def go(self):
+                    self.worker.run()
+        """)
+        calls = cg.functions["pkg.a.Owner.go"].calls
+        assert [c.target for c in calls] == ["pkg.a.Worker.run"]
+
+    def test_attr_typed_by_annotated_parameter(self):
+        cg = graph(pkg__a="""
+            class Worker:
+                def run(self):
+                    pass
+
+            class Owner:
+                def __init__(self, worker: "Worker"):
+                    self.worker = worker
+
+                def go(self):
+                    self.worker.run()
+        """)
+        calls = cg.functions["pkg.a.Owner.go"].calls
+        assert [c.target for c in calls] == ["pkg.a.Worker.run"]
+
+    def test_local_variable_typed_by_constructor(self):
+        cg = graph(pkg__a="""
+            class Worker:
+                def run(self):
+                    pass
+
+            def main():
+                w = Worker()
+                w.run()
+        """)
+        targets = [c.target for c in cg.functions["pkg.a.main"].calls]
+        assert "pkg.a.Worker.run" in targets
+
+    def test_unresolved_calls_stay_silent(self):
+        cg = graph(pkg__a="""
+            import numpy as np
+
+            def main(thing):
+                np.zeros(3)
+                thing.whatever()
+        """)
+        assert [c for c in cg.functions["pkg.a.main"].calls
+                if c.target is not None] == []
+
+    def test_method_resolves_through_base_class(self):
+        cg = graph(pkg__a="""
+            class Base:
+                def run(self):
+                    pass
+
+            class Child(Base):
+                def go(self):
+                    self.run()
+        """)
+        calls = cg.functions["pkg.a.Child.go"].calls
+        assert [c.target for c in calls] == ["pkg.a.Base.run"]
+
+
+class TestFindPath:
+    def test_transitive_path_with_witness(self):
+        cg = graph(pkg__a="""
+            import time
+
+            def leaf():
+                time.sleep(1)
+
+            def mid():
+                leaf()
+
+            def top():
+                mid()
+        """)
+
+        def pred(info):
+            return next((c for c in info.calls
+                         if c.dotted == "time.sleep"), None)
+
+        path = cg.find_path("pkg.a.top", pred)
+        assert path is not None
+        assert [q for q, _ in path] == ["pkg.a.top", "pkg.a.mid",
+                                        "pkg.a.leaf"]
+
+    def test_no_path_returns_none(self):
+        cg = graph(pkg__a="""
+            def harmless():
+                pass
+
+            def top():
+                harmless()
+        """)
+        assert cg.find_path("pkg.a.top", lambda s: False) is None
+
+    def test_recursion_terminates(self):
+        cg = graph(pkg__a="""
+            def ping():
+                pong()
+
+            def pong():
+                ping()
+        """)
+        assert cg.find_path("pkg.a.ping", lambda s: False) is None
+
+
+class TestProjectCache:
+    def test_graph_is_cached_on_the_project(self):
+        project = ProjectContext(contexts(pkg__a="""
+            def f():
+                pass
+        """))
+        first = project_call_graph(project)
+        assert project_call_graph(project) is first

@@ -1,0 +1,271 @@
+"""CFG lowering and lifecycle-analysis unit tests (repro.lint.flow)."""
+
+import ast
+import textwrap
+
+from repro.lint.flow import (WithEnter, WithExit, build_cfg, find_leaks,
+                             run_forward, step_states)
+
+
+def cfg_of(source):
+    """Build the CFG of the first function in ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(n for n in ast.walk(tree)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)))
+    return build_cfg(func)
+
+
+def reachable(cfg):
+    seen = {cfg.entry.index}
+    work = [cfg.entry]
+    while work:
+        block = work.pop()
+        for succ in block.succs:
+            if succ.index not in seen:
+                seen.add(succ.index)
+                work.append(succ)
+    return seen
+
+
+def all_steps(cfg):
+    return [step for block in cfg.blocks for step in block.steps]
+
+
+class TestCfgShape:
+    def test_straight_line_reaches_exit(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+                b = a + 1
+                return b
+        """)
+        assert cfg.exit.index in reachable(cfg)
+        kinds = [type(s).__name__ for s in all_steps(cfg)]
+        assert kinds == ["Assign", "Assign", "Return"]
+
+    def test_if_produces_branch_and_join(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        # The fork block (holding the test expr) has two successors.
+        fork = next(b for b in cfg.blocks
+                    if any(isinstance(s, ast.Name) for s in b.steps))
+        assert len(fork.succs) == 2
+        assert cfg.exit.index in reachable(cfg)
+
+    def test_loop_has_back_edge(self):
+        cfg = cfg_of("""
+            def f(xs):
+                for x in xs:
+                    y = x
+                return 0
+        """)
+        preds = cfg.preds()
+        head = next(b for b in cfg.blocks
+                    if any(isinstance(s, ast.Name) and s.id == "xs"
+                           for s in b.steps))
+        # head has >= 2 predecessors: loop entry and the body back edge.
+        assert len(preds[head.index]) >= 2
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of("""
+            def f():
+                return 1
+                x = 2
+        """)
+        steps = all_steps(cfg)
+        assert not any(isinstance(s, ast.Assign) for s in steps)
+
+
+class TestWithAndFinally:
+    def test_with_emits_enter_and_exit_markers(self):
+        cfg = cfg_of("""
+            def f(lock):
+                with lock:
+                    x = 1
+        """)
+        steps = all_steps(cfg)
+        assert any(isinstance(s, WithEnter) for s in steps)
+        assert any(isinstance(s, WithExit) for s in steps)
+
+    def test_early_return_routes_through_with_exit(self):
+        cfg = cfg_of("""
+            def f(lock, flag):
+                with lock:
+                    if flag:
+                        return 1
+                    x = 2
+                return 0
+        """)
+        # Every block whose terminator is Return and that sits inside the
+        # with must have a WithExit on its path to exit.
+        exits = [s for s in all_steps(cfg) if isinstance(s, WithExit)]
+        assert len(exits) >= 2  # early-return path + normal fall-through
+
+    def test_finally_body_runs_on_early_return(self):
+        cfg = cfg_of("""
+            def f(res):
+                try:
+                    if res:
+                        return 1
+                    return 2
+                finally:
+                    res.close()
+        """)
+        closes = [s for s in all_steps(cfg)
+                  if isinstance(s, ast.Expr)
+                  and isinstance(s.value, ast.Call)
+                  and isinstance(s.value.func, ast.Attribute)
+                  and s.value.func.attr == "close"]
+        # The finally body is rebuilt per crossing path (two returns plus
+        # the exceptional propagate path).
+        assert len(closes) >= 3
+
+    def test_try_body_has_exceptional_edge_to_handler(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    a = risky()
+                    b = risky2()
+                except ValueError:
+                    handled = 1
+                return 0
+        """)
+        handler_block = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Assign)
+                   and isinstance(s.targets[0], ast.Name)
+                   and s.targets[0].id == "handled" for s in b.steps))
+        preds = cfg.preds()
+        dispatch = preds[handler_block.index]
+        assert dispatch  # dispatch point exists and is reachable
+        assert all(b.index in reachable(cfg) for b in dispatch)
+
+
+class TestLifecycle:
+    def leaks_in(self, source, ctor="Arena"):
+        cfg = cfg_of(source)
+
+        def acquire(call):
+            target = call.func
+            name = target.attr if isinstance(target, ast.Attribute) \
+                else getattr(target, "id", None)
+            return ctor if name == ctor else None
+
+        return find_leaks(cfg, acquire)
+
+    def test_unreleased_resource_leaks(self):
+        leaked, anonymous = self.leaks_in("""
+            def f():
+                a = Arena()
+                use(a)
+        """)
+        assert [r.var for r in leaked] == ["a"]
+        assert not anonymous
+
+    def test_close_on_every_path_is_clean(self):
+        leaked, _ = self.leaks_in("""
+            def f():
+                a = Arena()
+                try:
+                    use(a)
+                finally:
+                    a.close()
+        """)
+        assert not leaked
+
+    def test_early_return_path_leaks(self):
+        leaked, _ = self.leaks_in("""
+            def f(flag):
+                a = Arena()
+                if flag:
+                    return None
+                a.close()
+        """)
+        assert [r.var for r in leaked] == ["a"]
+
+    def test_with_block_releases(self):
+        leaked, _ = self.leaks_in("""
+            def f():
+                a = Arena()
+                with a:
+                    use(a)
+        """)
+        assert not leaked
+
+    def test_ownership_transfer_is_not_a_leak(self):
+        leaked, anonymous = self.leaks_in("""
+            def f(self):
+                a = Arena()
+                self.arena = a
+        """)
+        assert not leaked
+        assert not anonymous
+
+    def test_return_of_fresh_resource_is_transfer(self):
+        leaked, anonymous = self.leaks_in("""
+            def f():
+                return Arena()
+        """)
+        assert not leaked
+        assert not anonymous
+
+    def test_anonymous_acquisition_is_reported(self):
+        _, anonymous = self.leaks_in("""
+            def f():
+                use(Arena())
+        """)
+        assert len(anonymous) == 1
+
+    def test_plain_call_argument_is_a_borrow(self):
+        leaked, _ = self.leaks_in("""
+            def f():
+                a = Arena()
+                use(a)
+                a.close()
+        """)
+        assert not leaked
+
+
+class TestFixpoint:
+    def test_run_forward_unions_over_paths(self):
+        cfg = cfg_of("""
+            def f(flag):
+                if flag:
+                    x = 1
+                else:
+                    y = 2
+                z = 3
+        """)
+
+        def transfer(step, state):
+            if isinstance(step, ast.Assign) and isinstance(
+                    step.targets[0], ast.Name):
+                return state | {step.targets[0].id}
+            return state
+
+        states = run_forward(cfg, transfer)
+        assert {"x", "y", "z"} <= states[cfg.exit.index]
+
+    def test_step_states_sees_state_before_step(self):
+        cfg = cfg_of("""
+            def f():
+                x = 1
+                y = 2
+        """)
+
+        def transfer(step, state):
+            if isinstance(step, ast.Assign):
+                return state | {step.targets[0].id}
+            return state
+
+        pairs = {step.targets[0].id: state
+                 for step, state in step_states(cfg, transfer)
+                 if isinstance(step, ast.Assign)}
+        assert pairs["x"] == frozenset()
+        assert pairs["y"] == frozenset({"x"})

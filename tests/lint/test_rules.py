@@ -369,7 +369,15 @@ class TestSpanNameDiscipline:
 class TestRegistry:
     EXPECTED = ("DTYPE-DISCIPLINE", "SCATTER-CONTAINMENT", "NO-BARE-PRINT",
                 "SEEDED-RANDOMNESS", "TELEMETRY-GUARD",
-                "BLOCKING-IO-CONTAINMENT", "SPAN-NAME-DISCIPLINE")
+                "BLOCKING-IO-CONTAINMENT", "SPAN-NAME-DISCIPLINE",
+                "LEASE-BALANCE", "LOCK-DISCIPLINE", "LOCK-ORDER",
+                "FORK-SAFETY", "ASYNC-BLOCKING")
+
+    def test_flow_rules_are_project_scoped(self):
+        from repro.lint import get_rule, is_project_rule
+        for rule_id in ("LEASE-BALANCE", "LOCK-DISCIPLINE", "LOCK-ORDER",
+                        "FORK-SAFETY", "ASYNC-BLOCKING"):
+            assert is_project_rule(get_rule(rule_id))
 
     def test_catalog_is_registered(self):
         from repro.lint import rule_ids

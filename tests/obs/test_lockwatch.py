@@ -1,0 +1,227 @@
+"""Lock-order watchdog: cycle detection, stack discipline, disabled cost.
+
+The headline test seeds the classic deadlock — two threads taking two locks
+in opposite orders — and asserts the second order raises
+:class:`LockOrderViolation` naming the cycle *instead of* deadlocking.  The
+overhead test budgets the disabled fast path against a real training step,
+the same 2% acceptance bar as the telemetry and sanitizer guards.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (LockOrderViolation, disable_lock_watch,
+                       enable_lock_watch, get_lock_watch, watched_lock,
+                       watched_rlock)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _watchdog_off_after():
+    yield
+    disable_lock_watch()
+
+
+class TestCycleDetection:
+    def test_consistent_order_builds_edges_silently(self):
+        watch = enable_lock_watch()
+        a, b = watched_lock("t.a"), watched_lock("t.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert watch.edges() == {"t.a": ("t.b",)}
+        assert watch.cycle_count == 0
+
+    def test_inverted_order_raises_instead_of_deadlocking(self):
+        enable_lock_watch()
+        a, b = watched_lock("t.a"), watched_lock("t.b")
+        with a:
+            with b:
+                pass
+
+        raised = []
+
+        def inverted():
+            try:
+                with b:
+                    with a:  # closes the t.a -> t.b cycle
+                        pass
+            except LockOrderViolation as error:
+                raised.append(error)
+
+        thread = threading.Thread(target=inverted)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert len(raised) == 1
+        assert raised[0].cycle == ("t.a", "t.b", "t.a")
+        assert "t.a" in str(raised[0]) and "t.b" in str(raised[0])
+
+    def test_violation_leaves_the_wanted_lock_unacquired(self):
+        enable_lock_watch()
+        a, b = watched_lock("t.a"), watched_lock("t.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation):
+                a.acquire()
+        assert not a.locked()
+        assert a.acquire(timeout=1.0)  # still usable once b is dropped
+        a.release()
+
+    def test_three_lock_cycle_is_detected(self):
+        watch = enable_lock_watch()
+        a, b, c = (watched_lock("t.a"), watched_lock("t.b"),
+                   watched_lock("t.c"))
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with pytest.raises(LockOrderViolation) as info:
+            with c:
+                with a:
+                    pass
+        assert info.value.cycle == ("t.a", "t.b", "t.c", "t.a")
+        assert watch.cycle_count == 1
+
+
+class TestStackDiscipline:
+    def test_reentrant_rlock_adds_no_edge(self):
+        watch = enable_lock_watch()
+        r = watched_rlock("t.r")
+        with r:
+            with r:
+                assert watch.held_names() == ("t.r",)
+        assert watch.edges() == {}
+        assert watch.held_names() == ()
+
+    def test_release_pops_held_stack(self):
+        watch = enable_lock_watch()
+        a = watched_lock("t.a")
+        with a:
+            assert watch.held_names() == ("t.a",)
+        assert watch.held_names() == ()
+
+    def test_failed_timed_acquire_does_not_push(self):
+        watch = enable_lock_watch()
+        a = watched_lock("t.a")
+        holder = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with a:
+                holder.set()
+                release.wait(timeout=10.0)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        assert holder.wait(timeout=10.0)
+        assert a.acquire(timeout=0.05) is False
+        assert watch.held_names() == ()
+        release.set()
+        thread.join(timeout=10.0)
+
+    def test_same_name_different_instances_share_a_node(self):
+        # Two instances of one class use the same role name; ordering
+        # against another lock merges into a single graph node.
+        watch = enable_lock_watch()
+        first, second = watched_lock("t.pool"), watched_lock("t.pool")
+        other = watched_lock("t.other")
+        with first:
+            with other:
+                pass
+        with second:
+            with other:
+                pass
+        assert watch.edges() == {"t.pool": ("t.other",)}
+
+
+class TestLifecycleAndExport:
+    def test_disabled_by_default_and_idempotent_enable(self):
+        assert get_lock_watch() is None
+        watch = enable_lock_watch()
+        assert enable_lock_watch() is watch
+        disable_lock_watch()
+        assert get_lock_watch() is None
+        disable_lock_watch()  # idempotent
+
+    def test_watched_lock_works_while_disabled(self):
+        assert get_lock_watch() is None
+        a = watched_lock("t.a")
+        with a:
+            assert a.locked()
+        assert not a.locked()
+        assert a.acquire()
+        a.release()
+
+    def test_export_flushes_counters_to_registry(self):
+        watch = enable_lock_watch()
+        a, b = watched_lock("t.a"), watched_lock("t.b")
+        with a:
+            with b:
+                pass
+        registry = MetricsRegistry()
+        watch.export(registry)
+        assert registry.counter("lockwatch.acquisitions").value == 2
+        assert registry.counter("lockwatch.edges").value == 1
+        assert registry.counter("lockwatch.cycles").value == 0
+        # Counts reset after a flush; a second export adds nothing.
+        watch.export(registry)
+        assert registry.counter("lockwatch.acquisitions").value == 2
+
+
+class TestDisabledOverhead:
+    TOUCHES_PER_STEP = 20    # locks touched by one request/step, generous
+    MAX_OVERHEAD_FRACTION = 0.02
+
+    @staticmethod
+    def _per_call_seconds(fn, iterations=50_000):
+        fn()  # warm up
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        return (time.perf_counter() - start) / iterations
+
+    def test_disabled_watched_lock_under_two_percent_of_step(
+            self, tiny_dataset, tiny_graph, tiny_split):
+        from repro.core import MISSL, MISSLConfig
+        from repro.train import TrainConfig, Trainer
+        assert get_lock_watch() is None
+
+        raw = threading.Lock()
+        watched = watched_lock("bench.lock")
+
+        def raw_cycle():
+            with raw:
+                pass
+
+        def watched_cycle():
+            with watched:
+                pass
+
+        added = max(0.0, self._per_call_seconds(watched_cycle)
+                    - self._per_call_seconds(raw_cycle))
+
+        config = MISSLConfig(dim=16, num_interests=2, max_len=20,
+                             num_train_negatives=8, lambda_aug=0.0)
+        model = MISSL(tiny_dataset.num_items, tiny_dataset.schema,
+                      tiny_graph, config, seed=0)
+        trainer = Trainer(model, tiny_split,
+                          TrainConfig(epochs=1, patience=1, batch_size=32,
+                                      num_eval_negatives=30))
+        start = time.perf_counter()
+        history = trainer.fit()
+        fit_seconds = time.perf_counter() - start
+        steps = max(1, history.num_epochs)
+        step_seconds = fit_seconds / steps
+
+        budget = self.TOUCHES_PER_STEP * added
+        assert budget < self.MAX_OVERHEAD_FRACTION * step_seconds, (
+            f"disabled watched-lock budget {budget * 1e6:.1f}µs exceeds 2% "
+            f"of a {step_seconds * 1e3:.1f}ms step")
