@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Smoke-run the perf benchmarks (P1 hot paths, P2 serving, P5 input
 # pipeline, P6 data-parallel training, P7 network serving, P8 fleet
-# observability) at tiny scale.
+# observability, P10 quantized retrieval) at tiny scale.
 #
 # Verifies the benchmark machinery end to end — all code paths execute and
 # BENCH_P1.json / BENCH_P2.json / BENCH_P5.json / BENCH_P6.json /
-# BENCH_P7.json / BENCH_P8.json are
+# BENCH_P7.json / BENCH_P8.json / BENCH_P10.json are
 # produced — without asserting the speedup floors, which are only meaningful at the default
-# scale (tiny corpora are dominated by fixed overheads).  Intended for CI;
-# finishes in well under a minute.
+# scale (tiny corpora are dominated by fixed overheads).  The P10
+# quantized-parity gates stay ON even here: the memory-reduction and
+# recall floors and the mmap'd-bundle RSS advantage are scale-robust
+# correctness claims, not timing claims.  Intended for CI; finishes in
+# well under a minute.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +30,13 @@ export REPRO_PERF_EVAL_MIN_SPEEDUP="${REPRO_PERF_EVAL_MIN_SPEEDUP:-0}"
 export REPRO_PERF_NET_REQUESTS="${REPRO_PERF_NET_REQUESTS:-120}"
 export REPRO_PERF_NET_CONNECTIONS="${REPRO_PERF_NET_CONNECTIONS:-4}"
 export REPRO_PERF_OBS_MAX_REGRESSION="${REPRO_PERF_OBS_MAX_REGRESSION:-0}"
+# Quantized retrieval: keep the parity gates (reduction + recall + RSS) on,
+# disable only the timing floors; shrink the synthetic catalog and the RSS
+# probe so the smoke stays fast.
+export REPRO_PERF_QUANT_MIN_SPAWN_SPEEDUP="${REPRO_PERF_QUANT_MIN_SPAWN_SPEEDUP:-0}"
+export REPRO_PERF_QUANT_P99_SLACK="${REPRO_PERF_QUANT_P99_SLACK:-0}"
+export REPRO_PERF_QUANT_CATALOG="${REPRO_PERF_QUANT_CATALOG:-2000}"
+export REPRO_PERF_QUANT_RSS_MB="${REPRO_PERF_QUANT_RSS_MB:-8}"
 
 # Static-analysis gate: new findings (anything not in lint-baseline.json)
 # fail the smoke run before any benchmark time is spent.  --jobs exercises
@@ -40,7 +50,8 @@ PYTHONPATH=src python -m repro lint src/repro \
 
 rm -f benchmarks/results/BENCH_P1.json benchmarks/results/BENCH_P2.json \
       benchmarks/results/BENCH_P5.json benchmarks/results/BENCH_P6.json \
-      benchmarks/results/BENCH_P7.json benchmarks/results/BENCH_P8.json
+      benchmarks/results/BENCH_P7.json benchmarks/results/BENCH_P8.json \
+      benchmarks/results/BENCH_P10.json
 
 PYTHONPATH=src python benchmarks/bench_p1_hotpaths.py
 PYTHONPATH=src python benchmarks/bench_p2_serving.py
@@ -48,8 +59,9 @@ PYTHONPATH=src python benchmarks/bench_p5_pipeline.py
 PYTHONPATH=src python benchmarks/bench_p6_ddp.py
 PYTHONPATH=src python benchmarks/bench_p7_net.py
 PYTHONPATH=src python benchmarks/bench_p8_fleet_obs.py
+PYTHONPATH=src python benchmarks/bench_p10_quant.py
 
-for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json BENCH_P6.json BENCH_P7.json BENCH_P8.json; do
+for result in BENCH_P1.json BENCH_P2.json BENCH_P5.json BENCH_P6.json BENCH_P7.json BENCH_P8.json BENCH_P10.json; do
     if [[ ! -f "benchmarks/results/$result" ]]; then
         echo "FAIL: benchmarks/results/$result was not produced" >&2
         exit 1

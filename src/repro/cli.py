@@ -94,27 +94,52 @@ def build_parser() -> argparse.ArgumentParser:
                               "the fast paths")
 
     export = sub.add_parser("export", help="train MISSL and freeze a serving artifact")
-    export.add_argument("out", help="path for the artifact (.npz)")
+    export.add_argument("out", help="path for the artifact (.npz file, or "
+                                    "directory with --artifact-format dir)")
     export.add_argument("--preset", default="taobao", choices=["taobao", "tmall", "yelp"])
     export.add_argument("--scale", type=float, default=0.4)
     export.add_argument("--dim", type=int, default=32)
     export.add_argument("--epochs", type=int, default=12)
     export.add_argument("--seed", type=int, default=1)
+    export.add_argument("--artifact-format", default="npz",
+                        choices=["npz", "dir"],
+                        help="npz: single compressed file; dir: directory "
+                             "bundle of mmap-able .npy files (replicas share "
+                             "page-cache pages and can ship prebuilt indexes)")
+    export.add_argument("--prebuild", action="append", default=None,
+                        metavar="INDEX",
+                        choices=["ivf", "hnsw", "pq", "ivf_pq", "exact_sq"],
+                        help="build this index at export time and serialize "
+                             "it into the bundle (repeatable; requires "
+                             "--artifact-format dir)")
+    export.add_argument("--pq-m", type=int, default=8,
+                        help="PQ subspace count for prebuilt pq/ivf_pq codes")
 
     serve = sub.add_parser("serve", help="serve an exported artifact "
                                          "(JSON-lines on stdin/stdout)")
-    serve.add_argument("artifact", help="path to an exported .npz artifact")
+    serve.add_argument("artifact", help="path to an exported artifact "
+                                        "(.npz file or directory bundle)")
     serve.add_argument("--preset", default=None, choices=["taobao", "tmall", "yelp"],
                        help="corpus preset for user histories (defaults to the "
                             "provenance recorded in the artifact)")
     serve.add_argument("--scale", type=float, default=None)
     serve.add_argument("--seed", type=int, default=None)
     serve.add_argument("--backend", default="exact",
-                       choices=["exact", "ivf", "hnsw"])
+                       choices=["exact", "ivf", "hnsw", "pq", "ivf_pq",
+                                "exact_sq"])
     serve.add_argument("--index", default=None,
-                       choices=["exact", "ivf", "hnsw"],
+                       choices=["exact", "ivf", "hnsw", "pq", "ivf_pq",
+                                "exact_sq"],
                        help="retrieval index (overrides --backend; the "
                             "network-mode spelling)")
+    serve.add_argument("--pq-m", type=int, default=None,
+                       help="PQ subspace count (pq/ivf_pq; forces a fresh "
+                            "build even when the artifact ships a prebuilt "
+                            "index)")
+    serve.add_argument("--refine", type=int, default=0,
+                       help="with a quantized index, exactly re-score the "
+                            "top-N scan candidates in float64 (0 = serve "
+                            "raw quantized scores)")
     serve.add_argument("--k", type=int, default=10, help="default top-k per request")
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--max-wait-ms", type=float, default=5.0)
@@ -340,9 +365,17 @@ def _cmd_export(args) -> int:
                                          seed=args.seed)
     get_logger("repro.cli").info("MISSL on %s (scale %s): %s [%.1fs]",
                                  args.preset, args.scale, report, seconds)
+    prebuilt = tuple(dict.fromkeys(args.prebuild or ()))
+    if prebuilt and args.artifact_format != "dir":
+        print("--prebuild requires --artifact-format dir", file=sys.stderr)
+        return 2
     path = export_artifact(model, args.out,
                            extra={"preset": args.preset, "scale": args.scale,
-                                  "seed": args.seed})
+                                  "seed": args.seed},
+                           artifact_format=args.artifact_format,
+                           prebuilt=prebuilt,
+                           index_options={"pq": {"m": args.pq_m},
+                                          "ivf_pq": {"m": args.pq_m}})
     print(f"serving artifact written to {path}")
     return 0
 
@@ -390,11 +423,18 @@ def _cmd_serve(args) -> int:
     history = HistoryStore.from_dataset(dataset)
     index_backend = args.index or args.backend
     probe = args.probe_every if index_backend != "exact" else 0
+    index_options = {}
+    if args.pq_m is not None and index_backend in ("pq", "ivf_pq"):
+        index_options["m"] = args.pq_m
+    if args.refine and index_backend in ("pq", "ivf_pq", "exact_sq"):
+        index_options["refine"] = args.refine
     if args.listen is not None:
-        return _serve_network(args, artifact, history, index_backend, probe)
+        return _serve_network(args, artifact, history, index_backend,
+                              index_options, probe)
     with _telemetry(args.events_out) as telemetry:
         registry = telemetry.registry if telemetry is not None else None
         with RecommenderService(artifact, history, index_backend=index_backend,
+                                index_options=index_options,
                                 max_batch=args.max_batch,
                                 max_wait_ms=args.max_wait_ms,
                                 recall_probe_every=probe,
@@ -424,7 +464,7 @@ def _cmd_serve(args) -> int:
 
 
 def _serve_network(args, artifact, history, index_backend: str,
-                   probe: int) -> int:
+                   index_options: dict, probe: int) -> int:
     """Network serving mode (``--listen``): NDJSON over TCP until SIGTERM."""
     import json
     import signal
@@ -441,6 +481,7 @@ def _serve_network(args, artifact, history, index_backend: str,
         backend = build_backend(
             artifact, history, replicas=args.replicas,
             service_options={"index_backend": index_backend,
+                             "index_options": index_options,
                              "recall_probe_every": probe},
             max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
             registry=registry)

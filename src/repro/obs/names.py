@@ -59,6 +59,12 @@ METRIC_NAMES = frozenset({
     "serve.cache.stampede_suppressed",
     "serve.recall.sum",
     "serve.recall.samples",
+    # retrieval index (quantized scan/refine split, prebuilt attaches)
+    "serve.index.scan_seconds",
+    "serve.index.refine_seconds",
+    "serve.index.candidates",
+    "serve.index.refined",
+    "serve.index.prebuilt_loads",
     # serving network tier
     "serve.net.connections",
     "serve.net.requests",

@@ -31,29 +31,82 @@ re-scoring, mirroring the offline path.
 from __future__ import annotations
 
 import heapq
+import threading
 
 import numpy as np
 
 from .ops import interest_readout
 
 __all__ = ["ExactIndex", "IVFIndex", "HNSWIndex", "build_index",
-           "SearchResult", "topk_overlap"]
+           "load_index_state", "SearchResult", "topk_overlap",
+           "INDEX_RUNTIME_OPTIONS", "SERIALIZABLE_BACKENDS"]
+
+# Search-time knobs that can be re-applied to a deserialized index without
+# rebuilding it (everything else — partition counts, graph degrees, code
+# sizes — is baked into the serialized structure).
+INDEX_RUNTIME_OPTIONS = frozenset({"nprobe", "ef_search", "refine"})
+
+# Backends whose built structure can be serialized into an artifact bundle
+# and re-attached in O(mmap) (``exact`` has no structure worth shipping).
+SERIALIZABLE_BACKENDS = ("ivf", "hnsw", "pq", "ivf_pq", "exact_sq")
 
 
 class SearchResult:
     """Top-k result of one index query: parallel ``items`` / ``scores``
-    arrays (best first) plus the number of candidates actually scored."""
+    arrays (best first) plus the number of candidates actually scored.
+    Quantized backends additionally report their scan/refine split
+    (``scan_seconds`` / ``refine_seconds`` / ``refined``); other backends
+    leave those at zero."""
 
-    __slots__ = ("items", "scores", "candidates_scored")
+    __slots__ = ("items", "scores", "candidates_scored", "scan_seconds",
+                 "refine_seconds", "refined")
 
     def __init__(self, items: np.ndarray, scores: np.ndarray,
-                 candidates_scored: int):
+                 candidates_scored: int, scan_seconds: float = 0.0,
+                 refine_seconds: float = 0.0, refined: int = 0):
         self.items = items
         self.scores = scores
         self.candidates_scored = candidates_scored
+        self.scan_seconds = scan_seconds
+        self.refine_seconds = refine_seconds
+        self.refined = refined
 
     def __len__(self) -> int:
         return len(self.items)
+
+
+class _ScratchBuffers:
+    """Thread-local reusable arrays for the per-call score vectors.
+
+    Every ``search`` used to allocate a fresh ``(N,)`` float64 buffer
+    (``astype(copy=True)`` on the exact path, ``np.full(-inf)`` on the
+    approximate ones).  Shapes repeat across a micro-batch — one buffer per
+    ``(shape, dtype)`` per thread covers the whole batch without churn.
+    Returned arrays alias the pool: callers must copy out anything that
+    outlives the call (the fancy-indexed top-k slices the searches return
+    already do).
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def take(self, shape, dtype) -> np.ndarray:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        key = (tuple(shape), np.dtype(dtype).str)
+        array = pool.get(key)
+        if array is None:
+            array = pool[key] = np.empty(shape, dtype=dtype)
+        return array
+
+    def filled(self, shape, dtype, value) -> np.ndarray:
+        array = self.take(shape, dtype)
+        array.fill(value)
+        return array
+
+
+scratch = _ScratchBuffers()
 
 
 def _as_queries(interests: np.ndarray) -> np.ndarray:
@@ -73,10 +126,13 @@ def _apply_exclusions(scores: np.ndarray, exclude) -> np.ndarray:
 
 
 def _finite_topk(items: np.ndarray, scores: np.ndarray, order: np.ndarray,
-                 candidates_scored: int) -> SearchResult:
+                 candidates_scored: int, scan_seconds: float = 0.0,
+                 refine_seconds: float = 0.0, refined: int = 0) -> SearchResult:
     keep = np.isfinite(scores[order])
     order = order[keep]
-    return SearchResult(items[order], scores[order], candidates_scored)
+    # Fancy indexing copies, so the result does not alias scratch buffers.
+    return SearchResult(items[order], scores[order], candidates_scored,
+                        scan_seconds, refine_seconds, refined)
 
 
 class ExactIndex:
@@ -105,12 +161,17 @@ class ExactIndex:
         per_interest = queries @ self.vectors.T            # (K, N)
         return interest_readout(per_interest, self.score_mode, self.score_pow)
 
+    def resident_bytes(self) -> int:
+        """Bytes that must stay hot for scanning (the full item block)."""
+        return int(self.vectors.nbytes)
+
     def search(self, interests: np.ndarray, k: int,
                exclude=None) -> SearchResult:
         """Exact top-``k``; ``exclude`` item ids are masked to ``-inf``."""
         if k < 1:
             raise ValueError("k must be positive")
-        scores = self.combined_scores(interests).astype(np.float64, copy=True)
+        scores = scratch.take((self.num_items,), np.float64)
+        np.copyto(scores, self.combined_scores(interests), casting="safe")
         scores = _apply_exclusions(scores, exclude)
         order = np.argsort(-scores)[:k]
         return _finite_topk(self.items, scores, order, self.num_items)
@@ -144,13 +205,21 @@ def _kmeans(vectors: np.ndarray, num_clusters: int, iterations: int,
 class IVFIndex:
     """Inverted-file index: coarse k-means partitions + per-interest probing.
 
+    When ``nprobe`` is not given it is **auto-calibrated** at build time: a
+    seeded sample of catalog vectors plays held-out queries, and the default
+    becomes the smallest probe count whose probed partitions cover at least
+    ``target_recall`` of each query's exact top-``calibration_k`` (the old
+    shipped default, ``nlist // 4``, sat at recall@10 ≈ 0.65 in BENCH_P2).
+
     Args:
         item_vectors: ``(N, D)`` catalog block, row ``i`` = item ``i + 1``.
         nlist: number of partitions (default ``round(sqrt(N))``).
-        nprobe: partitions each interest vector probes (default
-            ``max(1, nlist // 4)``); higher = better recall, slower.
+        nprobe: partitions each interest vector probes; higher = better
+            recall, slower.  ``None`` (default) auto-calibrates as above.
         score_mode / score_pow: multi-interest readout, as in the model.
-        seed: k-means initialization seed.
+        seed: k-means initialization + calibration-sample seed.
+        target_recall / calibration_queries / calibration_k: the coverage
+            target and seeded sample used when ``nprobe`` is auto-calibrated.
     """
 
     backend = "ivf"
@@ -158,7 +227,8 @@ class IVFIndex:
     def __init__(self, item_vectors: np.ndarray, nlist: int | None = None,
                  nprobe: int | None = None, score_mode: str = "max",
                  score_pow: float = 1.0, seed: int = 0,
-                 kmeans_iterations: int = 8):
+                 kmeans_iterations: int = 8, target_recall: float = 0.9,
+                 calibration_queries: int = 32, calibration_k: int = 10):
         self.vectors = np.ascontiguousarray(item_vectors)
         self.num_items = int(self.vectors.shape[0])
         self.score_mode = score_mode
@@ -167,11 +237,58 @@ class IVFIndex:
             nlist = max(1, int(round(np.sqrt(self.num_items))))
         nlist = min(nlist, self.num_items)
         self.nlist = nlist
-        self.nprobe = max(1, nlist // 4) if nprobe is None else min(nprobe, nlist)
         rng = np.random.default_rng(seed)
         self.centroids, assignment = _kmeans(self.vectors, nlist,
                                              kmeans_iterations, rng)
         self.lists = [np.flatnonzero(assignment == c) for c in range(nlist)]
+        if nprobe is None:
+            self.nprobe, self.calibration = self._calibrate_nprobe(
+                assignment, rng, target_recall, calibration_queries,
+                calibration_k)
+            self.auto_calibrated = True
+        else:
+            self.nprobe = max(1, min(int(nprobe), nlist))
+            self.calibration = None
+            self.auto_calibrated = False
+
+    def _calibrate_nprobe(self, assignment: np.ndarray,
+                          rng: np.random.Generator, target_recall: float,
+                          num_queries: int, k: int) -> tuple[int, dict]:
+        """Smallest ``nprobe`` whose probed partitions cover ``target_recall``
+        of the exact top-``k`` on a seeded held-out query sample.
+
+        O(Q·(N + C)): for each sampled query, every exact-top-``k`` item's
+        partition is mapped (via the inverse permutation of the query's
+        centroid-affinity order) to the probe depth at which it would be
+        reached; coverage(nprobe) is then one cumulative histogram away.
+        """
+        sample = rng.choice(self.num_items,
+                            size=min(num_queries, self.num_items),
+                            replace=False)
+        queries = self.vectors[sample]
+        k = min(k, self.num_items)
+        exact = queries @ self.vectors.T                          # (Q, N)
+        top = np.argpartition(-exact, k - 1, axis=1)[:, :k]
+        affinity = queries @ self.centroids.T                     # (Q, C)
+        order = np.argsort(-affinity, axis=1, kind="stable")
+        rank = np.empty_like(order)                               # inverse perm
+        np.put_along_axis(
+            rank, order,
+            np.broadcast_to(np.arange(self.nlist, dtype=np.int64),
+                            order.shape),
+            axis=1)
+        # Probe depth at which each exact-top item's partition is reached.
+        needed = np.take_along_axis(rank, assignment[top], axis=1)
+        coverage = np.bincount(needed.ravel() + 1,
+                               minlength=self.nlist + 1).cumsum()
+        coverage = coverage / needed.size
+        target = min(float(target_recall), 1.0)
+        hit = coverage >= target
+        nprobe = int(np.argmax(hit)) if hit.any() else self.nlist
+        nprobe = max(1, min(nprobe, self.nlist))
+        return nprobe, {"target_recall": target,
+                        "queries": int(len(sample)), "k": int(k),
+                        "achieved_coverage": float(coverage[nprobe])}
 
     def _candidate_rows(self, queries: np.ndarray) -> np.ndarray:
         """Union of the item rows in every probed partition."""
@@ -194,7 +311,7 @@ class IVFIndex:
         per_interest = queries @ self.vectors[rows].T            # (K, M)
         combined = interest_readout(per_interest, self.score_mode,
                                     self.score_pow)
-        scores = np.full(self.num_items, -np.inf, dtype=np.float64)
+        scores = scratch.filled((self.num_items,), np.float64, -np.inf)
         scores[rows] = combined
         scores = _apply_exclusions(scores, exclude)
         take = min(k, self.num_items)
@@ -205,6 +322,49 @@ class IVFIndex:
             order = np.argsort(-scores)
         items = np.arange(1, self.num_items + 1, dtype=np.int64)
         return _finite_topk(items, scores, order, len(rows))
+
+    def resident_bytes(self) -> int:
+        """Bytes hot at scan time: item block + centroids + list rows."""
+        return int(self.vectors.nbytes + self.centroids.nbytes
+                   + sum(rows.nbytes for rows in self.lists))
+
+    # -- serialization ----------------------------------------------------
+    def state(self) -> tuple[dict, dict]:
+        """``(meta, arrays)`` capturing the built structure (not the item
+        block, which lives in the artifact)."""
+        sizes = np.fromiter((len(rows) for rows in self.lists), dtype=np.int64,
+                            count=self.nlist)
+        list_rows = np.concatenate(self.lists) if self.num_items else \
+            np.empty(0, dtype=np.int64)
+        meta = {"backend": self.backend, "nlist": int(self.nlist),
+                "nprobe": int(self.nprobe),
+                "auto_calibrated": bool(self.auto_calibrated),
+                "calibration": self.calibration,
+                "score_mode": self.score_mode,
+                "score_pow": float(self.score_pow)}
+        return meta, {"centroids": self.centroids, "list_rows": list_rows,
+                      "list_sizes": sizes}
+
+    @classmethod
+    def from_state(cls, item_vectors: np.ndarray, meta: dict, arrays: dict,
+                   score_mode: str = "max",
+                   score_pow: float = 1.0) -> "IVFIndex":
+        """Re-attach a serialized index in O(mmap) — no k-means re-run."""
+        index = cls.__new__(cls)
+        index.vectors = np.ascontiguousarray(item_vectors)
+        index.num_items = int(index.vectors.shape[0])
+        index.score_mode = score_mode
+        index.score_pow = score_pow
+        index.nlist = int(meta["nlist"])
+        index.nprobe = int(meta["nprobe"])
+        index.auto_calibrated = bool(meta.get("auto_calibrated", False))
+        index.calibration = meta.get("calibration")
+        index.centroids = np.asarray(arrays["centroids"])
+        sizes = np.asarray(arrays["list_sizes"], dtype=np.int64)
+        rows = np.asarray(arrays["list_rows"], dtype=np.int64)
+        bounds = np.cumsum(sizes)[:-1]
+        index.lists = np.split(rows, bounds)
+        return index
 
 
 class HNSWIndex:
@@ -360,7 +520,7 @@ class HNSWIndex:
         per_interest = queries @ self.vectors[rows].T            # (K, M)
         combined = interest_readout(per_interest, self.score_mode,
                                     self.score_pow)
-        scores = np.full(self.num_items, -np.inf, dtype=np.float64)
+        scores = scratch.filled((self.num_items,), np.float64, -np.inf)
         scores[rows] = combined
         scores = _apply_exclusions(scores, exclude)
         take = min(k, self.num_items)
@@ -371,6 +531,69 @@ class HNSWIndex:
             order = np.argsort(-scores)
         items = np.arange(1, self.num_items + 1, dtype=np.int64)
         return _finite_topk(items, scores, order, len(rows))
+
+    def resident_bytes(self) -> int:
+        """Bytes hot at search time: item block + levels + adjacency (links
+        counted at int64 width; the in-memory python lists cost more)."""
+        links = sum(len(neighbors) for layer in self._graph
+                    for neighbors in layer.values())
+        return int(self.vectors.nbytes + self._levels.nbytes + 8 * links)
+
+    # -- serialization ----------------------------------------------------
+    def state(self) -> tuple[dict, dict]:
+        """``(meta, arrays)``: levels plus one CSR (nodes/indptr/indices)
+        per layer — everything ``from_state`` needs to skip re-insertion."""
+        meta = {"backend": self.backend, "M": int(self.M),
+                "ef_construction": int(self.ef_construction),
+                "ef_search": int(self.ef_search),
+                "max_level": int(self.max_level), "entry": int(self._entry),
+                "layers": len(self._graph),
+                "score_mode": self.score_mode,
+                "score_pow": float(self.score_pow)}
+        arrays = {"levels": self._levels}
+        for layer, adjacency in enumerate(self._graph):
+            nodes = np.fromiter(adjacency.keys(), dtype=np.int64,
+                                count=len(adjacency))
+            sizes = np.fromiter((len(adjacency[int(n)]) for n in nodes),
+                                dtype=np.int64, count=len(nodes))
+            indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            indices = np.fromiter(
+                (n for node in nodes for n in adjacency[int(node)]),
+                dtype=np.int64, count=int(indptr[-1]))
+            arrays[f"layer{layer}_nodes"] = nodes
+            arrays[f"layer{layer}_indptr"] = indptr
+            arrays[f"layer{layer}_indices"] = indices
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, item_vectors: np.ndarray, meta: dict, arrays: dict,
+                   score_mode: str = "max",
+                   score_pow: float = 1.0) -> "HNSWIndex":
+        """Re-attach a serialized graph in O(links) — no insertion pass."""
+        index = cls.__new__(cls)
+        index.vectors = np.ascontiguousarray(item_vectors)
+        index.num_items = int(index.vectors.shape[0])
+        index.score_mode = score_mode
+        index.score_pow = score_pow
+        index.M = int(meta["M"])
+        index.ef_construction = int(meta["ef_construction"])
+        index.ef_search = int(meta["ef_search"])
+        index.max_level = int(meta["max_level"])
+        index._entry = int(meta["entry"])
+        index._levels = np.asarray(arrays["levels"], dtype=np.int64)
+        index._graph = []
+        for layer in range(int(meta["layers"])):
+            nodes = np.asarray(arrays[f"layer{layer}_nodes"], dtype=np.int64)
+            indptr = np.asarray(arrays[f"layer{layer}_indptr"],
+                                dtype=np.int64)
+            indices = np.asarray(arrays[f"layer{layer}_indices"],
+                                 dtype=np.int64)
+            adjacency = {
+                int(node): indices[indptr[i]:indptr[i + 1]].tolist()
+                for i, node in enumerate(nodes)}
+            index._graph.append(adjacency)
+        return index
 
 
 def topk_overlap(approx_items: np.ndarray, exact_items: np.ndarray) -> float:
@@ -383,8 +606,9 @@ def topk_overlap(approx_items: np.ndarray, exact_items: np.ndarray) -> float:
 
 def build_index(item_vectors: np.ndarray, backend: str = "exact",
                 score_mode: str = "max", score_pow: float = 1.0, **kwargs):
-    """Construct a retrieval index: ``backend`` is ``"exact"``, ``"ivf"``
-    or ``"hnsw"``."""
+    """Construct a retrieval index: ``backend`` is ``"exact"``, ``"ivf"``,
+    ``"hnsw"``, or one of the quantized backends ``"pq"``, ``"ivf_pq"``,
+    ``"exact_sq"`` (see :mod:`repro.serve.quant`)."""
     if backend == "exact":
         return ExactIndex(item_vectors, score_mode=score_mode,
                           score_pow=score_pow)
@@ -394,5 +618,44 @@ def build_index(item_vectors: np.ndarray, backend: str = "exact",
     if backend == "hnsw":
         return HNSWIndex(item_vectors, score_mode=score_mode,
                          score_pow=score_pow, **kwargs)
-    raise ValueError(f"unknown index backend {backend!r}; "
-                     f"choose 'exact', 'ivf' or 'hnsw'")
+    if backend in ("pq", "ivf_pq", "exact_sq"):
+        from .quant import build_quant_index       # lazy: quant imports us
+        return build_quant_index(item_vectors, backend, score_mode=score_mode,
+                                 score_pow=score_pow, **kwargs)
+    raise ValueError(f"unknown index backend {backend!r}; choose 'exact', "
+                     f"'ivf', 'hnsw', 'pq', 'ivf_pq' or 'exact_sq'")
+
+
+def load_index_state(item_vectors: np.ndarray, meta: dict, arrays: dict,
+                     score_mode: str = "max", score_pow: float = 1.0,
+                     options: dict | None = None):
+    """Reconstruct a serialized index (``state()`` output) in O(attach).
+
+    ``options`` may carry :data:`INDEX_RUNTIME_OPTIONS` knobs (``nprobe``,
+    ``ef_search``, ``refine``) to re-tune the deserialized index without a
+    rebuild; unknown keys raise so a structural option (``nlist``, ``M``,
+    ``m``…) is never silently ignored against a prebuilt structure.
+    """
+    backend = meta.get("backend")
+    if backend == "ivf":
+        index = IVFIndex.from_state(item_vectors, meta, arrays,
+                                    score_mode=score_mode,
+                                    score_pow=score_pow)
+    elif backend == "hnsw":
+        index = HNSWIndex.from_state(item_vectors, meta, arrays,
+                                     score_mode=score_mode,
+                                     score_pow=score_pow)
+    elif backend in ("pq", "ivf_pq", "exact_sq"):
+        from .quant import load_quant_state        # lazy: quant imports us
+        index = load_quant_state(item_vectors, meta, arrays,
+                                 score_mode=score_mode, score_pow=score_pow)
+    else:
+        raise ValueError(f"cannot deserialize index backend {backend!r}; "
+                         f"serializable backends: {SERIALIZABLE_BACKENDS}")
+    for name, value in (options or {}).items():
+        if name not in INDEX_RUNTIME_OPTIONS or not hasattr(index, name):
+            raise ValueError(
+                f"option {name!r} cannot be applied to a prebuilt "
+                f"{backend!r} index; rebuild with build_index() instead")
+        setattr(index, name, value)
+    return index

@@ -70,7 +70,7 @@ from repro.obs import (current_context, get_logger, get_telemetry, span,
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceContext
 
-from .artifact import InferenceArtifact
+from .artifact import InferenceArtifact, load_artifact
 from .batcher import MicroBatcher
 from .history import HistoryStore
 from .service import RecommenderService
@@ -212,11 +212,26 @@ def _replica_factory(artifact: InferenceArtifact, history: HistoryStore,
     fleet telemetry is on (see :func:`repro.obs.enable_worker_telemetry`, which
     the pool installed before this factory ran), so per-replica ``serve.*``
     counters land in the spool's final snapshot and merge into the fleet view.
+
+    A directory-format artifact is **re-attached from disk** here rather than
+    used through the fork-inherited reference: the fresh ``mmap_mode="r"``
+    load gives this replica file-backed, page-cache-shared array pages (N
+    replicas, one physical copy) and — with prebuilt index structures in the
+    bundle — makes respawn O(mmap) instead of re-running k-means / graph
+    insertion.  If the bundle vanished from disk the inherited copy still
+    works, so a crash-respawn never fails on a moved artifact.
     """
     options = dict(options)
     telemetry = get_telemetry()
     if telemetry is not None:
         options.setdefault("registry", telemetry.registry)
+    if artifact.fmt == "dir" and artifact.source:
+        try:
+            artifact = load_artifact(artifact.source)
+        except (OSError, ValueError) as error:
+            get_logger("repro.serve.net").warning(
+                "replica could not re-attach artifact bundle %s (%s); "
+                "serving from the fork-inherited copy", artifact.source, error)
     service = RecommenderService(artifact, history, **options)
 
     def handle(task: dict):

@@ -31,7 +31,8 @@ from .batcher import MicroBatcher
 from .cache import InterestCache
 from .encoder import build_encoder
 from .history import HistoryStore
-from .index import ExactIndex, build_index, topk_overlap
+from .index import (INDEX_RUNTIME_OPTIONS, ExactIndex, build_index,
+                    load_index_state, topk_overlap)
 from .metrics import ServingMetrics
 
 __all__ = ["RecommenderService"]
@@ -44,10 +45,18 @@ class RecommenderService:
         artifact: the exported model snapshot.
         history: user histories (seed with ``HistoryStore.from_dataset``).
         index_backend: ``"exact"`` (parity with offline scoring), ``"ivf"``
-            or ``"hnsw"`` (approximate, faster on large catalogs).
+            or ``"hnsw"`` (approximate, faster on large catalogs), or a
+            quantized backend ``"pq"`` / ``"ivf_pq"`` / ``"exact_sq"``
+            (compact codes; see :mod:`repro.serve.quant`).
         index_options: extra kwargs for the index constructor (e.g. ``nlist``
             and ``nprobe`` for IVF; ``M``, ``ef_construction`` and
-            ``ef_search`` for HNSW).
+            ``ef_search`` for HNSW; ``m`` and ``refine`` for PQ).
+        use_prebuilt: when the artifact ships a serialized structure for
+            ``index_backend`` (a ``dir`` bundle exported with ``prebuilt``),
+            attach it in O(mmap) instead of rebuilding — unless
+            ``index_options`` carries structural knobs, which force a fresh
+            build (runtime knobs ``nprobe`` / ``ef_search`` / ``refine``
+            re-tune the prebuilt structure in place).
         max_batch / max_wait_ms: micro-batching triggers.
         cache_capacity / cache_ttl_seconds: interest-cache bounds.
         max_len: history truncation at encode time (matches the offline
@@ -68,7 +77,7 @@ class RecommenderService:
                  max_batch: int = 32, max_wait_ms: float = 5.0,
                  cache_capacity: int = 4096, cache_ttl_seconds: float = 300.0,
                  max_len: int = 50, exclude_seen: bool = True,
-                 recall_probe_every: int = 0,
+                 recall_probe_every: int = 0, use_prebuilt: bool = True,
                  clock: Callable[[], float] = time.monotonic,
                  registry: MetricsRegistry | None = None):
         self.artifact = artifact
@@ -84,10 +93,10 @@ class RecommenderService:
         self.metrics = ServingMetrics(clock, registry=registry)
         self.cache = InterestCache(capacity=cache_capacity,
                                    ttl_seconds=cache_ttl_seconds, clock=clock)
-        self.index = build_index(artifact.item_vectors(), index_backend,
-                                 score_mode=self.encoder.score_mode,
-                                 score_pow=self.encoder.score_pow,
-                                 **(index_options or {}))
+        self.index, self._index_prebuilt = self._make_index(
+            index_backend, dict(index_options or {}), use_prebuilt)
+        if self._index_prebuilt:
+            self.metrics.record_prebuilt_load()
         self.recall_probe_every = int(recall_probe_every)
         self._reference_index: ExactIndex | None = None
         if self.index.backend != "exact" and self.recall_probe_every > 0:
@@ -99,6 +108,28 @@ class RecommenderService:
         self._batcher = MicroBatcher(self._process_batch, max_batch=max_batch,
                                      max_wait_ms=max_wait_ms, clock=clock,
                                      on_flush=self.metrics.record_batch)
+
+    def _make_index(self, backend: str, options: dict,
+                    use_prebuilt: bool) -> tuple[object, bool]:
+        """Attach the artifact's serialized index when possible, else build.
+
+        A prebuilt structure is used only when every requested option is a
+        runtime knob (:data:`~repro.serve.index.INDEX_RUNTIME_OPTIONS`) —
+        structural options (``nlist``, ``M``, ``m``…) mean the caller wants
+        a *different* structure than the one shipped, so we build it.
+        """
+        shipped = self.artifact.prebuilt.get(backend)
+        runtime_only = all(name in INDEX_RUNTIME_OPTIONS for name in options)
+        if use_prebuilt and shipped is not None and runtime_only:
+            index = load_index_state(
+                self.artifact.item_vectors(), shipped["meta"],
+                shipped["arrays"], score_mode=self.encoder.score_mode,
+                score_pow=self.encoder.score_pow, options=options)
+            return index, True
+        index = build_index(self.artifact.item_vectors(), backend,
+                            score_mode=self.encoder.score_mode,
+                            score_pow=self.encoder.score_pow, **options)
+        return index, False
 
     # ------------------------------------------------------------------
     # request surface
@@ -247,6 +278,7 @@ class RecommenderService:
                     rank_start = self._clock()
                     self.metrics.record_stage("retrieve",
                                               rank_start - retrieve_start)
+                    self.metrics.record_search(found)
                     results.append([
                         Recommendation(item=int(item), score=float(score),
                                        rank=rank)
@@ -274,14 +306,21 @@ class RecommenderService:
         snapshot["cache"]["evictions"] = self.cache.evictions
         snapshot["cache"]["expirations"] = self.cache.expirations
         index_info = {"backend": self.index.backend,
-                      "num_items": self.index.num_items}
+                      "num_items": self.index.num_items,
+                      "prebuilt": self._index_prebuilt,
+                      "resident_bytes": int(self.index.resident_bytes())}
         if self.index.backend == "ivf":
             index_info["nlist"] = self.index.nlist
             index_info["nprobe"] = self.index.nprobe
+            index_info["auto_calibrated"] = self.index.auto_calibrated
+            if self.index.calibration is not None:
+                index_info["calibration"] = self.index.calibration
         elif self.index.backend == "hnsw":
             index_info["M"] = self.index.M
             index_info["ef_search"] = self.index.ef_search
             index_info["max_level"] = self.index.max_level
+        elif self.index.backend in ("pq", "ivf_pq", "exact_sq"):
+            index_info.update(self.index.describe())
         snapshot["index"] = index_info
         return snapshot
 

@@ -80,17 +80,56 @@ class TestIVFIndex:
         second = IVFIndex(vectors, nlist=8, seed=3).search(queries, k=10)
         np.testing.assert_array_equal(first.items, second.items)
 
-    def test_defaults(self, vectors):
+    def test_defaults_auto_calibrate_nprobe(self, vectors):
         ivf = IVFIndex(vectors)
         assert ivf.nlist == round(np.sqrt(200))
-        assert ivf.nprobe == max(1, ivf.nlist // 4)
+        assert ivf.auto_calibrated
+        assert 1 <= ivf.nprobe <= ivf.nlist
+        # The calibrated default covers the target recall on its own sample
+        # (or saturated at nlist trying).
+        assert (ivf.calibration["achieved_coverage"]
+                >= ivf.calibration["target_recall"]
+                or ivf.nprobe == ivf.nlist)
         assert sum(len(rows) for rows in ivf.lists) == 200
+
+    def test_calibrated_recall_beats_legacy_default(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=10)
+        calibrated = IVFIndex(vectors, seed=0)
+        legacy = IVFIndex(vectors, nprobe=max(1, calibrated.nlist // 4),
+                          seed=0)
+        calibrated_recall = topk_overlap(
+            calibrated.search(queries, k=10).items, exact.items)
+        legacy_recall = topk_overlap(
+            legacy.search(queries, k=10).items, exact.items)
+        assert calibrated_recall >= legacy_recall
+
+    def test_explicit_nprobe_skips_calibration(self, vectors):
+        ivf = IVFIndex(vectors, nlist=8, nprobe=2)
+        assert not ivf.auto_calibrated
+        assert ivf.calibration is None
+        assert ivf.nprobe == 2
+
+    def test_calibration_respects_target(self, vectors):
+        easy = IVFIndex(vectors, nlist=16, target_recall=0.05, seed=0)
+        hard = IVFIndex(vectors, nlist=16, target_recall=1.0, seed=0)
+        assert easy.nprobe <= hard.nprobe
 
     def test_exclusions_absent(self, vectors, queries):
         ivf = IVFIndex(vectors, nlist=8, nprobe=8, seed=0)
         exclude = set(ivf.search(queries, k=5).items.tolist())
         result = ivf.search(queries, k=10, exclude=exclude)
         assert not exclude & set(result.items.tolist())
+
+    def test_state_round_trip(self, vectors, queries):
+        ivf = IVFIndex(vectors, nlist=8, seed=0)
+        meta, arrays = ivf.state()
+        clone = IVFIndex.from_state(vectors, meta, arrays)
+        original = ivf.search(queries, k=10, exclude={1, 2})
+        restored = clone.search(queries, k=10, exclude={1, 2})
+        np.testing.assert_array_equal(original.items, restored.items)
+        np.testing.assert_array_equal(original.scores, restored.scores)
+        assert clone.nprobe == ivf.nprobe
+        assert clone.auto_calibrated == ivf.auto_calibrated
 
 
 class TestHNSWIndex:
@@ -158,6 +197,18 @@ class TestHNSWIndex:
         with pytest.raises(ValueError, match="empty catalog"):
             HNSWIndex(vectors[:0])
 
+    def test_state_round_trip(self, vectors, queries):
+        hnsw = HNSWIndex(vectors, M=8, ef_search=32, seed=0)
+        meta, arrays = hnsw.state()
+        clone = HNSWIndex.from_state(vectors, meta, arrays)
+        assert clone._graph == hnsw._graph
+        assert clone._entry == hnsw._entry
+        assert clone.max_level == hnsw.max_level
+        original = hnsw.search(queries, k=10, exclude={1, 2})
+        restored = clone.search(queries, k=10, exclude={1, 2})
+        np.testing.assert_array_equal(original.items, restored.items)
+        np.testing.assert_array_equal(original.scores, restored.scores)
+
 
 class TestHelpers:
     def test_topk_overlap(self):
@@ -168,5 +219,23 @@ class TestHelpers:
         assert build_index(vectors, "exact").backend == "exact"
         assert build_index(vectors, "ivf", nlist=4).backend == "ivf"
         assert build_index(vectors, "hnsw", M=4).backend == "hnsw"
+        assert build_index(vectors, "exact_sq").backend == "exact_sq"
+        assert build_index(vectors, "pq", m=4).backend == "pq"
+        assert build_index(vectors, "ivf_pq", m=4).backend == "ivf_pq"
         with pytest.raises(ValueError, match="unknown index backend"):
             build_index(vectors, "faiss")
+
+    def test_load_index_state_runtime_options(self, vectors):
+        from repro.serve import load_index_state
+        ivf = IVFIndex(vectors, nlist=8, seed=0)
+        meta, arrays = ivf.state()
+        retuned = load_index_state(vectors, meta, arrays,
+                                   options={"nprobe": 3})
+        assert retuned.nprobe == 3
+        with pytest.raises(ValueError, match="cannot be applied"):
+            load_index_state(vectors, meta, arrays, options={"nlist": 4})
+
+    def test_resident_bytes_reported(self, vectors):
+        for backend in ("exact", "ivf", "hnsw"):
+            index = build_index(vectors, backend)
+            assert index.resident_bytes() >= vectors.nbytes

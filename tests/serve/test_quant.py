@@ -1,0 +1,196 @@
+"""Quantized-retrieval tests: SQ/PQ quantizers, ADC scan, refine parity."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (ExactIndex, IVFPQIndex, PQIndex, ProductQuantizer,
+                         ScalarQuantizer, SQIndex, build_index,
+                         load_index_state, topk_overlap)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return np.random.default_rng(21).normal(size=(300, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.random.default_rng(22).normal(size=(3, 16)).astype(np.float32)
+
+
+class TestScalarQuantizer:
+    def test_codes_within_int8(self, vectors):
+        quantizer = ScalarQuantizer.fit(vectors)
+        codes = quantizer.encode(vectors)
+        assert codes.dtype == np.int8
+        assert codes.min() >= -127 and codes.max() <= 127
+
+    def test_decode_error_bounded(self, vectors):
+        quantizer = ScalarQuantizer.fit(vectors)
+        decoded = quantizer.decode(quantizer.encode(vectors))
+        error = np.abs(decoded - vectors)
+        assert (error <= quantizer.scale * 0.5 + 1e-6).all()
+
+    def test_constant_dimension_survives(self):
+        flat = np.ones((10, 4), dtype=np.float32)
+        quantizer = ScalarQuantizer.fit(flat)
+        np.testing.assert_allclose(quantizer.decode(quantizer.encode(flat)),
+                                   flat, atol=1e-5)
+
+
+class TestProductQuantizer:
+    def test_shapes_and_dtypes(self, vectors):
+        quantizer = ProductQuantizer.fit(vectors, m=4, seed=0)
+        assert quantizer.codebooks.shape == (4, 256, 4)
+        codes = quantizer.encode(vectors)
+        assert codes.shape == (300, 4)
+        assert codes.dtype == np.uint8
+
+    def test_deterministic_given_seed(self, vectors):
+        first = ProductQuantizer.fit(vectors, m=4, seed=3)
+        second = ProductQuantizer.fit(vectors, m=4, seed=3)
+        np.testing.assert_array_equal(first.codebooks, second.codebooks)
+
+    def test_lookup_tables_match_decode(self, vectors, queries):
+        quantizer = ProductQuantizer.fit(vectors, m=4, seed=0)
+        codes = quantizer.encode(vectors)
+        luts = quantizer.lookup_tables(queries)
+        via_luts = np.zeros((3, 300), dtype=np.float32)
+        for sub in range(quantizer.m):
+            via_luts += luts[:, sub, codes[:, sub].astype(np.int64)]
+        via_decode = queries @ quantizer.decode(codes).T
+        np.testing.assert_allclose(via_luts, via_decode, rtol=1e-4, atol=1e-4)
+
+    def test_rejects_bad_subspaces(self, vectors):
+        with pytest.raises(ValueError, match="must divide dim"):
+            ProductQuantizer.fit(vectors, m=5)
+        with pytest.raises(ValueError, match="uint8"):
+            ProductQuantizer.fit(vectors, m=4, ksub=512)
+
+
+class TestSQIndex:
+    def test_near_exact_recall(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=10)
+        result = SQIndex(vectors).search(queries, k=10)
+        assert topk_overlap(result.items, exact.items) >= 0.9
+        assert result.candidates_scored == 300
+
+    def test_full_refine_matches_exact_bitwise(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=10)
+        refined = SQIndex(vectors).search(queries, k=10, refine=300)
+        np.testing.assert_array_equal(refined.items, exact.items)
+        np.testing.assert_array_equal(refined.scores, exact.scores)
+        assert refined.refined == 300
+
+    def test_exclusions_never_occupy_refine_slots(self, vectors, queries):
+        index = SQIndex(vectors, refine=20)
+        exclude = set(index.search(queries, k=5).items.tolist())
+        result = index.search(queries, k=10, exclude=exclude)
+        assert not exclude & set(result.items.tolist())
+
+    def test_resident_bytes_4x_reduction(self, vectors):
+        index = SQIndex(vectors)
+        # Codes are exactly 4x smaller; scale/offset add O(dim) bytes that are
+        # independent of catalog size.
+        assert index.codes.nbytes * 4 == vectors.nbytes
+        overhead = index.quantizer.scale.nbytes + index.quantizer.offset.nbytes
+        assert index.resident_bytes() == index.codes.nbytes + overhead
+        assert index.describe()["code_bytes_per_item"] == 16
+
+
+class TestPQIndex:
+    def test_refine_recovers_exact_topk(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=10)
+        coarse = PQIndex(vectors, m=4, seed=0).search(queries, k=10)
+        refined = PQIndex(vectors, m=4, seed=0, refine=64).search(queries, k=10)
+        coarse_recall = topk_overlap(coarse.items, exact.items)
+        refined_recall = topk_overlap(refined.items, exact.items)
+        assert refined_recall >= coarse_recall
+        assert refined_recall >= 0.9
+
+    def test_refined_scores_are_exact(self, vectors, queries):
+        refined = PQIndex(vectors, m=4, seed=0, refine=300).search(queries, k=10)
+        exact = ExactIndex(vectors).search(queries, k=10)
+        np.testing.assert_array_equal(refined.scores, exact.scores)
+
+    def test_per_call_refine_override(self, vectors, queries):
+        index = PQIndex(vectors, m=4, seed=0, refine=64)
+        plain = index.search(queries, k=10, refine=0)
+        assert plain.refined == 0 and plain.refine_seconds == 0.0
+        deep = index.search(queries, k=10)
+        assert deep.refined == 64 and deep.refine_seconds > 0.0
+        assert index.refine == 64  # the constructor knob is untouched
+
+    def test_code_memory_reduction(self, vectors):
+        index = PQIndex(vectors, m=4, seed=0)
+        # 4 bytes/item of codes vs 64 bytes/item of float32.
+        assert index.codes.nbytes * 16 == vectors.nbytes
+
+    def test_deterministic_given_seed(self, vectors, queries):
+        first = PQIndex(vectors, m=4, seed=3).search(queries, k=10)
+        second = PQIndex(vectors, m=4, seed=3).search(queries, k=10)
+        np.testing.assert_array_equal(first.items, second.items)
+
+    def test_rejects_bad_inputs(self, vectors, queries):
+        with pytest.raises(ValueError, match="empty catalog"):
+            PQIndex(vectors[:0], m=4)
+        with pytest.raises(ValueError, match="k must be positive"):
+            PQIndex(vectors, m=4).search(queries, k=0)
+
+
+class TestIVFPQIndex:
+    def test_prunes_candidates(self, vectors, queries):
+        index = IVFPQIndex(vectors, m=4, nlist=16, nprobe=2, seed=0)
+        result = index.search(queries, k=10)
+        assert result.candidates_scored < 300
+
+    def test_full_probe_refine_matches_exact(self, vectors, queries):
+        exact = ExactIndex(vectors).search(queries, k=10)
+        index = IVFPQIndex(vectors, m=4, nlist=8, nprobe=8, seed=0)
+        refined = index.search(queries, k=10, refine=300)
+        np.testing.assert_array_equal(refined.items, exact.items)
+        np.testing.assert_array_equal(refined.scores, exact.scores)
+
+    def test_exclusions_absent(self, vectors, queries):
+        index = IVFPQIndex(vectors, m=4, nlist=8, nprobe=8, seed=0, refine=64)
+        exclude = set(index.search(queries, k=5).items.tolist())
+        result = index.search(queries, k=10, exclude=exclude)
+        assert not exclude & set(result.items.tolist())
+
+    def test_describe_reports_coarse_shape(self, vectors):
+        index = IVFPQIndex(vectors, m=4, nlist=8, nprobe=3, seed=0)
+        info = index.describe()
+        assert info["nlist"] == 8 and info["nprobe"] == 3
+        assert info["resident_bytes"] == index.resident_bytes()
+
+
+class TestStateRoundTrip:
+    @pytest.mark.parametrize("backend,options", [
+        ("exact_sq", {}),
+        ("pq", {"m": 4, "seed": 0, "refine": 32}),
+        ("ivf_pq", {"m": 4, "nlist": 8, "seed": 0, "refine": 32}),
+    ])
+    def test_search_identical_after_round_trip(self, vectors, queries,
+                                               backend, options):
+        index = build_index(vectors, backend, **options)
+        meta, arrays = index.state()
+        clone = load_index_state(vectors, meta, arrays)
+        original = index.search(queries, k=10, exclude={1, 2})
+        restored = clone.search(queries, k=10, exclude={1, 2})
+        np.testing.assert_array_equal(original.items, restored.items)
+        np.testing.assert_array_equal(original.scores, restored.scores)
+        assert clone.resident_bytes() == index.resident_bytes()
+
+    def test_runtime_refine_applied_on_load(self, vectors, queries):
+        index = PQIndex(vectors, m=4, seed=0)
+        meta, arrays = index.state()
+        clone = load_index_state(vectors, meta, arrays,
+                                 options={"refine": 64})
+        assert clone.refine == 64
+        with pytest.raises(ValueError, match="cannot be applied"):
+            load_index_state(vectors, meta, arrays, options={"m": 8})
+
+    def test_unknown_backend_rejected(self, vectors):
+        from repro.serve.quant import load_quant_state
+        with pytest.raises(ValueError, match="unknown quantized backend"):
+            load_quant_state(vectors, {"backend": "opq"}, {})

@@ -36,6 +36,18 @@ class TestParser:
         assert args.command == "serve"
         assert args.backend == "ivf" and args.probe_every == 5
 
+    def test_export_quant_flags_parse(self):
+        args = build_parser().parse_args(
+            ["export", "out", "--artifact-format", "dir",
+             "--prebuild", "hnsw", "--prebuild", "pq", "--pq-m", "4"])
+        assert args.artifact_format == "dir"
+        assert args.prebuild == ["hnsw", "pq"] and args.pq_m == 4
+
+    def test_serve_quant_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "art.npz", "--index", "pq", "--refine", "80"])
+        assert args.index == "pq" and args.refine == 80
+
     def test_serve_telemetry_flags_parse(self):
         args = build_parser().parse_args(
             ["serve", "art.npz", "--events-out", "ev.jsonl",

@@ -212,8 +212,12 @@ class TestValidationAndStats:
         stats = service.stats()
         json.dumps(stats)
         assert stats["requests"] == 1
-        assert stats["index"] == {"backend": "exact",
-                                  "num_items": tiny_dataset.num_items}
+        assert stats["index"] == {
+            "backend": "exact",
+            "num_items": tiny_dataset.num_items,
+            "prebuilt": False,
+            "resident_bytes": service.index.vectors.nbytes,
+        }
         assert set(stats["stages"]) == {"queue", "encode", "retrieve",
                                         "rank", "total"}
         assert "stage" in service.report()
